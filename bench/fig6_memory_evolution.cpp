@@ -1,0 +1,90 @@
+/// Artifact A2 — Fig. 6 of the paper.
+///
+/// Tracks the MPS memory footprint over the course of a simulation for two
+/// circuit families with different interaction distance; prints the mean /
+/// min / max footprint at fixed progress points (percentage of gates
+/// applied), which is exactly the data Fig. 6 plots. The sharp drops in the
+/// profile are SVD truncations.
+///
+/// Knobs: QKMPS_FULL=1 (m=100, d in {6,12}), QKMPS_QUBITS, QKMPS_SAMPLES.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "circuit/ansatz.hpp"
+#include "mps/simulator.hpp"
+
+using namespace qkmps;
+
+namespace {
+
+void run_family(idx m, idx d, idx samples) {
+  const kernel::RealMatrix x = bench::scaled_features(samples, m, 23);
+  const circuit::AnsatzParams ansatz{.num_features = m, .layers = 2,
+                                     .distance = d, .gamma = 1.0};
+  mps::SimulatorConfig cfg;
+  cfg.track_memory = true;
+  const mps::MpsSimulator sim(cfg);
+
+  std::vector<mps::MemoryTracker> profiles;
+  for (idx i = 0; i < samples; ++i) {
+    std::vector<double> row(x.row(i), x.row(i) + m);
+    profiles.push_back(
+        sim.simulate(circuit::feature_map_circuit(ansatz, row)).memory);
+  }
+
+  std::printf("\n[d=%lld] footprint in KiB at %% of gates applied "
+              "(mean over %lld samples; min-max band)\n",
+              static_cast<long long>(d), static_cast<long long>(samples));
+  std::printf("%8s %12s %12s %12s\n", "progress", "mean", "min", "max");
+  std::vector<double> progress_axis, mean_series;
+  for (int pct = 0; pct <= 100; pct += 5) {
+    const double frac = static_cast<double>(pct) / 100.0;
+    double sum = 0.0, lo = 1e300, hi = 0.0;
+    for (const auto& p : profiles) {
+      const double kib = p.bytes_at_progress(frac) / 1024.0;
+      sum += kib;
+      lo = std::min(lo, kib);
+      hi = std::max(hi, kib);
+    }
+    const double mean = sum / static_cast<double>(profiles.size());
+    std::printf("%7d%% %12.2f %12.2f %12.2f\n", pct, mean, lo, hi);
+    progress_axis.push_back(frac);
+    mean_series.push_back(mean);
+  }
+
+  std::size_t peak = 0;
+  idx peak_chi = 1;
+  for (const auto& p : profiles) {
+    peak = std::max(peak, p.peak_bytes());
+    peak_chi = std::max(peak_chi, p.peak_bond());
+  }
+  std::printf("peak footprint %.2f KiB, peak chi %lld "
+              "(statevector equivalent would need 16 * 2^%lld bytes)\n",
+              static_cast<double>(peak) / 1024.0,
+              static_cast<long long>(peak_chi), static_cast<long long>(m));
+
+  bench::write_artifact("fig6_memory_d" + std::to_string(d) + ".json",
+                        [&](JsonWriter& w) {
+                          w.field("d", static_cast<long long>(d));
+                          w.field("qubits", static_cast<long long>(m));
+                          w.field("progress", progress_axis);
+                          w.field("mean_kib", mean_series);
+                        });
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 6: MPS memory footprint during simulation");
+  const bool full = full_scale_requested();
+  const idx m = static_cast<idx>(env_int("QKMPS_QUBITS", full ? 100 : 24));
+  const idx samples = static_cast<idx>(env_int("QKMPS_SAMPLES", full ? 8 : 4));
+  const idx d_small = full ? 6 : 3;
+  const idx d_large = full ? 12 : 5;
+
+  std::printf("qubits m=%lld, layers r=2, gamma=1.0\n", static_cast<long long>(m));
+  run_family(m, d_small, samples);
+  run_family(m, d_large, samples);
+  return 0;
+}

@@ -1,0 +1,85 @@
+/// Artifact A1 — Fig. 7 of the paper.
+///
+/// Simulation time as the number of qubits (= features) grows, for three
+/// values of the kernel bandwidth gamma. The paper's observations to
+/// reproduce: scaling in m is manageable (nowhere near the 2^m statevector
+/// wall), and the intermediate gamma = 0.5 is the most expensive because
+/// its angles generate the strongest entanglement.
+///
+/// Knobs: QKMPS_FULL=1 (m up to 165, d=6), QKMPS_DIST, QKMPS_SAMPLES.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "circuit/ansatz.hpp"
+#include "mps/simulator.hpp"
+#include "util/timer.hpp"
+
+using namespace qkmps;
+
+int main() {
+  bench::print_header("Fig. 7: simulation time vs number of qubits");
+  const bool full = full_scale_requested();
+  const idx d = static_cast<idx>(env_int("QKMPS_DIST", full ? 6 : 3));
+  const idx samples = static_cast<idx>(env_int("QKMPS_SAMPLES", full ? 8 : 3));
+
+  std::vector<idx> qubit_axis;
+  if (full) {
+    qubit_axis = {25, 45, 65, 85, 105, 125, 145, 165};
+  } else {
+    qubit_axis = {10, 16, 22, 28, 34, 40};
+  }
+  const std::vector<double> gammas{0.1, 0.5, 1.0};
+
+  std::printf("interaction distance d=%lld, layers r=2, samples=%lld\n\n",
+              static_cast<long long>(d), static_cast<long long>(samples));
+  std::printf("%8s", "qubits");
+  for (double g : gammas) std::printf("  g=%.1f t(s)   chi", g);
+  std::printf("\n");
+
+  std::vector<std::vector<double>> times(gammas.size());
+  const mps::MpsSimulator sim;
+  for (idx m : qubit_axis) {
+    std::printf("%8lld", static_cast<long long>(m));
+    for (std::size_t gi = 0; gi < gammas.size(); ++gi) {
+      const circuit::AnsatzParams ansatz{.num_features = m, .layers = 2,
+                                         .distance = d, .gamma = gammas[gi]};
+      const kernel::RealMatrix x =
+          bench::scaled_features(samples, m, 31 + static_cast<std::uint64_t>(m));
+      double total = 0.0;
+      idx chi = 1;
+      for (idx i = 0; i < samples; ++i) {
+        std::vector<double> row(x.row(i), x.row(i) + m);
+        Timer t;
+        const auto r = sim.simulate(circuit::feature_map_circuit(ansatz, row));
+        total += t.seconds();
+        chi = std::max(chi, r.state.max_bond());
+      }
+      const double avg = total / static_cast<double>(samples);
+      times[gi].push_back(avg);
+      std::printf("  %10.3f %5lld", avg, static_cast<long long>(chi));
+    }
+    std::printf("\n");
+  }
+
+  // The Fig. 7 qualitative check: gamma=0.5 is the most expensive line.
+  double sum01 = 0.0, sum05 = 0.0, sum10 = 0.0;
+  for (std::size_t i = 0; i < times[0].size(); ++i) {
+    sum01 += times[0][i];
+    sum05 += times[1][i];
+    sum10 += times[2][i];
+  }
+  std::printf("\ntotal time by gamma: 0.1 -> %.3fs, 0.5 -> %.3fs, 1.0 -> %.3fs"
+              " (paper: gamma=0.5 largest)\n", sum01, sum05, sum10);
+
+  bench::write_artifact("fig7_qubit_scaling.json", [&](JsonWriter& w) {
+    w.field("distance", static_cast<long long>(d));
+    std::vector<double> axis;
+    for (idx m : qubit_axis) axis.push_back(static_cast<double>(m));
+    w.field("qubits", axis);
+    w.field("time_gamma_0_1", times[0]);
+    w.field("time_gamma_0_5", times[1]);
+    w.field("time_gamma_1_0", times[2]);
+  });
+  return 0;
+}

@@ -1,0 +1,116 @@
+/// Artifact A5 — Figs. 9 and 10 of the paper.
+///
+/// Train-set AUC (Fig. 9) and test-set AUC (Fig. 10) of the quantum-kernel
+/// SVM as the number of features and the data-set size grow. The claims to
+/// reproduce (C2.1): test AUC improves with features and with training
+/// size; the smallest sample overfits (highest train AUC, plateauing test
+/// AUC).
+///
+/// Knobs: QKMPS_FULL=1 (sizes {300,1500,6400} x features {15,50,100,165}),
+///        QKMPS_SIZES / QKMPS_FEATURES unavailable here: edit the axis
+///        vectors or use QKMPS_FULL.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "kernel/gram.hpp"
+#include "svm/model_selection.hpp"
+
+using namespace qkmps;
+
+namespace {
+
+struct CellResult {
+  double train_auc = 0.0;
+  double test_auc = 0.0;
+};
+
+CellResult run_cell(idx total_size, idx features, std::uint64_t seed) {
+  const bench::LabelledSample s =
+      bench::labelled_sample(total_size / 2, features, seed);
+
+  kernel::QuantumKernelConfig cfg;
+  cfg.ansatz = {.num_features = features, .layers = 2, .distance = 1,
+                .gamma = 0.1};
+
+  kernel::GramStats stats;
+  const auto train_states = kernel::simulate_states(cfg, s.x_train, &stats);
+  const auto test_states = kernel::simulate_states(cfg, s.x_test, &stats);
+  const auto k_train =
+      kernel::gram_from_states(train_states, cfg.sim.policy, &stats);
+  const auto k_test = kernel::cross_from_states(test_states, train_states,
+                                                cfg.sim.policy, &stats);
+
+  const auto sweep = svm::sweep_regularization(k_train, s.y_train, k_test,
+                                               s.y_test, svm::default_c_grid());
+  const auto& best = svm::best_by_test_auc(sweep);
+  return {best.train.auc, best.test.auc};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figs. 9-10: AUC vs feature count and data size");
+  const bool full = full_scale_requested();
+
+  const std::vector<idx> sizes = full ? std::vector<idx>{300, 1500, 6400}
+                                      : std::vector<idx>{80, 200, 480};
+  const std::vector<idx> features = full ? std::vector<idx>{15, 50, 100, 165}
+                                         : std::vector<idx>{6, 12, 24, 40};
+
+  std::printf("ansatz: d=1, r=2, gamma=0.1; SVM C in [0.01, 4]\n");
+
+  std::vector<std::vector<CellResult>> grid(sizes.size());
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    for (std::size_t fi = 0; fi < features.size(); ++fi) {
+      grid[si].push_back(run_cell(sizes[si], features[fi],
+                                  1000 + 7 * si + fi));
+    }
+  }
+
+  const auto print_grid = [&](const char* title, bool test_side) {
+    std::printf("\n[%s]\n%10s", title, "size\\feat");
+    for (idx f : features) std::printf("%10lld", static_cast<long long>(f));
+    std::printf("\n");
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+      std::printf("%10lld", static_cast<long long>(sizes[si]));
+      for (std::size_t fi = 0; fi < features.size(); ++fi)
+        std::printf("%10.3f", test_side ? grid[si][fi].test_auc
+                                        : grid[si][fi].train_auc);
+      std::printf("\n");
+    }
+  };
+  print_grid("Fig. 9: TRAIN AUC", false);
+  print_grid("Fig. 10: TEST AUC", true);
+
+  // Shape checks corresponding to the paper's discussion.
+  const std::size_t last = sizes.size() - 1;
+  std::printf("\nshape checks:\n");
+  std::printf("  largest size: test AUC at max features (%.3f) vs min features"
+              " (%.3f) -> %s\n",
+              grid[last].back().test_auc, grid[last].front().test_auc,
+              grid[last].back().test_auc > grid[last].front().test_auc
+                  ? "improves (matches paper)"
+                  : "no improvement");
+  std::printf("  smallest size train AUC (%.3f) vs largest size train AUC"
+              " (%.3f) -> %s\n",
+              grid[0].back().train_auc, grid[last].back().train_auc,
+              grid[0].back().train_auc >= grid[last].back().train_auc
+                  ? "small sample overfits (matches paper)"
+                  : "unexpected");
+
+  bench::write_artifact("fig9_10_model_scaling.json", [&](JsonWriter& w) {
+    w.begin_array("cells");
+    for (std::size_t si = 0; si < sizes.size(); ++si)
+      for (std::size_t fi = 0; fi < features.size(); ++fi) {
+        w.begin_array_object();
+        w.field("size", static_cast<long long>(sizes[si]));
+        w.field("features", static_cast<long long>(features[fi]));
+        w.field("train_auc", grid[si][fi].train_auc);
+        w.field("test_auc", grid[si][fi].test_auc);
+        w.end_object();
+      }
+    w.end_array();
+  });
+  return 0;
+}

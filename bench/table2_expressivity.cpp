@@ -1,0 +1,159 @@
+/// Artifact A6 — Table II of the paper.
+///
+/// SVM classification metrics for the quantum kernel across interaction
+/// distances d and kernel bandwidths gamma, against the Gaussian-kernel
+/// baseline (Eq. 9, alpha = 1/(m var X)). Metrics are averaged over
+/// independent resamples at a common regularization coefficient, and the
+/// C with the highest mean AUC is reported — the artifact's exact protocol.
+///
+/// Claims to reproduce: C2.2 (quantum beats Gaussian at moderate gamma)
+/// and C2.3 (gamma=0.1 rows are flat in d and below the baseline; the
+/// largest d underperforms at strong gamma).
+///
+/// Knobs: QKMPS_FULL=1 (50 features, 400 points, 6 resamples),
+///        QKMPS_FEATURES, QKMPS_PER_CLASS, QKMPS_RUNS.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "kernel/gaussian.hpp"
+#include "kernel/gram.hpp"
+#include "svm/model_selection.hpp"
+
+using namespace qkmps;
+
+namespace {
+
+struct Row {
+  std::string kernel;
+  idx d = 0;
+  double gamma = 0.0;
+  svm::Metrics metrics;
+};
+
+/// Averages sweeps across runs per C, then picks the best mean-AUC C.
+svm::Metrics average_best_c(const std::vector<std::vector<svm::SweepPoint>>& runs) {
+  const std::size_t n_c = runs.front().size();
+  svm::Metrics best;
+  for (std::size_t ci = 0; ci < n_c; ++ci) {
+    svm::Metrics mean;
+    for (const auto& run : runs) {
+      mean.auc += run[ci].test.auc;
+      mean.accuracy += run[ci].test.accuracy;
+      mean.precision += run[ci].test.precision;
+      mean.recall += run[ci].test.recall;
+    }
+    const double k = static_cast<double>(runs.size());
+    mean.auc /= k;
+    mean.accuracy /= k;
+    mean.precision /= k;
+    mean.recall /= k;
+    if (mean.auc > best.auc) best = mean;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table II: expressivity study (d x gamma) vs Gaussian kernel");
+  const bool full = full_scale_requested();
+  const idx features = static_cast<idx>(env_int("QKMPS_FEATURES", full ? 50 : 12));
+  const idx per_class = static_cast<idx>(env_int("QKMPS_PER_CLASS", full ? 200 : 60));
+  const idx runs = static_cast<idx>(env_int("QKMPS_RUNS", full ? 6 : 2));
+
+  std::printf("features=%lld, %lld per class, r=2, %lld resamples\n\n",
+              static_cast<long long>(features), static_cast<long long>(per_class),
+              static_cast<long long>(runs));
+
+  // Pre-draw the resamples so every kernel sees identical data.
+  std::vector<bench::LabelledSample> samples;
+  for (idx r = 0; r < runs; ++r)
+    samples.push_back(bench::labelled_sample(per_class, features,
+                                             900 + static_cast<std::uint64_t>(r)));
+
+  std::vector<Row> rows;
+
+  {  // Gaussian baseline.
+    std::vector<std::vector<svm::SweepPoint>> sweeps;
+    for (const auto& s : samples) {
+      const double alpha = kernel::gaussian_alpha(s.x_train);
+      sweeps.push_back(svm::sweep_regularization(
+          kernel::gaussian_gram(s.x_train, alpha), s.y_train,
+          kernel::gaussian_cross(s.x_test, s.x_train, alpha), s.y_test,
+          svm::default_c_grid()));
+    }
+    rows.push_back({"Gaussian", 0, 0.0, average_best_c(sweeps)});
+  }
+
+  const std::vector<idx> distances = full ? std::vector<idx>{1, 2, 4, 6}
+                                          : std::vector<idx>{1, 2, 3};
+  for (double gamma : {0.1, 0.5, 1.0}) {
+    for (idx d : distances) {
+      kernel::QuantumKernelConfig cfg;
+      cfg.ansatz = {.num_features = features, .layers = 2, .distance = d,
+                    .gamma = gamma};
+      std::vector<std::vector<svm::SweepPoint>> sweeps;
+      for (const auto& s : samples) {
+        kernel::GramStats stats;
+        const auto train_states = kernel::simulate_states(cfg, s.x_train, &stats);
+        const auto test_states = kernel::simulate_states(cfg, s.x_test, &stats);
+        sweeps.push_back(svm::sweep_regularization(
+            kernel::gram_from_states(train_states, cfg.sim.policy, &stats),
+            s.y_train,
+            kernel::cross_from_states(test_states, train_states, cfg.sim.policy,
+                                      &stats),
+            s.y_test, svm::default_c_grid()));
+      }
+      rows.push_back({"quantum", d, gamma, average_best_c(sweeps)});
+    }
+  }
+
+  std::printf("%10s %4s %6s %8s %8s %10s %10s\n", "kernel", "d", "gamma",
+              "AUC", "Recall", "Precision", "Accuracy");
+  double best_auc = 0.0;
+  for (const auto& r : rows) best_auc = std::max(best_auc, r.metrics.auc);
+  for (const auto& r : rows) {
+    std::printf("%10s %4s %6s %7.3f%s %8.3f %10.3f %10.3f\n", r.kernel.c_str(),
+                r.d > 0 ? std::to_string(r.d).c_str() : "-",
+                r.gamma > 0.0 ? (std::to_string(r.gamma).substr(0, 3)).c_str() : "-",
+                r.metrics.auc, r.metrics.auc == best_auc ? "*" : " ",
+                r.metrics.recall, r.metrics.precision, r.metrics.accuracy);
+  }
+  std::printf("(* = highest AUC; paper marks its best row in bold)\n");
+
+  // Claim checks.
+  const double gaussian_auc = rows.front().metrics.auc;
+  double best_quantum = 0.0, gamma01_spread_min = 1.0, gamma01_spread_max = 0.0;
+  for (const auto& r : rows) {
+    if (r.kernel == "quantum") best_quantum = std::max(best_quantum, r.metrics.auc);
+    if (r.kernel == "quantum" && r.gamma == 0.1) {
+      gamma01_spread_min = std::min(gamma01_spread_min, r.metrics.auc);
+      gamma01_spread_max = std::max(gamma01_spread_max, r.metrics.auc);
+    }
+  }
+  std::printf("\nclaim C2.2: best quantum AUC %.3f vs Gaussian %.3f -> %s\n",
+              best_quantum, gaussian_auc,
+              best_quantum > gaussian_auc ? "quantum wins (matches paper)"
+                                          : "baseline wins here");
+  std::printf("claim C2.3: gamma=0.1 AUC spread across d: %.4f "
+              "(paper: rows identical to 3 decimals)\n",
+              gamma01_spread_max - gamma01_spread_min);
+
+  bench::write_artifact("table2_expressivity.json", [&](JsonWriter& w) {
+    w.begin_array("rows");
+    for (const auto& r : rows) {
+      w.begin_array_object();
+      w.field("kernel", r.kernel);
+      w.field("d", static_cast<long long>(r.d));
+      w.field("gamma", r.gamma);
+      w.field("auc", r.metrics.auc);
+      w.field("recall", r.metrics.recall);
+      w.field("precision", r.metrics.precision);
+      w.field("accuracy", r.metrics.accuracy);
+      w.end_object();
+    }
+    w.end_array();
+  });
+  return 0;
+}

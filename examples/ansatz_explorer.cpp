@@ -1,0 +1,75 @@
+/// Ansatz resource explorer — the paper's Sec. III-A workflow as a tool.
+///
+/// Before committing to an expensive kernel computation, a practitioner
+/// should know which regime their ansatz lives in (the paper's explicit
+/// recommendation: "carefully analyze whether their circuit ansatz lies
+/// within the CPU-favoured or GPU-favoured regime", using the final bond
+/// dimension chi as the decision variable, with chi >= 320 flagging the
+/// accelerated regime). This tool sweeps (d, gamma), simulates a few
+/// probe circuits, and reports chi, memory, SWAP overhead and timing per
+/// configuration.
+
+#include <cstdio>
+
+#include "qkmps.hpp"
+
+using namespace qkmps;
+
+int main(int argc, char** argv) {
+  const idx m = argc > 1 ? std::atoll(argv[1]) : 12;
+  const idx probes = 3;
+  std::printf("ansatz resource explorer: %lld qubits (= features), r=2, "
+              "%lld probe circuits per cell\n\n",
+              static_cast<long long>(m), static_cast<long long>(probes));
+
+  // Probe data drawn from the synthetic pool, scaled to (0, 2).
+  data::EllipticSyntheticParams gen;
+  gen.num_points = 500;
+  gen.num_features = m;
+  const data::Dataset pool = data::generate_elliptic_synthetic(gen);
+  const data::FeatureScaler scaler = data::FeatureScaler::fit(pool.x);
+  const auto x = scaler.transform(pool.x);
+
+  std::printf("%4s %6s %10s %10s %12s %12s %12s %10s\n", "d", "gamma",
+              "2q gates", "swaps", "max chi", "MPS KiB", "sim (s)", "regime");
+
+  const mps::MpsSimulator sim;
+  for (idx d : {1, 2, 3, 4, 6}) {
+    for (double gamma : {0.1, 0.5, 1.0}) {
+      const circuit::AnsatzParams ansatz{.num_features = m, .layers = 2,
+                                         .distance = d, .gamma = gamma};
+      idx chi = 1;
+      std::size_t bytes = 0;
+      double secs = 0.0;
+      idx two_q = 0, swaps = 0;
+      for (idx i = 0; i < probes; ++i) {
+        std::vector<double> row(x.row(i * 7), x.row(i * 7) + m);
+        const circuit::Circuit c = circuit::feature_map_circuit(ansatz, row);
+        two_q = c.two_qubit_gate_count();
+        swaps = circuit::routing_swap_count(c);
+        Timer t;
+        const auto r = sim.simulate(c);
+        secs += t.seconds();
+        chi = std::max(chi, r.state.max_bond());
+        bytes = std::max(bytes, r.state.memory_bytes());
+      }
+      // The paper's decision rule (Sec. III-A): chi >= 320 => accelerated
+      // (GPU) regime; below that the low-overhead (CPU) path is faster.
+      std::printf("%4lld %6.1f %10lld %10lld %12lld %12.1f %12.4f %10s\n",
+                  static_cast<long long>(d), gamma,
+                  static_cast<long long>(two_q), static_cast<long long>(swaps),
+                  static_cast<long long>(chi),
+                  static_cast<double>(bytes) / 1024.0,
+                  secs / static_cast<double>(probes),
+                  chi >= 320 ? "accel/GPU" : "reference/CPU");
+    }
+  }
+
+  std::printf("\nreading the table: chi is the runtime driver (O(m chi^3)); "
+              "memory per MPS is O(m chi^2).\n"
+              "The paper's crossover sits near chi ~ 320 (its Table I, d ~ 10);"
+              " shallow d=1 ansatze stay at chi ~ 2\n"
+              "and are CPU-friendly even at 165 qubits, which is why the "
+              "model-quality studies use d=1.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "circuit/ansatz.hpp"
+
+#include "circuit/scheduling.hpp"
+#include "util/error.hpp"
+
+namespace qkmps::circuit {
+
+Circuit feature_map_circuit(const InteractionGraph& graph, idx layers,
+                            double gamma, const std::vector<double>& x) {
+  const idx m = graph.num_qubits();
+  QKMPS_CHECK_MSG(static_cast<idx>(x.size()) == m,
+                  "feature count " << x.size() << " != qubit count " << m);
+  QKMPS_CHECK(layers >= 1);
+
+  Circuit c(m);
+  // |+>^m initialisation (Eq. 2).
+  for (idx q = 0; q < m; ++q) c.h(q);
+
+  const auto rxx_layers = schedule_commuting_layers(graph.edges(), m);
+
+  for (idx rep = 0; rep < layers; ++rep) {
+    // exp(-i H_Z(x)): e^{-i gamma x_q Z} = RZ(2 gamma x_q) up to global phase.
+    for (idx q = 0; q < m; ++q)
+      c.rz(q, 2.0 * gamma * x[static_cast<std::size_t>(q)]);
+
+    // exp(-i H_XX(x)): e^{-i c XX} = RXX(2c) with
+    // c = gamma^2 (pi/2) (1 - x_i)(1 - x_j).
+    for (const auto& layer : rxx_layers) {
+      for (const auto& [i, j] : layer) {
+        const double coeff = gamma * gamma * (kPi / 2.0) *
+                             (1.0 - x[static_cast<std::size_t>(i)]) *
+                             (1.0 - x[static_cast<std::size_t>(j)]);
+        c.rxx(i, j, 2.0 * coeff);
+      }
+    }
+  }
+  return c;
+}
+
+Circuit feature_map_circuit(const AnsatzParams& params,
+                            const std::vector<double>& x) {
+  return feature_map_circuit(params.graph(), params.layers, params.gamma, x);
+}
+
+}  // namespace qkmps::circuit

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/interaction_graph.hpp"
+
+namespace qkmps::circuit {
+
+/// Hyperparameters of the feature-map ansatz (Sec. II-A / II-C):
+/// U(x) = [ exp(-i H_XX(x)) exp(-i H_Z(x)) ]^r applied to |+>^m, with
+///   H_Z(x)  = gamma   * sum_i x_i Z_i                       (Eq. 4)
+///   H_XX(x) = gamma^2 * (pi/2) * sum_{(i,j) in G} (1-x_i)(1-x_j) X_i X_j  (Eq. 5)
+/// The number of qubits equals the number of features.
+struct AnsatzParams {
+  idx num_features = 0;   ///< m: qubits == features
+  idx layers = 2;         ///< r: ansatz repetitions
+  idx distance = 1;       ///< d: linear-chain interaction distance
+  double gamma = 0.1;     ///< kernel bandwidth coefficient
+
+  InteractionGraph graph() const {
+    return InteractionGraph::linear_chain(num_features, distance);
+  }
+};
+
+/// Builds the state-preparation circuit U(x)|+>^m for one data point.
+/// Feature values are expected rescaled to the (0, 2) interval (the data
+/// pipeline's job). RXX gates are emitted in commuting-layer order so the
+/// H_XX block has depth <= 2d; for distance > 1 the result still contains
+/// non-adjacent RXX gates — run route_to_chain() before MPS simulation.
+Circuit feature_map_circuit(const AnsatzParams& params,
+                            const std::vector<double>& x);
+
+/// Same, over an arbitrary interaction graph (the paper's "other data sets
+/// might benefit from more complicated interaction graphs").
+Circuit feature_map_circuit(const InteractionGraph& graph, idx layers,
+                            double gamma, const std::vector<double>& x);
+
+}  // namespace qkmps::circuit

@@ -1,0 +1,54 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace qkmps::circuit {
+
+Circuit::Circuit(idx num_qubits) : num_qubits_(num_qubits) {
+  QKMPS_CHECK(num_qubits >= 1);
+}
+
+void Circuit::append(Gate g) {
+  QKMPS_CHECK(g.q0 >= 0 && g.q0 < num_qubits_);
+  if (g.is_two_qubit()) {
+    QKMPS_CHECK(g.q1 >= 0 && g.q1 < num_qubits_ && g.q1 != g.q0);
+  }
+  gates_.push_back(g);
+}
+
+void Circuit::append(const Circuit& other) {
+  QKMPS_CHECK(other.num_qubits_ == num_qubits_);
+  gates_.insert(gates_.end(), other.gates_.begin(), other.gates_.end());
+}
+
+idx Circuit::two_qubit_gate_count() const {
+  return static_cast<idx>(
+      std::count_if(gates_.begin(), gates_.end(),
+                    [](const Gate& g) { return g.is_two_qubit(); }));
+}
+
+idx Circuit::depth() const {
+  std::vector<idx> free_at(static_cast<std::size_t>(num_qubits_), 0);
+  idx depth = 0;
+  for (const Gate& g : gates_) {
+    idx start = free_at[static_cast<std::size_t>(g.q0)];
+    if (g.is_two_qubit())
+      start = std::max(start, free_at[static_cast<std::size_t>(g.q1)]);
+    const idx end = start + 1;
+    free_at[static_cast<std::size_t>(g.q0)] = end;
+    if (g.is_two_qubit()) free_at[static_cast<std::size_t>(g.q1)] = end;
+    depth = std::max(depth, end);
+  }
+  return depth;
+}
+
+bool Circuit::is_nearest_neighbour() const {
+  return std::all_of(gates_.begin(), gates_.end(), [](const Gate& g) {
+    return !g.is_two_qubit() || std::abs(g.q0 - g.q1) == 1;
+  });
+}
+
+}  // namespace qkmps::circuit

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace qkmps::circuit {
+
+/// A straight-line quantum circuit: an ordered gate list on `num_qubits`
+/// qubits. This is the IR handed to both simulators; routing and scheduling
+/// are circuit-to-circuit passes.
+class Circuit {
+ public:
+  explicit Circuit(idx num_qubits);
+
+  idx num_qubits() const { return num_qubits_; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  idx size() const { return static_cast<idx>(gates_.size()); }
+
+  void append(Gate g);
+  void append(const Circuit& other);
+
+  void h(idx q) { append(make_h(q)); }
+  void x(idx q) { append(make_x(q)); }
+  void z(idx q) { append(make_z(q)); }
+  void rz(idx q, double angle) { append(make_rz(q, angle)); }
+  void rx(idx q, double angle) { append(make_rx(q, angle)); }
+  void rxx(idx q0, idx q1, double angle) { append(make_rxx(q0, q1, angle)); }
+  void swap(idx q0, idx q1) { append(make_swap(q0, q1)); }
+
+  /// Number of two-qubit gates — the complexity driver for MPS simulation
+  /// (Sec. II-B: the bottleneck is two-qubit gate count, not qubit count).
+  idx two_qubit_gate_count() const;
+
+  /// Circuit depth: longest chain of gates under qubit-availability
+  /// scheduling (each gate starts once its qubits are free).
+  idx depth() const;
+
+  /// True when every two-qubit gate acts on adjacent chain positions — the
+  /// precondition for native MPS application (Sec. II-C).
+  bool is_nearest_neighbour() const;
+
+ private:
+  idx num_qubits_;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace qkmps::circuit

@@ -1,0 +1,34 @@
+#include "circuit/interaction_graph.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace qkmps::circuit {
+
+InteractionGraph::InteractionGraph(idx num_qubits,
+                                   std::vector<std::pair<idx, idx>> edges)
+    : num_qubits_(num_qubits), edges_(std::move(edges)) {
+  QKMPS_CHECK(num_qubits >= 1);
+  for (auto& [a, b] : edges_) {
+    QKMPS_CHECK(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_ && a != b);
+    if (a > b) std::swap(a, b);
+  }
+}
+
+InteractionGraph InteractionGraph::linear_chain(idx num_qubits, idx distance) {
+  QKMPS_CHECK(num_qubits >= 1 && distance >= 0);
+  std::vector<std::pair<idx, idx>> edges;
+  for (idx k = 1; k <= distance; ++k)
+    for (idx i = 0; i + k < num_qubits; ++i) edges.emplace_back(i, i + k);
+  return InteractionGraph(num_qubits, std::move(edges));
+}
+
+idx InteractionGraph::max_distance() const {
+  idx d = 0;
+  for (const auto& [a, b] : edges_) d = std::max(d, std::abs(b - a));
+  return d;
+}
+
+}  // namespace qkmps::circuit

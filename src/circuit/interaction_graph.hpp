@@ -1,0 +1,35 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace qkmps::circuit {
+
+/// Qubit interaction topology: the edge set G of the H_XX Hamiltonian
+/// (Eq. 5). The paper's experiments use a linear chain with a tunable
+/// interaction distance d; arbitrary edge sets are supported for other
+/// topologies (e.g. the "quantum data" graphs the conclusion speculates
+/// about).
+class InteractionGraph {
+ public:
+  InteractionGraph(idx num_qubits, std::vector<std::pair<idx, idx>> edges);
+
+  /// Linear chain on m qubits where qubit i interacts with every qubit at
+  /// chain distance <= d (Sec. II-C). Edges are emitted ordered by distance
+  /// then position, matching Fig. 3b's E_i block structure.
+  static InteractionGraph linear_chain(idx num_qubits, idx distance);
+
+  idx num_qubits() const { return num_qubits_; }
+  const std::vector<std::pair<idx, idx>>& edges() const { return edges_; }
+
+  /// Max |i - j| over the edge set; 1 means natively MPS-simulable.
+  idx max_distance() const;
+
+ private:
+  idx num_qubits_;
+  std::vector<std::pair<idx, idx>> edges_;
+};
+
+}  // namespace qkmps::circuit

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace qkmps::circuit {
+
+/// Rewrites a circuit so every two-qubit gate acts on adjacent qubits of
+/// the linear chain, which is the MPS simulator's native constraint
+/// (Sec. II-C). A gate on qubits (i, i+k) is wrapped in a ladder of k-1
+/// SWAPs on each side — 2(k-1) extra SWAP gates, exactly the overhead the
+/// paper quotes. Single-qubit gates and already-adjacent gates pass
+/// through unchanged; qubit positions are restored after every gate, so
+/// the routed circuit computes the identical unitary.
+Circuit route_to_chain(const Circuit& c);
+
+/// Number of SWAPs route_to_chain would insert; used by resource planning
+/// and the scaling benches.
+idx routing_swap_count(const Circuit& c);
+
+}  // namespace qkmps::circuit

@@ -1,0 +1,36 @@
+#include "circuit/scheduling.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace qkmps::circuit {
+
+std::vector<std::vector<std::pair<idx, idx>>> schedule_commuting_layers(
+    const std::vector<std::pair<idx, idx>>& edges, idx num_qubits) {
+  std::vector<std::vector<std::pair<idx, idx>>> layers;
+  std::vector<bool> placed(edges.size(), false);
+  std::size_t remaining = edges.size();
+
+  while (remaining > 0) {
+    std::vector<bool> busy(static_cast<std::size_t>(num_qubits), false);
+    std::vector<std::pair<idx, idx>> layer;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (placed[i]) continue;
+      const auto& [a, b] = edges[i];
+      QKMPS_CHECK(a >= 0 && b >= 0 && a < num_qubits && b < num_qubits);
+      if (busy[static_cast<std::size_t>(a)] || busy[static_cast<std::size_t>(b)])
+        continue;
+      busy[static_cast<std::size_t>(a)] = true;
+      busy[static_cast<std::size_t>(b)] = true;
+      layer.push_back(edges[i]);
+      placed[i] = true;
+      --remaining;
+    }
+    QKMPS_CHECK_MSG(!layer.empty(), "scheduler made no progress");
+    layers.push_back(std::move(layer));
+  }
+  return layers;
+}
+
+}  // namespace qkmps::circuit

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "circuit/interaction_graph.hpp"
+
+namespace qkmps::circuit {
+
+/// Packs the (mutually commuting) RXX edge set into layers of
+/// endpoint-disjoint gates. Because RXX gates commute with each other
+/// (footnote 3 of the paper), any reordering is exact; greedily packing
+/// them yields <= 2d layers for a distance-d linear chain so the
+/// exp(-i H_XX) subcircuit has depth 2d instead of O(m d).
+std::vector<std::vector<std::pair<idx, idx>>> schedule_commuting_layers(
+    const std::vector<std::pair<idx, idx>>& edges, idx num_qubits);
+
+}  // namespace qkmps::circuit

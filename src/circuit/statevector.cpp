@@ -1,0 +1,91 @@
+#include "circuit/statevector.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qkmps::circuit {
+
+Statevector::Statevector(idx num_qubits) : num_qubits_(num_qubits) {
+  QKMPS_CHECK_MSG(num_qubits >= 1 && num_qubits <= 26,
+                  "statevector simulator limited to 26 qubits");
+  amps_.assign(static_cast<std::size_t>(idx{1} << num_qubits), cplx(0.0));
+  amps_[0] = 1.0;
+}
+
+void Statevector::apply_1q(const linalg::Matrix& u, idx q) {
+  const idx stride = idx{1} << (num_qubits_ - 1 - q);
+  const idx total = static_cast<idx>(amps_.size());
+  for (idx base = 0; base < total; base += 2 * stride) {
+    for (idx off = 0; off < stride; ++off) {
+      const idx i0 = base + off;
+      const idx i1 = i0 + stride;
+      const cplx a0 = amps_[static_cast<std::size_t>(i0)];
+      const cplx a1 = amps_[static_cast<std::size_t>(i1)];
+      amps_[static_cast<std::size_t>(i0)] = u(0, 0) * a0 + u(0, 1) * a1;
+      amps_[static_cast<std::size_t>(i1)] = u(1, 0) * a0 + u(1, 1) * a1;
+    }
+  }
+}
+
+void Statevector::apply_2q(const linalg::Matrix& u, idx q0, idx q1) {
+  const idx s0 = idx{1} << (num_qubits_ - 1 - q0);
+  const idx s1 = idx{1} << (num_qubits_ - 1 - q1);
+  const idx total = static_cast<idx>(amps_.size());
+  for (idx i = 0; i < total; ++i) {
+    // Visit each 4-tuple once, from its (q0=0, q1=0) representative.
+    if ((i & s0) != 0 || (i & s1) != 0) continue;
+    const idx i00 = i;
+    const idx i01 = i | s1;
+    const idx i10 = i | s0;
+    const idx i11 = i | s0 | s1;
+    const cplx a00 = amps_[static_cast<std::size_t>(i00)];
+    const cplx a01 = amps_[static_cast<std::size_t>(i01)];
+    const cplx a10 = amps_[static_cast<std::size_t>(i10)];
+    const cplx a11 = amps_[static_cast<std::size_t>(i11)];
+    amps_[static_cast<std::size_t>(i00)] =
+        u(0, 0) * a00 + u(0, 1) * a01 + u(0, 2) * a10 + u(0, 3) * a11;
+    amps_[static_cast<std::size_t>(i01)] =
+        u(1, 0) * a00 + u(1, 1) * a01 + u(1, 2) * a10 + u(1, 3) * a11;
+    amps_[static_cast<std::size_t>(i10)] =
+        u(2, 0) * a00 + u(2, 1) * a01 + u(2, 2) * a10 + u(2, 3) * a11;
+    amps_[static_cast<std::size_t>(i11)] =
+        u(3, 0) * a00 + u(3, 1) * a01 + u(3, 2) * a10 + u(3, 3) * a11;
+  }
+}
+
+void Statevector::apply(const Gate& g) {
+  const linalg::Matrix u = g.matrix();
+  if (g.is_two_qubit()) {
+    apply_2q(u, g.q0, g.q1);
+  } else {
+    apply_1q(u, g.q0);
+  }
+}
+
+void Statevector::apply(const Circuit& c) {
+  QKMPS_CHECK(c.num_qubits() == num_qubits_);
+  for (const Gate& g : c.gates()) apply(g);
+}
+
+cplx Statevector::inner_product(const Statevector& other) const {
+  QKMPS_CHECK(num_qubits_ == other.num_qubits_);
+  cplx acc = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i)
+    acc += std::conj(amps_[i]) * other.amps_[i];
+  return acc;
+}
+
+double Statevector::norm() const {
+  double s = 0.0;
+  for (const auto& a : amps_) s += std::norm(a);
+  return std::sqrt(s);
+}
+
+Statevector simulate_statevector(const Circuit& c) {
+  Statevector sv(c.num_qubits());
+  sv.apply(c);
+  return sv;
+}
+
+}  // namespace qkmps::circuit

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "util/types.hpp"
+
+namespace qkmps::circuit {
+
+/// Dense statevector simulator: the exact, exponential-memory reference
+/// implementation (Sec. II-B's baseline). Usable to ~20 qubits; the test
+/// suite cross-validates every MPS code path against it. Qubit 0 is the
+/// most significant bit of the basis-state index, matching the MPS site
+/// ordering (site 0 = leftmost tensor).
+class Statevector {
+ public:
+  explicit Statevector(idx num_qubits);  ///< initialised to |0...0>
+
+  idx num_qubits() const { return num_qubits_; }
+  const std::vector<cplx>& amplitudes() const { return amps_; }
+
+  void apply(const Gate& g);
+  void apply(const Circuit& c);
+
+  /// <this|other>.
+  cplx inner_product(const Statevector& other) const;
+
+  double norm() const;
+
+ private:
+  void apply_1q(const linalg::Matrix& u, idx q);
+  void apply_2q(const linalg::Matrix& u, idx q0, idx q1);
+
+  idx num_qubits_;
+  std::vector<cplx> amps_;
+};
+
+/// Runs a circuit from |0...0> and returns the final state.
+Statevector simulate_statevector(const Circuit& c);
+
+}  // namespace qkmps::circuit

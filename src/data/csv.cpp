@@ -1,0 +1,67 @@
+#include "data/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace qkmps::data {
+
+void save_csv(const Dataset& d, const std::string& path) {
+  std::ofstream os(path);
+  QKMPS_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  os << "label";
+  for (idx j = 0; j < d.num_features(); ++j) os << ",f" << j;
+  os << "\n";
+  os.precision(17);
+  for (idx i = 0; i < d.size(); ++i) {
+    os << d.y[static_cast<std::size_t>(i)];
+    for (idx j = 0; j < d.num_features(); ++j) os << "," << d.x(i, j);
+    os << "\n";
+  }
+  QKMPS_CHECK_MSG(os.good(), "write failure on " << path);
+}
+
+Dataset load_csv(const std::string& path) {
+  std::ifstream is(path);
+  QKMPS_CHECK_MSG(is.good(), "cannot open " << path);
+
+  std::string line;
+  QKMPS_CHECK_MSG(static_cast<bool>(std::getline(is, line)), "empty CSV");
+  idx num_features = -1;  // count commas in header minus label column
+  {
+    idx commas = 0;
+    for (char c : line)
+      if (c == ',') ++commas;
+    num_features = commas;
+  }
+  QKMPS_CHECK_MSG(num_features >= 1, "CSV header has no feature columns");
+
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string cell;
+    QKMPS_CHECK(static_cast<bool>(std::getline(ss, cell, ',')));
+    labels.push_back(std::stoi(cell));
+    std::vector<double> row;
+    row.reserve(static_cast<std::size_t>(num_features));
+    while (std::getline(ss, cell, ',')) row.push_back(std::stod(cell));
+    QKMPS_CHECK_MSG(static_cast<idx>(row.size()) == num_features,
+                    "ragged CSV row with " << row.size() << " features");
+    rows.push_back(std::move(row));
+  }
+  QKMPS_CHECK_MSG(!rows.empty(), "CSV has no data rows");
+
+  Dataset d;
+  d.x = kernel::RealMatrix(static_cast<idx>(rows.size()), num_features);
+  d.y = std::move(labels);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    for (idx j = 0; j < num_features; ++j)
+      d.x(static_cast<idx>(i), j) = rows[i][static_cast<std::size_t>(j)];
+  return d;
+}
+
+}  // namespace qkmps::data

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace qkmps::data {
+
+/// Writes a dataset as CSV: header "label,f0,f1,...", one row per point.
+void save_csv(const Dataset& d, const std::string& path);
+
+/// Loads a dataset saved by save_csv (or any CSV in the same layout).
+/// Lets users run the pipeline on the *real* Elliptic data if they export
+/// it to this layout.
+Dataset load_csv(const std::string& path);
+
+}  // namespace qkmps::data

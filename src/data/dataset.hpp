@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "kernel/kernel_matrix.hpp"
+#include "util/types.hpp"
+
+namespace qkmps::data {
+
+/// A labelled tabular dataset: rows are data points, columns are features,
+/// labels are {-1, +1} with +1 the positive ("illicit") class.
+struct Dataset {
+  kernel::RealMatrix x;
+  std::vector<int> y;
+
+  idx size() const { return x.rows(); }
+  idx num_features() const { return x.cols(); }
+
+  /// Count of +1 labels.
+  idx positives() const;
+  /// Count of -1 labels.
+  idx negatives() const;
+
+  /// Subset by row indices (labels follow).
+  Dataset select(const std::vector<idx>& rows) const;
+
+  /// Keep only the first `k` feature columns. Feature order in the
+  /// synthetic generator is by decreasing informativeness, so this is the
+  /// paper's "increasing feature number" sweep axis (Figs. 9-10).
+  Dataset with_features(idx k) const;
+};
+
+}  // namespace qkmps::data

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace qkmps::data {
+
+/// Feature scaler fit on training data only (standard leakage-free
+/// pipeline): standardize to zero mean / unit variance, then map into the
+/// open interval (lo, hi) — the paper rescales features to (0, 2) before
+/// they become rotation angles (Sec. II-A).
+class FeatureScaler {
+ public:
+  /// Fits per-feature statistics on `x`.
+  static FeatureScaler fit(const kernel::RealMatrix& x, double lo = 0.0,
+                           double hi = 2.0);
+
+  /// Applies the fitted transform; out-of-range values (possible on test
+  /// data) are clamped to the open interval.
+  kernel::RealMatrix transform(const kernel::RealMatrix& x) const;
+
+  idx num_features() const { return static_cast<idx>(mean_.size()); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+  std::vector<double> min_z_;  ///< post-standardization train min per feature
+  std::vector<double> max_z_;
+  double lo_ = 0.0;
+  double hi_ = 2.0;
+};
+
+}  // namespace qkmps::data

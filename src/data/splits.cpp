@@ -1,0 +1,65 @@
+#include "data/splits.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace qkmps::data {
+
+namespace {
+void shuffle_indices(std::vector<idx>& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(i));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+}  // namespace
+
+Dataset balanced_subsample(const Dataset& pool, idx per_class, Rng& rng) {
+  std::vector<idx> pos, neg;
+  for (idx i = 0; i < pool.size(); ++i) {
+    (pool.y[static_cast<std::size_t>(i)] == 1 ? pos : neg).push_back(i);
+  }
+  QKMPS_CHECK_MSG(static_cast<idx>(pos.size()) >= per_class &&
+                      static_cast<idx>(neg.size()) >= per_class,
+                  "pool too small for " << per_class << " per class");
+  shuffle_indices(pos, rng);
+  shuffle_indices(neg, rng);
+
+  std::vector<idx> rows;
+  rows.reserve(static_cast<std::size_t>(2 * per_class));
+  rows.insert(rows.end(), pos.begin(), pos.begin() + per_class);
+  rows.insert(rows.end(), neg.begin(), neg.begin() + per_class);
+  shuffle_indices(rows, rng);
+  return pool.select(rows);
+}
+
+TrainTestSplit train_test_split(const Dataset& d, double test_fraction,
+                                Rng& rng) {
+  QKMPS_CHECK(test_fraction > 0.0 && test_fraction < 1.0);
+  std::vector<idx> pos, neg;
+  for (idx i = 0; i < d.size(); ++i)
+    (d.y[static_cast<std::size_t>(i)] == 1 ? pos : neg).push_back(i);
+  shuffle_indices(pos, rng);
+  shuffle_indices(neg, rng);
+
+  const auto cut = [&](const std::vector<idx>& v) {
+    return static_cast<std::size_t>(
+        std::llround(test_fraction * static_cast<double>(v.size())));
+  };
+  const std::size_t pos_cut = cut(pos), neg_cut = cut(neg);
+
+  std::vector<idx> test_rows(pos.begin(), pos.begin() + static_cast<std::ptrdiff_t>(pos_cut));
+  test_rows.insert(test_rows.end(), neg.begin(),
+                   neg.begin() + static_cast<std::ptrdiff_t>(neg_cut));
+  std::vector<idx> train_rows(pos.begin() + static_cast<std::ptrdiff_t>(pos_cut), pos.end());
+  train_rows.insert(train_rows.end(),
+                    neg.begin() + static_cast<std::ptrdiff_t>(neg_cut), neg.end());
+  shuffle_indices(test_rows, rng);
+  shuffle_indices(train_rows, rng);
+
+  QKMPS_CHECK(!test_rows.empty() && !train_rows.empty());
+  return {d.select(train_rows), d.select(test_rows)};
+}
+
+}  // namespace qkmps::data

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <utility>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace qkmps::data {
+
+/// Balanced down-selection (Sec. III-B / artifact description: "the data
+/// set is comprised of ntr entries labelled illicit and ntr entries
+/// labelled licit"): draws `per_class` points of each label uniformly
+/// without replacement, shuffled.
+Dataset balanced_subsample(const Dataset& pool, idx per_class, Rng& rng);
+
+/// Seeded 80/20 train-test split preserving class balance within each side.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+TrainTestSplit train_test_split(const Dataset& d, double test_fraction,
+                                Rng& rng);
+
+}  // namespace qkmps::data

@@ -1,0 +1,70 @@
+#include "kernel/diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/symeig.hpp"
+#include "util/error.hpp"
+
+namespace qkmps::kernel {
+
+ConcentrationReport concentration(const RealMatrix& k) {
+  QKMPS_CHECK(k.rows() == k.cols() && k.rows() >= 2);
+  ConcentrationReport r;
+  r.min_off_diagonal = 2.0;
+  r.max_off_diagonal = -1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  idx count = 0;
+  for (idx i = 0; i < k.rows(); ++i)
+    for (idx j = i + 1; j < k.cols(); ++j) {
+      const double v = k(i, j);
+      sum += v;
+      sum_sq += v * v;
+      r.min_off_diagonal = std::min(r.min_off_diagonal, v);
+      r.max_off_diagonal = std::max(r.max_off_diagonal, v);
+      ++count;
+    }
+  const double n = static_cast<double>(count);
+  r.mean_off_diagonal = sum / n;
+  r.var_off_diagonal = sum_sq / n - r.mean_off_diagonal * r.mean_off_diagonal;
+  return r;
+}
+
+double target_alignment(const RealMatrix& k, const std::vector<int>& y) {
+  const idx n = k.rows();
+  QKMPS_CHECK(k.cols() == n && static_cast<idx>(y.size()) == n);
+  double ky = 0.0, kk = 0.0;
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < n; ++j) {
+      const double yy = static_cast<double>(y[static_cast<std::size_t>(i)]) *
+                        static_cast<double>(y[static_cast<std::size_t>(j)]);
+      ky += k(i, j) * yy;
+      kk += k(i, j) * k(i, j);
+    }
+  const double yy_norm = static_cast<double>(n);  // ||y y^T||_F = n
+  QKMPS_CHECK(kk > 0.0);
+  return ky / (std::sqrt(kk) * yy_norm);
+}
+
+std::vector<double> kernel_spectrum(const RealMatrix& k) {
+  return linalg::symmetric_eigenvalues(k);
+}
+
+double min_eigenvalue(const RealMatrix& k) {
+  const auto w = kernel_spectrum(k);
+  return w.back();
+}
+
+double effective_dimension(const RealMatrix& k) {
+  const auto w = kernel_spectrum(k);
+  double s = 0.0, s2 = 0.0;
+  for (double v : w) {
+    const double clipped = std::max(v, 0.0);
+    s += clipped;
+    s2 += clipped * clipped;
+  }
+  QKMPS_CHECK(s2 > 0.0);
+  return s * s / s2;
+}
+
+}  // namespace qkmps::kernel

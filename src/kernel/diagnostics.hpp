@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "kernel/kernel_matrix.hpp"
+
+namespace qkmps::kernel {
+
+/// Kernel-quality diagnostics backing the paper's discussion of
+/// expressivity, concentration and trainability (Secs. III-B and IV).
+struct ConcentrationReport {
+  double mean_off_diagonal = 0.0;
+  double var_off_diagonal = 0.0;
+  double min_off_diagonal = 0.0;
+  double max_off_diagonal = 0.0;
+};
+
+/// Statistics of the off-diagonal kernel entries. Exponential
+/// concentration (Thanasilp et al., the paper's ref [15]) manifests as
+/// mean and variance collapsing toward 0 as depth/expressivity grows —
+/// the mechanism behind Table III's AUC collapse.
+ConcentrationReport concentration(const RealMatrix& k);
+
+/// Kernel-target alignment A(K, y y^T) = <K, Y>_F / (||K||_F ||Y||_F),
+/// a standard label-informed kernel quality score in [-1, 1]; higher means
+/// the kernel geometry matches the labels better.
+double target_alignment(const RealMatrix& k, const std::vector<int>& y);
+
+/// Full eigenspectrum of a symmetric kernel, descending.
+std::vector<double> kernel_spectrum(const RealMatrix& k);
+
+/// Smallest eigenvalue; >= -tol certifies positive semidefiniteness
+/// (fidelity kernels are PSD by construction; shot-estimated ones need not
+/// be, which is exactly what this diagnostic is for).
+double min_eigenvalue(const RealMatrix& k);
+
+/// Effective dimension (sum w_i)^2 / sum w_i^2 of the kernel spectrum —
+/// how many directions the feature space actually uses. Collapses to ~1
+/// for concentrated kernels.
+double effective_dimension(const RealMatrix& k);
+
+}  // namespace qkmps::kernel

@@ -1,0 +1,66 @@
+#include "kernel/gaussian.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qkmps::kernel {
+
+double gaussian_alpha(const RealMatrix& x) {
+  QKMPS_CHECK(x.rows() > 0 && x.cols() > 0);
+  // Variance of the flattened feature matrix (population), matching
+  // sklearn's gamma="scale": 1 / (n_features * X.var()).
+  const idx total = x.rows() * x.cols();
+  double mean = 0.0;
+  for (idx i = 0; i < x.rows(); ++i)
+    for (idx j = 0; j < x.cols(); ++j) mean += x(i, j);
+  mean /= static_cast<double>(total);
+  double var = 0.0;
+  for (idx i = 0; i < x.rows(); ++i)
+    for (idx j = 0; j < x.cols(); ++j) {
+      const double d = x(i, j) - mean;
+      var += d * d;
+    }
+  var /= static_cast<double>(total);
+  QKMPS_CHECK_MSG(var > 0.0, "degenerate dataset: zero variance");
+  return 1.0 / (static_cast<double>(x.cols()) * var);
+}
+
+namespace {
+double sq_dist(const RealMatrix& a, idx i, const RealMatrix& b, idx j) {
+  double s = 0.0;
+  const double* ra = a.row(i);
+  const double* rb = b.row(j);
+  for (idx f = 0; f < a.cols(); ++f) {
+    const double d = ra[f] - rb[f];
+    s += d * d;
+  }
+  return s;
+}
+}  // namespace
+
+RealMatrix gaussian_gram(const RealMatrix& x, double alpha) {
+  const idx n = x.rows();
+  RealMatrix k(n, n);
+  for (idx i = 0; i < n; ++i) {
+    k(i, i) = 1.0;
+    for (idx j = i + 1; j < n; ++j) {
+      const double v = std::exp(-alpha * sq_dist(x, i, x, j));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+RealMatrix gaussian_cross(const RealMatrix& x_test, const RealMatrix& x_train,
+                          double alpha) {
+  QKMPS_CHECK(x_test.cols() == x_train.cols());
+  RealMatrix k(x_test.rows(), x_train.rows());
+  for (idx i = 0; i < x_test.rows(); ++i)
+    for (idx j = 0; j < x_train.rows(); ++j)
+      k(i, j) = std::exp(-alpha * sq_dist(x_test, i, x_train, j));
+  return k;
+}
+
+}  // namespace qkmps::kernel

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "kernel/kernel_matrix.hpp"
+
+namespace qkmps::kernel {
+
+/// Classical baseline: the Gaussian (RBF) kernel of Eq. 9,
+/// k(x, x') = exp(-alpha |x - x'|^2), with the paper's bandwidth choice
+/// alpha = 1 / (m * var(X)) (scikit-learn's "scale" convention).
+double gaussian_alpha(const RealMatrix& x);
+
+/// Symmetric training Gram matrix under the Gaussian kernel.
+RealMatrix gaussian_gram(const RealMatrix& x, double alpha);
+
+/// Rectangular test-vs-train Gaussian kernel.
+RealMatrix gaussian_cross(const RealMatrix& x_test, const RealMatrix& x_train,
+                          double alpha);
+
+}  // namespace qkmps::kernel

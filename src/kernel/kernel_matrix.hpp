@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace qkmps::kernel {
+
+/// Dense real matrix used for kernel/Gram matrices and raw feature data.
+/// Row-major, double precision.
+class RealMatrix {
+ public:
+  RealMatrix() = default;
+  RealMatrix(idx rows, idx cols)
+      : rows_(rows), cols_(cols),
+        a_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0) {
+    QKMPS_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  idx rows() const { return rows_; }
+  idx cols() const { return cols_; }
+
+  double& operator()(idx i, idx j) {
+    return a_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+  const double& operator()(idx i, idx j) const {
+    return a_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  double* data() { return a_.data(); }
+  const double* data() const { return a_.data(); }
+  double* row(idx i) { return a_.data() + i * cols_; }
+  const double* row(idx i) const { return a_.data() + i * cols_; }
+
+ private:
+  idx rows_ = 0;
+  idx cols_ = 0;
+  std::vector<double> a_;
+};
+
+/// Max |A_ij - B_ij|.
+double max_abs_diff(const RealMatrix& a, const RealMatrix& b);
+
+/// Symmetry defect max |K_ij - K_ji| (training Gram matrices must be
+/// symmetric).
+double symmetry_defect(const RealMatrix& k);
+
+}  // namespace qkmps::kernel

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "kernel/gram.hpp"
+
+namespace qkmps::kernel {
+
+/// Projected quantum kernel (Huang et al., "Power of data in quantum
+/// machine learning" — the paper's ref [12], offered in Sec. I as the
+/// alternative to direct fidelity overlaps): measure a set of local
+/// observables on each |psi(x)> and evaluate a classical RBF kernel on the
+/// resulting feature vectors,
+///   k_P(x, x') = exp(-gamma_p * sum_q || rho_q(x) - rho_q(x') ||_F^2),
+/// realized here with the 1-qubit reduced density matrices expressed via
+/// Pauli expectations: ||rho_q - rho_q'||_F^2 =
+///   (1/2) [ (dX)^2 + (dY)^2 + (dZ)^2 ].
+///
+/// Advantages at scale: feature extraction is O(m chi^2) per state (vs
+/// O(m chi^3) per *pair*), and the N x N kernel assembly involves no
+/// tensor networks at all.
+struct ProjectedKernelConfig {
+  circuit::AnsatzParams ansatz;
+  mps::SimulatorConfig sim;
+  double gamma_p = 1.0;  ///< RBF bandwidth on the projected features
+};
+
+/// The 3m-dimensional Pauli feature vectors for each data row.
+RealMatrix projected_features(const ProjectedKernelConfig& config,
+                              const RealMatrix& x, GramStats* stats = nullptr);
+
+/// Symmetric projected-kernel Gram matrix on training data.
+RealMatrix projected_gram(const ProjectedKernelConfig& config,
+                          const RealMatrix& x, GramStats* stats = nullptr);
+
+/// Rectangular projected kernel between test and train sets.
+RealMatrix projected_cross(const ProjectedKernelConfig& config,
+                           const RealMatrix& x_test, const RealMatrix& x_train,
+                           GramStats* stats = nullptr);
+
+/// Kernel assembly from precomputed feature matrices (rows = points,
+/// 3 columns per qubit).
+RealMatrix projected_kernel_from_features(const RealMatrix& f_rows,
+                                          const RealMatrix& f_cols,
+                                          double gamma_p);
+
+}  // namespace qkmps::kernel

@@ -1,0 +1,44 @@
+#include "kernel/shot_kernel.hpp"
+
+#include "util/error.hpp"
+
+namespace qkmps::kernel {
+
+double shot_estimate(double exact_entry, idx shots, Rng& rng) {
+  QKMPS_CHECK(shots >= 1);
+  QKMPS_CHECK(exact_entry >= -1e-12 && exact_entry <= 1.0 + 1e-12);
+  const double p = std::min(1.0, std::max(0.0, exact_entry));
+  idx hits = 0;
+  for (idx s = 0; s < shots; ++s)
+    if (rng.uniform() < p) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(shots);
+}
+
+RealMatrix shot_gram(const ShotKernelConfig& config, const RealMatrix& x,
+                     GramStats* stats) {
+  const RealMatrix exact = gram_matrix(config.base, x, stats);
+  Rng rng(config.seed);
+  RealMatrix k(exact.rows(), exact.cols());
+  for (idx i = 0; i < exact.rows(); ++i) {
+    k(i, i) = 1.0;
+    for (idx j = i + 1; j < exact.cols(); ++j) {
+      const double est = shot_estimate(exact(i, j), config.shots, rng);
+      k(i, j) = est;
+      k(j, i) = est;
+    }
+  }
+  return k;
+}
+
+RealMatrix shot_cross(const ShotKernelConfig& config, const RealMatrix& x_test,
+                      const RealMatrix& x_train, GramStats* stats) {
+  const RealMatrix exact = cross_kernel(config.base, x_test, x_train, stats);
+  Rng rng(config.seed + 1);
+  RealMatrix k(exact.rows(), exact.cols());
+  for (idx i = 0; i < exact.rows(); ++i)
+    for (idx j = 0; j < exact.cols(); ++j)
+      k(i, j) = shot_estimate(exact(i, j), config.shots, rng);
+  return k;
+}
+
+}  // namespace qkmps::kernel

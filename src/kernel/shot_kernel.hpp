@@ -1,0 +1,39 @@
+#pragma once
+
+#include "kernel/gram.hpp"
+#include "util/rng.hpp"
+
+namespace qkmps::kernel {
+
+/// Finite-shot estimator of the fidelity kernel — the *hardware* route the
+/// paper contrasts with exact MPS contraction (Sec. I: on a quantum
+/// computer the overlap |<psi(x)|psi(x')>|^2 is estimated from
+/// measurements, and exponential concentration [15] makes the required
+/// shot count blow up).
+///
+/// We model the standard compute-uncompute (inversion) test: prepare
+/// U(x')^dagger U(x) |+>^m ... |initial>, measure, and count all-zero
+/// outcomes; the all-zero frequency is an unbiased estimate of the kernel
+/// entry. The simulator shortcut: the exact entry k is available from the
+/// MPS, so each shot is a Bernoulli(k) draw — statistically identical to
+/// the hardware experiment (without device noise).
+struct ShotKernelConfig {
+  QuantumKernelConfig base;
+  idx shots = 1024;         ///< measurement shots per kernel entry
+  std::uint64_t seed = 7;   ///< shot-noise stream
+};
+
+/// Symmetric training Gram matrix where every off-diagonal entry is a
+/// finite-shot estimate; diagonal stays exactly 1 (self-overlap needs no
+/// experiment).
+RealMatrix shot_gram(const ShotKernelConfig& config, const RealMatrix& x,
+                     GramStats* stats = nullptr);
+
+/// Rectangular shot-estimated kernel.
+RealMatrix shot_cross(const ShotKernelConfig& config, const RealMatrix& x_test,
+                      const RealMatrix& x_train, GramStats* stats = nullptr);
+
+/// Bernoulli estimate of a single exact entry; exposed for tests.
+double shot_estimate(double exact_entry, idx shots, Rng& rng);
+
+}  // namespace qkmps::kernel

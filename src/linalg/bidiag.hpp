@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/policy.hpp"
+
+namespace qkmps::linalg {
+
+/// Householder bidiagonalization of an m x n complex matrix with m >= n:
+/// A = U B V^H, where B is *real* upper bidiagonal (diagonal d, superdiagonal
+/// e), U is m x n with orthonormal columns and V is n x n unitary. The real
+/// bidiagonal form is achieved by the zlarfg-style real-beta reflectors in
+/// householder.hpp; it is what allows the subsequent QR iteration (svd.cpp)
+/// to run entirely in real arithmetic.
+struct Bidiagonalization {
+  std::vector<double> d;  ///< n diagonal entries
+  std::vector<double> e;  ///< n-1 superdiagonal entries
+  Matrix u;               ///< m x n
+  Matrix v;               ///< n x n
+};
+
+/// The accelerated policy parallelizes the per-column/per-row reflector
+/// applications (the O(mn^2) bulk of the factorization) across an OpenMP
+/// team once the block is larger than kParallelSvdThreshold.
+Bidiagonalization bidiagonalize(const Matrix& a,
+                                ExecPolicy policy = ExecPolicy::Reference);
+
+}  // namespace qkmps::linalg

@@ -1,0 +1,86 @@
+#include "linalg/gemm.hpp"
+
+#include <algorithm>
+
+namespace qkmps::linalg {
+
+namespace {
+
+/// Materialize op(A). The decompositions in this library keep matrices
+/// small-to-medium (bond-dimension sized), so an explicit transpose copy is
+/// cheaper and far simpler than strided kernels for every op combination.
+Matrix materialize(const Matrix& a, Op op) {
+  return op == Op::None ? a : a.adjoint();
+}
+
+constexpr idx kBlock = 48;
+
+}  // namespace
+
+Matrix gemm_reference(const Matrix& a, const Matrix& b) {
+  QKMPS_CHECK(a.cols() == b.rows());
+  const idx m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  for (idx i = 0; i < m; ++i) {
+    cplx* ci = c.row(i);
+    const cplx* ai = a.row(i);
+    for (idx p = 0; p < k; ++p) {
+      const cplx aip = ai[p];
+      const cplx* bp = b.row(p);
+      for (idx j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+  return c;
+}
+
+Matrix gemm_blocked(const Matrix& a, const Matrix& b, bool parallel) {
+  QKMPS_CHECK(a.cols() == b.rows());
+  const idx m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  const idx mblocks = (m + kBlock - 1) / kBlock;
+
+#pragma omp parallel for schedule(static) if (parallel)
+  for (idx bi = 0; bi < mblocks; ++bi) {
+    const idx i0 = bi * kBlock;
+    const idx i1 = std::min(i0 + kBlock, m);
+    for (idx p0 = 0; p0 < k; p0 += kBlock) {
+      const idx p1 = std::min(p0 + kBlock, k);
+      for (idx j0 = 0; j0 < n; j0 += kBlock) {
+        const idx j1 = std::min(j0 + kBlock, n);
+        for (idx i = i0; i < i1; ++i) {
+          cplx* ci = c.row(i);
+          const cplx* ai = a.row(i);
+          for (idx p = p0; p < p1; ++p) {
+            const cplx aip = ai[p];
+            const cplx* bp = b.row(p);
+            for (idx j = j0; j < j1; ++j) ci[j] += aip * bp[j];
+          }
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Matrix gemm(const Matrix& a, const Matrix& b, ExecPolicy policy, Op op_a,
+            Op op_b) {
+  const Matrix am = materialize(a, op_a);
+  const Matrix bm = materialize(b, op_b);
+  if (policy == ExecPolicy::Reference) return gemm_reference(am, bm);
+  const bool parallel = am.rows() * bm.cols() >= kParallelGemmThreshold;
+  return gemm_blocked(am, bm, parallel);
+}
+
+Matrix gemv(const Matrix& a, const Matrix& x) {
+  QKMPS_CHECK(x.cols() == 1 && a.cols() == x.rows());
+  Matrix y(a.rows(), 1);
+  for (idx i = 0; i < a.rows(); ++i) {
+    cplx acc = 0.0;
+    const cplx* ai = a.row(i);
+    for (idx j = 0; j < a.cols(); ++j) acc += ai[j] * x(j, 0);
+    y(i, 0) = acc;
+  }
+  return y;
+}
+
+}  // namespace qkmps::linalg

@@ -1,0 +1,91 @@
+#include "linalg/householder.hpp"
+
+#include <cmath>
+
+namespace qkmps::linalg {
+
+Reflector make_reflector(const cplx* x, idx n) {
+  QKMPS_CHECK(n >= 1);
+  Reflector h;
+  h.v.assign(static_cast<std::size_t>(n), cplx(0.0));
+  h.v[0] = 1.0;
+
+  const cplx alpha = x[0];
+  double xnorm_sq = 0.0;
+  for (idx i = 1; i < n; ++i) xnorm_sq += std::norm(x[i]);
+
+  if (xnorm_sq == 0.0 && alpha.imag() == 0.0) {
+    // Already of the required form; H = I.
+    h.tau = 0.0;
+    h.beta = alpha.real();
+    return h;
+  }
+
+  const double anorm = std::sqrt(std::norm(alpha) + xnorm_sq);
+  // beta gets the opposite sign of Re(alpha) to avoid cancellation.
+  const double beta = (alpha.real() >= 0.0) ? -anorm : anorm;
+  h.beta = beta;
+  // Note: LAPACK's zlarfg returns tau such that (I - tau v v^H)^H x = beta e1;
+  // we store the conjugate so that H = I - tau v v^H annihilates x directly.
+  h.tau = cplx((beta - alpha.real()) / beta, alpha.imag() / beta);
+  const cplx scale = 1.0 / (alpha - beta);
+  for (idx i = 1; i < n; ++i) h.v[static_cast<std::size_t>(i)] = scale * x[i];
+  return h;
+}
+
+void apply_reflector_left(Matrix& a, const Reflector& h, idx row0, idx col0,
+                          idx col1, bool parallel) {
+  if (h.tau == cplx(0.0)) return;
+  const idx len = static_cast<idx>(h.v.size());
+  // Forking a team only pays off for sizeable blocks; small trailing blocks
+  // of the factorization run serially regardless of the policy.
+  const bool fork = parallel && len * (col1 - col0) >= 32768;
+#pragma omp parallel for schedule(static) if (fork)
+  for (idx j = col0; j < col1; ++j) {
+    cplx w = 0.0;  // v^H a[:, j]
+    for (idx r = 0; r < len; ++r) w += std::conj(h.v[static_cast<std::size_t>(r)]) * a(row0 + r, j);
+    const cplx tw = h.tau * w;
+    for (idx r = 0; r < len; ++r) a(row0 + r, j) -= tw * h.v[static_cast<std::size_t>(r)];
+  }
+}
+
+void apply_reflector_right(Matrix& a, const Reflector& h, idx row0, idx row1,
+                           idx col0, bool parallel) {
+  if (h.tau == cplx(0.0)) return;
+  const idx len = static_cast<idx>(h.v.size());
+  const bool fork = parallel && len * (row1 - row0) >= 32768;
+  // A <- A - tau (A conj(v)) v^T restricted to the block.
+#pragma omp parallel for schedule(static) if (fork)
+  for (idx r = row0; r < row1; ++r) {
+    cplx w = 0.0;  // sum_j a(r, col0+j) conj(v[j])
+    for (idx j = 0; j < len; ++j) w += a(r, col0 + j) * std::conj(h.v[static_cast<std::size_t>(j)]);
+    const cplx tw = h.tau * w;
+    for (idx j = 0; j < len; ++j) a(r, col0 + j) -= tw * h.v[static_cast<std::size_t>(j)];
+  }
+}
+
+void apply_reflector_adjoint_left(Matrix& x, const Reflector& h, idx row0) {
+  if (h.tau == cplx(0.0)) return;
+  const idx len = static_cast<idx>(h.v.size());
+  const cplx tau_conj = std::conj(h.tau);
+  for (idx j = 0; j < x.cols(); ++j) {
+    cplx w = 0.0;
+    for (idx r = 0; r < len; ++r) w += std::conj(h.v[static_cast<std::size_t>(r)]) * x(row0 + r, j);
+    const cplx tw = tau_conj * w;
+    for (idx r = 0; r < len; ++r) x(row0 + r, j) -= tw * h.v[static_cast<std::size_t>(r)];
+  }
+}
+
+void apply_reflector_w_left(Matrix& x, const Reflector& h, idx row0) {
+  if (h.tau == cplx(0.0)) return;
+  const idx len = static_cast<idx>(h.v.size());
+  // W = I - tau conj(v) v^T, so W x = x - tau conj(v) (v^T x).
+  for (idx j = 0; j < x.cols(); ++j) {
+    cplx w = 0.0;
+    for (idx r = 0; r < len; ++r) w += h.v[static_cast<std::size_t>(r)] * x(row0 + r, j);
+    const cplx tw = h.tau * w;
+    for (idx r = 0; r < len; ++r) x(row0 + r, j) -= tw * std::conj(h.v[static_cast<std::size_t>(r)]);
+  }
+}
+
+}  // namespace qkmps::linalg

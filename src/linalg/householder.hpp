@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qkmps::linalg {
+
+/// A complex elementary (Householder) reflector H = I - tau * v v^H with
+/// v[0] == 1, chosen LAPACK-zlarfg style so that H x = beta e_1 with *real*
+/// beta. The real-beta convention is what lets the bidiagonalization below
+/// produce a real bidiagonal matrix from a complex input.
+struct Reflector {
+  std::vector<cplx> v;  ///< reflector vector, v[0] == 1
+  cplx tau = 0.0;       ///< scale; tau == 0 encodes the identity
+  double beta = 0.0;    ///< resulting first entry, real by construction
+};
+
+/// Builds the reflector annihilating x[1..] into x[0]; x must be non-empty.
+Reflector make_reflector(const cplx* x, idx n);
+
+/// A <- H A on the sub-block rows [row0, row0+len) x cols [col0, col1):
+/// A -= tau * v (v^H A). `v` has `len` entries aligned with row0.
+/// `parallel` splits the independent per-column updates across an OpenMP
+/// team — the accelerated policy's decomposition path.
+void apply_reflector_left(Matrix& a, const Reflector& h, idx row0, idx col0,
+                          idx col1, bool parallel = false);
+
+/// A <- A W on the sub-block rows [row0, row1) x cols [col0, col0+len) where
+/// W = I - tau conj(v) v^T; this is the "right" reflector used by the
+/// bidiagonalization (it maps the k-th *row* to beta e_1^T).
+void apply_reflector_right(Matrix& a, const Reflector& h, idx row0, idx row1,
+                           idx col0, bool parallel = false);
+
+/// X <- H^H X on rows [row0, row0+len), all columns. Used when accumulating
+/// the thin U factor by reverse application.
+void apply_reflector_adjoint_left(Matrix& x, const Reflector& h, idx row0);
+
+/// X <- W X (W as in apply_reflector_right) on rows [row0, row0+len), all
+/// columns. Used when accumulating the V factor by reverse application.
+void apply_reflector_w_left(Matrix& x, const Reflector& h, idx row0);
+
+}  // namespace qkmps::linalg

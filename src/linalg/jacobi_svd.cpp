@@ -1,0 +1,105 @@
+#include "linalg/jacobi_svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace qkmps::linalg {
+
+namespace {
+
+constexpr double kTol = 1e-14;
+constexpr int kMaxSweeps = 60;
+
+SvdResult jacobi_svd_tall(const Matrix& a) {
+  const idx m = a.rows(), n = a.cols();
+  Matrix w = a;                     // becomes U * diag(s)
+  Matrix v = Matrix::identity(n);  // accumulates right factor
+
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    bool rotated = false;
+    for (idx i = 0; i < n - 1; ++i) {
+      for (idx j = i + 1; j < n; ++j) {
+        // Gram entries of the (i, j) column pair.
+        double aii = 0.0, ajj = 0.0;
+        cplx aij = 0.0;
+        for (idx r = 0; r < m; ++r) {
+          aii += std::norm(w(r, i));
+          ajj += std::norm(w(r, j));
+          aij += std::conj(w(r, i)) * w(r, j);
+        }
+        const double g = std::abs(aij);
+        if (g <= kTol * std::sqrt(aii * ajj) || g == 0.0) continue;
+        rotated = true;
+
+        // Unitary 2x2 J = [[c, s*u], [-s*conj(u), c]] with u = aij/|aij|
+        // diagonalizing the Hermitian pair-Gram matrix.
+        const cplx u = aij / g;
+        const double zeta = (ajj - aii) / (2.0 * g);
+        const double t = std::copysign(1.0, zeta) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        const cplx su = s * u;
+        const cplx su_conj = s * std::conj(u);
+
+        for (idx r = 0; r < m; ++r) {
+          const cplx wi = w(r, i), wj = w(r, j);
+          w(r, i) = c * wi - su_conj * wj;
+          w(r, j) = su * wi + c * wj;
+        }
+        for (idx r = 0; r < n; ++r) {
+          const cplx vi = v(r, i), vj = v(r, j);
+          v(r, i) = c * vi - su_conj * vj;
+          v(r, j) = su * vi + c * vj;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+
+  // Extract s and normalize U columns; sort descending.
+  std::vector<double> s(static_cast<std::size_t>(n));
+  for (idx j = 0; j < n; ++j) {
+    double norm_sq = 0.0;
+    for (idx r = 0; r < m; ++r) norm_sq += std::norm(w(r, j));
+    s[static_cast<std::size_t>(j)] = std::sqrt(norm_sq);
+  }
+
+  std::vector<idx> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), idx{0});
+  std::sort(perm.begin(), perm.end(), [&](idx x, idx y) {
+    return s[static_cast<std::size_t>(x)] > s[static_cast<std::size_t>(y)];
+  });
+
+  SvdResult out;
+  out.s.resize(static_cast<std::size_t>(n));
+  out.u = Matrix(m, n);
+  Matrix vs(n, n);
+  for (idx j = 0; j < n; ++j) {
+    const idx src = perm[static_cast<std::size_t>(j)];
+    const double sj = s[static_cast<std::size_t>(src)];
+    out.s[static_cast<std::size_t>(j)] = sj;
+    const double inv = sj > 0.0 ? 1.0 / sj : 0.0;
+    for (idx r = 0; r < m; ++r) out.u(r, j) = w(r, src) * inv;
+    for (idx r = 0; r < n; ++r) vs(r, j) = v(r, src);
+  }
+  out.vh = vs.adjoint();
+  return out;
+}
+
+}  // namespace
+
+SvdResult jacobi_svd(const Matrix& a) {
+  QKMPS_CHECK(a.rows() > 0 && a.cols() > 0);
+  if (a.rows() >= a.cols()) return jacobi_svd_tall(a);
+  SvdResult t = jacobi_svd_tall(a.adjoint());
+  SvdResult out;
+  out.s = std::move(t.s);
+  out.u = t.vh.adjoint();
+  out.vh = t.u.adjoint();
+  return out;
+}
+
+}  // namespace qkmps::linalg

@@ -1,0 +1,13 @@
+#pragma once
+
+#include "linalg/svd.hpp"
+
+namespace qkmps::linalg {
+
+/// One-sided Jacobi SVD for complex matrices. Unconditionally convergent
+/// and accurate to high relative precision, but asymptotically slower than
+/// the Golub-Kahan driver in svd.cpp; used as the fallback path and as the
+/// independent oracle in the test suite.
+SvdResult jacobi_svd(const Matrix& a);
+
+}  // namespace qkmps::linalg

@@ -1,0 +1,61 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qkmps::linalg {
+
+Matrix Matrix::identity(idx n) {
+  Matrix m(n, n);
+  for (idx i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::adjoint() const {
+  Matrix out(cols_, rows_);
+  for (idx i = 0; i < rows_; ++i)
+    for (idx j = 0; j < cols_; ++j) out(j, i) = std::conj((*this)(i, j));
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (idx i = 0; i < rows_; ++i)
+    for (idx j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+Matrix Matrix::conj() const {
+  Matrix out(rows_, cols_);
+  for (idx i = 0; i < rows_; ++i)
+    for (idx j = 0; j < cols_; ++j) out(i, j) = std::conj((*this)(i, j));
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  QKMPS_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t k = 0; k < a_.size(); ++k) a_[k] += other.a_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  QKMPS_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t k = 0; k < a_.size(); ++k) a_[k] -= other.a_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(cplx scale) {
+  for (auto& v : a_) v *= scale;
+  return *this;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  QKMPS_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double m = 0.0;
+  for (idx i = 0; i < a.rows(); ++i)
+    for (idx j = 0; j < a.cols(); ++j)
+      m = std::max(m, std::abs(a(i, j) - b(i, j)));
+  return m;
+}
+
+}  // namespace qkmps::linalg

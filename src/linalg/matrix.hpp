@@ -1,0 +1,69 @@
+#pragma once
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace qkmps::linalg {
+
+/// Dense row-major complex matrix. This is the workhorse value type of the
+/// simulator: MPS site tensors are matricized into `Matrix` views for every
+/// contraction and decomposition (see tensor/ and mps/).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(idx rows, idx cols) : rows_(rows), cols_(cols), a_(check_size(rows, cols)) {}
+  Matrix(idx rows, idx cols, cplx fill)
+      : rows_(rows), cols_(cols), a_(check_size(rows, cols), fill) {}
+
+  static Matrix identity(idx n);
+  /// Zero matrix helper for readability at call sites.
+  static Matrix zeros(idx rows, idx cols) { return Matrix(rows, cols); }
+
+  idx rows() const { return rows_; }
+  idx cols() const { return cols_; }
+  idx size() const { return rows_ * cols_; }
+  bool empty() const { return a_.empty(); }
+
+  cplx& operator()(idx i, idx j) { return a_[static_cast<std::size_t>(i * cols_ + j)]; }
+  const cplx& operator()(idx i, idx j) const {
+    return a_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  cplx* data() { return a_.data(); }
+  const cplx* data() const { return a_.data(); }
+  cplx* row(idx i) { return a_.data() + i * cols_; }
+  const cplx* row(idx i) const { return a_.data() + i * cols_; }
+
+  /// Conjugate transpose.
+  Matrix adjoint() const;
+  /// Plain transpose (no conjugation).
+  Matrix transpose() const;
+  /// Elementwise conjugate.
+  Matrix conj() const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(cplx scale);
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, cplx s) { return a *= s; }
+  friend Matrix operator*(cplx s, Matrix a) { return a *= s; }
+
+ private:
+  static std::size_t check_size(idx rows, idx cols) {
+    QKMPS_CHECK(rows >= 0 && cols >= 0);
+    return static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  }
+
+  idx rows_ = 0;
+  idx cols_ = 0;
+  std::vector<cplx> a_;
+};
+
+/// Max |A_ij - B_ij|; used pervasively in tests.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace qkmps::linalg

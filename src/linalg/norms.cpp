@@ -1,0 +1,40 @@
+#include "linalg/norms.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qkmps::linalg {
+
+double frobenius_norm_sq(const Matrix& a) {
+  double s = 0.0;
+  const cplx* p = a.data();
+  for (idx k = 0; k < a.size(); ++k) s += std::norm(p[k]);
+  return s;
+}
+
+double frobenius_norm(const Matrix& a) { return std::sqrt(frobenius_norm_sq(a)); }
+
+double max_abs(const Matrix& a) {
+  double m = 0.0;
+  const cplx* p = a.data();
+  for (idx k = 0; k < a.size(); ++k) m = std::max(m, std::abs(p[k]));
+  return m;
+}
+
+double orthonormality_defect(const Matrix& a) {
+  // Computes max |(A^H A)_ij - delta_ij| directly; the n^2 m cost is fine
+  // for the test/diagnostic contexts this is used in.
+  const idx n = a.cols();
+  double defect = 0.0;
+  for (idx i = 0; i < n; ++i) {
+    for (idx j = 0; j < n; ++j) {
+      cplx dot = 0.0;
+      for (idx r = 0; r < a.rows(); ++r) dot += std::conj(a(r, i)) * a(r, j);
+      const cplx target = (i == j) ? cplx(1.0) : cplx(0.0);
+      defect = std::max(defect, std::abs(dot - target));
+    }
+  }
+  return defect;
+}
+
+}  // namespace qkmps::linalg

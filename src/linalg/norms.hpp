@@ -1,0 +1,19 @@
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace qkmps::linalg {
+
+/// Frobenius norm sqrt(sum |a_ij|^2).
+double frobenius_norm(const Matrix& a);
+
+/// Squared Frobenius norm.
+double frobenius_norm_sq(const Matrix& a);
+
+/// Max |a_ij| over the whole matrix.
+double max_abs(const Matrix& a);
+
+/// ||A^H A - I||_max; 0 for matrices with orthonormal columns.
+double orthonormality_defect(const Matrix& a);
+
+}  // namespace qkmps::linalg

@@ -1,0 +1,13 @@
+#include "linalg/policy.hpp"
+
+namespace qkmps::linalg {
+
+std::string to_string(ExecPolicy policy) {
+  switch (policy) {
+    case ExecPolicy::Reference: return "reference";
+    case ExecPolicy::Accelerated: return "accelerated";
+  }
+  return "unknown";
+}
+
+}  // namespace qkmps::linalg

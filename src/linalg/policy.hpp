@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+namespace qkmps::linalg {
+
+/// Execution policy for the dense kernels. This is our stand-in for the
+/// paper's two backends (see DESIGN.md, substitutions table):
+///
+///  - `Reference`  — serial, low-overhead kernels; plays the role of the
+///    ITensors CPU backend: fastest at small bond dimension because it pays
+///    no dispatch cost.
+///  - `Accelerated` — blocked, OpenMP-threaded kernels with a genuine
+///    per-call dispatch overhead (thread-team fork/join); plays the role of
+///    the cuTensorNet GPU backend: slower at small sizes, faster once the
+///    bond dimension crosses a threshold. The crossover study of Fig. 5
+///    sweeps exactly this trade-off.
+enum class ExecPolicy {
+  Reference,
+  Accelerated,
+};
+
+/// Human-readable policy name for bench output ("cpu"/"gpu" in the paper's
+/// artifact naming, reference/accelerated here).
+std::string to_string(ExecPolicy policy);
+
+/// Minimum matrix element count at which the accelerated GEMM spawns a
+/// thread team; below this it still uses the blocked kernel but serially.
+/// Exposed so benches can study the dispatch-overhead knob (ablation).
+inline constexpr long long kParallelGemmThreshold = 4 * 1024;
+
+/// Minimum column count at which the accelerated SVD/bidiagonalization
+/// parallelizes its reflector applications.
+inline constexpr long long kParallelSvdThreshold = 48;
+
+}  // namespace qkmps::linalg

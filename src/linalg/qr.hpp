@@ -1,0 +1,28 @@
+#pragma once
+
+#include <utility>
+
+#include "linalg/matrix.hpp"
+
+namespace qkmps::linalg {
+
+/// Result of a thin orthogonal factorization.
+struct QrResult {
+  Matrix q;  ///< m x k with orthonormal columns (k = min(m, n))
+  Matrix r;  ///< k x n upper triangular
+};
+
+struct LqResult {
+  Matrix l;  ///< m x k lower triangular (k = min(m, n))
+  Matrix q;  ///< k x n with orthonormal rows
+};
+
+/// Thin Householder QR: A = Q R. Used by the MPS canonicalization sweeps
+/// (left-orthogonalization of site tensors).
+QrResult qr_thin(const Matrix& a);
+
+/// Thin LQ: A = L Q, computed as the adjoint of qr_thin(A^H). Used by the
+/// right-orthogonalization sweeps.
+LqResult lq_thin(const Matrix& a);
+
+}  // namespace qkmps::linalg

@@ -1,0 +1,81 @@
+#include "linalg/symeig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace qkmps::linalg {
+
+SymEigResult symmetric_eigen(const kernel::RealMatrix& a) {
+  const idx n = a.rows();
+  QKMPS_CHECK(a.cols() == n && n >= 1);
+  // Symmetrize defensively (floating-point asymmetry from accumulation).
+  kernel::RealMatrix w(n, n);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < n; ++j) w(i, j) = 0.5 * (a(i, j) + a(j, i));
+
+  kernel::RealMatrix v(n, n);
+  for (idx i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  constexpr int kMaxSweeps = 60;
+  constexpr double kTol = 1e-14;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (idx i = 0; i < n; ++i)
+      for (idx j = i + 1; j < n; ++j) off += w(i, j) * w(i, j);
+    double diag = 0.0;
+    for (idx i = 0; i < n; ++i) diag += w(i, i) * w(i, i);
+    if (off <= kTol * kTol * (diag + 1.0)) break;
+
+    for (idx p = 0; p < n - 1; ++p) {
+      for (idx q = p + 1; q < n; ++q) {
+        const double apq = w(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double theta = (w(q, q) - w(p, p)) / (2.0 * apq);
+        const double t = std::copysign(1.0, theta) /
+                         (std::abs(theta) + std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        for (idx k = 0; k < n; ++k) {
+          const double wkp = w(k, p), wkq = w(k, q);
+          w(k, p) = c * wkp - s * wkq;
+          w(k, q) = s * wkp + c * wkq;
+        }
+        for (idx k = 0; k < n; ++k) {
+          const double wpk = w(p, k), wqk = w(q, k);
+          w(p, k) = c * wpk - s * wqk;
+          w(q, k) = s * wpk + c * wqk;
+        }
+        for (idx k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<idx> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), idx{0});
+  std::sort(perm.begin(), perm.end(),
+            [&](idx x, idx y) { return w(x, x) > w(y, y); });
+
+  SymEigResult out;
+  out.eigenvalues.resize(static_cast<std::size_t>(n));
+  out.eigenvectors = kernel::RealMatrix(n, n);
+  for (idx j = 0; j < n; ++j) {
+    const idx src = perm[static_cast<std::size_t>(j)];
+    out.eigenvalues[static_cast<std::size_t>(j)] = w(src, src);
+    for (idx i = 0; i < n; ++i) out.eigenvectors(i, j) = v(i, src);
+  }
+  return out;
+}
+
+std::vector<double> symmetric_eigenvalues(const kernel::RealMatrix& a) {
+  return symmetric_eigen(a).eigenvalues;
+}
+
+}  // namespace qkmps::linalg

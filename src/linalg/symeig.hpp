@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "kernel/kernel_matrix.hpp"
+
+namespace qkmps::linalg {
+
+/// Eigendecomposition of a real symmetric matrix A = V diag(w) V^T via the
+/// cyclic Jacobi rotation method. Eigenvalues are returned in descending
+/// order with matching eigenvector columns. Used by the kernel diagnostics
+/// (spectrum, PSD check, effective dimension) — Gram matrices are small
+/// relative to the simulation cost, so Jacobi's O(n^3) per sweep is fine.
+struct SymEigResult {
+  std::vector<double> eigenvalues;   ///< descending
+  kernel::RealMatrix eigenvectors;   ///< column i pairs with eigenvalue i
+};
+
+SymEigResult symmetric_eigen(const kernel::RealMatrix& a);
+
+/// Convenience: eigenvalues only, descending.
+std::vector<double> symmetric_eigenvalues(const kernel::RealMatrix& a);
+
+}  // namespace qkmps::linalg

@@ -1,0 +1,57 @@
+#include "mps/canonical.hpp"
+
+#include "linalg/gemm.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/qr.hpp"
+#include "util/error.hpp"
+
+namespace qkmps::mps {
+
+void shift_center_right(Mps& psi, linalg::ExecPolicy policy) {
+  const idx c = psi.center();
+  QKMPS_CHECK(c + 1 < psi.num_sites());
+
+  SiteTensor& s = psi.site(c);
+  const linalg::QrResult qr = linalg::qr_thin(s.as_left_matrix());
+  s = SiteTensor::from_left_matrix(qr.q, s.left);
+
+  SiteTensor& t = psi.site(c + 1);
+  // next <- R * next over the shared bond.
+  const linalg::Matrix merged = linalg::gemm(qr.r, t.as_right_matrix(), policy);
+  t = SiteTensor::from_right_matrix(merged, t.right);
+  psi.set_center(c + 1);
+}
+
+void shift_center_left(Mps& psi, linalg::ExecPolicy policy) {
+  const idx c = psi.center();
+  QKMPS_CHECK(c - 1 >= 0);
+
+  SiteTensor& s = psi.site(c);
+  const linalg::LqResult lq = linalg::lq_thin(s.as_right_matrix());
+  s = SiteTensor::from_right_matrix(lq.q, s.right);
+
+  SiteTensor& t = psi.site(c - 1);
+  const linalg::Matrix merged = linalg::gemm(t.as_left_matrix(), lq.l, policy);
+  t = SiteTensor::from_left_matrix(merged, t.left);
+  psi.set_center(c - 1);
+}
+
+void move_center(Mps& psi, idx target, linalg::ExecPolicy policy) {
+  QKMPS_CHECK(target >= 0 && target < psi.num_sites());
+  while (psi.center() < target) shift_center_right(psi, policy);
+  while (psi.center() > target) shift_center_left(psi, policy);
+}
+
+double left_orthonormality_defect(const Mps& psi, idx site) {
+  const linalg::Matrix m = psi.site(site).as_left_matrix();
+  return linalg::orthonormality_defect(m);
+}
+
+double right_orthonormality_defect(const Mps& psi, idx site) {
+  // Right-orthonormal means the (left | physical,right) matricization has
+  // orthonormal rows.
+  const linalg::Matrix m = psi.site(site).as_right_matrix().adjoint();
+  return linalg::orthonormality_defect(m);
+}
+
+}  // namespace qkmps::mps

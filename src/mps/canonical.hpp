@@ -1,0 +1,24 @@
+#pragma once
+
+#include "linalg/policy.hpp"
+#include "mps/mps.hpp"
+
+namespace qkmps::mps {
+
+/// Moves the orthogonality center one site to the right (QR on the center
+/// site, R absorbed into the neighbour) or left (LQ mirror image).
+void shift_center_right(Mps& psi, linalg::ExecPolicy policy);
+void shift_center_left(Mps& psi, linalg::ExecPolicy policy);
+
+/// Moves the orthogonality center to `target` via successive QR/LQ sweeps.
+/// This is the "canonicalization applied before each SVD truncation" of the
+/// paper (Sec. II-B, footnote 2): with the center on the bond being
+/// truncated, dropping the smallest singular values is globally optimal.
+void move_center(Mps& psi, idx target, linalg::ExecPolicy policy);
+
+/// Diagnostics for tests: residual of the left-orthonormality condition
+/// sum_s A_s^H A_s = I at `site` (analogous right version).
+double left_orthonormality_defect(const Mps& psi, idx site);
+double right_orthonormality_defect(const Mps& psi, idx site);
+
+}  // namespace qkmps::mps

@@ -1,0 +1,43 @@
+#include "mps/entanglement.hpp"
+
+#include <cmath>
+
+#include "linalg/svd.hpp"
+#include "mps/canonical.hpp"
+#include "util/error.hpp"
+
+namespace qkmps::mps {
+
+std::vector<double> schmidt_values(Mps psi, idx bond,
+                                   linalg::ExecPolicy policy) {
+  QKMPS_CHECK(bond >= 0 && bond + 1 < psi.num_sites());
+  // With the center at `bond`, everything left is left-orthonormal and
+  // everything right is right-orthonormal, so the singular values of the
+  // center site's (left x phys, right) matricization ARE the Schmidt
+  // coefficients across the bond.
+  move_center(psi, bond, policy);
+  const linalg::SvdResult f =
+      linalg::svd(psi.site(bond).as_left_matrix(), policy);
+  return f.s;
+}
+
+double entanglement_entropy(const Mps& psi, idx bond,
+                            linalg::ExecPolicy policy) {
+  const std::vector<double> s = schmidt_values(psi, bond, policy);
+  double entropy = 0.0;
+  for (double v : s) {
+    const double p = v * v;
+    if (p > 1e-300) entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+std::vector<double> entropy_profile(const Mps& psi, linalg::ExecPolicy policy) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(psi.num_sites() - 1));
+  for (idx b = 0; b + 1 < psi.num_sites(); ++b)
+    out.push_back(entanglement_entropy(psi, b, policy));
+  return out;
+}
+
+}  // namespace qkmps::mps

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/policy.hpp"
+#include "mps/mps.hpp"
+
+namespace qkmps::mps {
+
+/// Entanglement diagnostics. The bond dimension chi that drives every cost
+/// in the simulator (Sec. II-B: "the bond dimension depends on the strength
+/// of the entanglement present in the quantum state") is the *count* of
+/// retained Schmidt values; these helpers expose the values themselves.
+
+/// Schmidt coefficients across the bond between sites `bond` and `bond+1`,
+/// descending. For a normalized state their squares sum to 1.
+std::vector<double> schmidt_values(
+    Mps psi, idx bond, linalg::ExecPolicy policy = linalg::ExecPolicy::Reference);
+
+/// Von Neumann entanglement entropy S = -sum p_i ln p_i (p_i = s_i^2)
+/// across one bond; 0 for product states, ln(2) for a Bell pair.
+double entanglement_entropy(
+    const Mps& psi, idx bond,
+    linalg::ExecPolicy policy = linalg::ExecPolicy::Reference);
+
+/// Entropy profile across every bond of the chain.
+std::vector<double> entropy_profile(
+    const Mps& psi, linalg::ExecPolicy policy = linalg::ExecPolicy::Reference);
+
+}  // namespace qkmps::mps

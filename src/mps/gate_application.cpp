@@ -1,0 +1,111 @@
+#include "mps/gate_application.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "linalg/gemm.hpp"
+#include "linalg/svd.hpp"
+#include "mps/canonical.hpp"
+#include "util/error.hpp"
+
+namespace qkmps::mps {
+
+void apply_single_qubit_gate(Mps& psi, const linalg::Matrix& u, idx q) {
+  QKMPS_CHECK(q >= 0 && q < psi.num_sites());
+  QKMPS_CHECK(u.rows() == 2 && u.cols() == 2);
+  SiteTensor& t = psi.site(q);
+  for (idx l = 0; l < t.left; ++l) {
+    for (idx r = 0; r < t.right; ++r) {
+      const cplx a0 = t.at(l, 0, r);
+      const cplx a1 = t.at(l, 1, r);
+      t.at(l, 0, r) = u(0, 0) * a0 + u(0, 1) * a1;
+      t.at(l, 1, r) = u(1, 0) * a0 + u(1, 1) * a1;
+    }
+  }
+}
+
+double apply_adjacent_two_qubit_gate(Mps& psi, const linalg::Matrix& u, idx q,
+                                     const TruncationConfig& trunc,
+                                     linalg::ExecPolicy policy,
+                                     TruncationStats* stats) {
+  QKMPS_CHECK(q >= 0 && q + 1 < psi.num_sites());
+  QKMPS_CHECK(u.rows() == 4 && u.cols() == 4);
+
+  // Canonicalize so the bond (q, q+1) is optimal to truncate.
+  if (psi.center() < q) move_center(psi, q, policy);
+  if (psi.center() > q + 1) move_center(psi, q + 1, policy);
+
+  const SiteTensor& a = psi.site(q);
+  const SiteTensor& b = psi.site(q + 1);
+  const idx dl = a.left, dr = b.right, k = a.right;
+  QKMPS_CHECK(b.left == k);
+
+  // theta[l, s0, s1, r] = sum_k a[l, s0, k] b[k, s1, r]:
+  // (dl*2, k) x (k, 2*dr) matrices.
+  const linalg::Matrix theta =
+      linalg::gemm(a.as_left_matrix(), b.as_right_matrix(), policy);
+
+  // Gate contraction: theta'[(l),(s0' s1'),(r)] =
+  //   sum_{s0 s1} U[(s0' s1'), (s0 s1)] theta[l, s0, s1, r].
+  // Work in the (s0 s1) x (l r) layout so it is a plain 4 x (dl*dr) GEMM.
+  linalg::Matrix theta_p(4, dl * dr);
+  for (idx s0 = 0; s0 < 2; ++s0)
+    for (idx s1 = 0; s1 < 2; ++s1)
+      for (idx l = 0; l < dl; ++l)
+        for (idx r = 0; r < dr; ++r)
+          theta_p(s0 * 2 + s1, l * dr + r) = theta(l * 2 + s0, s1 * dr + r);
+  const linalg::Matrix theta_u = linalg::gemm(u, theta_p, policy);
+
+  // Back to ((l s0), (s1 r)) layout for the bipartition SVD.
+  linalg::Matrix theta_m(dl * 2, 2 * dr);
+  for (idx s0 = 0; s0 < 2; ++s0)
+    for (idx s1 = 0; s1 < 2; ++s1)
+      for (idx l = 0; l < dl; ++l)
+        for (idx r = 0; r < dr; ++r)
+          theta_m(l * 2 + s0, s1 * dr + r) = theta_u(s0 * 2 + s1, l * dr + r);
+
+  linalg::SvdResult f = linalg::svd(theta_m, policy);
+  const idx keep =
+      linalg::truncation_rank(f.s, trunc.max_discarded_weight, trunc.max_bond);
+  double discarded = 0.0;
+  for (std::size_t i = static_cast<std::size_t>(keep); i < f.s.size(); ++i)
+    discarded += f.s[i] * f.s[i];
+  linalg::truncate_svd(f, keep);
+
+  // Left site gets U (left-orthonormal); the singular values are contracted
+  // into the right factor (Fig. 1b, last step), so the center lands on q+1.
+  psi.site(q) = SiteTensor::from_left_matrix(f.u, dl);
+  for (idx i = 0; i < keep; ++i) {
+    const double s = f.s[static_cast<std::size_t>(i)];
+    for (idx j = 0; j < f.vh.cols(); ++j) f.vh(i, j) *= s;
+  }
+  psi.site(q + 1) = SiteTensor::from_right_matrix(f.vh, dr);
+  psi.set_center(q + 1);
+
+  if (stats != nullptr) stats->record(discarded, keep);
+  return discarded;
+}
+
+void apply_gate(Mps& psi, const circuit::Gate& g, const TruncationConfig& trunc,
+                linalg::ExecPolicy policy, TruncationStats* stats) {
+  if (!g.is_two_qubit()) {
+    apply_single_qubit_gate(psi, g.matrix(), g.q0);
+    return;
+  }
+  QKMPS_CHECK_MSG(std::abs(g.q0 - g.q1) == 1,
+                  "non-adjacent two-qubit gate; route the circuit first");
+  const idx lo = std::min(g.q0, g.q1);
+  linalg::Matrix u = g.matrix();
+  if (g.q0 > g.q1) {
+    // Gate matrix is in |q0 q1> order; sites want |lo hi>. Conjugate by the
+    // qubit-swap permutation of the 4x4 matrix.
+    linalg::Matrix w(4, 4);
+    const auto flip = [](idx b) { return ((b & 1) << 1) | (b >> 1); };
+    for (idx i = 0; i < 4; ++i)
+      for (idx j = 0; j < 4; ++j) w(flip(i), flip(j)) = u(i, j);
+    u = std::move(w);
+  }
+  apply_adjacent_two_qubit_gate(psi, u, lo, trunc, policy, stats);
+}
+
+}  // namespace qkmps::mps

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "circuit/gate.hpp"
+#include "linalg/policy.hpp"
+#include "mps/mps.hpp"
+#include "mps/truncation.hpp"
+
+namespace qkmps::mps {
+
+/// Applies a single-qubit gate to site q: a pure contraction with the site
+/// tensor (Fig. 1a); bond dimensions are unchanged and no truncation is
+/// needed.
+void apply_single_qubit_gate(Mps& psi, const linalg::Matrix& u, idx q);
+
+/// Applies a two-qubit gate on adjacent sites (q, q+1) following Fig. 1b:
+/// move the orthogonality center to the bond, contract the two site tensors
+/// with the gate into a theta tensor, SVD, truncate per `trunc` (Eq. 8),
+/// and absorb the singular values into the right factor (leaving the center
+/// at q+1). `u` is 4x4 in the |q, q+1> basis. Returns the discarded weight.
+double apply_adjacent_two_qubit_gate(Mps& psi, const linalg::Matrix& u, idx q,
+                                     const TruncationConfig& trunc,
+                                     linalg::ExecPolicy policy,
+                                     TruncationStats* stats = nullptr);
+
+/// Gate dispatcher: routes 1q gates to the contraction path and adjacent 2q
+/// gates to the SVD path. Non-adjacent 2q gates are a precondition
+/// violation — run circuit::route_to_chain first.
+void apply_gate(Mps& psi, const circuit::Gate& g, const TruncationConfig& trunc,
+                linalg::ExecPolicy policy, TruncationStats* stats = nullptr);
+
+}  // namespace qkmps::mps

@@ -1,0 +1,40 @@
+#include "mps/inner_product.hpp"
+
+#include "linalg/gemm.hpp"
+#include "util/error.hpp"
+
+namespace qkmps::mps {
+
+cplx inner_product(const Mps& a, const Mps& b, linalg::ExecPolicy policy) {
+  QKMPS_CHECK(a.num_sites() == b.num_sites());
+  const idx m = a.num_sites();
+
+  // E starts as the trivial 1x1 environment.
+  linalg::Matrix env(1, 1);
+  env(0, 0) = 1.0;
+
+  for (idx i = 0; i < m; ++i) {
+    const SiteTensor& sa = a.site(i);
+    const SiteTensor& sb = b.site(i);
+    QKMPS_CHECK(sa.left == env.rows() && sb.left == env.cols());
+
+    // T[ia, (s jb')] = sum_jb E[ia, jb] B[jb, (s jb')]
+    const linalg::Matrix t = linalg::gemm(env, sb.as_right_matrix(), policy);
+    // env'[ia', jb'] = sum_{ia, s} conj(A[(ia s), ia']) T[(ia s), jb']
+    // where T reinterpreted as ((ia s), jb') — row-major makes this free.
+    linalg::Matrix t2(sa.left * 2, sb.right);
+    std::copy(t.data(), t.data() + t.size(), t2.data());
+    env = linalg::gemm(sa.as_left_matrix(), t2, policy, linalg::Op::ConjT,
+                       linalg::Op::None);
+  }
+
+  QKMPS_CHECK(env.rows() == 1 && env.cols() == 1);
+  return env(0, 0);
+}
+
+double overlap_squared(const Mps& a, const Mps& b, linalg::ExecPolicy policy) {
+  const cplx ip = inner_product(a, b, policy);
+  return ip.real() * ip.real() + ip.imag() * ip.imag();
+}
+
+}  // namespace qkmps::mps

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "linalg/policy.hpp"
+#include "mps/mps.hpp"
+
+namespace qkmps::mps {
+
+/// <a|b> via the zipper contraction of Fig. 2: sweep left to right keeping
+/// an environment matrix E (chi_a x chi_b); per site, two GEMMs extend E by
+/// one column of the ladder. Time O(m chi^3), memory O(chi^2) — the kernel
+/// whose CPU/GPU crossover Fig. 5b studies.
+cplx inner_product(const Mps& a, const Mps& b,
+                   linalg::ExecPolicy policy = linalg::ExecPolicy::Reference);
+
+/// Kernel entry K = |<a|b>|^2 (Eq. 1).
+double overlap_squared(const Mps& a, const Mps& b,
+                       linalg::ExecPolicy policy = linalg::ExecPolicy::Reference);
+
+}  // namespace qkmps::mps

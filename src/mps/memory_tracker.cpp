@@ -1,0 +1,44 @@
+#include "mps/memory_tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qkmps::mps {
+
+void MemoryTracker::record(idx gates_applied, std::size_t bytes, idx max_bond) {
+  samples_.push_back({gates_applied, bytes, max_bond});
+  peak_bytes_ = std::max(peak_bytes_, bytes);
+  peak_bond_ = std::max(peak_bond_, max_bond);
+}
+
+double MemoryTracker::bytes_at_progress(double fraction) const {
+  QKMPS_CHECK(!samples_.empty());
+  QKMPS_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  const idx total = samples_.back().gates_applied;
+  if (total == 0) return static_cast<double>(samples_.back().bytes);
+  const double target = fraction * static_cast<double>(total);
+
+  const Sample* prev = &samples_.front();
+  for (const Sample& s : samples_) {
+    if (static_cast<double>(s.gates_applied) >= target) {
+      const double g0 = static_cast<double>(prev->gates_applied);
+      const double g1 = static_cast<double>(s.gates_applied);
+      if (g1 == g0) return static_cast<double>(s.bytes);
+      const double w = (target - g0) / (g1 - g0);
+      return (1.0 - w) * static_cast<double>(prev->bytes) +
+             w * static_cast<double>(s.bytes);
+    }
+    prev = &s;
+  }
+  return static_cast<double>(samples_.back().bytes);
+}
+
+void MemoryTracker::clear() {
+  samples_.clear();
+  peak_bytes_ = 0;
+  peak_bond_ = 1;
+}
+
+}  // namespace qkmps::mps

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace qkmps::mps {
+
+/// Records the MPS heap footprint after every gate — the instrumentation
+/// behind Fig. 6 ("memory required to store the MPS throughout the
+/// simulation", x-axis = percentage of gates applied).
+class MemoryTracker {
+ public:
+  struct Sample {
+    idx gates_applied = 0;
+    std::size_t bytes = 0;
+    idx max_bond = 1;
+  };
+
+  void record(idx gates_applied, std::size_t bytes, idx max_bond);
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  std::size_t peak_bytes() const { return peak_bytes_; }
+  idx peak_bond() const { return peak_bond_; }
+
+  /// Linear interpolation of the footprint at a fractional progress point
+  /// in [0, 1]; lets the bench align runs with different gate counts on a
+  /// common x-axis exactly as Fig. 6 does.
+  double bytes_at_progress(double fraction) const;
+
+  void clear();
+
+ private:
+  std::vector<Sample> samples_;
+  std::size_t peak_bytes_ = 0;
+  idx peak_bond_ = 1;
+};
+
+}  // namespace qkmps::mps

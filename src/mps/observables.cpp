@@ -1,0 +1,90 @@
+#include "mps/observables.hpp"
+
+#include "mps/canonical.hpp"
+#include "util/error.hpp"
+
+namespace qkmps::mps {
+
+namespace {
+
+/// <psi| P_q |psi> for a 2x2 Hermitian P with the center at q: contract the
+/// center tensor with P on the physical leg and with its own conjugate on
+/// both bonds. Canonical sites away from the center collapse to identity.
+double local_expectation(Mps& psi, idx q, const cplx p[2][2],
+                         linalg::ExecPolicy policy) {
+  QKMPS_CHECK(q >= 0 && q < psi.num_sites());
+  move_center(psi, q, policy);
+  const SiteTensor& t = psi.site(q);
+  cplx acc = 0.0;
+  for (idx l = 0; l < t.left; ++l)
+    for (idx r = 0; r < t.right; ++r)
+      for (idx sp = 0; sp < 2; ++sp)
+        for (idx s = 0; s < 2; ++s)
+          acc += std::conj(t.at(l, sp, r)) * p[sp][s] * t.at(l, s, r);
+  return acc.real();
+}
+
+}  // namespace
+
+double expectation_x(Mps& psi, idx q, linalg::ExecPolicy policy) {
+  static const cplx x[2][2] = {{0.0, 1.0}, {1.0, 0.0}};
+  return local_expectation(psi, q, x, policy);
+}
+
+double expectation_y(Mps& psi, idx q, linalg::ExecPolicy policy) {
+  static const cplx y[2][2] = {{0.0, cplx(0.0, -1.0)}, {cplx(0.0, 1.0), 0.0}};
+  return local_expectation(psi, q, y, policy);
+}
+
+double expectation_z(Mps& psi, idx q, linalg::ExecPolicy policy) {
+  static const cplx z[2][2] = {{1.0, 0.0}, {0.0, -1.0}};
+  return local_expectation(psi, q, z, policy);
+}
+
+std::vector<double> pauli_feature_vector(Mps psi, linalg::ExecPolicy policy) {
+  const idx m = psi.num_sites();
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(3 * m));
+  // Sweep left to right so each move_center is a single QR shift.
+  for (idx q = 0; q < m; ++q) {
+    out.push_back(expectation_x(psi, q, policy));
+    out.push_back(expectation_y(psi, q, policy));
+    out.push_back(expectation_z(psi, q, policy));
+  }
+  return out;
+}
+
+double correlation_zz(Mps& psi, idx q, linalg::ExecPolicy policy) {
+  QKMPS_CHECK(q >= 0 && q + 1 < psi.num_sites());
+  move_center(psi, q, policy);
+  const SiteTensor& a = psi.site(q);
+  const SiteTensor& b = psi.site(q + 1);
+
+  // E[k][k'] = sum_{l,s} conj(a[l,s,k]) z_s a[l,s,k'] with z_s = +/-1;
+  // then contract with the (right-orthonormal) neighbour dressed by Z.
+  const idx chi = a.right;
+  std::vector<cplx> env(static_cast<std::size_t>(chi * chi), cplx(0.0));
+  for (idx l = 0; l < a.left; ++l)
+    for (idx s = 0; s < 2; ++s) {
+      const double zs = (s == 0) ? 1.0 : -1.0;
+      for (idx k = 0; k < chi; ++k)
+        for (idx kp = 0; kp < chi; ++kp)
+          env[static_cast<std::size_t>(k * chi + kp)] +=
+              std::conj(a.at(l, s, k)) * zs * a.at(l, s, kp);
+    }
+
+  cplx acc = 0.0;
+  for (idx k = 0; k < chi; ++k)
+    for (idx kp = 0; kp < chi; ++kp) {
+      const cplx e = env[static_cast<std::size_t>(k * chi + kp)];
+      if (e == cplx(0.0)) continue;
+      for (idx s = 0; s < 2; ++s) {
+        const double zs = (s == 0) ? 1.0 : -1.0;
+        for (idx r = 0; r < b.right; ++r)
+          acc += e * std::conj(b.at(k, s, r)) * zs * b.at(kp, s, r);
+      }
+    }
+  return acc.real();
+}
+
+}  // namespace qkmps::mps

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/policy.hpp"
+#include "mps/mps.hpp"
+
+namespace qkmps::mps {
+
+/// Single-qubit Pauli expectation values <psi| P_q |psi> computed from the
+/// MPS. With the orthogonality center moved to site q, the expectation is
+/// a purely local contraction of the center tensor — O(chi^2) per site.
+/// These are the measurements the *projected* quantum kernel (Huang et al.
+/// [12], mentioned in Sec. I of the paper) feeds to a classical kernel.
+double expectation_x(Mps& psi, idx q,
+                     linalg::ExecPolicy policy = linalg::ExecPolicy::Reference);
+double expectation_y(Mps& psi, idx q,
+                     linalg::ExecPolicy policy = linalg::ExecPolicy::Reference);
+double expectation_z(Mps& psi, idx q,
+                     linalg::ExecPolicy policy = linalg::ExecPolicy::Reference);
+
+/// All three Pauli expectations on every qubit, packed as
+/// [<X_0>, <Y_0>, <Z_0>, <X_1>, ...] — the projected feature vector of one
+/// data point (3m real features).
+std::vector<double> pauli_feature_vector(
+    Mps psi, linalg::ExecPolicy policy = linalg::ExecPolicy::Reference);
+
+/// Nearest-neighbour ZZ correlator <Z_q Z_{q+1}>; exposed for richer
+/// projected feature maps and for entanglement diagnostics in tests.
+double correlation_zz(Mps& psi, idx q,
+                      linalg::ExecPolicy policy = linalg::ExecPolicy::Reference);
+
+}  // namespace qkmps::mps

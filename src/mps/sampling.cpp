@@ -1,0 +1,92 @@
+#include "mps/sampling.hpp"
+
+#include <cmath>
+
+#include "mps/canonical.hpp"
+#include "util/error.hpp"
+
+namespace qkmps::mps {
+
+namespace {
+
+/// One autoregressive sweep over a right-canonical MPS (center at site 0).
+/// `v` tracks the boundary vector of the measured prefix; with right
+/// canonical form, |v|^2 after absorbing site q is exactly the marginal
+/// probability of the outcomes chosen so far.
+std::vector<int> sample_from_canonical(const Mps& psi, Rng& rng) {
+  const idx m = psi.num_sites();
+  std::vector<int> bits(static_cast<std::size_t>(m), 0);
+  std::vector<cplx> v{1.0};
+
+  double prefix_prob = 1.0;
+  for (idx q = 0; q < m; ++q) {
+    const SiteTensor& t = psi.site(q);
+    QKMPS_CHECK(static_cast<idx>(v.size()) == t.left);
+    std::vector<cplx> w0(static_cast<std::size_t>(t.right), cplx(0.0));
+    std::vector<cplx> w1(static_cast<std::size_t>(t.right), cplx(0.0));
+    for (idx l = 0; l < t.left; ++l) {
+      const cplx vl = v[static_cast<std::size_t>(l)];
+      if (vl == cplx(0.0)) continue;
+      for (idx r = 0; r < t.right; ++r) {
+        w0[static_cast<std::size_t>(r)] += vl * t.at(l, 0, r);
+        w1[static_cast<std::size_t>(r)] += vl * t.at(l, 1, r);
+      }
+    }
+    double p0 = 0.0, p1 = 0.0;
+    for (const auto& x : w0) p0 += std::norm(x);
+    for (const auto& x : w1) p1 += std::norm(x);
+    // Conditional probability of outcome 0 given the prefix.
+    const double total = p0 + p1;
+    QKMPS_CHECK_MSG(total > 0.0, "zero-norm branch during sampling");
+    const int outcome = (rng.uniform() * total < p0) ? 0 : 1;
+    bits[static_cast<std::size_t>(q)] = outcome;
+    v = outcome == 0 ? std::move(w0) : std::move(w1);
+    prefix_prob = outcome == 0 ? p0 : p1;
+  }
+  (void)prefix_prob;
+  return bits;
+}
+
+}  // namespace
+
+std::vector<int> sample_bitstring(const Mps& psi, Rng& rng) {
+  Mps canonical = psi;
+  move_center(canonical, 0, linalg::ExecPolicy::Reference);
+  canonical.normalize();
+  return sample_from_canonical(canonical, rng);
+}
+
+std::vector<std::vector<int>> sample_bitstrings(const Mps& psi, idx shots,
+                                                Rng& rng) {
+  QKMPS_CHECK(shots >= 1);
+  Mps canonical = psi;
+  move_center(canonical, 0, linalg::ExecPolicy::Reference);
+  canonical.normalize();
+  std::vector<std::vector<int>> out;
+  out.reserve(static_cast<std::size_t>(shots));
+  for (idx s = 0; s < shots; ++s)
+    out.push_back(sample_from_canonical(canonical, rng));
+  return out;
+}
+
+double bitstring_probability(const Mps& psi, const std::vector<int>& bits) {
+  QKMPS_CHECK(static_cast<idx>(bits.size()) == psi.num_sites());
+  std::vector<cplx> v{1.0};
+  for (idx q = 0; q < psi.num_sites(); ++q) {
+    const SiteTensor& t = psi.site(q);
+    const int s = bits[static_cast<std::size_t>(q)];
+    QKMPS_CHECK(s == 0 || s == 1);
+    std::vector<cplx> next(static_cast<std::size_t>(t.right), cplx(0.0));
+    for (idx l = 0; l < t.left; ++l) {
+      const cplx vl = v[static_cast<std::size_t>(l)];
+      if (vl == cplx(0.0)) continue;
+      for (idx r = 0; r < t.right; ++r)
+        next[static_cast<std::size_t>(r)] += vl * t.at(l, s, r);
+    }
+    v = std::move(next);
+  }
+  QKMPS_CHECK(v.size() == 1);
+  return std::norm(v[0]);
+}
+
+}  // namespace qkmps::mps

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "mps/mps.hpp"
+#include "util/rng.hpp"
+
+namespace qkmps::mps {
+
+/// Perfect (autoregressive) sampling of computational-basis bitstrings from
+/// a normalized MPS: sweep left to right, measure each site conditioned on
+/// the outcomes so far. O(m chi^2) per sample, no statevector needed.
+///
+/// This is the simulator-side model of running the feature-map circuit on
+/// *hardware* and measuring — the route the paper contrasts with MPS
+/// simulation (Sec. I: hardware noise and finite sampling degrade kernel
+/// estimates via exponential concentration [15]). The shot-noise kernel
+/// estimator in kernel/shot_kernel.hpp builds on it.
+std::vector<int> sample_bitstring(const Mps& psi, Rng& rng);
+
+/// Draws `shots` bitstrings.
+std::vector<std::vector<int>> sample_bitstrings(const Mps& psi, idx shots,
+                                                Rng& rng);
+
+/// Probability of one computational basis state |bits>; O(m chi^2).
+double bitstring_probability(const Mps& psi, const std::vector<int>& bits);
+
+}  // namespace qkmps::mps

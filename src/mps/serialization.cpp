@@ -1,0 +1,120 @@
+#include "mps/serialization.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace qkmps::mps {
+
+namespace {
+
+constexpr std::uint32_t kMpsMagic = 0x51'4B'4D'53;     // "QKMS"
+constexpr std::uint32_t kKernelMagic = 0x51'4B'4B'4D;  // "QKKM"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  QKMPS_CHECK_MSG(is.good(), "truncated stream");
+  return v;
+}
+
+}  // namespace
+
+void save_mps(const Mps& psi, std::ostream& os) {
+  write_pod(os, kMpsMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::int64_t>(psi.num_sites()));
+  write_pod(os, static_cast<std::int64_t>(psi.center()));
+  for (idx i = 0; i < psi.num_sites(); ++i) {
+    const SiteTensor& t = psi.site(i);
+    write_pod(os, static_cast<std::int64_t>(t.left));
+    write_pod(os, static_cast<std::int64_t>(t.right));
+    os.write(reinterpret_cast<const char*>(t.a.data()),
+             static_cast<std::streamsize>(t.a.size() * sizeof(cplx)));
+  }
+  QKMPS_CHECK_MSG(os.good(), "MPS write failure");
+}
+
+Mps load_mps(std::istream& is) {
+  QKMPS_CHECK_MSG(read_pod<std::uint32_t>(is) == kMpsMagic, "not an MPS file");
+  QKMPS_CHECK_MSG(read_pod<std::uint32_t>(is) == kVersion,
+                  "unsupported MPS file version");
+  const auto sites = static_cast<idx>(read_pod<std::int64_t>(is));
+  const auto center = static_cast<idx>(read_pod<std::int64_t>(is));
+  QKMPS_CHECK(sites >= 1 && center >= 0 && center < sites);
+
+  Mps psi(sites);
+  idx prev_right = 1;
+  for (idx i = 0; i < sites; ++i) {
+    const auto left = static_cast<idx>(read_pod<std::int64_t>(is));
+    const auto right = static_cast<idx>(read_pod<std::int64_t>(is));
+    QKMPS_CHECK_MSG(left == prev_right, "inconsistent bond dimensions");
+    QKMPS_CHECK(left >= 1 && right >= 1);
+    SiteTensor t(left, right);
+    is.read(reinterpret_cast<char*>(t.a.data()),
+            static_cast<std::streamsize>(t.a.size() * sizeof(cplx)));
+    QKMPS_CHECK_MSG(is.good(), "truncated MPS payload");
+    psi.site(i) = std::move(t);
+    prev_right = right;
+  }
+  QKMPS_CHECK_MSG(prev_right == 1, "open boundary bond must close at 1");
+  psi.set_center(center);
+  return psi;
+}
+
+void save_mps(const Mps& psi, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  QKMPS_CHECK_MSG(os.good(), "cannot open " << path);
+  save_mps(psi, os);
+}
+
+Mps load_mps(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  QKMPS_CHECK_MSG(is.good(), "cannot open " << path);
+  return load_mps(is);
+}
+
+void save_kernel(const kernel::RealMatrix& k, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  QKMPS_CHECK_MSG(os.good(), "cannot open " << path);
+  write_pod(os, kKernelMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::int64_t>(k.rows()));
+  write_pod(os, static_cast<std::int64_t>(k.cols()));
+  os.write(reinterpret_cast<const char*>(k.data()),
+           static_cast<std::streamsize>(static_cast<std::size_t>(k.rows()) *
+                                        static_cast<std::size_t>(k.cols()) *
+                                        sizeof(double)));
+  QKMPS_CHECK_MSG(os.good(), "kernel write failure");
+}
+
+kernel::RealMatrix load_kernel(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  QKMPS_CHECK_MSG(is.good(), "cannot open " << path);
+  QKMPS_CHECK_MSG(read_pod<std::uint32_t>(is) == kKernelMagic,
+                  "not a kernel file");
+  QKMPS_CHECK_MSG(read_pod<std::uint32_t>(is) == kVersion,
+                  "unsupported kernel file version");
+  const auto rows = static_cast<idx>(read_pod<std::int64_t>(is));
+  const auto cols = static_cast<idx>(read_pod<std::int64_t>(is));
+  QKMPS_CHECK(rows >= 0 && cols >= 0);
+  kernel::RealMatrix k(rows, cols);
+  is.read(reinterpret_cast<char*>(k.data()),
+          static_cast<std::streamsize>(static_cast<std::size_t>(rows) *
+                                       static_cast<std::size_t>(cols) *
+                                       sizeof(double)));
+  QKMPS_CHECK_MSG(is.good(), "truncated kernel payload");
+  return k;
+}
+
+}  // namespace qkmps::mps

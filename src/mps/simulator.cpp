@@ -1,0 +1,37 @@
+#include "mps/simulator.hpp"
+
+#include "circuit/routing.hpp"
+#include "mps/gate_application.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace qkmps::mps {
+
+MpsSimulator::MpsSimulator(SimulatorConfig config) : config_(config) {}
+
+SimulationResult MpsSimulator::simulate(const circuit::Circuit& c) const {
+  return simulate(c, Mps(c.num_qubits()));
+}
+
+SimulationResult MpsSimulator::simulate(const circuit::Circuit& c,
+                                        Mps initial) const {
+  QKMPS_CHECK(c.num_qubits() == initial.num_sites());
+  const circuit::Circuit routed =
+      c.is_nearest_neighbour() ? c : circuit::route_to_chain(c);
+
+  SimulationResult out{std::move(initial), {}, {}, 0.0, 0};
+  Timer timer;
+  for (const circuit::Gate& g : routed.gates()) {
+    apply_gate(out.state, g, config_.truncation, config_.policy,
+               &out.truncation);
+    ++out.gates_applied;
+    if (config_.track_memory) {
+      out.memory.record(out.gates_applied, out.state.memory_bytes(),
+                        out.state.max_bond());
+    }
+  }
+  out.seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace qkmps::mps

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "util/types.hpp"
+
+namespace qkmps::mps {
+
+/// SVD truncation policy (Sec. II-B, Eq. 8). The default budget keeps the
+/// discarded squared singular weight per truncation at 64-bit machine
+/// precision, making the simulation "virtually noiseless"; max_bond (if
+/// > 0) adds the hard chi cap that "more aggressive truncation" scenarios
+/// in the conclusion would use.
+struct TruncationConfig {
+  double max_discarded_weight = kDefaultTruncationError;
+  idx max_bond = 0;
+};
+
+/// Running record of the error actually introduced: the fidelity lower
+/// bound is prod_k (1 - w_k) >= 1 - sum_k w_k over per-truncation discarded
+/// weights w_k, so we track their sum.
+struct TruncationStats {
+  double total_discarded_weight = 0.0;
+  idx truncation_count = 0;
+  idx max_bond_seen = 1;
+
+  void record(double discarded, idx new_bond) {
+    total_discarded_weight += discarded;
+    ++truncation_count;
+    if (new_bond > max_bond_seen) max_bond_seen = new_bond;
+  }
+
+  /// Lower bound on |<ideal|truncated>|^2 (Eq. 8 accumulated).
+  double fidelity_lower_bound() const {
+    const double f = 1.0 - total_discarded_weight;
+    return f > 0.0 ? f : 0.0;
+  }
+};
+
+}  // namespace qkmps::mps

@@ -1,0 +1,44 @@
+#include "parallel/partition.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qkmps::parallel {
+
+std::vector<Range> split_evenly(idx n, idx parts) {
+  QKMPS_CHECK(n >= 0 && parts >= 1);
+  std::vector<Range> out;
+  out.reserve(static_cast<std::size_t>(parts));
+  const idx base = n / parts;
+  const idx extra = n % parts;
+  idx cursor = 0;
+  for (idx p = 0; p < parts; ++p) {
+    const idx len = base + (p < extra ? 1 : 0);
+    out.push_back({cursor, cursor + len});
+    cursor += len;
+  }
+  return out;
+}
+
+std::vector<Tile> make_tiles(idx n_rows, idx n_cols, idx grid_rows,
+                             idx grid_cols) {
+  const auto row_ranges = split_evenly(n_rows, grid_rows);
+  const auto col_ranges = split_evenly(n_cols, grid_cols);
+  std::vector<Tile> tiles;
+  tiles.reserve(static_cast<std::size_t>(grid_rows * grid_cols));
+  for (idx r = 0; r < grid_rows; ++r)
+    for (idx c = 0; c < grid_cols; ++c)
+      tiles.push_back({row_ranges[static_cast<std::size_t>(r)],
+                       col_ranges[static_cast<std::size_t>(c)], r, c});
+  return tiles;
+}
+
+std::pair<idx, idx> square_tile_grid(idx parts) {
+  QKMPS_CHECK(parts >= 1);
+  idx rows = static_cast<idx>(std::floor(std::sqrt(static_cast<double>(parts))));
+  while (rows > 1 && parts % rows != 0) --rows;
+  return {rows, parts / rows};
+}
+
+}  // namespace qkmps::parallel

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace qkmps::parallel {
+
+/// Half-open index range [begin, end).
+struct Range {
+  idx begin = 0;
+  idx end = 0;
+  idx size() const { return end - begin; }
+};
+
+/// Splits [0, n) into `parts` contiguous near-equal ranges (the first
+/// n % parts ranges get the extra element). Ranges may be empty when
+/// parts > n.
+std::vector<Range> split_evenly(idx n, idx parts);
+
+/// Tile of a matrix: a row range x column range. The Gram matrix is tiled
+/// into near-square tiles (Sec. II-D: "square tiles are favoured").
+struct Tile {
+  Range rows;
+  Range cols;
+  idx index_row = 0;  ///< tile coordinates in the tile grid
+  idx index_col = 0;
+};
+
+/// Tiles an n_rows x n_cols matrix into a grid_rows x grid_cols grid.
+std::vector<Tile> make_tiles(idx n_rows, idx n_cols, idx grid_rows,
+                             idx grid_cols);
+
+/// Picks a near-square tile grid with (at least) `parts` tiles for an
+/// n x n symmetric matrix; returns {grid_rows, grid_cols}.
+std::pair<idx, idx> square_tile_grid(idx parts);
+
+}  // namespace qkmps::parallel

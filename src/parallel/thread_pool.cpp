@@ -1,0 +1,70 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+
+#include "util/error.hpp"
+
+namespace qkmps::parallel {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  QKMPS_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> wrapped(std::move(task));
+  std::future<void> fut = wrapped.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    QKMPS_CHECK_MSG(!stop_, "submit on a stopped pool");
+    tasks_.push(std::move(wrapped));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::atomic<std::size_t> next{0};
+  std::vector<std::future<void>> futs;
+  const std::size_t lanes = std::min(n, workers_.size());
+  futs.reserve(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    futs.push_back(submit([&next, n, &fn] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= n) return;
+        fn(i);
+      }
+    }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+}  // namespace qkmps::parallel

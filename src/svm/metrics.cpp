@@ -1,0 +1,131 @@
+#include "svm/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace qkmps::svm {
+
+namespace {
+void check_labels(const std::vector<int>& truth) {
+  for (int t : truth) QKMPS_CHECK_MSG(t == 1 || t == -1, "labels must be +/-1");
+}
+}  // namespace
+
+double accuracy(const std::vector<int>& truth, const std::vector<int>& pred) {
+  QKMPS_CHECK(truth.size() == pred.size() && !truth.empty());
+  std::size_t hit = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    if (truth[i] == pred[i]) ++hit;
+  return static_cast<double>(hit) / static_cast<double>(truth.size());
+}
+
+double precision(const std::vector<int>& truth, const std::vector<int>& pred) {
+  QKMPS_CHECK(truth.size() == pred.size());
+  std::size_t tp = 0, fp = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (pred[i] == 1) {
+      if (truth[i] == 1) ++tp;
+      else ++fp;
+    }
+  }
+  return (tp + fp) == 0 ? 0.0
+                        : static_cast<double>(tp) / static_cast<double>(tp + fp);
+}
+
+double recall(const std::vector<int>& truth, const std::vector<int>& pred) {
+  QKMPS_CHECK(truth.size() == pred.size());
+  std::size_t tp = 0, fn = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 1) {
+      if (pred[i] == 1) ++tp;
+      else ++fn;
+    }
+  }
+  return (tp + fn) == 0 ? 0.0
+                        : static_cast<double>(tp) / static_cast<double>(tp + fn);
+}
+
+double roc_auc(const std::vector<int>& truth, const std::vector<double>& scores) {
+  QKMPS_CHECK(truth.size() == scores.size() && !truth.empty());
+  check_labels(truth);
+
+  // Midranks of the scores.
+  const std::size_t n = scores.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  std::vector<double> rank(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double mid = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t t = i; t <= j; ++t) rank[order[t]] = mid;
+    i = j + 1;
+  }
+
+  double pos_rank_sum = 0.0;
+  std::size_t n_pos = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (truth[t] == 1) {
+      pos_rank_sum += rank[t];
+      ++n_pos;
+    }
+  }
+  const std::size_t n_neg = n - n_pos;
+  QKMPS_CHECK_MSG(n_pos > 0 && n_neg > 0, "AUC needs both classes present");
+  const double u = pos_rank_sum -
+                   static_cast<double>(n_pos) * (static_cast<double>(n_pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+std::vector<std::pair<double, double>> roc_curve(
+    const std::vector<int>& truth, const std::vector<double>& scores) {
+  QKMPS_CHECK(truth.size() == scores.size() && !truth.empty());
+  check_labels(truth);
+  const std::size_t n = scores.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+
+  double n_pos = 0, n_neg = 0;
+  for (int t : truth) (t == 1 ? n_pos : n_neg) += 1.0;
+  QKMPS_CHECK(n_pos > 0 && n_neg > 0);
+
+  std::vector<std::pair<double, double>> pts;
+  pts.emplace_back(0.0, 0.0);
+  double tp = 0, fp = 0;
+  std::size_t k = 0;
+  while (k < n) {
+    // Advance through ties as a block so the curve is threshold-consistent.
+    std::size_t j = k;
+    while (j < n && scores[order[j]] == scores[order[k]]) {
+      if (truth[order[j]] == 1) tp += 1.0;
+      else fp += 1.0;
+      ++j;
+    }
+    pts.emplace_back(fp / n_neg, tp / n_pos);
+    k = j;
+  }
+  return pts;
+}
+
+Metrics evaluate(const std::vector<int>& truth,
+                 const std::vector<double>& scores) {
+  std::vector<int> pred(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i)
+    pred[i] = scores[i] >= 0.0 ? 1 : -1;
+  Metrics m;
+  m.accuracy = accuracy(truth, pred);
+  m.precision = precision(truth, pred);
+  m.recall = recall(truth, pred);
+  m.auc = roc_auc(truth, scores);
+  return m;
+}
+
+}  // namespace qkmps::svm

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace qkmps::svm {
+
+/// The paper's metric set (Sec. III-B): accuracy, recall, precision on the
+/// positive ("illicit") class, and ROC AUC on decision scores.
+struct Metrics {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double auc = 0.0;
+};
+
+/// Accuracy over {-1, +1} label vectors.
+double accuracy(const std::vector<int>& truth, const std::vector<int>& pred);
+
+/// Precision of the +1 class: TP / (TP + FP); 0 when nothing is predicted
+/// positive.
+double precision(const std::vector<int>& truth, const std::vector<int>& pred);
+
+/// Recall of the +1 class: TP / (TP + FN); 0 when no positives exist.
+double recall(const std::vector<int>& truth, const std::vector<int>& pred);
+
+/// Area under the ROC curve from continuous scores, computed as the
+/// normalized Mann-Whitney U statistic with midrank tie handling.
+double roc_auc(const std::vector<int>& truth, const std::vector<double>& scores);
+
+/// ROC curve points (fpr, tpr), sorted by threshold; useful for plotting.
+std::vector<std::pair<double, double>> roc_curve(
+    const std::vector<int>& truth, const std::vector<double>& scores);
+
+/// All four metrics from scores (predictions thresholded at 0).
+Metrics evaluate(const std::vector<int>& truth,
+                 const std::vector<double>& scores);
+
+}  // namespace qkmps::svm

@@ -1,0 +1,43 @@
+#include "svm/model_selection.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace qkmps::svm {
+
+std::vector<double> default_c_grid() {
+  return {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 4.0};
+}
+
+std::vector<SweepPoint> sweep_regularization(
+    const kernel::RealMatrix& k_train, const std::vector<int>& y_train,
+    const kernel::RealMatrix& k_test, const std::vector<int>& y_test,
+    const std::vector<double>& c_grid, double tol) {
+  QKMPS_CHECK(!c_grid.empty());
+  std::vector<SweepPoint> out;
+  out.reserve(c_grid.size());
+  for (double c : c_grid) {
+    SvcParams params;
+    params.c = c;
+    params.tol = tol;
+    const SvcModel model = train_svc(k_train, y_train, params);
+
+    SweepPoint p;
+    p.c = c;
+    p.train = evaluate(y_train, model.decision_values(k_train));
+    p.test = evaluate(y_test, model.decision_values(k_test));
+    out.push_back(p);
+  }
+  return out;
+}
+
+const SweepPoint& best_by_test_auc(const std::vector<SweepPoint>& points) {
+  QKMPS_CHECK(!points.empty());
+  return *std::max_element(points.begin(), points.end(),
+                           [](const SweepPoint& a, const SweepPoint& b) {
+                             return a.test.auc < b.test.auc;
+                           });
+}
+
+}  // namespace qkmps::svm

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "svm/metrics.hpp"
+#include "svm/svm.hpp"
+
+namespace qkmps::svm {
+
+/// One (C, metrics) pair from a regularization sweep — the shape of the
+/// paper artifacts' (reg, accuracy, precision, recall, auc) tuples.
+struct SweepPoint {
+  double c = 0.0;
+  Metrics train;
+  Metrics test;
+};
+
+/// The paper's C grid: values spanning [0.01, 4].
+std::vector<double> default_c_grid();
+
+/// Trains one SVC per C on (k_train, y_train), evaluates on the train
+/// kernel and on the rectangular test kernel, and returns all points.
+std::vector<SweepPoint> sweep_regularization(
+    const kernel::RealMatrix& k_train, const std::vector<int>& y_train,
+    const kernel::RealMatrix& k_test, const std::vector<int>& y_test,
+    const std::vector<double>& c_grid, double tol = 1e-3);
+
+/// Picks the sweep point with the highest test AUC (the artifact scripts'
+/// selection rule: "picks the regularization coefficient with highest AUC").
+const SweepPoint& best_by_test_auc(const std::vector<SweepPoint>& points);
+
+}  // namespace qkmps::svm

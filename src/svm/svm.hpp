@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "kernel/kernel_matrix.hpp"
+#include "util/types.hpp"
+
+namespace qkmps::svm {
+
+/// C-SVC on a *precomputed* kernel — the consumer of the quantum Gram
+/// matrix (the paper feeds its kernels "to a standard SVM pipeline").
+/// Solves the usual dual
+///   min 1/2 a^T Q a - e^T a,  0 <= a_i <= C,  y^T a = 0,
+/// with Q_ij = y_i y_j K_ij, via SMO with maximal-violating-pair working
+/// set selection (the LIBSVM scheme).
+struct SvcParams {
+  double c = 1.0;       ///< box constraint; paper sweeps C in [0.01, 4]
+  double tol = 1e-3;    ///< KKT violation stopping threshold (paper: 1e-3)
+  long long max_iter = 10'000'000;  ///< safety valve on SMO iterations
+};
+
+struct SvcModel {
+  std::vector<double> alpha;  ///< dual coefficients (size n_train)
+  std::vector<int> y;         ///< training labels in {-1, +1}
+  double bias = 0.0;
+  long long iterations = 0;
+  bool converged = false;
+
+  /// Decision values f_i = sum_j alpha_j y_j K(test_i, train_j) + b for a
+  /// rectangular test-vs-train kernel.
+  std::vector<double> decision_values(const kernel::RealMatrix& k_test) const;
+
+  /// Signed predictions in {-1, +1}.
+  std::vector<int> predict(const kernel::RealMatrix& k_test) const;
+
+  idx support_vector_count() const;
+};
+
+/// Trains on a symmetric n x n kernel and labels in {-1, +1}.
+SvcModel train_svc(const kernel::RealMatrix& k, const std::vector<int>& y,
+                   const SvcParams& params);
+
+}  // namespace qkmps::svm

@@ -1,0 +1,53 @@
+#include "tensor/contract.hpp"
+
+#include <algorithm>
+
+#include "linalg/gemm.hpp"
+#include "tensor/permute.hpp"
+
+namespace qkmps::tensor {
+
+Tensor contract(const Tensor& a, const std::vector<idx>& axes_a,
+                const Tensor& b, const std::vector<idx>& axes_b,
+                linalg::ExecPolicy policy) {
+  QKMPS_CHECK(axes_a.size() == axes_b.size());
+  for (std::size_t i = 0; i < axes_a.size(); ++i) {
+    QKMPS_CHECK_MSG(
+        a.extent(axes_a[i]) == b.extent(axes_b[i]),
+        "contracted bond dimensions differ: " << a.extent(axes_a[i]) << " vs "
+                                              << b.extent(axes_b[i]));
+  }
+
+  auto free_axes = [](const Tensor& t, const std::vector<idx>& contracted) {
+    std::vector<idx> free;
+    for (idx ax = 0; ax < t.rank(); ++ax)
+      if (std::find(contracted.begin(), contracted.end(), ax) == contracted.end())
+        free.push_back(ax);
+    return free;
+  };
+
+  const std::vector<idx> free_a = free_axes(a, axes_a);
+  const std::vector<idx> free_b = free_axes(b, axes_b);
+
+  // a: free axes first, contracted last; b: contracted first, free last.
+  std::vector<idx> perm_a = free_a;
+  perm_a.insert(perm_a.end(), axes_a.begin(), axes_a.end());
+  std::vector<idx> perm_b = axes_b;
+  perm_b.insert(perm_b.end(), free_b.begin(), free_b.end());
+
+  const Tensor ap = permuted(a, perm_a);
+  const Tensor bp = permuted(b, perm_b);
+
+  const linalg::Matrix am = ap.as_matrix(static_cast<idx>(free_a.size()));
+  const linalg::Matrix bm = bp.as_matrix(static_cast<idx>(axes_b.size()));
+  const linalg::Matrix cm = linalg::gemm(am, bm, policy);
+
+  std::vector<idx> out_shape;
+  out_shape.reserve(free_a.size() + free_b.size());
+  for (idx ax : free_a) out_shape.push_back(a.extent(ax));
+  for (idx ax : free_b) out_shape.push_back(b.extent(ax));
+  if (out_shape.empty()) out_shape.push_back(1);  // scalar as rank-1 extent-1
+  return Tensor::from_matrix(cm, std::move(out_shape));
+}
+
+}  // namespace qkmps::tensor

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/policy.hpp"
+#include "tensor/tensor.hpp"
+
+namespace qkmps::tensor {
+
+/// Pairwise tensor contraction (Eq. 6 of the paper, generalized to several
+/// common bonds): contracts axes_a[i] of `a` with axes_b[i] of `b`. The
+/// output carries a's free axes (in order) followed by b's free axes.
+/// Implemented as permute -> matricize -> GEMM -> reshape; the GEMM is
+/// dispatched through the execution policy, which is where the
+/// reference/accelerated backend split of DESIGN.md materializes.
+Tensor contract(const Tensor& a, const std::vector<idx>& axes_a,
+                const Tensor& b, const std::vector<idx>& axes_b,
+                linalg::ExecPolicy policy = linalg::ExecPolicy::Reference);
+
+}  // namespace qkmps::tensor

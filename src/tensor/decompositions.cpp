@@ -1,0 +1,55 @@
+#include "tensor/decompositions.hpp"
+
+#include "linalg/qr.hpp"
+
+namespace qkmps::tensor {
+
+TensorSvd svd_split(const Tensor& t, idx left_axes, double max_discarded_weight,
+                    idx max_rank) {
+  QKMPS_CHECK(left_axes > 0 && left_axes < t.rank());
+  const linalg::Matrix m = t.as_matrix(left_axes);
+  linalg::SvdResult f = linalg::svd(m);
+
+  TensorSvd out;
+  if (max_discarded_weight >= 0.0 || max_rank > 0) {
+    // A pure rank cap (weight budget < 0) still drops exactly-zero singular
+    // values but nothing else, hence the 0.0 budget.
+    const double budget = max_discarded_weight >= 0.0 ? max_discarded_weight : 0.0;
+    const idx keep = linalg::truncation_rank(f.s, budget, max_rank);
+    for (std::size_t i = static_cast<std::size_t>(keep); i < f.s.size(); ++i)
+      out.discarded_weight += f.s[i] * f.s[i];
+    linalg::truncate_svd(f, keep);
+  }
+
+  const idx rank = static_cast<idx>(f.s.size());
+  std::vector<idx> left_shape, right_shape;
+  for (idx i = 0; i < left_axes; ++i) left_shape.push_back(t.extent(i));
+  left_shape.push_back(rank);
+  right_shape.push_back(rank);
+  for (idx i = left_axes; i < t.rank(); ++i) right_shape.push_back(t.extent(i));
+
+  out.u = Tensor::from_matrix(f.u, std::move(left_shape));
+  out.vh = Tensor::from_matrix(f.vh, std::move(right_shape));
+  out.s = std::move(f.s);
+  return out;
+}
+
+TensorQr qr_split(const Tensor& t, idx left_axes) {
+  QKMPS_CHECK(left_axes > 0 && left_axes < t.rank());
+  const linalg::Matrix m = t.as_matrix(left_axes);
+  const linalg::QrResult f = linalg::qr_thin(m);
+
+  const idx rank = f.q.cols();
+  std::vector<idx> left_shape, right_shape;
+  for (idx i = 0; i < left_axes; ++i) left_shape.push_back(t.extent(i));
+  left_shape.push_back(rank);
+  right_shape.push_back(rank);
+  for (idx i = left_axes; i < t.rank(); ++i) right_shape.push_back(t.extent(i));
+
+  TensorQr out;
+  out.q = Tensor::from_matrix(f.q, std::move(left_shape));
+  out.r = Tensor::from_matrix(f.r, std::move(right_shape));
+  return out;
+}
+
+}  // namespace qkmps::tensor

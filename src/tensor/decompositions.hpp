@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/svd.hpp"
+#include "tensor/tensor.hpp"
+
+namespace qkmps::tensor {
+
+/// SVD split of a tensor across a bipartition of its axes: the first
+/// `left_axes` axes go to U, the rest to V. Returns U with a trailing new
+/// bond, the singular values, and Vh with a leading new bond — exactly the
+/// decomposition step of two-qubit gate application (Fig. 1b).
+struct TensorSvd {
+  Tensor u;                ///< shape: left extents + [rank]
+  std::vector<double> s;   ///< singular values, descending
+  Tensor vh;               ///< shape: [rank] + right extents
+  double discarded_weight = 0.0;  ///< sum of truncated s_i^2 (Eq. 8)
+};
+
+/// Full or truncated SVD split. If max_discarded_weight >= 0 the rank is
+/// reduced until the discarded squared singular weight would exceed it
+/// (Eq. 8); max_rank (if > 0) additionally caps the new bond dimension.
+TensorSvd svd_split(const Tensor& t, idx left_axes,
+                    double max_discarded_weight = -1.0, idx max_rank = 0);
+
+/// QR split across the same bipartition: t = Q R with Q carrying the left
+/// axes (orthonormal) and R the right axes. Used by canonicalization.
+struct TensorQr {
+  Tensor q;  ///< left extents + [rank]
+  Tensor r;  ///< [rank] + right extents
+};
+
+TensorQr qr_split(const Tensor& t, idx left_axes);
+
+}  // namespace qkmps::tensor

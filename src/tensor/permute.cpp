@@ -1,0 +1,49 @@
+#include "tensor/permute.hpp"
+
+#include <algorithm>
+
+namespace qkmps::tensor {
+
+Tensor permuted(const Tensor& t, const std::vector<idx>& perm) {
+  const idx r = t.rank();
+  QKMPS_CHECK(static_cast<idx>(perm.size()) == r);
+  std::vector<bool> seen(static_cast<std::size_t>(r), false);
+  for (idx p : perm) {
+    QKMPS_CHECK(p >= 0 && p < r && !seen[static_cast<std::size_t>(p)]);
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+
+  std::vector<idx> out_shape(static_cast<std::size_t>(r));
+  for (idx i = 0; i < r; ++i)
+    out_shape[static_cast<std::size_t>(i)] = t.extent(perm[static_cast<std::size_t>(i)]);
+  Tensor out(out_shape);
+
+  // Row-major strides of the input, rearranged so that walking the output
+  // in order advances the matching input offset.
+  std::vector<idx> in_strides(static_cast<std::size_t>(r), 1);
+  for (idx i = r - 2; i >= 0; --i)
+    in_strides[static_cast<std::size_t>(i)] =
+        in_strides[static_cast<std::size_t>(i + 1)] * t.extent(i + 1);
+  std::vector<idx> walk_strides(static_cast<std::size_t>(r));
+  for (idx i = 0; i < r; ++i)
+    walk_strides[static_cast<std::size_t>(i)] =
+        in_strides[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])];
+
+  std::vector<idx> counter(static_cast<std::size_t>(r), 0);
+  idx in_off = 0;
+  const idx total = out.size();
+  for (idx flat = 0; flat < total; ++flat) {
+    out[flat] = t[in_off];
+    // Odometer increment over the output multi-index.
+    for (idx axis = r - 1; axis >= 0; --axis) {
+      auto& c = counter[static_cast<std::size_t>(axis)];
+      in_off += walk_strides[static_cast<std::size_t>(axis)];
+      if (++c < out.extent(axis)) break;
+      in_off -= c * walk_strides[static_cast<std::size_t>(axis)];
+      c = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace qkmps::tensor

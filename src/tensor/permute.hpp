@@ -1,0 +1,13 @@
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace qkmps::tensor {
+
+/// Returns the tensor with axes reordered so that output axis i is input
+/// axis perm[i]. `perm` must be a permutation of 0..rank-1.
+Tensor permuted(const Tensor& t, const std::vector<idx>& perm);
+
+}  // namespace qkmps::tensor

@@ -1,0 +1,108 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qkmps::tensor {
+
+namespace {
+idx shape_product(const std::vector<idx>& shape) {
+  idx p = 1;
+  for (idx d : shape) {
+    QKMPS_CHECK(d >= 0);
+    p *= d;
+  }
+  return p;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<idx> shape)
+    : shape_(std::move(shape)),
+      a_(static_cast<std::size_t>(shape_product(shape_))) {
+  compute_strides();
+}
+
+void Tensor::compute_strides() {
+  strides_.assign(shape_.size(), 1);
+  for (idx i = static_cast<idx>(shape_.size()) - 2; i >= 0; --i)
+    strides_[static_cast<std::size_t>(i)] =
+        strides_[static_cast<std::size_t>(i + 1)] * shape_[static_cast<std::size_t>(i + 1)];
+}
+
+idx Tensor::flatten(std::initializer_list<idx> ix) const {
+  QKMPS_CHECK(static_cast<idx>(ix.size()) == rank());
+  idx flat = 0;
+  idx axis = 0;
+  for (idx v : ix) {
+    QKMPS_CHECK(v >= 0 && v < shape_[static_cast<std::size_t>(axis)]);
+    flat += v * strides_[static_cast<std::size_t>(axis)];
+    ++axis;
+  }
+  return flat;
+}
+
+idx Tensor::flatten(const std::vector<idx>& ix) const {
+  QKMPS_CHECK(static_cast<idx>(ix.size()) == rank());
+  idx flat = 0;
+  for (std::size_t axis = 0; axis < ix.size(); ++axis) {
+    QKMPS_CHECK(ix[axis] >= 0 && ix[axis] < shape_[axis]);
+    flat += ix[axis] * strides_[axis];
+  }
+  return flat;
+}
+
+Tensor Tensor::reshaped(std::vector<idx> new_shape) const& {
+  QKMPS_CHECK(shape_product(new_shape) == size());
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.a_ = a_;
+  out.compute_strides();
+  return out;
+}
+
+Tensor Tensor::reshaped(std::vector<idx> new_shape) && {
+  QKMPS_CHECK(shape_product(new_shape) == size());
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.a_ = std::move(a_);
+  out.compute_strides();
+  return out;
+}
+
+linalg::Matrix Tensor::as_matrix(idx left_axes) const {
+  QKMPS_CHECK(left_axes >= 0 && left_axes <= rank());
+  idx rows = 1, cols = 1;
+  for (idx i = 0; i < left_axes; ++i) rows *= extent(i);
+  for (idx i = left_axes; i < rank(); ++i) cols *= extent(i);
+  linalg::Matrix m(rows, cols);
+  std::copy(a_.begin(), a_.end(), m.data());
+  return m;
+}
+
+Tensor Tensor::from_matrix(const linalg::Matrix& m, std::vector<idx> shape) {
+  QKMPS_CHECK(shape_product(shape) == m.size());
+  Tensor t(std::move(shape));
+  std::copy(m.data(), m.data() + m.size(), t.data());
+  return t;
+}
+
+Tensor Tensor::conj() const {
+  Tensor out = *this;
+  for (auto& v : out.a_) v = std::conj(v);
+  return out;
+}
+
+double Tensor::norm() const {
+  double s = 0.0;
+  for (const auto& v : a_) s += std::norm(v);
+  return std::sqrt(s);
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  QKMPS_CHECK(same_shape(a, b));
+  double m = 0.0;
+  for (idx k = 0; k < a.size(); ++k) m = std::max(m, std::abs(a[k] - b[k]));
+  return m;
+}
+
+}  // namespace qkmps::tensor

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <initializer_list>
+#include <numeric>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace qkmps::tensor {
+
+/// Dense N-dimensional complex tensor, row-major. Axes are called "bonds"
+/// following the paper's terminology; the extent of an axis is its bond
+/// dimension. Used for gates, statevectors and the generic contraction API;
+/// the MPS hot path matricizes into linalg::Matrix (zero semantic change,
+/// row-major grouping of leading axes is a free reshape).
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<idx> shape);
+  Tensor(std::initializer_list<idx> shape)
+      : Tensor(std::vector<idx>(shape)) {}
+
+  const std::vector<idx>& shape() const { return shape_; }
+  idx rank() const { return static_cast<idx>(shape_.size()); }
+  idx extent(idx axis) const { return shape_[static_cast<std::size_t>(axis)]; }
+  idx size() const { return static_cast<idx>(a_.size()); }
+
+  cplx* data() { return a_.data(); }
+  const cplx* data() const { return a_.data(); }
+
+  /// Linear (row-major) element access.
+  cplx& operator[](idx flat) { return a_[static_cast<std::size_t>(flat)]; }
+  const cplx& operator[](idx flat) const { return a_[static_cast<std::size_t>(flat)]; }
+
+  /// Multi-index access; the index pack length must equal rank().
+  template <typename... Ix>
+  cplx& operator()(Ix... ix) {
+    return a_[static_cast<std::size_t>(flatten({static_cast<idx>(ix)...}))];
+  }
+  template <typename... Ix>
+  const cplx& operator()(Ix... ix) const {
+    return a_[static_cast<std::size_t>(flatten({static_cast<idx>(ix)...}))];
+  }
+
+  /// Row-major flat offset of a multi-index.
+  idx flatten(std::initializer_list<idx> ix) const;
+  idx flatten(const std::vector<idx>& ix) const;
+
+  /// Reinterpret the same data with a new shape (product of extents must
+  /// match). This is the paper's Eq. (7) reshaping; row-major order makes
+  /// the bijection the identity on flat offsets.
+  Tensor reshaped(std::vector<idx> new_shape) const&;
+  Tensor reshaped(std::vector<idx> new_shape) &&;
+
+  /// Matricize: group the first `left_axes` axes as rows and the remainder
+  /// as columns. A free reinterpretation for row-major data.
+  linalg::Matrix as_matrix(idx left_axes) const;
+
+  /// Build a tensor from a matrix with the given shape (row-major copy).
+  static Tensor from_matrix(const linalg::Matrix& m, std::vector<idx> shape);
+
+  /// Elementwise conjugate.
+  Tensor conj() const;
+
+  double norm() const;
+
+  friend bool same_shape(const Tensor& a, const Tensor& b) {
+    return a.shape_ == b.shape_;
+  }
+
+ private:
+  std::vector<idx> shape_;
+  std::vector<idx> strides_;
+  std::vector<cplx> a_;
+
+  void compute_strides();
+};
+
+/// Max elementwise |a - b| for tests.
+double max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace qkmps::tensor

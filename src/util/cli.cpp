@@ -1,0 +1,23 @@
+#include "util/cli.hpp"
+
+namespace qkmps {
+
+bool full_scale_requested() { return env_int("QKMPS_FULL", 0) != 0; }
+
+long long env_int(const std::string& name, long long fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+double env_double(const std::string& name, double fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+}  // namespace qkmps

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qkmps {
+
+/// Error type thrown on precondition violations in the public API.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed (" << cond << ")";
+  if (!msg.empty()) os << ": " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace qkmps
+
+/// Precondition check that stays on in release builds: the simulator is a
+/// research instrument and silent index corruption is worse than the branch.
+#define QKMPS_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) ::qkmps::detail::fail(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define QKMPS_CHECK_MSG(cond, msg)                              \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      std::ostringstream qkmps_os_;                             \
+      qkmps_os_ << msg;                                         \
+      ::qkmps::detail::fail(#cond, __FILE__, __LINE__,          \
+                            qkmps_os_.str());                   \
+    }                                                           \
+  } while (false)

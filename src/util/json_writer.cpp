@@ -1,0 +1,134 @@
+#include "util/json_writer.hpp"
+
+#include <cmath>
+#include <iomanip>
+
+namespace qkmps {
+
+void JsonWriter::comma() {
+  if (need_comma_) os_ << ",";
+  os_ << "\n";
+  indent();
+}
+
+void JsonWriter::indent() {
+  for (int i = 0; i < depth_; ++i) os_ << "  ";
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void JsonWriter::key(const std::string& k) {
+  comma();
+  os_ << '"' << escape(k) << "\": ";
+}
+
+void JsonWriter::begin_object() {
+  if (depth_ > 0) comma();
+  os_ << "{";
+  ++depth_;
+  need_comma_ = false;
+}
+
+void JsonWriter::begin_array_object() {
+  comma();
+  os_ << "{";
+  ++depth_;
+  need_comma_ = false;
+}
+
+void JsonWriter::end_object() {
+  --depth_;
+  os_ << "\n";
+  indent();
+  os_ << "}";
+  need_comma_ = true;
+}
+
+void JsonWriter::begin_array(const std::string& k) {
+  key(k);
+  os_ << "[";
+  ++depth_;
+  need_comma_ = false;
+}
+
+void JsonWriter::begin_object(const std::string& k) {
+  key(k);
+  os_ << "{";
+  ++depth_;
+  need_comma_ = false;
+}
+
+void JsonWriter::end_array() {
+  --depth_;
+  os_ << "\n";
+  indent();
+  os_ << "]";
+  need_comma_ = true;
+}
+
+void JsonWriter::field(const std::string& k, const std::string& v) {
+  key(k);
+  os_ << '"' << escape(v) << '"';
+  need_comma_ = true;
+}
+
+void JsonWriter::field(const std::string& k, const char* v) {
+  field(k, std::string(v));
+}
+
+void JsonWriter::field(const std::string& k, double v) {
+  key(k);
+  if (std::isfinite(v)) {
+    os_ << std::setprecision(17) << v;
+  } else {
+    os_ << "null";
+  }
+  need_comma_ = true;
+}
+
+void JsonWriter::field(const std::string& k, long long v) {
+  key(k);
+  os_ << v;
+  need_comma_ = true;
+}
+
+void JsonWriter::field(const std::string& k, int v) {
+  field(k, static_cast<long long>(v));
+}
+
+void JsonWriter::field(const std::string& k, bool v) {
+  key(k);
+  os_ << (v ? "true" : "false");
+  need_comma_ = true;
+}
+
+void JsonWriter::field(const std::string& k, const std::vector<double>& vs) {
+  begin_array(k);
+  for (double v : vs) element(v);
+  end_array();
+}
+
+void JsonWriter::element(double v) {
+  comma();
+  if (std::isfinite(v)) {
+    os_ << std::setprecision(17) << v;
+  } else {
+    os_ << "null";
+  }
+  need_comma_ = true;
+}
+
+}  // namespace qkmps

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qkmps {
+
+/// Minimal JSON emitter for bench artifacts (the paper's artifact pipeline
+/// writes one JSON per experiment run; we mirror that so bench outputs can
+/// be post-processed identically). Not a general-purpose serializer: just
+/// nested objects/arrays of numbers and strings, written in insertion order.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array(const std::string& key);
+  void begin_object(const std::string& key);
+  void end_array();
+  /// Object element inside an array.
+  void begin_array_object();
+
+  void field(const std::string& key, const std::string& value);
+  void field(const std::string& key, const char* value);
+  void field(const std::string& key, double value);
+  void field(const std::string& key, long long value);
+  void field(const std::string& key, int value);
+  void field(const std::string& key, bool value);
+  void field(const std::string& key, const std::vector<double>& values);
+
+  /// Bare numeric element inside an array.
+  void element(double value);
+
+ private:
+  void comma();
+  void indent();
+  void key(const std::string& k);
+  static std::string escape(const std::string& s);
+
+  std::ostream& os_;
+  int depth_ = 0;
+  bool need_comma_ = false;
+};
+
+}  // namespace qkmps

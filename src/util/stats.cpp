@@ -1,0 +1,50 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qkmps {
+
+double quantile(std::vector<double> samples, double q) {
+  QKMPS_CHECK(!samples.empty());
+  QKMPS_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double mean(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples) s += x;
+  return s / static_cast<double>(samples.size());
+}
+
+double variance(const std::vector<double>& samples) {
+  if (samples.size() < 2) return 0.0;
+  const double m = mean(samples);
+  double s = 0.0;
+  for (double x : samples) s += (x - m) * (x - m);
+  return s / static_cast<double>(samples.size());
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary out;
+  if (samples.empty()) return out;
+  out.count = samples.size();
+  out.mean = mean(samples);
+  std::sort(samples.begin(), samples.end());
+  out.min = samples.front();
+  out.max = samples.back();
+  out.q1 = quantile(samples, 0.25);
+  out.median = quantile(samples, 0.50);
+  out.q3 = quantile(samples, 0.75);
+  return out;
+}
+
+}  // namespace qkmps

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+namespace qkmps {
+
+/// Five-number-style summary used for the runtime plots (the paper reports
+/// medians with first/third quartile error bars in Fig. 5).
+struct Summary {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  std::size_t count = 0;
+};
+
+/// Computes min/q1/median/q3/max/mean of `samples`. Quartiles use linear
+/// interpolation between order statistics (type-7, the numpy default).
+Summary summarize(std::vector<double> samples);
+
+/// Arithmetic mean; 0 for an empty input.
+double mean(const std::vector<double>& samples);
+
+/// Population variance; 0 for inputs with fewer than 2 elements.
+double variance(const std::vector<double>& samples);
+
+/// Quantile q in [0,1] with linear interpolation; input need not be sorted.
+double quantile(std::vector<double> samples, double q);
+
+}  // namespace qkmps

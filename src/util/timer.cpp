@@ -1,0 +1,34 @@
+#include "util/timer.hpp"
+
+#include <ctime>
+
+namespace qkmps {
+
+namespace {
+double thread_cpu_seconds_now() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+}  // namespace
+
+void ThreadCpuTimer::reset() { start_ = thread_cpu_seconds_now(); }
+
+double ThreadCpuTimer::seconds() const {
+  return thread_cpu_seconds_now() - start_;
+}
+
+void PhaseTimer::add(const std::string& phase, double seconds) {
+  phases_[phase] += seconds;
+}
+
+double PhaseTimer::total(const std::string& phase) const {
+  const auto it = phases_.find(phase);
+  return it == phases_.end() ? 0.0 : it->second;
+}
+
+void PhaseTimer::merge(const PhaseTimer& other) {
+  for (const auto& [name, secs] : other.phases_) phases_[name] += secs;
+}
+
+}  // namespace qkmps

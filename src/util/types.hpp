@@ -1,0 +1,26 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace qkmps {
+
+/// Scalar type used throughout the simulator. All quantum amplitudes are
+/// 64-bit complex, matching the paper's "errors due to 64-bit float point
+/// precision are at the scale of 1e-16" truncation argument.
+using cplx = std::complex<double>;
+using real = double;
+
+/// Index type for tensor extents and loop bounds. Signed, per C++ Core
+/// Guidelines ES.100-ES.107 (avoid unsigned arithmetic surprises).
+using idx = std::int64_t;
+
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+
+/// Singular values below this squared-weight budget are truncated (Eq. 8 of
+/// the paper): sum over discarded s_i^2 <= kDefaultTruncationError, i.e.
+/// machine precision for 64-bit floats.
+inline constexpr double kDefaultTruncationError = 1e-16;
+
+}  // namespace qkmps

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ansatz.hpp"
+#include "circuit/statevector.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::circuit {
+namespace {
+
+TEST(Ansatz, QubitCountEqualsFeatureCount) {
+  Rng rng(1);
+  const AnsatzParams p{.num_features = 7, .layers = 1, .distance = 1, .gamma = 0.5};
+  const Circuit c = feature_map_circuit(p, qkmps::testing::random_features(7, rng));
+  EXPECT_EQ(c.num_qubits(), 7);
+}
+
+TEST(Ansatz, RejectsMismatchedFeatureVector) {
+  const AnsatzParams p{.num_features = 4, .layers = 1, .distance = 1, .gamma = 0.5};
+  EXPECT_THROW(feature_map_circuit(p, {0.5, 0.5}), Error);
+}
+
+TEST(Ansatz, GateBudget) {
+  // m Hadamards + r * (m RZ + |E| RXX).
+  Rng rng(2);
+  const idx m = 9, r = 3, d = 2;
+  const AnsatzParams p{.num_features = m, .layers = r, .distance = d, .gamma = 0.5};
+  const Circuit c = feature_map_circuit(p, qkmps::testing::random_features(m, rng));
+  const idx edges = (m - 1) + (m - 2);
+  EXPECT_EQ(c.size(), m + r * (m + edges));
+  EXPECT_EQ(c.two_qubit_gate_count(), r * edges);
+}
+
+TEST(Ansatz, StartsWithHadamardLayer) {
+  Rng rng(3);
+  const AnsatzParams p{.num_features = 5, .layers = 2, .distance = 1, .gamma = 0.5};
+  const Circuit c = feature_map_circuit(p, qkmps::testing::random_features(5, rng));
+  for (idx q = 0; q < 5; ++q) EXPECT_EQ(c.gates()[static_cast<std::size_t>(q)].kind, GateKind::H);
+}
+
+TEST(Ansatz, RzAnglesEncodeFeatures) {
+  // e^{-i gamma x Z} = RZ(2 gamma x): the first RZ after the H layer must
+  // carry angle 2 * gamma * x_0 (Eq. 4).
+  const double gamma = 0.37;
+  const std::vector<double> x{0.9, 1.1, 0.3};
+  const AnsatzParams p{.num_features = 3, .layers = 1, .distance = 1, .gamma = gamma};
+  const Circuit c = feature_map_circuit(p, x);
+  const Gate& rz0 = c.gates()[3];
+  ASSERT_EQ(rz0.kind, GateKind::RZ);
+  EXPECT_EQ(rz0.q0, 0);
+  EXPECT_DOUBLE_EQ(rz0.angle, 2.0 * gamma * 0.9);
+}
+
+TEST(Ansatz, RxxAnglesEncodeCoefficients) {
+  // Eq. 5: coefficient gamma^2 (pi/2) (1-x_i)(1-x_j); gate angle doubles it.
+  const double gamma = 0.5;
+  const std::vector<double> x{0.2, 0.8};
+  const AnsatzParams p{.num_features = 2, .layers = 1, .distance = 1, .gamma = gamma};
+  const Circuit c = feature_map_circuit(p, x);
+  const Gate& rxx = c.gates().back();
+  ASSERT_EQ(rxx.kind, GateKind::RXX);
+  const double expect = 2.0 * gamma * gamma * (kPi / 2.0) * (1.0 - 0.2) * (1.0 - 0.8);
+  EXPECT_NEAR(rxx.angle, expect, 1e-15);
+}
+
+TEST(Ansatz, FeatureAtOneDisablesInteraction) {
+  // (1 - x_i) = 0 kills the RXX coefficient — the mechanism behind the
+  // paper's observation that gamma pushing angles to 0/pi weakens
+  // entanglement.
+  const std::vector<double> x{1.0, 0.5};
+  const AnsatzParams p{.num_features = 2, .layers = 1, .distance = 1, .gamma = 1.0};
+  const Circuit c = feature_map_circuit(p, x);
+  EXPECT_DOUBLE_EQ(c.gates().back().angle, 0.0);
+}
+
+TEST(Ansatz, LayerRepetitionRepeatsStructure) {
+  Rng rng(4);
+  const auto x = qkmps::testing::random_features(4, rng);
+  const AnsatzParams p1{.num_features = 4, .layers = 1, .distance = 1, .gamma = 0.5};
+  const AnsatzParams p2{.num_features = 4, .layers = 2, .distance = 1, .gamma = 0.5};
+  const Circuit c1 = feature_map_circuit(p1, x);
+  const Circuit c2 = feature_map_circuit(p2, x);
+  EXPECT_EQ(c2.size() - 4, 2 * (c1.size() - 4));  // minus the H layer
+}
+
+TEST(Ansatz, DifferentDataGiveDifferentStates) {
+  const AnsatzParams p{.num_features = 4, .layers = 2, .distance = 2, .gamma = 0.8};
+  const Circuit ca = feature_map_circuit(p, {0.3, 1.2, 0.7, 1.8});
+  const Circuit cb = feature_map_circuit(p, {1.7, 0.2, 1.1, 0.4});
+  const auto sa = simulate_statevector(ca);
+  const auto sb = simulate_statevector(cb);
+  const double overlap = std::abs(sa.inner_product(sb));
+  EXPECT_LT(overlap, 0.999);
+}
+
+TEST(Ansatz, StateIsNormalized) {
+  Rng rng(5);
+  const AnsatzParams p{.num_features = 6, .layers = 2, .distance = 3, .gamma = 1.0};
+  const Circuit c = feature_map_circuit(p, qkmps::testing::random_features(6, rng));
+  EXPECT_NEAR(simulate_statevector(c).norm(), 1.0, 1e-12);
+}
+
+TEST(Ansatz, GammaZeroGivesUniformSuperposition) {
+  // gamma = 0 zeroes every rotation angle: U(x) = identity, state = |+>^m.
+  const AnsatzParams p{.num_features = 3, .layers = 2, .distance = 2, .gamma = 0.0};
+  const Circuit c = feature_map_circuit(p, {0.5, 1.0, 1.5});
+  const auto sv = simulate_statevector(c);
+  const double amp = 1.0 / std::sqrt(8.0);
+  for (const auto& a : sv.amplitudes()) EXPECT_NEAR(std::abs(a - cplx(amp)), 0.0, 1e-12);
+}
+
+TEST(Ansatz, GeneralGraphOverload) {
+  // A star graph (not a chain) must be accepted and produce RXX on its edges.
+  const InteractionGraph star(4, {{0, 1}, {0, 2}, {0, 3}});
+  const Circuit c = feature_map_circuit(star, 1, 0.5, {0.5, 0.6, 0.7, 0.8});
+  EXPECT_EQ(c.two_qubit_gate_count(), 3);
+}
+
+}  // namespace
+}  // namespace qkmps::circuit

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ansatz.hpp"
+#include "mps/canonical.hpp"
+#include "mps/inner_product.hpp"
+#include "mps/simulator.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::mps {
+namespace {
+
+/// Builds a genuinely entangled MPS by simulating an ansatz circuit.
+Mps entangled_state(idx m, std::uint64_t seed) {
+  Rng rng(seed);
+  const circuit::AnsatzParams p{.num_features = m, .layers = 2, .distance = 2,
+                                .gamma = 0.9};
+  const circuit::Circuit c =
+      circuit::feature_map_circuit(p, qkmps::testing::random_features(m, rng));
+  MpsSimulator sim;
+  return sim.simulate(c).state;
+}
+
+TEST(Canonical, MoveCenterPreservesState) {
+  Mps psi = entangled_state(6, 1);
+  const auto before = psi.to_statevector();
+  for (idx target : {0, 5, 2, 3, 0}) {
+    move_center(psi, target, linalg::ExecPolicy::Reference);
+    EXPECT_EQ(psi.center(), target);
+    const auto after = psi.to_statevector();
+    double diff = 0.0;
+    for (std::size_t i = 0; i < before.size(); ++i)
+      diff = std::max(diff, std::abs(before[i] - after[i]));
+    EXPECT_LT(diff, 1e-12) << "target=" << target;
+  }
+}
+
+TEST(Canonical, LeftSitesAreLeftOrthonormal) {
+  Mps psi = entangled_state(7, 2);
+  move_center(psi, 5, linalg::ExecPolicy::Reference);
+  for (idx i = 0; i < 5; ++i)
+    EXPECT_LT(left_orthonormality_defect(psi, i), 1e-12) << "site " << i;
+}
+
+TEST(Canonical, RightSitesAreRightOrthonormal) {
+  Mps psi = entangled_state(7, 3);
+  move_center(psi, 2, linalg::ExecPolicy::Reference);
+  for (idx i = 3; i < 7; ++i)
+    EXPECT_LT(right_orthonormality_defect(psi, i), 1e-12) << "site " << i;
+}
+
+TEST(Canonical, CenterCarriesTheNorm) {
+  Mps psi = entangled_state(5, 4);
+  move_center(psi, 3, linalg::ExecPolicy::Reference);
+  // With full mixed-canonical form, the Frobenius norm of the center site
+  // equals the state norm (1 for a normalized state).
+  double s = 0.0;
+  for (const auto& v : psi.site(3).a) s += std::norm(v);
+  EXPECT_NEAR(std::sqrt(s), psi.norm(), 1e-11);
+}
+
+TEST(Canonical, InnerProductInvariantUnderCanonicalization) {
+  Mps a = entangled_state(6, 5);
+  Mps b = entangled_state(6, 6);
+  const cplx before = inner_product(a, b);
+  move_center(a, 0, linalg::ExecPolicy::Reference);
+  move_center(b, 5, linalg::ExecPolicy::Reference);
+  const cplx after = inner_product(a, b);
+  EXPECT_NEAR(std::abs(before - after), 0.0, 1e-12);
+}
+
+TEST(Canonical, ShiftRightThenLeftIsIdentity) {
+  Mps psi = entangled_state(4, 7);
+  move_center(psi, 1, linalg::ExecPolicy::Reference);
+  const auto before = psi.to_statevector();
+  shift_center_right(psi, linalg::ExecPolicy::Reference);
+  shift_center_left(psi, linalg::ExecPolicy::Reference);
+  EXPECT_EQ(psi.center(), 1);
+  const auto after = psi.to_statevector();
+  double diff = 0.0;
+  for (std::size_t i = 0; i < before.size(); ++i)
+    diff = std::max(diff, std::abs(before[i] - after[i]));
+  EXPECT_LT(diff, 1e-12);
+}
+
+TEST(Canonical, MoveCenterRejectsOutOfRange) {
+  Mps psi(3);
+  EXPECT_THROW(move_center(psi, 3, linalg::ExecPolicy::Reference), Error);
+  EXPECT_THROW(move_center(psi, -1, linalg::ExecPolicy::Reference), Error);
+}
+
+TEST(Canonical, PoliciesAgree) {
+  Mps a = entangled_state(6, 8);
+  Mps b = a;
+  move_center(a, 0, linalg::ExecPolicy::Reference);
+  move_center(b, 0, linalg::ExecPolicy::Accelerated);
+  const auto va = a.to_statevector();
+  const auto vb = b.to_statevector();
+  double diff = 0.0;
+  for (std::size_t i = 0; i < va.size(); ++i)
+    diff = std::max(diff, std::abs(va[i] - vb[i]));
+  EXPECT_LT(diff, 1e-12);
+}
+
+}  // namespace
+}  // namespace qkmps::mps

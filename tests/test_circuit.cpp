@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+
+namespace qkmps::circuit {
+namespace {
+
+TEST(Circuit, StartsEmpty) {
+  Circuit c(3);
+  EXPECT_EQ(c.size(), 0);
+  EXPECT_EQ(c.num_qubits(), 3);
+}
+
+TEST(Circuit, AppendsInOrder) {
+  Circuit c(2);
+  c.h(0);
+  c.rz(1, 0.5);
+  c.rxx(0, 1, 0.3);
+  ASSERT_EQ(c.size(), 3);
+  EXPECT_EQ(c.gates()[0].kind, GateKind::H);
+  EXPECT_EQ(c.gates()[2].kind, GateKind::RXX);
+}
+
+TEST(Circuit, RejectsOutOfRangeQubits) {
+  Circuit c(2);
+  EXPECT_THROW(c.h(2), Error);
+  EXPECT_THROW(c.rxx(0, 5, 0.1), Error);
+}
+
+TEST(Circuit, TwoQubitGateCount) {
+  Circuit c(4);
+  c.h(0);
+  c.rxx(0, 1, 0.1);
+  c.swap(2, 3);
+  c.rz(1, 0.2);
+  EXPECT_EQ(c.two_qubit_gate_count(), 2);
+}
+
+TEST(Circuit, DepthOfParallelGatesIsOne) {
+  Circuit c(4);
+  c.h(0);
+  c.h(1);
+  c.h(2);
+  c.h(3);
+  EXPECT_EQ(c.depth(), 1);
+}
+
+TEST(Circuit, DepthOfSerialChain) {
+  Circuit c(2);
+  c.h(0);
+  c.rz(0, 0.1);
+  c.rx(0, 0.2);
+  EXPECT_EQ(c.depth(), 3);
+}
+
+TEST(Circuit, DepthAccountsForTwoQubitDependencies) {
+  Circuit c(3);
+  c.rxx(0, 1, 0.1);  // layer 1
+  c.rxx(1, 2, 0.1);  // layer 2 (shares qubit 1)
+  c.rz(0, 0.3);      // fits in layer 2
+  EXPECT_EQ(c.depth(), 2);
+}
+
+TEST(Circuit, NearestNeighbourDetection) {
+  Circuit c(5);
+  c.rxx(1, 2, 0.1);
+  c.rxx(3, 2, 0.1);  // reversed order still adjacent
+  EXPECT_TRUE(c.is_nearest_neighbour());
+  c.rxx(0, 4, 0.1);
+  EXPECT_FALSE(c.is_nearest_neighbour());
+}
+
+TEST(Circuit, AppendCircuitConcatenates) {
+  Circuit a(2), b(2);
+  a.h(0);
+  b.h(1);
+  b.rxx(0, 1, 0.4);
+  a.append(b);
+  EXPECT_EQ(a.size(), 3);
+}
+
+TEST(Circuit, AppendMismatchedWidthThrows) {
+  Circuit a(2), b(3);
+  EXPECT_THROW(a.append(b), Error);
+}
+
+}  // namespace
+}  // namespace qkmps::circuit

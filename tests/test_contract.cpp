@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "linalg/gemm.hpp"
+#include "tensor/contract.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::tensor {
+namespace {
+
+Tensor random_tensor(std::vector<idx> shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (idx k = 0; k < t.size(); ++k) t[k] = rng.normal_cplx();
+  return t;
+}
+
+TEST(Contract, MatrixMultiplySpecialCase) {
+  Rng rng(1);
+  const Tensor a = random_tensor({4, 3}, rng);
+  const Tensor b = random_tensor({3, 5}, rng);
+  const Tensor c = contract(a, {1}, b, {0});
+  const linalg::Matrix expect =
+      linalg::gemm_reference(a.as_matrix(1), b.as_matrix(1));
+  EXPECT_EQ(c.shape(), (std::vector<idx>{4, 5}));
+  for (idx i = 0; i < 4; ++i)
+    for (idx j = 0; j < 5; ++j)
+      EXPECT_NEAR(std::abs(c(i, j) - expect(i, j)), 0.0, 1e-13);
+}
+
+TEST(Contract, SingleBondEq6) {
+  // The paper's Eq. 6: C_abxyz = sum_s A_abs B_sxyz.
+  Rng rng(2);
+  const Tensor a = random_tensor({2, 3, 4}, rng);
+  const Tensor b = random_tensor({4, 2, 3, 2}, rng);
+  const Tensor c = contract(a, {2}, b, {0});
+  EXPECT_EQ(c.shape(), (std::vector<idx>{2, 3, 2, 3, 2}));
+  for (idx p = 0; p < 2; ++p)
+    for (idx q = 0; q < 3; ++q)
+      for (idx x = 0; x < 2; ++x)
+        for (idx y = 0; y < 3; ++y)
+          for (idx z = 0; z < 2; ++z) {
+            cplx expect = 0.0;
+            for (idx s = 0; s < 4; ++s) expect += a(p, q, s) * b(s, x, y, z);
+            EXPECT_NEAR(std::abs(c(p, q, x, y, z) - expect), 0.0, 1e-13);
+          }
+}
+
+TEST(Contract, MultipleBonds) {
+  Rng rng(3);
+  const Tensor a = random_tensor({3, 4, 2}, rng);
+  const Tensor b = random_tensor({2, 5, 4}, rng);
+  // Contract a's axes {1, 2} with b's axes {2, 0}.
+  const Tensor c = contract(a, {1, 2}, b, {2, 0});
+  EXPECT_EQ(c.shape(), (std::vector<idx>{3, 5}));
+  for (idx i = 0; i < 3; ++i)
+    for (idx j = 0; j < 5; ++j) {
+      cplx expect = 0.0;
+      for (idx p = 0; p < 4; ++p)
+        for (idx q = 0; q < 2; ++q) expect += a(i, p, q) * b(q, j, p);
+      EXPECT_NEAR(std::abs(c(i, j) - expect), 0.0, 1e-13);
+    }
+}
+
+TEST(Contract, FullContractionYieldsScalar) {
+  Rng rng(4);
+  const Tensor a = random_tensor({2, 3}, rng);
+  const Tensor b = random_tensor({2, 3}, rng);
+  const Tensor c = contract(a, {0, 1}, b, {0, 1});
+  EXPECT_EQ(c.size(), 1);
+  cplx expect = 0.0;
+  for (idx i = 0; i < 2; ++i)
+    for (idx j = 0; j < 3; ++j) expect += a(i, j) * b(i, j);
+  EXPECT_NEAR(std::abs(c[0] - expect), 0.0, 1e-13);
+}
+
+TEST(Contract, MismatchedBondThrows) {
+  Tensor a({2, 3}), b({4, 2});
+  EXPECT_THROW(contract(a, {1}, b, {0}), Error);
+}
+
+TEST(Contract, PoliciesAgree) {
+  Rng rng(5);
+  const Tensor a = random_tensor({6, 7, 3}, rng);
+  const Tensor b = random_tensor({3, 7, 4}, rng);
+  const Tensor c1 = contract(a, {1, 2}, b, {1, 0}, linalg::ExecPolicy::Reference);
+  const Tensor c2 = contract(a, {1, 2}, b, {1, 0}, linalg::ExecPolicy::Accelerated);
+  EXPECT_LT(max_abs_diff(c1, c2), 1e-12);
+}
+
+}  // namespace
+}  // namespace qkmps::tensor

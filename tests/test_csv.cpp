@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "data/csv.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::data {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/qkmps_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, RoundTripPreservesData) {
+  Rng rng(1);
+  Dataset d;
+  d.x = kernel::RealMatrix(7, 4);
+  d.y.resize(7);
+  for (idx i = 0; i < 7; ++i) {
+    d.y[static_cast<std::size_t>(i)] = (i % 3 == 0) ? 1 : -1;
+    for (idx j = 0; j < 4; ++j) d.x(i, j) = rng.normal();
+  }
+  save_csv(d, path_);
+  const Dataset back = load_csv(path_);
+  EXPECT_EQ(back.size(), 7);
+  EXPECT_EQ(back.num_features(), 4);
+  EXPECT_EQ(back.y, d.y);
+  for (idx i = 0; i < 7; ++i)
+    for (idx j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(back.x(i, j), d.x(i, j));
+}
+
+TEST_F(CsvTest, HeaderNamesFeatures) {
+  Dataset d;
+  d.x = kernel::RealMatrix(1, 2);
+  d.y = {1};
+  save_csv(d, path_);
+  std::ifstream is(path_);
+  std::string header;
+  std::getline(is, header);
+  EXPECT_EQ(header, "label,f0,f1");
+}
+
+TEST_F(CsvTest, LoadRejectsMissingFile) {
+  EXPECT_THROW(load_csv(path_ + ".does_not_exist"), Error);
+}
+
+TEST_F(CsvTest, LoadRejectsRaggedRows) {
+  std::ofstream os(path_);
+  os << "label,f0,f1\n1,0.5\n";
+  os.close();
+  EXPECT_THROW(load_csv(path_), Error);
+}
+
+TEST_F(CsvTest, LoadRejectsEmptyBody) {
+  std::ofstream os(path_);
+  os << "label,f0\n";
+  os.close();
+  EXPECT_THROW(load_csv(path_), Error);
+}
+
+TEST_F(CsvTest, SkipsBlankLines) {
+  std::ofstream os(path_);
+  os << "label,f0\n1,0.25\n\n-1,0.75\n";
+  os.close();
+  const Dataset d = load_csv(path_);
+  EXPECT_EQ(d.size(), 2);
+  EXPECT_DOUBLE_EQ(d.x(1, 0), 0.75);
+}
+
+}  // namespace
+}  // namespace qkmps::data

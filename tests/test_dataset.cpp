@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::data {
+namespace {
+
+Dataset make_small() {
+  Dataset d;
+  d.x = kernel::RealMatrix(4, 3);
+  for (idx i = 0; i < 4; ++i)
+    for (idx j = 0; j < 3; ++j) d.x(i, j) = static_cast<double>(i * 10 + j);
+  d.y = {1, -1, 1, -1};
+  return d;
+}
+
+TEST(Dataset, CountsClasses) {
+  const Dataset d = make_small();
+  EXPECT_EQ(d.positives(), 2);
+  EXPECT_EQ(d.negatives(), 2);
+  EXPECT_EQ(d.size(), 4);
+  EXPECT_EQ(d.num_features(), 3);
+}
+
+TEST(Dataset, SelectReordersRowsAndLabels) {
+  const Dataset d = make_small();
+  const Dataset s = d.select({2, 0});
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_DOUBLE_EQ(s.x(0, 1), 21.0);
+  EXPECT_DOUBLE_EQ(s.x(1, 1), 1.0);
+  EXPECT_EQ(s.y[0], 1);
+  EXPECT_EQ(s.y[1], 1);
+}
+
+TEST(Dataset, SelectAllowsRepeats) {
+  const Dataset d = make_small();
+  const Dataset s = d.select({1, 1, 1});
+  EXPECT_EQ(s.size(), 3);
+  for (idx i = 0; i < 3; ++i) EXPECT_EQ(s.y[static_cast<std::size_t>(i)], -1);
+}
+
+TEST(Dataset, SelectRejectsOutOfRange) {
+  const Dataset d = make_small();
+  EXPECT_THROW(d.select({4}), Error);
+}
+
+TEST(Dataset, WithFeaturesKeepsPrefix) {
+  const Dataset d = make_small();
+  const Dataset s = d.with_features(2);
+  EXPECT_EQ(s.num_features(), 2);
+  EXPECT_EQ(s.size(), 4);
+  EXPECT_DOUBLE_EQ(s.x(3, 1), 31.0);
+  EXPECT_EQ(s.y, d.y);
+}
+
+TEST(Dataset, WithFeaturesRejectsInvalidCounts) {
+  const Dataset d = make_small();
+  EXPECT_THROW(d.with_features(0), Error);
+  EXPECT_THROW(d.with_features(4), Error);
+}
+
+}  // namespace
+}  // namespace qkmps::data

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernel/diagnostics.hpp"
+#include "kernel/gaussian.hpp"
+#include "kernel/gram.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::kernel {
+namespace {
+
+RealMatrix random_scaled_data(idx n, idx m, std::uint64_t seed) {
+  Rng rng(seed);
+  RealMatrix x(n, m);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < m; ++j) x(i, j) = rng.uniform(0.05, 1.95);
+  return x;
+}
+
+TEST(Concentration, IdentityKernelIsFullyConcentrated) {
+  RealMatrix k(5, 5);
+  for (idx i = 0; i < 5; ++i) k(i, i) = 1.0;
+  const ConcentrationReport r = concentration(k);
+  EXPECT_DOUBLE_EQ(r.mean_off_diagonal, 0.0);
+  EXPECT_DOUBLE_EQ(r.var_off_diagonal, 0.0);
+}
+
+TEST(Concentration, KnownStatistics) {
+  RealMatrix k(3, 3);
+  for (idx i = 0; i < 3; ++i) k(i, i) = 1.0;
+  k(0, 1) = k(1, 0) = 0.2;
+  k(0, 2) = k(2, 0) = 0.4;
+  k(1, 2) = k(2, 1) = 0.6;
+  const ConcentrationReport r = concentration(k);
+  EXPECT_NEAR(r.mean_off_diagonal, 0.4, 1e-15);
+  EXPECT_NEAR(r.min_off_diagonal, 0.2, 1e-15);
+  EXPECT_NEAR(r.max_off_diagonal, 0.6, 1e-15);
+  EXPECT_NEAR(r.var_off_diagonal, (0.04 + 0.0 + 0.04) / 3.0, 1e-15);
+}
+
+TEST(Concentration, DeeperAnsatzConcentratesKernel) {
+  // The paper's Table III mechanism as a library-level property.
+  const RealMatrix x = random_scaled_data(8, 6, 1);
+  auto mean_at_depth = [&](idx r) {
+    QuantumKernelConfig cfg;
+    cfg.ansatz = {.num_features = 6, .layers = r, .distance = 1, .gamma = 1.0};
+    return concentration(gram_matrix(cfg, x)).mean_off_diagonal;
+  };
+  EXPECT_GT(mean_at_depth(1), mean_at_depth(8));
+}
+
+TEST(TargetAlignment, PerfectKernelAlignsToOne) {
+  // K = y y^T (scaled to unit diagonal) is perfectly aligned.
+  const std::vector<int> y{1, -1, 1, -1};
+  RealMatrix k(4, 4);
+  for (idx i = 0; i < 4; ++i)
+    for (idx j = 0; j < 4; ++j)
+      k(i, j) = static_cast<double>(y[static_cast<std::size_t>(i)] *
+                                    y[static_cast<std::size_t>(j)]);
+  EXPECT_NEAR(target_alignment(k, y), 1.0, 1e-12);
+}
+
+TEST(TargetAlignment, IdentityKernelHasLowAlignment) {
+  const std::vector<int> y{1, -1, 1, -1, 1, -1};
+  RealMatrix k(6, 6);
+  for (idx i = 0; i < 6; ++i) k(i, i) = 1.0;
+  // <I, yy^T> = n; ||I|| = sqrt(n); ||yy^T|| = n -> alignment = 1/sqrt(n).
+  EXPECT_NEAR(target_alignment(k, y), 1.0 / std::sqrt(6.0), 1e-12);
+}
+
+TEST(TargetAlignment, LabelPermutationChangesAlignment) {
+  const RealMatrix x = random_scaled_data(10, 4, 2);
+  const RealMatrix k = gaussian_gram(x, 0.8);
+  std::vector<int> y(10);
+  for (idx i = 0; i < 10; ++i) y[static_cast<std::size_t>(i)] = i < 5 ? 1 : -1;
+  std::vector<int> y_alt = y;
+  std::swap(y_alt[0], y_alt[9]);
+  EXPECT_NE(target_alignment(k, y), target_alignment(k, y_alt));
+}
+
+TEST(Spectrum, FidelityKernelIsPsd) {
+  const RealMatrix x = random_scaled_data(8, 5, 3);
+  QuantumKernelConfig cfg;
+  cfg.ansatz = {.num_features = 5, .layers = 2, .distance = 2, .gamma = 0.8};
+  const RealMatrix k = gram_matrix(cfg, x);
+  EXPECT_GT(min_eigenvalue(k), -1e-9);
+}
+
+TEST(Spectrum, EigenvalueSumEqualsTrace) {
+  const RealMatrix x = random_scaled_data(7, 4, 4);
+  const RealMatrix k = gaussian_gram(x, 1.0);
+  const auto w = kernel_spectrum(k);
+  double sum = 0.0;
+  for (double v : w) sum += v;
+  EXPECT_NEAR(sum, 7.0, 1e-9);  // unit diagonal => trace = n
+}
+
+TEST(EffectiveDimension, IdentityKernelUsesAllDirections) {
+  RealMatrix k(6, 6);
+  for (idx i = 0; i < 6; ++i) k(i, i) = 1.0;
+  EXPECT_NEAR(effective_dimension(k), 6.0, 1e-10);
+}
+
+TEST(EffectiveDimension, RankOneKernelCollapses) {
+  RealMatrix k(5, 5);
+  for (idx i = 0; i < 5; ++i)
+    for (idx j = 0; j < 5; ++j) k(i, j) = 1.0;
+  EXPECT_NEAR(effective_dimension(k), 1.0, 1e-9);
+}
+
+TEST(EffectiveDimension, BetweenOneAndN) {
+  const RealMatrix x = random_scaled_data(9, 4, 5);
+  const RealMatrix k = gaussian_gram(x, 0.5);
+  const double d = effective_dimension(k);
+  EXPECT_GE(d, 1.0);
+  EXPECT_LE(d, 9.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace qkmps::kernel

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/elliptic_synthetic.hpp"
+#include "data/preprocess.hpp"
+#include "data/splits.hpp"
+#include "kernel/gaussian.hpp"
+#include "svm/model_selection.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::data {
+namespace {
+
+EllipticSyntheticParams small_params(idx n = 2000, idx m = 40) {
+  EllipticSyntheticParams p;
+  p.num_points = n;
+  p.num_features = m;
+  return p;
+}
+
+TEST(EllipticSynthetic, ShapeMatchesParams) {
+  const Dataset d = generate_elliptic_synthetic(small_params(500, 20));
+  EXPECT_EQ(d.size(), 500);
+  EXPECT_EQ(d.num_features(), 20);
+}
+
+TEST(EllipticSynthetic, ClassImbalanceMatchesElliptic) {
+  const Dataset d = generate_elliptic_synthetic(small_params(5000, 10));
+  const double frac = static_cast<double>(d.positives()) / 5000.0;
+  // Paper pool: 4545/46564 ~ 9.76% illicit.
+  EXPECT_NEAR(frac, 4545.0 / 46564.0, 0.02);
+}
+
+TEST(EllipticSynthetic, DeterministicForFixedSeed) {
+  const Dataset a = generate_elliptic_synthetic(small_params(200, 8));
+  const Dataset b = generate_elliptic_synthetic(small_params(200, 8));
+  EXPECT_EQ(a.y, b.y);
+  EXPECT_DOUBLE_EQ(a.x(7, 3), b.x(7, 3));
+}
+
+TEST(EllipticSynthetic, SeedChangesData) {
+  EllipticSyntheticParams p = small_params(200, 8);
+  const Dataset a = generate_elliptic_synthetic(p);
+  p.seed += 1;
+  const Dataset b = generate_elliptic_synthetic(p);
+  EXPECT_NE(a.x(0, 0), b.x(0, 0));
+}
+
+TEST(EllipticSynthetic, EarlyFeaturesCarryMoreSignal) {
+  // Property behind the Figs. 9-10 trend: |corr(feature_j, label)| decays
+  // in j on average. Compare mean |corr| of the first vs last quartile.
+  const Dataset d = generate_elliptic_synthetic(small_params(4000, 40));
+  const idx n = d.size(), m = d.num_features();
+  std::vector<double> corr(static_cast<std::size_t>(m), 0.0);
+  for (idx j = 0; j < m; ++j) {
+    double mx = 0.0, my = 0.0;
+    for (idx i = 0; i < n; ++i) {
+      mx += d.x(i, j);
+      my += d.y[static_cast<std::size_t>(i)];
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (idx i = 0; i < n; ++i) {
+      const double dx = d.x(i, j) - mx;
+      const double dy = static_cast<double>(d.y[static_cast<std::size_t>(i)]) - my;
+      sxy += dx * dy;
+      sxx += dx * dx;
+      syy += dy * dy;
+    }
+    corr[static_cast<std::size_t>(j)] = std::abs(sxy / std::sqrt(sxx * syy));
+  }
+  double head = 0.0, tail = 0.0;
+  for (idx j = 0; j < 10; ++j) head += corr[static_cast<std::size_t>(j)];
+  for (idx j = 30; j < 40; ++j) tail += corr[static_cast<std::size_t>(j)];
+  EXPECT_GT(head, tail);
+}
+
+TEST(EllipticSynthetic, SignalIsLearnable) {
+  // End-to-end sanity: a Gaussian-kernel SVM on a balanced subsample must
+  // beat chance clearly (the generator must not be pure noise).
+  const Dataset pool = generate_elliptic_synthetic(small_params(4000, 30));
+  Rng rng(99);
+  const Dataset sample = balanced_subsample(pool, 100, rng);
+  const TrainTestSplit split = train_test_split(sample, 0.2, rng);
+
+  const FeatureScaler scaler = FeatureScaler::fit(split.train.x);
+  const auto xtr = scaler.transform(split.train.x);
+  const auto xte = scaler.transform(split.test.x);
+  const double alpha = kernel::gaussian_alpha(xtr);
+  const auto pts = svm::sweep_regularization(
+      kernel::gaussian_gram(xtr, alpha), split.train.y,
+      kernel::gaussian_cross(xte, xtr, alpha), split.test.y,
+      svm::default_c_grid());
+  EXPECT_GT(svm::best_by_test_auc(pts).test.auc, 0.7);
+}
+
+TEST(EllipticSynthetic, RejectsDegenerateParams) {
+  EllipticSyntheticParams p;
+  p.num_points = 1;
+  EXPECT_THROW(generate_elliptic_synthetic(p), Error);
+  p = EllipticSyntheticParams{};
+  p.positive_fraction = 0.0;
+  EXPECT_THROW(generate_elliptic_synthetic(p), Error);
+}
+
+}  // namespace
+}  // namespace qkmps::data

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernel/gaussian.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::kernel {
+namespace {
+
+TEST(Gaussian, DiagonalIsOne) {
+  RealMatrix x(4, 3);
+  Rng rng(1);
+  for (idx i = 0; i < 4; ++i)
+    for (idx j = 0; j < 3; ++j) x(i, j) = rng.normal();
+  const RealMatrix k = gaussian_gram(x, 0.5);
+  for (idx i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(k(i, i), 1.0);
+}
+
+TEST(Gaussian, KnownTwoPointValue) {
+  RealMatrix x(2, 2);
+  x(0, 0) = 0.0;
+  x(0, 1) = 0.0;
+  x(1, 0) = 1.0;
+  x(1, 1) = 1.0;
+  const RealMatrix k = gaussian_gram(x, 0.25);
+  EXPECT_NEAR(k(0, 1), std::exp(-0.25 * 2.0), 1e-15);
+}
+
+TEST(Gaussian, SymmetricAndBounded) {
+  Rng rng(2);
+  RealMatrix x(8, 5);
+  for (idx i = 0; i < 8; ++i)
+    for (idx j = 0; j < 5; ++j) x(i, j) = rng.normal();
+  const RealMatrix k = gaussian_gram(x, 1.3);
+  EXPECT_EQ(symmetry_defect(k), 0.0);
+  for (idx i = 0; i < 8; ++i)
+    for (idx j = 0; j < 8; ++j) {
+      EXPECT_GT(k(i, j), 0.0);
+      EXPECT_LE(k(i, j), 1.0);
+    }
+}
+
+TEST(Gaussian, AlphaMatchesSklearnScaleConvention) {
+  // For data with overall variance v and m features, alpha = 1/(m v).
+  RealMatrix x(2, 2);
+  x(0, 0) = 0.0;
+  x(0, 1) = 0.0;
+  x(1, 0) = 2.0;
+  x(1, 1) = 2.0;
+  // Flattened values {0,0,2,2}: mean 1, var 1 -> alpha = 1/(2*1) = 0.5.
+  EXPECT_NEAR(gaussian_alpha(x), 0.5, 1e-14);
+}
+
+TEST(Gaussian, AlphaRejectsConstantData) {
+  RealMatrix x(3, 2);
+  for (idx i = 0; i < 3; ++i)
+    for (idx j = 0; j < 2; ++j) x(i, j) = 7.0;
+  EXPECT_THROW(gaussian_alpha(x), Error);
+}
+
+TEST(Gaussian, CrossKernelMatchesGramBlocks) {
+  Rng rng(3);
+  RealMatrix x(6, 4);
+  for (idx i = 0; i < 6; ++i)
+    for (idx j = 0; j < 4; ++j) x(i, j) = rng.normal();
+  const double alpha = 0.8;
+  const RealMatrix full = gaussian_gram(x, alpha);
+
+  RealMatrix a(2, 4), b(4, 4);
+  for (idx j = 0; j < 4; ++j) {
+    a(0, j) = x(0, j);
+    a(1, j) = x(1, j);
+    for (idx i = 0; i < 4; ++i) b(i, j) = x(2 + i, j);
+  }
+  const RealMatrix cross = gaussian_cross(a, b, alpha);
+  for (idx i = 0; i < 2; ++i)
+    for (idx j = 0; j < 4; ++j)
+      EXPECT_NEAR(cross(i, j), full(i, 2 + j), 1e-14);
+}
+
+TEST(Gaussian, LargerDistanceSmallerKernel) {
+  RealMatrix x(3, 1);
+  x(0, 0) = 0.0;
+  x(1, 0) = 1.0;
+  x(2, 0) = 3.0;
+  const RealMatrix k = gaussian_gram(x, 1.0);
+  EXPECT_GT(k(0, 1), k(0, 2));
+}
+
+}  // namespace
+}  // namespace qkmps::kernel

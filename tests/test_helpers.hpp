@@ -1,0 +1,36 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "linalg/gemm.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/svd.hpp"
+#include "util/rng.hpp"
+
+namespace qkmps::testing {
+
+/// Random complex matrix with iid standard-normal entries.
+inline linalg::Matrix random_matrix(idx rows, idx cols, Rng& rng) {
+  linalg::Matrix m(rows, cols);
+  for (idx i = 0; i < rows; ++i)
+    for (idx j = 0; j < cols; ++j) m(i, j) = rng.normal_cplx();
+  return m;
+}
+
+/// U * diag(s) * Vh reassembly.
+inline linalg::Matrix reconstruct(const linalg::SvdResult& f) {
+  linalg::Matrix us = f.u;
+  for (idx i = 0; i < us.rows(); ++i)
+    for (idx j = 0; j < us.cols(); ++j)
+      us(i, j) *= f.s[static_cast<std::size_t>(j)];
+  return linalg::gemm_reference(us, f.vh);
+}
+
+/// Random feature vector in the open interval (0, 2) — the ansatz domain.
+inline std::vector<double> random_features(idx m, Rng& rng) {
+  std::vector<double> x(static_cast<std::size_t>(m));
+  for (auto& v : x) v = rng.uniform(0.05, 1.95);
+  return x;
+}
+
+}  // namespace qkmps::testing

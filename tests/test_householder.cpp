@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/householder.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::linalg {
+namespace {
+
+/// Applies H = I - tau v v^H to a vector directly.
+std::vector<cplx> apply_h(const Reflector& h, const std::vector<cplx>& x) {
+  cplx w = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) w += std::conj(h.v[i]) * x[i];
+  std::vector<cplx> out = x;
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] -= h.tau * w * h.v[i];
+  return out;
+}
+
+TEST(Householder, AnnihilatesTail) {
+  Rng rng(1);
+  std::vector<cplx> x(6);
+  for (auto& v : x) v = rng.normal_cplx();
+  const Reflector h = make_reflector(x.data(), 6);
+  const auto hx = apply_h(h, x);
+  EXPECT_NEAR(hx[0].imag(), 0.0, 1e-14);
+  EXPECT_NEAR(hx[0].real(), h.beta, 1e-13);
+  for (std::size_t i = 1; i < 6; ++i) EXPECT_NEAR(std::abs(hx[i]), 0.0, 1e-13);
+}
+
+TEST(Householder, BetaIsReal) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<cplx> x(4);
+    for (auto& v : x) v = rng.normal_cplx();
+    const Reflector h = make_reflector(x.data(), 4);
+    // The defining property of the real-beta convention.
+    const auto hx = apply_h(h, x);
+    EXPECT_NEAR(hx[0].imag(), 0.0, 1e-13);
+  }
+}
+
+TEST(Householder, PreservesNorm) {
+  Rng rng(3);
+  std::vector<cplx> x(5);
+  for (auto& v : x) v = rng.normal_cplx();
+  double norm_in = 0.0;
+  for (const auto& v : x) norm_in += std::norm(v);
+  const Reflector h = make_reflector(x.data(), 5);
+  EXPECT_NEAR(std::abs(h.beta), std::sqrt(norm_in), 1e-12);
+}
+
+TEST(Householder, LengthOneComplexPhase) {
+  // A single complex entry must still be rotated to a real beta.
+  cplx x = cplx(1.0, 1.0);
+  const Reflector h = make_reflector(&x, 1);
+  const auto hx = apply_h(h, {x});
+  EXPECT_NEAR(hx[0].imag(), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(hx[0].real()), std::sqrt(2.0), 1e-14);
+}
+
+TEST(Householder, AlreadyRealIsIdentity) {
+  cplx x[3] = {2.0, 0.0, 0.0};
+  const Reflector h = make_reflector(x, 3);
+  EXPECT_EQ(h.tau, cplx(0.0));
+  EXPECT_DOUBLE_EQ(h.beta, 2.0);
+}
+
+TEST(Householder, ReflectorIsUnitary) {
+  Rng rng(4);
+  std::vector<cplx> x(4);
+  for (auto& v : x) v = rng.normal_cplx();
+  const Reflector h = make_reflector(x.data(), 4);
+
+  // Build H densely and check H^H H = I.
+  Matrix hm = Matrix::identity(4);
+  for (idx i = 0; i < 4; ++i)
+    for (idx j = 0; j < 4; ++j)
+      hm(i, j) -= h.tau * h.v[static_cast<std::size_t>(i)] *
+                  std::conj(h.v[static_cast<std::size_t>(j)]);
+  double defect = 0.0;
+  for (idx i = 0; i < 4; ++i)
+    for (idx j = 0; j < 4; ++j) {
+      cplx dot = 0.0;
+      for (idx k = 0; k < 4; ++k) dot += std::conj(hm(k, i)) * hm(k, j);
+      defect = std::max(defect, std::abs(dot - (i == j ? cplx(1.0) : cplx(0.0))));
+    }
+  EXPECT_LT(defect, 1e-13);
+}
+
+TEST(Householder, ApplyLeftMatchesDenseProduct) {
+  Rng rng(5);
+  Matrix a = testing::random_matrix(5, 3, rng);
+  std::vector<cplx> col(5);
+  for (idx i = 0; i < 5; ++i) col[static_cast<std::size_t>(i)] = a(i, 0);
+  const Reflector h = make_reflector(col.data(), 5);
+
+  Matrix hm = Matrix::identity(5);
+  for (idx i = 0; i < 5; ++i)
+    for (idx j = 0; j < 5; ++j)
+      hm(i, j) -= h.tau * h.v[static_cast<std::size_t>(i)] *
+                  std::conj(h.v[static_cast<std::size_t>(j)]);
+  const Matrix expect = gemm_reference(hm, a);
+
+  Matrix b = a;
+  apply_reflector_left(b, h, 0, 0, 3);
+  EXPECT_LT(max_abs_diff(b, expect), 1e-13);
+}
+
+}  // namespace
+}  // namespace qkmps::linalg

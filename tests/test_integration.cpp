@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/statevector.hpp"
+#include "data/elliptic_synthetic.hpp"
+#include "data/preprocess.hpp"
+#include "data/splits.hpp"
+#include "kernel/distributed_gram.hpp"
+#include "kernel/gaussian.hpp"
+#include "kernel/gram.hpp"
+#include "svm/model_selection.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps {
+namespace {
+
+/// Full pipeline at toy scale: synthetic pool -> balanced subsample ->
+/// scaling -> quantum kernel -> SVM -> metrics. This is the end-to-end path
+/// every bench target exercises at paper scale.
+struct Pipeline {
+  kernel::RealMatrix k_train;
+  kernel::RealMatrix k_test;
+  std::vector<int> y_train;
+  std::vector<int> y_test;
+  kernel::GramStats stats;
+};
+
+Pipeline run_pipeline(idx per_class, idx features, idx d, double gamma,
+                      std::uint64_t seed) {
+  data::EllipticSyntheticParams gen;
+  gen.num_points = 3000;
+  gen.num_features = features;
+  const data::Dataset pool = data::generate_elliptic_synthetic(gen);
+  Rng rng(seed);
+  const data::Dataset sample = data::balanced_subsample(pool, per_class, rng);
+  const data::TrainTestSplit split = data::train_test_split(sample, 0.2, rng);
+
+  const data::FeatureScaler scaler = data::FeatureScaler::fit(split.train.x);
+  const auto xtr = scaler.transform(split.train.x);
+  const auto xte = scaler.transform(split.test.x);
+
+  kernel::QuantumKernelConfig cfg;
+  cfg.ansatz = {.num_features = features, .layers = 2, .distance = d, .gamma = gamma};
+
+  Pipeline p;
+  const auto train_states = kernel::simulate_states(cfg, xtr, &p.stats);
+  const auto test_states = kernel::simulate_states(cfg, xte, &p.stats);
+  p.k_train = kernel::gram_from_states(train_states, cfg.sim.policy, &p.stats);
+  p.k_test = kernel::cross_from_states(test_states, train_states, cfg.sim.policy,
+                                       &p.stats);
+  p.y_train = split.train.y;
+  p.y_test = split.test.y;
+  return p;
+}
+
+TEST(Integration, QuantumKernelPipelineBeatsChance) {
+  const Pipeline p = run_pipeline(40, 10, 1, 0.35, 1);
+  const auto pts = svm::sweep_regularization(p.k_train, p.y_train, p.k_test,
+                                             p.y_test, svm::default_c_grid());
+  const double auc = svm::best_by_test_auc(pts).test.auc;
+  EXPECT_GT(auc, 0.6) << "quantum kernel must carry signal";
+}
+
+TEST(Integration, MoreFeaturesHelp) {
+  // The C2.1 trend at toy scale: averaged over seeds, 12 features beat 3.
+  double auc_small = 0.0, auc_large = 0.0;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    const Pipeline a = run_pipeline(30, 3, 1, 0.35, 10 + s);
+    const Pipeline b = run_pipeline(30, 12, 1, 0.35, 10 + s);
+    auc_small += svm::best_by_test_auc(
+                     svm::sweep_regularization(a.k_train, a.y_train, a.k_test,
+                                               a.y_test, svm::default_c_grid()))
+                     .test.auc;
+    auc_large += svm::best_by_test_auc(
+                     svm::sweep_regularization(b.k_train, b.y_train, b.k_test,
+                                               b.y_test, svm::default_c_grid()))
+                     .test.auc;
+  }
+  EXPECT_GT(auc_large, auc_small);
+}
+
+TEST(Integration, QuantumKernelMatchesStatevectorGroundTruth) {
+  // The whole MPS stack vs dense simulation on the real pipeline data.
+  const idx features = 8;
+  data::EllipticSyntheticParams gen;
+  gen.num_points = 500;
+  gen.num_features = features;
+  const data::Dataset pool = data::generate_elliptic_synthetic(gen);
+  Rng rng(3);
+  const data::Dataset sample = data::balanced_subsample(pool, 4, rng);
+  const data::FeatureScaler scaler = data::FeatureScaler::fit(sample.x);
+  const auto x = scaler.transform(sample.x);
+
+  kernel::QuantumKernelConfig cfg;
+  cfg.ansatz = {.num_features = features, .layers = 2, .distance = 3, .gamma = 0.9};
+  const kernel::RealMatrix k = kernel::gram_matrix(cfg, x);
+
+  for (idx i = 0; i < x.rows(); ++i) {
+    std::vector<double> xi(x.row(i), x.row(i) + features);
+    const auto svi = circuit::simulate_statevector(
+        circuit::feature_map_circuit(cfg.ansatz, xi));
+    for (idx j = i + 1; j < x.rows(); ++j) {
+      std::vector<double> xj(x.row(j), x.row(j) + features);
+      const auto svj = circuit::simulate_statevector(
+          circuit::feature_map_circuit(cfg.ansatz, xj));
+      EXPECT_NEAR(k(i, j), std::norm(svi.inner_product(svj)), 1e-7);
+    }
+  }
+}
+
+TEST(Integration, DistributedAndSequentialKernelsAgreeOnPipelineData) {
+  data::EllipticSyntheticParams gen;
+  gen.num_points = 400;
+  gen.num_features = 6;
+  const data::Dataset pool = data::generate_elliptic_synthetic(gen);
+  Rng rng(4);
+  const data::Dataset sample = data::balanced_subsample(pool, 8, rng);
+  const data::FeatureScaler scaler = data::FeatureScaler::fit(sample.x);
+  const auto x = scaler.transform(sample.x);
+
+  kernel::QuantumKernelConfig cfg;
+  cfg.ansatz = {.num_features = 6, .layers = 2, .distance = 2, .gamma = 0.5};
+  const kernel::RealMatrix seq = kernel::gram_matrix(cfg, x);
+  for (int ranks : {2, 3}) {
+    const kernel::RealMatrix rr = kernel::distributed_gram_matrix(
+        cfg, x, ranks, kernel::DistributionStrategy::RoundRobin);
+    EXPECT_LT(kernel::max_abs_diff(seq, rr), 1e-12);
+  }
+}
+
+TEST(Integration, DepthConcentrationShrinksOffDiagonalKernel) {
+  // Table III's mechanism: deeper ansatz -> overlaps concentrate toward 0,
+  // destroying the kernel's information content.
+  data::EllipticSyntheticParams gen;
+  gen.num_points = 300;
+  gen.num_features = 8;
+  const data::Dataset pool = data::generate_elliptic_synthetic(gen);
+  Rng rng(5);
+  const data::Dataset sample = data::balanced_subsample(pool, 6, rng);
+  const data::FeatureScaler scaler = data::FeatureScaler::fit(sample.x);
+  const auto x = scaler.transform(sample.x);
+
+  auto mean_off_diag = [&](idx layers) {
+    kernel::QuantumKernelConfig cfg;
+    cfg.ansatz = {.num_features = 8, .layers = layers, .distance = 1, .gamma = 1.0};
+    const kernel::RealMatrix k = kernel::gram_matrix(cfg, x);
+    double sum = 0.0;
+    idx count = 0;
+    for (idx i = 0; i < k.rows(); ++i)
+      for (idx j = i + 1; j < k.cols(); ++j) {
+        sum += k(i, j);
+        ++count;
+      }
+    return sum / static_cast<double>(count);
+  };
+  const double shallow = mean_off_diag(2);
+  const double deep = mean_off_diag(12);
+  EXPECT_LT(deep, shallow);
+}
+
+TEST(Integration, GramStatsAccountForWholePipeline) {
+  const Pipeline p = run_pipeline(10, 6, 1, 0.5, 6);
+  const idx n_train = static_cast<idx>(p.y_train.size());
+  const idx n_test = static_cast<idx>(p.y_test.size());
+  EXPECT_EQ(p.stats.circuits_simulated, n_train + n_test);
+  EXPECT_EQ(p.stats.inner_products,
+            n_train * (n_train - 1) / 2 + n_test * n_train);
+}
+
+}  // namespace
+}  // namespace qkmps

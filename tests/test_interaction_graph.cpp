@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "circuit/interaction_graph.hpp"
+
+#include "util/error.hpp"
+
+namespace qkmps::circuit {
+namespace {
+
+TEST(InteractionGraph, ChainDistanceOneEdgeCount) {
+  const auto g = InteractionGraph::linear_chain(10, 1);
+  EXPECT_EQ(g.edges().size(), 9u);
+  EXPECT_EQ(g.max_distance(), 1);
+}
+
+TEST(InteractionGraph, ChainDistanceDEdgeCount) {
+  // sum_{k=1..d} (m - k) edges.
+  const idx m = 12, d = 4;
+  const auto g = InteractionGraph::linear_chain(m, d);
+  idx expect = 0;
+  for (idx k = 1; k <= d; ++k) expect += m - k;
+  EXPECT_EQ(static_cast<idx>(g.edges().size()), expect);
+  EXPECT_EQ(g.max_distance(), d);
+}
+
+TEST(InteractionGraph, DistanceZeroHasNoEdges) {
+  const auto g = InteractionGraph::linear_chain(5, 0);
+  EXPECT_TRUE(g.edges().empty());
+  EXPECT_EQ(g.max_distance(), 0);
+}
+
+TEST(InteractionGraph, DistanceSaturatesAtChainLength) {
+  // d >= m-1 gives the complete graph on the chain.
+  const auto g = InteractionGraph::linear_chain(5, 10);
+  EXPECT_EQ(g.edges().size(), 10u);  // C(5,2)
+}
+
+TEST(InteractionGraph, EdgesAreNormalizedLowHigh) {
+  const InteractionGraph g(4, {{3, 1}, {2, 0}});
+  for (const auto& [a, b] : g.edges()) EXPECT_LT(a, b);
+}
+
+TEST(InteractionGraph, EdgesOrderedByDistanceBlocks) {
+  // Chain emission order: all distance-1 edges, then distance-2, etc.
+  const auto g = InteractionGraph::linear_chain(6, 3);
+  idx prev_dist = 1;
+  for (const auto& [a, b] : g.edges()) {
+    const idx dist = b - a;
+    EXPECT_GE(dist, prev_dist);
+    prev_dist = dist;
+  }
+}
+
+TEST(InteractionGraph, RejectsSelfLoops) {
+  EXPECT_THROW(InteractionGraph(3, {{1, 1}}), Error);
+}
+
+TEST(InteractionGraph, RejectsOutOfRange) {
+  EXPECT_THROW(InteractionGraph(3, {{0, 3}}), Error);
+}
+
+}  // namespace
+}  // namespace qkmps::circuit

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/json_writer.hpp"
+
+namespace qkmps {
+namespace {
+
+TEST(JsonWriter, EmptyObject) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\n}");
+}
+
+TEST(JsonWriter, ScalarFields) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("name", "fig5");
+  w.field("qubits", 100);
+  w.field("gamma", 1.0);
+  w.field("gpu", true);
+  w.end_object();
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"name\": \"fig5\""), std::string::npos);
+  EXPECT_NE(s.find("\"qubits\": 100"), std::string::npos);
+  EXPECT_NE(s.find("\"gpu\": true"), std::string::npos);
+}
+
+TEST(JsonWriter, EscapesSpecialCharacters) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("s", "a\"b\\c\nd");
+  w.end_object();
+  EXPECT_NE(os.str().find("a\\\"b\\\\c\\nd"), std::string::npos);
+}
+
+TEST(JsonWriter, NumericArray) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("xs", std::vector<double>{1.0, 2.5});
+  w.end_object();
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"xs\": ["), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+}
+
+TEST(JsonWriter, NestedObjectsAndArrays) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.begin_array("runs");
+  w.begin_array_object();
+  w.field("d", 6);
+  w.end_object();
+  w.begin_array_object();
+  w.field("d", 12);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"runs\": ["), std::string::npos);
+  EXPECT_NE(s.find("\"d\": 12"), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("bad", std::numeric_limits<double>::infinity());
+  w.end_object();
+  EXPECT_NE(os.str().find("\"bad\": null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qkmps

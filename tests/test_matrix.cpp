@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hpp"
+#include "linalg/norms.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::linalg {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(3, 4);
+  for (idx i = 0; i < 3; ++i)
+    for (idx j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), cplx(0.0));
+}
+
+TEST(Matrix, IdentityHasUnitDiagonal) {
+  const Matrix m = Matrix::identity(4);
+  for (idx i = 0; i < 4; ++i)
+    for (idx j = 0; j < 4; ++j)
+      EXPECT_EQ(m(i, j), (i == j) ? cplx(1.0) : cplx(0.0));
+}
+
+TEST(Matrix, AdjointConjugatesAndTransposes) {
+  Matrix m(2, 3);
+  m(0, 1) = cplx(1.0, 2.0);
+  const Matrix a = m.adjoint();
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 2);
+  EXPECT_EQ(a(1, 0), cplx(1.0, -2.0));
+}
+
+TEST(Matrix, AdjointIsInvolution) {
+  Rng rng(5);
+  const Matrix m = testing::random_matrix(4, 7, rng);
+  EXPECT_EQ(max_abs_diff(m.adjoint().adjoint(), m), 0.0);
+}
+
+TEST(Matrix, TransposeDoesNotConjugate) {
+  Matrix m(1, 1);
+  m(0, 0) = cplx(1.0, 2.0);
+  EXPECT_EQ(m.transpose()(0, 0), cplx(1.0, 2.0));
+  EXPECT_EQ(m.conj()(0, 0), cplx(1.0, -2.0));
+}
+
+TEST(Matrix, ArithmeticOperators) {
+  Rng rng(6);
+  const Matrix a = testing::random_matrix(3, 3, rng);
+  const Matrix b = testing::random_matrix(3, 3, rng);
+  const Matrix sum = a + b;
+  const Matrix back = sum - b;
+  EXPECT_LT(max_abs_diff(back, a), 1e-14);
+}
+
+TEST(Matrix, ScalarMultiplication) {
+  Matrix m(1, 2);
+  m(0, 0) = 2.0;
+  m(0, 1) = cplx(0.0, 1.0);
+  const Matrix r = m * cplx(0.0, 2.0);
+  EXPECT_EQ(r(0, 0), cplx(0.0, 4.0));
+  EXPECT_EQ(r(0, 1), cplx(-2.0, 0.0));
+}
+
+TEST(Matrix, MismatchedAdditionThrows) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, Error);
+}
+
+TEST(Norms, FrobeniusOfIdentity) {
+  EXPECT_DOUBLE_EQ(frobenius_norm(Matrix::identity(9)), 3.0);
+}
+
+TEST(Norms, MaxAbsFindsLargestMagnitude) {
+  Matrix m(2, 2);
+  m(1, 0) = cplx(3.0, 4.0);
+  EXPECT_DOUBLE_EQ(max_abs(m), 5.0);
+}
+
+TEST(Norms, OrthonormalityDefectOfIdentityIsZero) {
+  EXPECT_DOUBLE_EQ(orthonormality_defect(Matrix::identity(5)), 0.0);
+}
+
+TEST(Norms, OrthonormalityDefectDetectsScaling) {
+  Matrix m = Matrix::identity(3);
+  m(0, 0) = 2.0;
+  EXPECT_NEAR(orthonormality_defect(m), 3.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace qkmps::linalg

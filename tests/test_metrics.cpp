@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "svm/metrics.hpp"
+#include "util/error.hpp"
+
+namespace qkmps::svm {
+namespace {
+
+TEST(Metrics, AccuracyOfPerfectPrediction) {
+  EXPECT_DOUBLE_EQ(accuracy({1, -1, 1}, {1, -1, 1}), 1.0);
+}
+
+TEST(Metrics, AccuracyCountsMistakes) {
+  EXPECT_DOUBLE_EQ(accuracy({1, -1, 1, -1}, {1, 1, 1, 1}), 0.5);
+}
+
+TEST(Metrics, PrecisionKnownConfusion) {
+  // pred + on {1, -1, 1}: TP=2, FP=1 -> precision 2/3.
+  EXPECT_DOUBLE_EQ(precision({1, -1, 1, -1}, {1, 1, 1, -1}), 2.0 / 3.0);
+}
+
+TEST(Metrics, PrecisionZeroWhenNoPositivePredictions) {
+  EXPECT_DOUBLE_EQ(precision({1, 1}, {-1, -1}), 0.0);
+}
+
+TEST(Metrics, RecallKnownConfusion) {
+  // truth has 3 positives, 2 caught -> recall 2/3.
+  EXPECT_DOUBLE_EQ(recall({1, 1, 1, -1}, {1, 1, -1, -1}), 2.0 / 3.0);
+}
+
+TEST(Metrics, RecallOneWhenAllPositivesFound) {
+  EXPECT_DOUBLE_EQ(recall({1, -1}, {1, 1}), 1.0);
+}
+
+TEST(Metrics, AucPerfectRanking) {
+  EXPECT_DOUBLE_EQ(roc_auc({-1, -1, 1, 1}, {0.1, 0.2, 0.8, 0.9}), 1.0);
+}
+
+TEST(Metrics, AucInvertedRankingIsZero) {
+  EXPECT_DOUBLE_EQ(roc_auc({1, 1, -1, -1}, {0.1, 0.2, 0.8, 0.9}), 0.0);
+}
+
+TEST(Metrics, AucRandomScoresIsHalfInExpectation) {
+  // All scores equal: AUC must be exactly 0.5 via midranks.
+  EXPECT_DOUBLE_EQ(roc_auc({1, -1, 1, -1}, {0.5, 0.5, 0.5, 0.5}), 0.5);
+}
+
+TEST(Metrics, AucKnownMixedCase) {
+  // scores: pos {0.9, 0.4}, neg {0.6, 0.1}. Pairs won: (0.9>0.6), (0.9>0.1),
+  // (0.4<0.6) loses, (0.4>0.1) wins -> 3/4.
+  EXPECT_DOUBLE_EQ(roc_auc({1, 1, -1, -1}, {0.9, 0.4, 0.6, 0.1}), 0.75);
+}
+
+TEST(Metrics, AucHandlesTiesAsHalfWins) {
+  // One tie between a positive and a negative counts 1/2.
+  EXPECT_DOUBLE_EQ(roc_auc({1, -1}, {0.5, 0.5}), 0.5);
+}
+
+TEST(Metrics, AucInvariantToMonotoneTransform) {
+  const std::vector<int> y{1, -1, 1, -1, 1};
+  const std::vector<double> s{2.0, -1.0, 0.5, 0.2, 3.0};
+  std::vector<double> s2;
+  for (double v : s) s2.push_back(v * 10.0 + 3.0);
+  EXPECT_DOUBLE_EQ(roc_auc(y, s), roc_auc(y, s2));
+}
+
+TEST(Metrics, AucRequiresBothClasses) {
+  EXPECT_THROW(roc_auc({1, 1}, {0.1, 0.2}), Error);
+}
+
+TEST(Metrics, RocCurveEndpoints) {
+  const auto pts = roc_curve({1, -1, 1, -1}, {0.9, 0.4, 0.6, 0.1});
+  EXPECT_EQ(pts.front(), (std::pair<double, double>{0.0, 0.0}));
+  EXPECT_EQ(pts.back(), (std::pair<double, double>{1.0, 1.0}));
+}
+
+TEST(Metrics, RocCurveMonotone) {
+  const auto pts = roc_curve({1, -1, 1, -1, 1, -1}, {0.9, 0.8, 0.7, 0.6, 0.5, 0.4});
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].first, pts[i - 1].first);
+    EXPECT_GE(pts[i].second, pts[i - 1].second);
+  }
+}
+
+TEST(Metrics, EvaluateBundlesAllFour) {
+  const std::vector<int> y{1, 1, -1, -1};
+  const std::vector<double> scores{0.7, -0.2, -0.5, 0.1};
+  const Metrics m = evaluate(y, scores);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  EXPECT_DOUBLE_EQ(m.auc, 0.75);
+}
+
+TEST(Metrics, MismatchedSizesThrow) {
+  EXPECT_THROW(accuracy({1}, {1, -1}), Error);
+  EXPECT_THROW(roc_auc({1, -1}, {0.5}), Error);
+}
+
+}  // namespace
+}  // namespace qkmps::svm

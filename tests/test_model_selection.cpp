@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "kernel/gaussian.hpp"
+#include "svm/model_selection.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::svm {
+namespace {
+
+struct ToyProblem {
+  kernel::RealMatrix k_train;
+  kernel::RealMatrix k_test;
+  std::vector<int> y_train;
+  std::vector<int> y_test;
+};
+
+ToyProblem make_toy(std::uint64_t seed) {
+  Rng rng(seed);
+  const idx n_train = 40, n_test = 16, m = 3;
+  kernel::RealMatrix xtr(n_train, m), xte(n_test, m);
+  std::vector<int> ytr(static_cast<std::size_t>(n_train)),
+      yte(static_cast<std::size_t>(n_test));
+  auto fill = [&](kernel::RealMatrix& x, std::vector<int>& y) {
+    for (idx i = 0; i < x.rows(); ++i) {
+      y[static_cast<std::size_t>(i)] = (i % 2 == 0) ? 1 : -1;
+      for (idx j = 0; j < m; ++j)
+        x(i, j) = rng.normal() + (y[static_cast<std::size_t>(i)] == 1 ? 0.9 : -0.9);
+    }
+  };
+  fill(xtr, ytr);
+  fill(xte, yte);
+  const double alpha = kernel::gaussian_alpha(xtr);
+  return {kernel::gaussian_gram(xtr, alpha), kernel::gaussian_cross(xte, xtr, alpha),
+          std::move(ytr), std::move(yte)};
+}
+
+TEST(ModelSelection, DefaultGridSpansPaperRange) {
+  const auto grid = default_c_grid();
+  EXPECT_DOUBLE_EQ(grid.front(), 0.01);
+  EXPECT_DOUBLE_EQ(grid.back(), 4.0);
+  for (std::size_t i = 1; i < grid.size(); ++i) EXPECT_GT(grid[i], grid[i - 1]);
+}
+
+TEST(ModelSelection, SweepReturnsOnePointPerC) {
+  const ToyProblem p = make_toy(1);
+  const auto pts = sweep_regularization(p.k_train, p.y_train, p.k_test, p.y_test,
+                                        default_c_grid());
+  EXPECT_EQ(pts.size(), default_c_grid().size());
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    EXPECT_DOUBLE_EQ(pts[i].c, default_c_grid()[i]);
+}
+
+TEST(ModelSelection, MetricsAreValidProbabilities) {
+  const ToyProblem p = make_toy(2);
+  const auto pts = sweep_regularization(p.k_train, p.y_train, p.k_test, p.y_test,
+                                        {0.1, 1.0});
+  for (const auto& pt : pts) {
+    for (double v : {pt.train.accuracy, pt.train.auc, pt.test.accuracy,
+                     pt.test.precision, pt.test.recall, pt.test.auc}) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(ModelSelection, BestByTestAucIsArgmax) {
+  const ToyProblem p = make_toy(3);
+  const auto pts = sweep_regularization(p.k_train, p.y_train, p.k_test, p.y_test,
+                                        default_c_grid());
+  const SweepPoint& best = best_by_test_auc(pts);
+  for (const auto& pt : pts) EXPECT_GE(best.test.auc, pt.test.auc);
+}
+
+TEST(ModelSelection, SeparableToyReachesHighAuc) {
+  const ToyProblem p = make_toy(4);
+  const auto pts = sweep_regularization(p.k_train, p.y_train, p.k_test, p.y_test,
+                                        default_c_grid());
+  EXPECT_GT(best_by_test_auc(pts).test.auc, 0.8);
+}
+
+TEST(ModelSelection, EmptyGridThrows) {
+  const ToyProblem p = make_toy(5);
+  EXPECT_THROW(
+      sweep_regularization(p.k_train, p.y_train, p.k_test, p.y_test, {}),
+      Error);
+}
+
+TEST(ModelSelection, BestOfEmptyThrows) {
+  EXPECT_THROW(best_by_test_auc({}), Error);
+}
+
+}  // namespace
+}  // namespace qkmps::svm

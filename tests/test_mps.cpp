@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mps/mps.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::mps {
+namespace {
+
+TEST(Mps, ZeroStateAmplitudes) {
+  const Mps psi(3);
+  const auto v = psi.to_statevector();
+  EXPECT_EQ(v[0], cplx(1.0));
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_EQ(v[i], cplx(0.0));
+}
+
+TEST(Mps, PlusStateIsUniform) {
+  const Mps psi = Mps::plus_state(4);
+  const auto v = psi.to_statevector();
+  const double amp = 1.0 / 4.0;  // (1/sqrt 2)^4
+  for (const auto& a : v) EXPECT_NEAR(std::abs(a - cplx(amp)), 0.0, 1e-15);
+}
+
+TEST(Mps, ProductStateFromAmplitudes) {
+  const double h = 1.0 / std::sqrt(2.0);
+  const Mps psi = Mps::product_state({{cplx(h), cplx(0.0, h)}, {cplx(1.0), cplx(0.0)}});
+  const auto v = psi.to_statevector();
+  EXPECT_NEAR(std::abs(v[0] - cplx(h)), 0.0, 1e-15);          // |00>
+  EXPECT_NEAR(std::abs(v[2] - cplx(0.0, h)), 0.0, 1e-15);     // |10>
+  EXPECT_NEAR(std::abs(v[1]), 0.0, 1e-15);
+}
+
+TEST(Mps, ProductStateBondsAreOne) {
+  const Mps psi = Mps::plus_state(6);
+  EXPECT_EQ(psi.max_bond(), 1);
+  for (idx b : psi.bonds()) EXPECT_EQ(b, 1);
+}
+
+TEST(Mps, NormOfPreparedStates) {
+  EXPECT_NEAR(Mps(5).norm(), 1.0, 1e-14);
+  EXPECT_NEAR(Mps::plus_state(5).norm(), 1.0, 1e-14);
+}
+
+TEST(Mps, MemoryBytesOfProductState) {
+  // m sites x (1 x 2 x 1) complex doubles.
+  const Mps psi = Mps::plus_state(10);
+  EXPECT_EQ(psi.memory_bytes(), 10u * 2u * sizeof(cplx));
+}
+
+TEST(Mps, NormalizeScalesCenterSite) {
+  Mps psi = Mps::plus_state(3);
+  // Double the center site: norm becomes 2.
+  for (auto& v : psi.site(psi.center()).a) v *= 2.0;
+  EXPECT_NEAR(psi.norm(), 2.0, 1e-13);
+  psi.normalize();
+  EXPECT_NEAR(psi.norm(), 1.0, 1e-13);
+}
+
+TEST(SiteTensor, MatricizationRoundTrip) {
+  Rng rng(1);
+  SiteTensor t(3, 4);
+  for (auto& v : t.a) v = rng.normal_cplx();
+  const SiteTensor back_l = SiteTensor::from_left_matrix(t.as_left_matrix(), 3);
+  const SiteTensor back_r = SiteTensor::from_right_matrix(t.as_right_matrix(), 4);
+  for (std::size_t i = 0; i < t.a.size(); ++i) {
+    EXPECT_EQ(back_l.a[i], t.a[i]);
+    EXPECT_EQ(back_r.a[i], t.a[i]);
+  }
+}
+
+TEST(SiteTensor, IndexingIsRowMajor) {
+  SiteTensor t(2, 3);
+  t.at(1, 0, 2) = cplx(7.0);
+  EXPECT_EQ(t.a[(1 * 2 + 0) * 3 + 2], cplx(7.0));
+}
+
+TEST(Mps, ToStatevectorGuardsLargeSystems) {
+  const Mps psi(23 > 22 ? 23 : 23);
+  EXPECT_THROW(psi.to_statevector(), Error);
+}
+
+}  // namespace
+}  // namespace qkmps::mps

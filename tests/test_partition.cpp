@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "parallel/partition.hpp"
+#include "util/error.hpp"
+
+namespace qkmps::parallel {
+namespace {
+
+TEST(SplitEvenly, CoversWholeRangeContiguously) {
+  const auto parts = split_evenly(17, 5);
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts.front().begin, 0);
+  EXPECT_EQ(parts.back().end, 17);
+  for (std::size_t i = 1; i < parts.size(); ++i)
+    EXPECT_EQ(parts[i].begin, parts[i - 1].end);
+}
+
+TEST(SplitEvenly, SizesDifferByAtMostOne) {
+  const auto parts = split_evenly(23, 7);
+  idx mn = 1000, mx = 0;
+  for (const auto& r : parts) {
+    mn = std::min(mn, r.size());
+    mx = std::max(mx, r.size());
+  }
+  EXPECT_LE(mx - mn, 1);
+}
+
+TEST(SplitEvenly, ExactDivision) {
+  const auto parts = split_evenly(12, 4);
+  for (const auto& r : parts) EXPECT_EQ(r.size(), 3);
+}
+
+TEST(SplitEvenly, MorePartsThanElements) {
+  const auto parts = split_evenly(2, 5);
+  idx total = 0;
+  for (const auto& r : parts) total += r.size();
+  EXPECT_EQ(total, 2);
+}
+
+TEST(SplitEvenly, ZeroElements) {
+  const auto parts = split_evenly(0, 3);
+  for (const auto& r : parts) EXPECT_EQ(r.size(), 0);
+}
+
+TEST(SplitEvenly, RejectsZeroParts) { EXPECT_THROW(split_evenly(5, 0), Error); }
+
+TEST(MakeTiles, GridCoversMatrix) {
+  const auto tiles = make_tiles(10, 8, 3, 2);
+  ASSERT_EQ(tiles.size(), 6u);
+  idx area = 0;
+  for (const auto& t : tiles) area += t.rows.size() * t.cols.size();
+  EXPECT_EQ(area, 80);
+}
+
+TEST(MakeTiles, TileCoordinatesAreGridPositions) {
+  const auto tiles = make_tiles(4, 4, 2, 2);
+  EXPECT_EQ(tiles[3].index_row, 1);
+  EXPECT_EQ(tiles[3].index_col, 1);
+}
+
+TEST(SquareTileGrid, ProducesRequestedTileCount) {
+  for (idx parts : {1, 2, 4, 6, 9, 12, 16}) {
+    const auto [r, c] = square_tile_grid(parts);
+    EXPECT_EQ(r * c, parts) << parts;
+  }
+}
+
+TEST(SquareTileGrid, PrefersNearSquare) {
+  const auto [r, c] = square_tile_grid(16);
+  EXPECT_EQ(r, 4);
+  EXPECT_EQ(c, 4);
+}
+
+}  // namespace
+}  // namespace qkmps::parallel

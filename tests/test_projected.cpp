@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernel/projected.hpp"
+#include "svm/model_selection.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::kernel {
+namespace {
+
+RealMatrix random_scaled_data(idx n, idx m, std::uint64_t seed) {
+  Rng rng(seed);
+  RealMatrix x(n, m);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < m; ++j) x(i, j) = rng.uniform(0.05, 1.95);
+  return x;
+}
+
+ProjectedKernelConfig config(idx m, double gamma_p = 1.0) {
+  ProjectedKernelConfig cfg;
+  cfg.ansatz = {.num_features = m, .layers = 2, .distance = 1, .gamma = 0.5};
+  cfg.gamma_p = gamma_p;
+  return cfg;
+}
+
+TEST(ProjectedKernel, FeatureMatrixShape) {
+  const RealMatrix x = random_scaled_data(5, 6, 1);
+  const RealMatrix f = projected_features(config(6), x);
+  EXPECT_EQ(f.rows(), 5);
+  EXPECT_EQ(f.cols(), 18);  // 3 Paulis per qubit
+}
+
+TEST(ProjectedKernel, FeaturesAreBoundedExpectations) {
+  const RealMatrix x = random_scaled_data(4, 5, 2);
+  const RealMatrix f = projected_features(config(5), x);
+  for (idx i = 0; i < f.rows(); ++i)
+    for (idx j = 0; j < f.cols(); ++j) {
+      EXPECT_GE(f(i, j), -1.0 - 1e-10);
+      EXPECT_LE(f(i, j), 1.0 + 1e-10);
+    }
+}
+
+TEST(ProjectedKernel, GramDiagonalIsOne) {
+  const RealMatrix x = random_scaled_data(6, 4, 3);
+  const RealMatrix k = projected_gram(config(4), x);
+  for (idx i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(k(i, i), 1.0);
+}
+
+TEST(ProjectedKernel, GramSymmetricBounded) {
+  const RealMatrix x = random_scaled_data(7, 4, 4);
+  const RealMatrix k = projected_gram(config(4), x);
+  EXPECT_EQ(symmetry_defect(k), 0.0);
+  for (idx i = 0; i < 7; ++i)
+    for (idx j = 0; j < 7; ++j) {
+      EXPECT_GT(k(i, j), 0.0);  // RBF kernels are strictly positive
+      EXPECT_LE(k(i, j), 1.0);
+    }
+}
+
+TEST(ProjectedKernel, IdenticalPointsGiveUnitEntry) {
+  RealMatrix x = random_scaled_data(3, 4, 5);
+  for (idx j = 0; j < 4; ++j) x(2, j) = x(0, j);
+  const RealMatrix k = projected_gram(config(4), x);
+  EXPECT_NEAR(k(0, 2), 1.0, 1e-9);
+}
+
+TEST(ProjectedKernel, BandwidthControlsDecay) {
+  const RealMatrix x = random_scaled_data(4, 4, 6);
+  const RealMatrix narrow = projected_gram(config(4, 5.0), x);
+  const RealMatrix wide = projected_gram(config(4, 0.2), x);
+  for (idx i = 0; i < 4; ++i)
+    for (idx j = i + 1; j < 4; ++j) EXPECT_LE(narrow(i, j), wide(i, j) + 1e-12);
+}
+
+TEST(ProjectedKernel, CrossMatchesGramBlocks) {
+  const RealMatrix x = random_scaled_data(6, 4, 7);
+  RealMatrix a(2, 4), b(4, 4);
+  for (idx j = 0; j < 4; ++j) {
+    a(0, j) = x(0, j);
+    a(1, j) = x(1, j);
+    for (idx i = 0; i < 4; ++i) b(i, j) = x(2 + i, j);
+  }
+  const RealMatrix full = projected_gram(config(4), x);
+  const RealMatrix cross = projected_cross(config(4), a, b);
+  for (idx i = 0; i < 2; ++i)
+    for (idx j = 0; j < 4; ++j) EXPECT_NEAR(cross(i, j), full(i, 2 + j), 1e-10);
+}
+
+TEST(ProjectedKernel, PsdViaQuadraticForms) {
+  const RealMatrix x = random_scaled_data(8, 4, 8);
+  const RealMatrix k = projected_gram(config(4), x);
+  Rng rng(9);
+  for (int t = 0; t < 10; ++t) {
+    std::vector<double> v(8);
+    for (auto& e : v) e = rng.normal();
+    double quad = 0.0;
+    for (idx i = 0; i < 8; ++i)
+      for (idx j = 0; j < 8; ++j)
+        quad += v[static_cast<std::size_t>(i)] * k(i, j) * v[static_cast<std::size_t>(j)];
+    EXPECT_GE(quad, -1e-9);
+  }
+}
+
+TEST(ProjectedKernel, StatsCountCircuitsOnly) {
+  // The projected kernel's selling point: N simulations, zero pairwise
+  // tensor contractions.
+  const RealMatrix x = random_scaled_data(6, 4, 10);
+  GramStats stats;
+  projected_gram(config(4), x, &stats);
+  EXPECT_EQ(stats.circuits_simulated, 6);
+}
+
+}  // namespace
+}  // namespace qkmps::kernel

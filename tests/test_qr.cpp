@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "linalg/gemm.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/qr.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::linalg {
+namespace {
+
+class QrShapes : public ::testing::TestWithParam<std::pair<idx, idx>> {};
+
+TEST_P(QrShapes, ReconstructsInput) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 131 + n));
+  const Matrix a = testing::random_matrix(m, n, rng);
+  const QrResult f = qr_thin(a);
+  EXPECT_LT(max_abs_diff(gemm_reference(f.q, f.r), a), 1e-12);
+}
+
+TEST_P(QrShapes, QHasOrthonormalColumns) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 733 + n));
+  const QrResult f = qr_thin(testing::random_matrix(m, n, rng));
+  EXPECT_LT(orthonormality_defect(f.q), 1e-13);
+}
+
+TEST_P(QrShapes, RIsUpperTriangular) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 389 + n));
+  const QrResult f = qr_thin(testing::random_matrix(m, n, rng));
+  for (idx i = 0; i < f.r.rows(); ++i)
+    for (idx j = 0; j < std::min(i, f.r.cols()); ++j)
+      EXPECT_EQ(f.r(i, j), cplx(0.0));
+}
+
+TEST_P(QrShapes, LqReconstructsInput) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 97 + n * 11));
+  const Matrix a = testing::random_matrix(m, n, rng);
+  const LqResult f = lq_thin(a);
+  EXPECT_LT(max_abs_diff(gemm_reference(f.l, f.q), a), 1e-12);
+}
+
+TEST_P(QrShapes, LqQHasOrthonormalRows) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 41 + n * 3));
+  const LqResult f = lq_thin(testing::random_matrix(m, n, rng));
+  EXPECT_LT(orthonormality_defect(f.q.adjoint()), 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShapeSweep, QrShapes,
+                         ::testing::Values(std::make_pair(1, 1),
+                                           std::make_pair(5, 5),
+                                           std::make_pair(8, 3),
+                                           std::make_pair(3, 8),
+                                           std::make_pair(40, 40),
+                                           std::make_pair(64, 17),
+                                           std::make_pair(17, 64),
+                                           std::make_pair(100, 60)));
+
+TEST(Qr, ThinShapes) {
+  Rng rng(9);
+  const QrResult f = qr_thin(testing::random_matrix(10, 4, rng));
+  EXPECT_EQ(f.q.rows(), 10);
+  EXPECT_EQ(f.q.cols(), 4);
+  EXPECT_EQ(f.r.rows(), 4);
+  EXPECT_EQ(f.r.cols(), 4);
+}
+
+TEST(Qr, RankDeficientStillReconstructs) {
+  Rng rng(10);
+  Matrix a(8, 4);
+  const Matrix col = testing::random_matrix(8, 1, rng);
+  for (idx i = 0; i < 8; ++i)
+    for (idx j = 0; j < 4; ++j) a(i, j) = col(i, 0) * static_cast<double>(j + 1);
+  const QrResult f = qr_thin(a);
+  EXPECT_LT(max_abs_diff(gemm_reference(f.q, f.r), a), 1e-12);
+  EXPECT_LT(orthonormality_defect(f.q), 1e-12);
+}
+
+TEST(Qr, DiagonalOfRAbsorbsNorm) {
+  // QR of a single column: |R(0,0)| must equal the column norm.
+  Rng rng(11);
+  const Matrix a = testing::random_matrix(20, 1, rng);
+  const QrResult f = qr_thin(a);
+  EXPECT_NEAR(std::abs(f.r(0, 0)), frobenius_norm(a), 1e-12);
+}
+
+}  // namespace
+}  // namespace qkmps::linalg

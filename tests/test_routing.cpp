@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/routing.hpp"
+#include "circuit/statevector.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::circuit {
+namespace {
+
+double state_diff(const Statevector& a, const Statevector& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.amplitudes().size(); ++i)
+    m = std::max(m, std::abs(a.amplitudes()[i] - b.amplitudes()[i]));
+  return m;
+}
+
+TEST(Routing, AdjacentGatesPassThrough) {
+  Circuit c(4);
+  c.h(0);
+  c.rxx(1, 2, 0.7);
+  const Circuit r = route_to_chain(c);
+  EXPECT_EQ(r.size(), c.size());
+}
+
+TEST(Routing, SwapCountIs2KMinus2) {
+  // Sec. II-C: distance-k RXX needs 2(k-1) SWAPs.
+  for (idx k = 2; k <= 5; ++k) {
+    Circuit c(8);
+    c.rxx(0, k, 0.5);
+    const Circuit r = route_to_chain(c);
+    EXPECT_EQ(r.size(), 1 + 2 * (k - 1)) << "k=" << k;
+    EXPECT_EQ(routing_swap_count(c), 2 * (k - 1));
+  }
+}
+
+TEST(Routing, RoutedCircuitIsNearestNeighbour) {
+  Circuit c(7);
+  c.rxx(0, 6, 0.3);
+  c.rxx(2, 5, 0.9);
+  const Circuit r = route_to_chain(c);
+  EXPECT_TRUE(r.is_nearest_neighbour());
+}
+
+TEST(Routing, PreservesUnitarySingleGate) {
+  Rng rng(1);
+  for (idx span = 2; span <= 5; ++span) {
+    Circuit c(6);
+    for (idx q = 0; q < 6; ++q) c.h(q);
+    c.rxx(1, 1 + span > 5 ? 5 : 1 + span, 1.234);
+    const Circuit r = route_to_chain(c);
+    EXPECT_LT(state_diff(simulate_statevector(c), simulate_statevector(r)),
+              1e-13);
+  }
+}
+
+TEST(Routing, PreservesUnitaryComposite) {
+  // Interleave single- and two-qubit gates across distances; the routed
+  // circuit must compute the identical state.
+  Rng rng(2);
+  Circuit c(6);
+  for (idx q = 0; q < 6; ++q) c.h(q);
+  c.rxx(0, 3, 0.21);
+  c.rz(2, 1.1);
+  c.rxx(5, 1, -0.77);  // reversed operand order
+  c.rx(4, 0.4);
+  c.rxx(2, 4, 0.35);
+  const Circuit r = route_to_chain(c);
+  EXPECT_TRUE(r.is_nearest_neighbour());
+  EXPECT_LT(state_diff(simulate_statevector(c), simulate_statevector(r)), 1e-13);
+}
+
+TEST(Routing, QubitPositionsRestoredBetweenGates) {
+  // Two long-range gates sharing a qubit: if SWAPs were not undone, the
+  // second gate would act on the wrong logical qubit.
+  Circuit c(5);
+  c.h(0);
+  c.x(4);
+  c.rxx(0, 4, 0.9);
+  c.rxx(0, 2, 0.4);
+  const Circuit r = route_to_chain(c);
+  EXPECT_LT(state_diff(simulate_statevector(c), simulate_statevector(r)), 1e-13);
+}
+
+TEST(Routing, SwapCountAccumulatesOverGates) {
+  Circuit c(10);
+  c.rxx(0, 4, 0.1);  // 6 swaps
+  c.rxx(1, 3, 0.1);  // 2 swaps
+  c.rxx(5, 6, 0.1);  // 0 swaps
+  EXPECT_EQ(routing_swap_count(c), 8);
+}
+
+}  // namespace
+}  // namespace qkmps::circuit

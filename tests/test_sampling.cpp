@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "circuit/ansatz.hpp"
+#include "mps/gate_application.hpp"
+#include "mps/sampling.hpp"
+#include "mps/simulator.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::mps {
+namespace {
+
+Mps ansatz_state(idx m, std::uint64_t seed) {
+  Rng rng(seed);
+  const circuit::AnsatzParams p{.num_features = m, .layers = 1, .distance = 2,
+                                .gamma = 0.7};
+  MpsSimulator sim;
+  return sim
+      .simulate(circuit::feature_map_circuit(
+          p, qkmps::testing::random_features(m, rng)))
+      .state;
+}
+
+TEST(Sampling, DeterministicStateGivesDeterministicSamples) {
+  Mps psi(4);  // |0000>
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const auto bits = sample_bitstring(psi, rng);
+    for (int b : bits) EXPECT_EQ(b, 0);
+  }
+}
+
+TEST(Sampling, FlippedStateSamplesOnes) {
+  Mps psi(3);
+  for (idx q = 0; q < 3; ++q)
+    apply_single_qubit_gate(psi, circuit::make_x(q).matrix(), q);
+  Rng rng(2);
+  const auto bits = sample_bitstring(psi, rng);
+  for (int b : bits) EXPECT_EQ(b, 1);
+}
+
+TEST(Sampling, PlusStateFrequenciesAreUniform) {
+  Mps psi = Mps::plus_state(3);
+  Rng rng(3);
+  std::map<int, int> counts;
+  const int shots = 8000;
+  for (const auto& bits : sample_bitstrings(psi, shots, rng)) {
+    int key = 0;
+    for (int b : bits) key = key * 2 + b;
+    ++counts[key];
+  }
+  for (int k = 0; k < 8; ++k) {
+    const double freq = static_cast<double>(counts[k]) / shots;
+    EXPECT_NEAR(freq, 1.0 / 8.0, 0.02) << "outcome " << k;
+  }
+}
+
+TEST(Sampling, FrequenciesMatchBornRule) {
+  const Mps psi = ansatz_state(4, 4);
+  Rng rng(5);
+  const int shots = 20000;
+  std::map<int, int> counts;
+  for (const auto& bits : sample_bitstrings(psi, shots, rng)) {
+    int key = 0;
+    for (int b : bits) key = key * 2 + b;
+    ++counts[key];
+  }
+  // Compare empirical frequencies against exact probabilities.
+  for (int k = 0; k < 16; ++k) {
+    std::vector<int> bits(4);
+    for (int q = 0; q < 4; ++q) bits[static_cast<std::size_t>(q)] = (k >> (3 - q)) & 1;
+    const double p = bitstring_probability(psi, bits);
+    const double freq = static_cast<double>(counts[k]) / shots;
+    EXPECT_NEAR(freq, p, 4.0 * std::sqrt(p * (1 - p) / shots) + 0.005);
+  }
+}
+
+TEST(Sampling, ProbabilitiesSumToOne) {
+  const Mps psi = ansatz_state(5, 6);
+  double total = 0.0;
+  for (int k = 0; k < 32; ++k) {
+    std::vector<int> bits(5);
+    for (int q = 0; q < 5; ++q) bits[static_cast<std::size_t>(q)] = (k >> (4 - q)) & 1;
+    total += bitstring_probability(psi, bits);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Sampling, ProbabilityMatchesStatevector) {
+  const Mps psi = ansatz_state(5, 7);
+  const auto amps = psi.to_statevector();
+  for (int k : {0, 7, 13, 31}) {
+    std::vector<int> bits(5);
+    for (int q = 0; q < 5; ++q) bits[static_cast<std::size_t>(q)] = (k >> (4 - q)) & 1;
+    EXPECT_NEAR(bitstring_probability(psi, bits),
+                std::norm(amps[static_cast<std::size_t>(k)]), 1e-10);
+  }
+}
+
+TEST(Sampling, SeededStreamsReproduce) {
+  const Mps psi = ansatz_state(4, 8);
+  Rng r1(42), r2(42);
+  EXPECT_EQ(sample_bitstrings(psi, 50, r1), sample_bitstrings(psi, 50, r2));
+}
+
+TEST(Sampling, RejectsWrongLengthBitstring) {
+  const Mps psi(3);
+  EXPECT_THROW(bitstring_probability(psi, {0, 1}), Error);
+}
+
+}  // namespace
+}  // namespace qkmps::mps

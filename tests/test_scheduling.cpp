@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuit/interaction_graph.hpp"
+#include "circuit/scheduling.hpp"
+
+namespace qkmps::circuit {
+namespace {
+
+TEST(Scheduling, CoversEveryEdgeExactlyOnce) {
+  const auto g = InteractionGraph::linear_chain(10, 3);
+  const auto layers = schedule_commuting_layers(g.edges(), 10);
+  std::multiset<std::pair<idx, idx>> scheduled;
+  for (const auto& layer : layers)
+    for (const auto& e : layer) scheduled.insert(e);
+  std::multiset<std::pair<idx, idx>> expected(g.edges().begin(), g.edges().end());
+  EXPECT_EQ(scheduled, expected);
+}
+
+TEST(Scheduling, LayersAreEndpointDisjoint) {
+  const auto g = InteractionGraph::linear_chain(14, 4);
+  const auto layers = schedule_commuting_layers(g.edges(), 14);
+  for (const auto& layer : layers) {
+    std::set<idx> used;
+    for (const auto& [a, b] : layer) {
+      EXPECT_TRUE(used.insert(a).second);
+      EXPECT_TRUE(used.insert(b).second);
+    }
+  }
+}
+
+TEST(Scheduling, ChainAtDistanceDNeedsAtMost2dLayers) {
+  // Footnote 3 of the paper: the exp(-i H_XX) subcircuit fits in 2d layers.
+  for (idx d = 1; d <= 5; ++d) {
+    const auto g = InteractionGraph::linear_chain(24, d);
+    const auto layers = schedule_commuting_layers(g.edges(), 24);
+    EXPECT_LE(static_cast<idx>(layers.size()), 2 * d) << "d=" << d;
+  }
+}
+
+TEST(Scheduling, DistanceOneChainPacksInTwoLayers) {
+  const auto g = InteractionGraph::linear_chain(9, 1);
+  const auto layers = schedule_commuting_layers(g.edges(), 9);
+  EXPECT_EQ(layers.size(), 2u);
+}
+
+TEST(Scheduling, EmptyEdgeSetYieldsNoLayers) {
+  const auto layers = schedule_commuting_layers({}, 4);
+  EXPECT_TRUE(layers.empty());
+}
+
+TEST(Scheduling, SingleEdge) {
+  const auto layers = schedule_commuting_layers({{0, 3}}, 4);
+  ASSERT_EQ(layers.size(), 1u);
+  EXPECT_EQ(layers[0].size(), 1u);
+}
+
+}  // namespace
+}  // namespace qkmps::circuit

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "circuit/ansatz.hpp"
+#include "mps/inner_product.hpp"
+#include "mps/serialization.hpp"
+#include "mps/simulator.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::mps {
+namespace {
+
+Mps ansatz_state(idx m, std::uint64_t seed) {
+  Rng rng(seed);
+  const circuit::AnsatzParams p{.num_features = m, .layers = 2, .distance = 2,
+                                .gamma = 0.8};
+  MpsSimulator sim;
+  return sim
+      .simulate(circuit::feature_map_circuit(
+          p, qkmps::testing::random_features(m, rng)))
+      .state;
+}
+
+class SerializationTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/qkmps_serialization_test.bin";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(SerializationTest, MpsRoundTripThroughStream) {
+  const Mps psi = ansatz_state(6, 1);
+  std::stringstream ss;
+  save_mps(psi, ss);
+  const Mps back = load_mps(ss);
+  EXPECT_EQ(back.num_sites(), psi.num_sites());
+  EXPECT_EQ(back.center(), psi.center());
+  EXPECT_EQ(back.bonds(), psi.bonds());
+  // Bitwise-equal amplitudes => unit overlap and equal statevectors.
+  const auto va = psi.to_statevector();
+  const auto vb = back.to_statevector();
+  for (std::size_t i = 0; i < va.size(); ++i) EXPECT_EQ(va[i], vb[i]);
+}
+
+TEST_F(SerializationTest, MpsRoundTripThroughFile) {
+  const Mps psi = ansatz_state(5, 2);
+  save_mps(psi, path_);
+  const Mps back = load_mps(path_);
+  EXPECT_NEAR(std::abs(inner_product(psi, back)), 1.0, 1e-12);
+}
+
+TEST_F(SerializationTest, LoadedStateIsUsable) {
+  // The paper's workflow: persist training states, reload for inference.
+  const Mps a = ansatz_state(5, 3);
+  const Mps b = ansatz_state(5, 4);
+  const double expect = overlap_squared(a, b);
+  save_mps(a, path_);
+  const Mps a2 = load_mps(path_);
+  EXPECT_NEAR(overlap_squared(a2, b), expect, 1e-14);
+}
+
+TEST_F(SerializationTest, RejectsGarbageMagic) {
+  std::ofstream os(path_, std::ios::binary);
+  os << "definitely not an MPS file";
+  os.close();
+  EXPECT_THROW(load_mps(path_), Error);
+}
+
+TEST_F(SerializationTest, RejectsTruncatedPayload) {
+  const Mps psi = ansatz_state(6, 5);
+  std::stringstream ss;
+  save_mps(psi, ss);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_mps(cut), Error);
+}
+
+TEST_F(SerializationTest, KernelRoundTrip) {
+  Rng rng(6);
+  kernel::RealMatrix k(7, 5);
+  for (idx i = 0; i < 7; ++i)
+    for (idx j = 0; j < 5; ++j) k(i, j) = rng.normal();
+  save_kernel(k, path_);
+  const kernel::RealMatrix back = load_kernel(path_);
+  EXPECT_EQ(back.rows(), 7);
+  EXPECT_EQ(back.cols(), 5);
+  EXPECT_EQ(kernel::max_abs_diff(k, back), 0.0);
+}
+
+TEST_F(SerializationTest, KernelRejectsMpsFile) {
+  save_mps(ansatz_state(4, 7), path_);
+  EXPECT_THROW(load_kernel(path_), Error);
+}
+
+TEST_F(SerializationTest, MissingFileThrows) {
+  EXPECT_THROW(load_mps(path_ + ".missing"), Error);
+  EXPECT_THROW(load_kernel(path_ + ".missing"), Error);
+}
+
+}  // namespace
+}  // namespace qkmps::mps

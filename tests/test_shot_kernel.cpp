@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernel/gram.hpp"
+#include "kernel/shot_kernel.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::kernel {
+namespace {
+
+RealMatrix random_scaled_data(idx n, idx m, std::uint64_t seed) {
+  Rng rng(seed);
+  RealMatrix x(n, m);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < m; ++j) x(i, j) = rng.uniform(0.05, 1.95);
+  return x;
+}
+
+ShotKernelConfig config(idx m, idx shots) {
+  ShotKernelConfig cfg;
+  cfg.base.ansatz = {.num_features = m, .layers = 2, .distance = 1, .gamma = 0.5};
+  cfg.shots = shots;
+  return cfg;
+}
+
+TEST(ShotEstimate, ExactZeroAndOne) {
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(shot_estimate(0.0, 100, rng), 0.0);
+  EXPECT_DOUBLE_EQ(shot_estimate(1.0, 100, rng), 1.0);
+}
+
+TEST(ShotEstimate, UnbiasedWithinTolerance) {
+  Rng rng(2);
+  const double p = 0.37;
+  double mean = 0.0;
+  const int reps = 200;
+  for (int r = 0; r < reps; ++r) mean += shot_estimate(p, 256, rng);
+  mean /= reps;
+  EXPECT_NEAR(mean, p, 0.01);
+}
+
+TEST(ShotEstimate, VarianceScalesInverselyWithShots) {
+  Rng rng(3);
+  const double p = 0.5;
+  auto variance_at = [&](idx shots) {
+    double s = 0.0, s2 = 0.0;
+    const int reps = 300;
+    for (int r = 0; r < reps; ++r) {
+      const double e = shot_estimate(p, shots, rng);
+      s += e;
+      s2 += e * e;
+    }
+    const double mean = s / reps;
+    return s2 / reps - mean * mean;
+  };
+  const double v64 = variance_at(64);
+  const double v1024 = variance_at(1024);
+  EXPECT_GT(v64, 4.0 * v1024);  // expect ~16x; allow slack
+}
+
+TEST(ShotEstimate, RejectsInvalidInputs) {
+  Rng rng(4);
+  EXPECT_THROW(shot_estimate(0.5, 0, rng), Error);
+  EXPECT_THROW(shot_estimate(1.5, 10, rng), Error);
+}
+
+TEST(ShotGram, ConvergesToExactKernel) {
+  const RealMatrix x = random_scaled_data(5, 4, 5);
+  const RealMatrix exact = gram_matrix(config(4, 1).base, x);
+  const RealMatrix estimated = shot_gram(config(4, 65536), x);
+  EXPECT_LT(max_abs_diff(estimated, exact), 0.02);
+}
+
+TEST(ShotGram, DiagonalStaysExact) {
+  const RealMatrix x = random_scaled_data(4, 4, 6);
+  const RealMatrix k = shot_gram(config(4, 8), x);
+  for (idx i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(k(i, i), 1.0);
+}
+
+TEST(ShotGram, SymmetricByConstruction) {
+  const RealMatrix x = random_scaled_data(6, 4, 7);
+  const RealMatrix k = shot_gram(config(4, 32), x);
+  EXPECT_EQ(symmetry_defect(k), 0.0);
+}
+
+TEST(ShotGram, EntriesAreShotFractions) {
+  const idx shots = 16;
+  const RealMatrix x = random_scaled_data(5, 4, 8);
+  const RealMatrix k = shot_gram(config(4, shots), x);
+  for (idx i = 0; i < 5; ++i)
+    for (idx j = i + 1; j < 5; ++j) {
+      const double scaled = k(i, j) * static_cast<double>(shots);
+      EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+    }
+}
+
+TEST(ShotGram, SeedsAreReproducible) {
+  const RealMatrix x = random_scaled_data(5, 4, 9);
+  const RealMatrix a = shot_gram(config(4, 64), x);
+  const RealMatrix b = shot_gram(config(4, 64), x);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+}
+
+TEST(ShotCross, ShapeAndConvergence) {
+  const RealMatrix xt = random_scaled_data(3, 4, 10);
+  const RealMatrix xr = random_scaled_data(4, 4, 11);
+  const RealMatrix exact = cross_kernel(config(4, 1).base, xt, xr);
+  const RealMatrix est = shot_cross(config(4, 65536), xt, xr);
+  EXPECT_EQ(est.rows(), 3);
+  EXPECT_EQ(est.cols(), 4);
+  EXPECT_LT(max_abs_diff(est, exact), 0.02);
+}
+
+}  // namespace
+}  // namespace qkmps::kernel

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ansatz.hpp"
+#include "circuit/routing.hpp"
+#include "circuit/statevector.hpp"
+#include "mps/simulator.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::mps {
+namespace {
+
+double state_diff(const Mps& psi, const circuit::Statevector& sv) {
+  const auto v = psi.to_statevector();
+  double diff = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i)
+    diff = std::max(diff, std::abs(v[i] - sv.amplitudes()[i]));
+  return diff;
+}
+
+class SimulatorVsStatevector
+    : public ::testing::TestWithParam<std::tuple<idx, idx, double>> {};
+
+TEST_P(SimulatorVsStatevector, AnsatzCircuitsAgree) {
+  const auto [m, d, gamma] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 19 + d * 7 + static_cast<idx>(gamma * 10)));
+  const circuit::AnsatzParams p{.num_features = m, .layers = 2, .distance = d,
+                                .gamma = gamma};
+  const circuit::Circuit c =
+      circuit::feature_map_circuit(p, qkmps::testing::random_features(m, rng));
+
+  MpsSimulator sim;
+  const SimulationResult r = sim.simulate(c);
+  const circuit::Statevector sv = circuit::simulate_statevector(c);
+  EXPECT_LT(state_diff(r.state, sv), 1e-7);
+  EXPECT_NEAR(r.state.norm(), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamSweep, SimulatorVsStatevector,
+    ::testing::Values(std::make_tuple(4, 1, 0.1), std::make_tuple(6, 1, 1.0),
+                      std::make_tuple(6, 2, 0.5), std::make_tuple(8, 3, 1.0),
+                      std::make_tuple(8, 4, 0.5), std::make_tuple(10, 2, 0.9),
+                      std::make_tuple(5, 4, 1.0)));
+
+TEST(Simulator, RoutesNonAdjacentCircuitsTransparently) {
+  circuit::Circuit c(5);
+  for (idx q = 0; q < 5; ++q) c.h(q);
+  c.rxx(0, 4, 0.8);
+  EXPECT_FALSE(c.is_nearest_neighbour());
+  MpsSimulator sim;
+  const SimulationResult r = sim.simulate(c);
+  const circuit::Statevector sv = circuit::simulate_statevector(c);
+  EXPECT_LT(state_diff(r.state, sv), 1e-9);
+  // Gate count reflects the routed circuit (SWAP overhead included).
+  EXPECT_EQ(r.gates_applied, c.size() + circuit::routing_swap_count(c));
+}
+
+TEST(Simulator, TruncationErrorBoundHolds) {
+  // Eq. 8 accumulated: |<ideal|trunc>|^2 >= 1 - sum of discarded weights.
+  Rng rng(11);
+  const circuit::AnsatzParams p{.num_features = 8, .layers = 2, .distance = 3,
+                                .gamma = 1.0};
+  const circuit::Circuit c =
+      circuit::feature_map_circuit(p, qkmps::testing::random_features(8, rng));
+  MpsSimulator sim;
+  const SimulationResult r = sim.simulate(c);
+  const circuit::Statevector ideal = circuit::simulate_statevector(c);
+
+  const auto approx = r.state.to_statevector();
+  cplx overlap = 0.0;
+  for (std::size_t i = 0; i < approx.size(); ++i)
+    overlap += std::conj(ideal.amplitudes()[i]) * approx[i];
+  EXPECT_GE(std::norm(overlap), r.truncation.fidelity_lower_bound() - 1e-12);
+}
+
+TEST(Simulator, DefaultTruncationIsMachinePrecision) {
+  Rng rng(12);
+  const circuit::AnsatzParams p{.num_features = 10, .layers = 2, .distance = 2,
+                                .gamma = 1.0};
+  const circuit::Circuit c =
+      circuit::feature_map_circuit(p, qkmps::testing::random_features(10, rng));
+  MpsSimulator sim;
+  const SimulationResult r = sim.simulate(c);
+  // Each truncation discards <= 1e-16; the accumulated weight stays tiny.
+  EXPECT_LT(r.truncation.total_discarded_weight,
+            1e-16 * static_cast<double>(r.truncation.truncation_count + 1));
+}
+
+TEST(Simulator, MemoryTrackingRecordsEveryGate) {
+  Rng rng(13);
+  const circuit::AnsatzParams p{.num_features = 6, .layers = 1, .distance = 2,
+                                .gamma = 0.7};
+  const circuit::Circuit c =
+      circuit::feature_map_circuit(p, qkmps::testing::random_features(6, rng));
+  SimulatorConfig cfg;
+  cfg.track_memory = true;
+  MpsSimulator sim(cfg);
+  const SimulationResult r = sim.simulate(c);
+  EXPECT_EQ(static_cast<idx>(r.memory.samples().size()), r.gates_applied);
+  EXPECT_GE(r.memory.peak_bytes(), r.state.memory_bytes());
+  EXPECT_EQ(r.memory.peak_bond(), r.truncation.max_bond_seen);
+}
+
+TEST(Simulator, MemoryTrackingOffByDefault) {
+  circuit::Circuit c(3);
+  c.h(0);
+  MpsSimulator sim;
+  EXPECT_TRUE(sim.simulate(c).memory.samples().empty());
+}
+
+TEST(Simulator, PoliciesProduceSameBondDimensions) {
+  // Table I's consistency property: both backends implement the same
+  // algorithm, so their bond dimensions agree.
+  Rng rng(14);
+  const circuit::AnsatzParams p{.num_features = 9, .layers = 2, .distance = 3,
+                                .gamma = 1.0};
+  const auto x = qkmps::testing::random_features(9, rng);
+  const circuit::Circuit c = circuit::feature_map_circuit(p, x);
+
+  SimulatorConfig ref_cfg, acc_cfg;
+  acc_cfg.policy = linalg::ExecPolicy::Accelerated;
+  const SimulationResult ref = MpsSimulator(ref_cfg).simulate(c);
+  const SimulationResult acc = MpsSimulator(acc_cfg).simulate(c);
+  EXPECT_EQ(ref.state.bonds(), acc.state.bonds());
+}
+
+TEST(Simulator, GammaAffectsEntanglement) {
+  // Fig. 7's mechanism: intermediate gamma creates more entanglement than
+  // gamma near zero.
+  Rng rng(15);
+  const auto x = qkmps::testing::random_features(10, rng);
+  auto chi_for = [&](double gamma) {
+    const circuit::AnsatzParams p{.num_features = 10, .layers = 2, .distance = 3,
+                                  .gamma = gamma};
+    MpsSimulator sim;
+    return sim.simulate(circuit::feature_map_circuit(p, x)).state.max_bond();
+  };
+  EXPECT_LT(chi_for(0.01), chi_for(0.5));
+}
+
+TEST(Simulator, InitialStateOverload) {
+  // Simulating the XX block on a caller-provided |+>^m must equal the full
+  // ansatz run (whose first layer is the Hadamards).
+  Rng rng(16);
+  const auto x = qkmps::testing::random_features(5, rng);
+  const circuit::AnsatzParams p{.num_features = 5, .layers = 1, .distance = 1,
+                                .gamma = 0.6};
+  const circuit::Circuit full = circuit::feature_map_circuit(p, x);
+
+  circuit::Circuit tail(5);
+  for (idx g = 5; g < full.size(); ++g) tail.append(full.gates()[static_cast<std::size_t>(g)]);
+
+  MpsSimulator sim;
+  const Mps via_plus = sim.simulate(tail, Mps::plus_state(5)).state;
+  const Mps via_full = sim.simulate(full).state;
+  const auto va = via_plus.to_statevector();
+  const auto vb = via_full.to_statevector();
+  double diff = 0.0;
+  for (std::size_t i = 0; i < va.size(); ++i)
+    diff = std::max(diff, std::abs(va[i] - vb[i]));
+  EXPECT_LT(diff, 1e-12);
+}
+
+}  // namespace
+}  // namespace qkmps::mps

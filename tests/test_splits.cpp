@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/elliptic_synthetic.hpp"
+#include "data/splits.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::data {
+namespace {
+
+Dataset pool() {
+  EllipticSyntheticParams p;
+  p.num_points = 3000;
+  p.num_features = 12;
+  return generate_elliptic_synthetic(p);
+}
+
+TEST(BalancedSubsample, ExactClassCounts) {
+  const Dataset d = pool();
+  Rng rng(1);
+  const Dataset s = balanced_subsample(d, 60, rng);
+  EXPECT_EQ(s.size(), 120);
+  EXPECT_EQ(s.positives(), 60);
+  EXPECT_EQ(s.negatives(), 60);
+}
+
+TEST(BalancedSubsample, SeedsAreReproducible) {
+  const Dataset d = pool();
+  Rng r1(7), r2(7);
+  const Dataset a = balanced_subsample(d, 20, r1);
+  const Dataset b = balanced_subsample(d, 20, r2);
+  EXPECT_EQ(a.y, b.y);
+  EXPECT_DOUBLE_EQ(a.x(5, 3), b.x(5, 3));
+}
+
+TEST(BalancedSubsample, DifferentSeedsDiffer) {
+  const Dataset d = pool();
+  Rng r1(7), r2(8);
+  const Dataset a = balanced_subsample(d, 20, r1);
+  const Dataset b = balanced_subsample(d, 20, r2);
+  bool identical = true;
+  for (idx i = 0; i < a.size() && identical; ++i)
+    if (a.x(i, 0) != b.x(i, 0)) identical = false;
+  EXPECT_FALSE(identical);
+}
+
+TEST(BalancedSubsample, DrawsWithoutReplacement) {
+  const Dataset d = pool();
+  Rng rng(9);
+  const Dataset s = balanced_subsample(d, 50, rng);
+  // No two rows identical (generator produces continuous features, so
+  // duplicates would indicate replacement).
+  std::set<double> first_feature;
+  for (idx i = 0; i < s.size(); ++i) first_feature.insert(s.x(i, 0));
+  EXPECT_EQ(first_feature.size(), static_cast<std::size_t>(s.size()));
+}
+
+TEST(BalancedSubsample, ThrowsWhenPoolTooSmall) {
+  const Dataset d = pool();
+  Rng rng(10);
+  EXPECT_THROW(balanced_subsample(d, 100000, rng), Error);
+}
+
+TEST(TrainTestSplit, ProportionsAreRespected) {
+  const Dataset d = pool();
+  Rng rng(11);
+  const Dataset s = balanced_subsample(d, 100, rng);
+  const TrainTestSplit split = train_test_split(s, 0.2, rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), 200);
+  EXPECT_NEAR(static_cast<double>(split.test.size()) / 200.0, 0.2, 0.02);
+}
+
+TEST(TrainTestSplit, PreservesClassBalanceOnBothSides) {
+  const Dataset d = pool();
+  Rng rng(12);
+  const Dataset s = balanced_subsample(d, 100, rng);
+  const TrainTestSplit split = train_test_split(s, 0.2, rng);
+  EXPECT_EQ(split.test.positives(), split.test.negatives());
+  EXPECT_EQ(split.train.positives(), split.train.negatives());
+}
+
+TEST(TrainTestSplit, SidesAreDisjoint) {
+  const Dataset d = pool();
+  Rng rng(13);
+  const Dataset s = balanced_subsample(d, 50, rng);
+  const TrainTestSplit split = train_test_split(s, 0.25, rng);
+  std::set<double> train_keys;
+  for (idx i = 0; i < split.train.size(); ++i) train_keys.insert(split.train.x(i, 0));
+  for (idx i = 0; i < split.test.size(); ++i)
+    EXPECT_EQ(train_keys.count(split.test.x(i, 0)), 0u);
+}
+
+TEST(TrainTestSplit, RejectsDegenerateFractions) {
+  const Dataset d = pool();
+  Rng rng(14);
+  const Dataset s = balanced_subsample(d, 10, rng);
+  EXPECT_THROW(train_test_split(s, 0.0, rng), Error);
+  EXPECT_THROW(train_test_split(s, 1.0, rng), Error);
+}
+
+}  // namespace
+}  // namespace qkmps::data

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace qkmps {
+namespace {
+
+TEST(Stats, MeanOfKnownValues) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(Stats, VarianceOfConstantIsZero) {
+  EXPECT_DOUBLE_EQ(variance({5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(Stats, VarianceKnownValue) {
+  // Population variance of {1, 3}: mean 2, var 1.
+  EXPECT_DOUBLE_EQ(variance({1.0, 3.0}), 1.0);
+}
+
+TEST(Stats, MedianOddCount) {
+  EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Stats, MedianEvenCountInterpolates) {
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+}
+
+TEST(Stats, QuartilesType7) {
+  // numpy.percentile([1..5], 25) == 2.0; 75 -> 4.0.
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.75), 4.0);
+}
+
+TEST(Stats, QuantileExtremes) {
+  std::vector<double> v{7.0, -1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), -1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 7.0);
+}
+
+TEST(Stats, QuantileRejectsEmpty) {
+  EXPECT_THROW(quantile({}, 0.5), Error);
+}
+
+TEST(Stats, QuantileRejectsOutOfRangeQ) {
+  EXPECT_THROW(quantile({1.0}, 1.5), Error);
+}
+
+TEST(Stats, SummaryFields) {
+  const Summary s = summarize({4.0, 1.0, 3.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_EQ(s.count, 5u);
+}
+
+TEST(Stats, SummaryOfEmptyIsZeroed) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+}
+
+TEST(Stats, SummaryQuartilesBracketMedian) {
+  std::vector<double> v;
+  for (int i = 0; i < 101; ++i) v.push_back(static_cast<double>(i * i % 37));
+  const Summary s = summarize(v);
+  EXPECT_LE(s.min, s.q1);
+  EXPECT_LE(s.q1, s.median);
+  EXPECT_LE(s.median, s.q3);
+  EXPECT_LE(s.q3, s.max);
+}
+
+}  // namespace
+}  // namespace qkmps

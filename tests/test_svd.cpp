@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/bidiag.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/jacobi_svd.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/svd.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::linalg {
+namespace {
+
+class SvdShapes : public ::testing::TestWithParam<std::pair<idx, idx>> {};
+
+TEST_P(SvdShapes, Reconstructs) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 677 + n));
+  const Matrix a = testing::random_matrix(m, n, rng);
+  const SvdResult f = svd(a);
+  EXPECT_LT(max_abs_diff(testing::reconstruct(f), a), 1e-11);
+}
+
+TEST_P(SvdShapes, FactorsAreOrthonormal) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 31 + n * 7));
+  const SvdResult f = svd(testing::random_matrix(m, n, rng));
+  EXPECT_LT(orthonormality_defect(f.u), 1e-12);
+  EXPECT_LT(orthonormality_defect(f.vh.adjoint()), 1e-12);
+}
+
+TEST_P(SvdShapes, SingularValuesSortedNonNegative) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 3 + n * 101));
+  const SvdResult f = svd(testing::random_matrix(m, n, rng));
+  EXPECT_EQ(static_cast<idx>(f.s.size()), std::min(m, n));
+  for (std::size_t i = 0; i < f.s.size(); ++i) {
+    EXPECT_GE(f.s[i], 0.0);
+    if (i > 0) EXPECT_LE(f.s[i], f.s[i - 1]);
+  }
+}
+
+TEST_P(SvdShapes, AgreesWithJacobiOracle) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 503 + n * 13));
+  const Matrix a = testing::random_matrix(m, n, rng);
+  const SvdResult qr_based = svd(a);
+  const SvdResult oracle = jacobi_svd(a);
+  for (std::size_t i = 0; i < qr_based.s.size(); ++i)
+    EXPECT_NEAR(qr_based.s[i], oracle.s[i], 1e-10 * (oracle.s[0] + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(ShapeSweep, SvdShapes,
+                         ::testing::Values(std::make_pair(1, 1),
+                                           std::make_pair(2, 2),
+                                           std::make_pair(6, 6),
+                                           std::make_pair(10, 4),
+                                           std::make_pair(4, 10),
+                                           std::make_pair(33, 33),
+                                           std::make_pair(64, 48),
+                                           std::make_pair(48, 64),
+                                           std::make_pair(100, 100)));
+
+TEST(Svd, KnownDiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = -5.0;  // sign must land in the factors, not in s
+  a(2, 2) = 3.0;
+  const SvdResult f = svd(a);
+  EXPECT_NEAR(f.s[0], 5.0, 1e-13);
+  EXPECT_NEAR(f.s[1], 3.0, 1e-13);
+  EXPECT_NEAR(f.s[2], 1.0, 1e-13);
+}
+
+TEST(Svd, FrobeniusNormEqualsSingularValueNorm) {
+  Rng rng(21);
+  const Matrix a = testing::random_matrix(12, 9, rng);
+  const SvdResult f = svd(a);
+  double ssq = 0.0;
+  for (double s : f.s) ssq += s * s;
+  EXPECT_NEAR(std::sqrt(ssq), frobenius_norm(a), 1e-11);
+}
+
+TEST(Svd, RankDeficientTailIsZero) {
+  Rng rng(22);
+  // Rank-2 matrix from an outer-product sum.
+  const Matrix u = testing::random_matrix(10, 2, rng);
+  const Matrix v = testing::random_matrix(2, 7, rng);
+  const Matrix a = gemm_reference(u, v);
+  const SvdResult f = svd(a);
+  for (std::size_t i = 2; i < f.s.size(); ++i) EXPECT_LT(f.s[i], 1e-12 * f.s[0]);
+}
+
+TEST(Svd, UnitaryInputHasUnitSingularValues) {
+  Rng rng(23);
+  const QrResult qr = qr_thin(testing::random_matrix(9, 9, rng));
+  const SvdResult f = svd(qr.q);
+  for (double s : f.s) EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+TEST(Svd, ZeroMatrix) {
+  const SvdResult f = svd(Matrix(4, 3));
+  for (double s : f.s) EXPECT_EQ(s, 0.0);
+}
+
+TEST(Bidiag, RealBidiagonalForm) {
+  Rng rng(24);
+  const Matrix a = testing::random_matrix(8, 5, rng);
+  const Bidiagonalization bd = bidiagonalize(a);
+  EXPECT_EQ(bd.d.size(), 5u);
+  EXPECT_EQ(bd.e.size(), 4u);
+  // Reassemble U B V^H and compare.
+  Matrix b(5, 5);
+  for (idx i = 0; i < 5; ++i) {
+    b(i, i) = bd.d[static_cast<std::size_t>(i)];
+    if (i < 4) b(i, i + 1) = bd.e[static_cast<std::size_t>(i)];
+  }
+  const Matrix rec = gemm_reference(gemm_reference(bd.u, b), bd.v.adjoint());
+  EXPECT_LT(max_abs_diff(rec, a), 1e-12);
+  EXPECT_LT(orthonormality_defect(bd.u), 1e-13);
+  EXPECT_LT(orthonormality_defect(bd.v), 1e-13);
+}
+
+TEST(TruncationRank, KeepsEverythingUnderBudget) {
+  const std::vector<double> s{1.0, 0.5, 1e-9, 1e-10};
+  // Budget bigger than the tail weight: drop the two tiny values.
+  EXPECT_EQ(truncation_rank(s, 1e-17), 2);
+}
+
+TEST(TruncationRank, ZeroBudgetKeepsNonzeros) {
+  const std::vector<double> s{1.0, 0.5, 0.0, 0.0};
+  EXPECT_EQ(truncation_rank(s, 0.0), 2);
+}
+
+TEST(TruncationRank, AlwaysKeepsAtLeastOne) {
+  const std::vector<double> s{1e-30};
+  EXPECT_EQ(truncation_rank(s, 1.0), 1);
+}
+
+TEST(TruncationRank, MaxRankCaps) {
+  const std::vector<double> s{3.0, 2.0, 1.0};
+  EXPECT_EQ(truncation_rank(s, 0.0, 2), 2);
+}
+
+TEST(TruncationRank, BudgetIsCumulative) {
+  // Each tail value has weight 1e-9; budget 2.5e-9 admits only two of them.
+  const std::vector<double> s{1.0, 3.1623e-5, 3.1623e-5, 3.1623e-5};
+  EXPECT_EQ(truncation_rank(s, 2.5e-9), 2);
+}
+
+TEST(TruncateSvd, ShrinksFactorsConsistently) {
+  Rng rng(25);
+  const Matrix a = testing::random_matrix(8, 6, rng);
+  SvdResult f = svd(a);
+  truncate_svd(f, 3);
+  EXPECT_EQ(f.u.cols(), 3);
+  EXPECT_EQ(f.vh.rows(), 3);
+  EXPECT_EQ(f.s.size(), 3u);
+  EXPECT_LT(orthonormality_defect(f.u), 1e-12);
+}
+
+TEST(TruncateSvd, BestRankKApproximationError) {
+  // Eckart-Young: the Frobenius error of the rank-k truncation equals the
+  // norm of the dropped singular values.
+  Rng rng(26);
+  const Matrix a = testing::random_matrix(10, 10, rng);
+  SvdResult f = svd(a);
+  double tail = 0.0;
+  for (std::size_t i = 4; i < f.s.size(); ++i) tail += f.s[i] * f.s[i];
+  truncate_svd(f, 4);
+  const Matrix approx = testing::reconstruct(f);
+  Matrix diff = a;
+  diff -= approx;
+  EXPECT_NEAR(frobenius_norm_sq(diff), tail, 1e-10 * (tail + 1.0));
+}
+
+}  // namespace
+}  // namespace qkmps::linalg

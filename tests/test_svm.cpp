@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernel/gaussian.hpp"
+#include "svm/svm.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::svm {
+namespace {
+
+/// Linear kernel on 2-D points.
+kernel::RealMatrix linear_kernel(const std::vector<std::array<double, 2>>& pts) {
+  const idx n = static_cast<idx>(pts.size());
+  kernel::RealMatrix k(n, n);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < n; ++j)
+      k(i, j) = pts[static_cast<std::size_t>(i)][0] * pts[static_cast<std::size_t>(j)][0] +
+                pts[static_cast<std::size_t>(i)][1] * pts[static_cast<std::size_t>(j)][1];
+  return k;
+}
+
+TEST(Svm, SeparatesTrivialProblem) {
+  // Two well-separated clusters on the x-axis.
+  const std::vector<std::array<double, 2>> pts{
+      {2.0, 0.1}, {2.5, -0.2}, {3.0, 0.3}, {-2.0, 0.2}, {-2.5, 0.1}, {-3.0, -0.1}};
+  const std::vector<int> y{1, 1, 1, -1, -1, -1};
+  const SvcModel m = train_svc(linear_kernel(pts), y, {.c = 1.0, .tol = 1e-4});
+  EXPECT_TRUE(m.converged);
+  EXPECT_EQ(m.predict(linear_kernel(pts)), y);
+}
+
+TEST(Svm, AlphaStaysInBox) {
+  Rng rng(1);
+  const idx n = 30;
+  kernel::RealMatrix x(n, 3);
+  std::vector<int> y(static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i) {
+    y[static_cast<std::size_t>(i)] = (i % 2 == 0) ? 1 : -1;
+    for (idx j = 0; j < 3; ++j)
+      x(i, j) = rng.normal() + (y[static_cast<std::size_t>(i)] == 1 ? 0.5 : -0.5);
+  }
+  const kernel::RealMatrix k = kernel::gaussian_gram(x, 0.5);
+  const double c = 0.7;
+  const SvcModel m = train_svc(k, y, {.c = c, .tol = 1e-3});
+  for (double a : m.alpha) {
+    EXPECT_GE(a, -1e-12);
+    EXPECT_LE(a, c + 1e-12);
+  }
+}
+
+TEST(Svm, EqualityConstraintHolds) {
+  Rng rng(2);
+  const idx n = 24;
+  kernel::RealMatrix x(n, 2);
+  std::vector<int> y(static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i) {
+    y[static_cast<std::size_t>(i)] = (i < n / 2) ? 1 : -1;
+    for (idx j = 0; j < 2; ++j)
+      x(i, j) = rng.normal() + (y[static_cast<std::size_t>(i)] == 1 ? 1.0 : -1.0);
+  }
+  const SvcModel m = train_svc(kernel::gaussian_gram(x, 1.0), y, {.c = 2.0});
+  double dot = 0.0;
+  for (std::size_t i = 0; i < m.alpha.size(); ++i)
+    dot += m.alpha[i] * static_cast<double>(y[i]);
+  EXPECT_NEAR(dot, 0.0, 1e-10);
+}
+
+TEST(Svm, FreeSupportVectorsSitOnMargin) {
+  Rng rng(3);
+  const idx n = 40;
+  kernel::RealMatrix x(n, 2);
+  std::vector<int> y(static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i) {
+    y[static_cast<std::size_t>(i)] = (i % 2 == 0) ? 1 : -1;
+    for (idx j = 0; j < 2; ++j)
+      x(i, j) = rng.normal() + (y[static_cast<std::size_t>(i)] == 1 ? 0.8 : -0.8);
+  }
+  const kernel::RealMatrix k = kernel::gaussian_gram(x, 0.7);
+  const double c = 1.5;
+  const SvcModel m = train_svc(k, y, {.c = c, .tol = 1e-5});
+  const auto f = m.decision_values(k);
+  for (idx i = 0; i < n; ++i) {
+    const double a = m.alpha[static_cast<std::size_t>(i)];
+    if (a > 1e-8 && a < c - 1e-8) {
+      EXPECT_NEAR(static_cast<double>(y[static_cast<std::size_t>(i)]) *
+                      f[static_cast<std::size_t>(i)],
+                  1.0, 5e-3);
+    }
+  }
+}
+
+TEST(Svm, LargerCReducesMarginViolations) {
+  Rng rng(4);
+  const idx n = 60;
+  kernel::RealMatrix x(n, 2);
+  std::vector<int> y(static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i) {
+    y[static_cast<std::size_t>(i)] = (i % 2 == 0) ? 1 : -1;
+    for (idx j = 0; j < 2; ++j)
+      x(i, j) = rng.normal() + (y[static_cast<std::size_t>(i)] == 1 ? 0.6 : -0.6);
+  }
+  const kernel::RealMatrix k = kernel::gaussian_gram(x, 1.0);
+  const SvcModel weak = train_svc(k, y, {.c = 0.01});
+  const SvcModel strong = train_svc(k, y, {.c = 4.0});
+
+  auto train_errors = [&](const SvcModel& m) {
+    const auto pred = m.predict(k);
+    idx errs = 0;
+    for (idx i = 0; i < n; ++i)
+      if (pred[static_cast<std::size_t>(i)] != y[static_cast<std::size_t>(i)]) ++errs;
+    return errs;
+  };
+  EXPECT_LE(train_errors(strong), train_errors(weak));
+}
+
+TEST(Svm, InseparableDataStillConverges) {
+  // Identical points with conflicting labels: fully inseparable.
+  kernel::RealMatrix k(4, 4);
+  for (idx i = 0; i < 4; ++i)
+    for (idx j = 0; j < 4; ++j) k(i, j) = 1.0;
+  const SvcModel m = train_svc(k, {1, -1, 1, -1}, {.c = 1.0});
+  EXPECT_TRUE(m.converged);
+}
+
+TEST(Svm, DecisionValuesLinearInKernelRows) {
+  const std::vector<std::array<double, 2>> pts{{1.0, 0.0}, {-1.0, 0.0}};
+  const std::vector<int> y{1, -1};
+  const SvcModel m = train_svc(linear_kernel(pts), y, {.c = 10.0, .tol = 1e-6});
+  // Test point at the origin: decision value must be ~0 by symmetry.
+  kernel::RealMatrix ktest(1, 2);
+  ktest(0, 0) = 0.0;
+  ktest(0, 1) = 0.0;
+  EXPECT_NEAR(m.decision_values(ktest)[0], 0.0, 1e-3);
+}
+
+TEST(Svm, SupportVectorCount) {
+  const std::vector<std::array<double, 2>> pts{
+      {2.0, 0.0}, {3.0, 0.0}, {-2.0, 0.0}, {-3.0, 0.0}};
+  const std::vector<int> y{1, 1, -1, -1};
+  const SvcModel m = train_svc(linear_kernel(pts), y, {.c = 100.0, .tol = 1e-6});
+  // Only the two inner points support the margin.
+  EXPECT_LE(m.support_vector_count(), 2);
+  EXPECT_GE(m.support_vector_count(), 1);
+}
+
+TEST(Svm, RejectsBadLabels) {
+  kernel::RealMatrix k(2, 2);
+  k(0, 0) = k(1, 1) = 1.0;
+  EXPECT_THROW(train_svc(k, {1, 0}, {.c = 1.0}), Error);
+}
+
+TEST(Svm, RejectsNonSquareKernel) {
+  kernel::RealMatrix k(2, 3);
+  EXPECT_THROW(train_svc(k, {1, -1}, {.c = 1.0}), Error);
+}
+
+TEST(Svm, RejectsNonPositiveC) {
+  kernel::RealMatrix k(2, 2);
+  EXPECT_THROW(train_svc(k, {1, -1}, {.c = 0.0}), Error);
+}
+
+}  // namespace
+}  // namespace qkmps::svm

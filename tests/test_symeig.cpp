@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/symeig.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::linalg {
+namespace {
+
+kernel::RealMatrix random_symmetric(idx n, std::uint64_t seed) {
+  Rng rng(seed);
+  kernel::RealMatrix a(n, n);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = i; j < n; ++j) {
+      const double v = rng.normal();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  return a;
+}
+
+double reconstruction_error(const kernel::RealMatrix& a, const SymEigResult& f) {
+  const idx n = a.rows();
+  double err = 0.0;
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < n; ++j) {
+      double v = 0.0;
+      for (idx k = 0; k < n; ++k)
+        v += f.eigenvectors(i, k) * f.eigenvalues[static_cast<std::size_t>(k)] *
+             f.eigenvectors(j, k);
+      err = std::max(err, std::abs(v - a(i, j)));
+    }
+  return err;
+}
+
+class SymEigSizes : public ::testing::TestWithParam<idx> {};
+
+TEST_P(SymEigSizes, Reconstructs) {
+  const idx n = GetParam();
+  const auto a = random_symmetric(n, static_cast<std::uint64_t>(n));
+  const SymEigResult f = symmetric_eigen(a);
+  EXPECT_LT(reconstruction_error(a, f), 1e-10);
+}
+
+TEST_P(SymEigSizes, EigenvectorsOrthonormal) {
+  const idx n = GetParam();
+  const auto a = random_symmetric(n, 100 + static_cast<std::uint64_t>(n));
+  const SymEigResult f = symmetric_eigen(a);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (idx k = 0; k < n; ++k) dot += f.eigenvectors(k, i) * f.eigenvectors(k, j);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-11);
+    }
+}
+
+TEST_P(SymEigSizes, EigenvaluesDescending) {
+  const idx n = GetParam();
+  const auto f = symmetric_eigen(random_symmetric(n, 200 + static_cast<std::uint64_t>(n)));
+  for (std::size_t i = 1; i < f.eigenvalues.size(); ++i)
+    EXPECT_LE(f.eigenvalues[i], f.eigenvalues[i - 1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SymEigSizes, ::testing::Values(1, 2, 3, 8, 20, 50));
+
+TEST(SymEig, KnownDiagonal) {
+  kernel::RealMatrix a(3, 3);
+  a(0, 0) = -1.0;
+  a(1, 1) = 4.0;
+  a(2, 2) = 2.0;
+  const auto w = symmetric_eigenvalues(a);
+  EXPECT_NEAR(w[0], 4.0, 1e-13);
+  EXPECT_NEAR(w[1], 2.0, 1e-13);
+  EXPECT_NEAR(w[2], -1.0, 1e-13);
+}
+
+TEST(SymEig, Known2x2) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  kernel::RealMatrix a(2, 2);
+  a(0, 0) = a(1, 1) = 2.0;
+  a(0, 1) = a(1, 0) = 1.0;
+  const auto w = symmetric_eigenvalues(a);
+  EXPECT_NEAR(w[0], 3.0, 1e-13);
+  EXPECT_NEAR(w[1], 1.0, 1e-13);
+}
+
+TEST(SymEig, TraceIsEigenvalueSum) {
+  const auto a = random_symmetric(12, 7);
+  double trace = 0.0;
+  for (idx i = 0; i < 12; ++i) trace += a(i, i);
+  const auto w = symmetric_eigenvalues(a);
+  double sum = 0.0;
+  for (double v : w) sum += v;
+  EXPECT_NEAR(sum, trace, 1e-10);
+}
+
+TEST(SymEig, PsdGramMatrixHasNonNegativeSpectrum) {
+  // A A^T is PSD by construction.
+  Rng rng(9);
+  kernel::RealMatrix a(6, 4);
+  for (idx i = 0; i < 6; ++i)
+    for (idx j = 0; j < 4; ++j) a(i, j) = rng.normal();
+  kernel::RealMatrix g(6, 6);
+  for (idx i = 0; i < 6; ++i)
+    for (idx j = 0; j < 6; ++j) {
+      double s = 0.0;
+      for (idx k = 0; k < 4; ++k) s += a(i, k) * a(j, k);
+      g(i, j) = s;
+    }
+  const auto w = symmetric_eigenvalues(g);
+  for (double v : w) EXPECT_GT(v, -1e-10);
+}
+
+TEST(SymEig, RejectsNonSquare) {
+  kernel::RealMatrix a(2, 3);
+  EXPECT_THROW(symmetric_eigen(a), Error);
+}
+
+}  // namespace
+}  // namespace qkmps::linalg

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "tensor/permute.hpp"
+#include "tensor/tensor.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::tensor {
+namespace {
+
+Tensor random_tensor(std::vector<idx> shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (idx k = 0; k < t.size(); ++k) t[k] = rng.normal_cplx();
+  return t;
+}
+
+TEST(Tensor, ShapeAndSize) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3);
+  EXPECT_EQ(t.size(), 24);
+  EXPECT_EQ(t.extent(1), 3);
+}
+
+TEST(Tensor, RowMajorFlatten) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.flatten({0, 0, 0}), 0);
+  EXPECT_EQ(t.flatten({0, 0, 1}), 1);
+  EXPECT_EQ(t.flatten({0, 1, 0}), 4);
+  EXPECT_EQ(t.flatten({1, 0, 0}), 12);
+  EXPECT_EQ(t.flatten({1, 2, 3}), 23);
+}
+
+TEST(Tensor, FlattenRejectsOutOfRange) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t.flatten({2, 0}), Error);
+}
+
+TEST(Tensor, MultiIndexAccess) {
+  Tensor t({2, 2});
+  t(1, 0) = cplx(3.0, 1.0);
+  EXPECT_EQ(t[2], cplx(3.0, 1.0));
+}
+
+TEST(Tensor, ReshapePreservesFlatOrder) {
+  Rng rng(1);
+  const Tensor t = random_tensor({2, 6}, rng);
+  const Tensor r = t.reshaped({3, 4});
+  for (idx k = 0; k < t.size(); ++k) EXPECT_EQ(t[k], r[k]);
+}
+
+TEST(Tensor, ReshapeRejectsWrongSize) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.reshaped({4, 2}), Error);
+}
+
+TEST(Tensor, AsMatrixGroupsLeadingAxes) {
+  Rng rng(2);
+  const Tensor t = random_tensor({2, 3, 5}, rng);
+  const linalg::Matrix m = t.as_matrix(2);
+  EXPECT_EQ(m.rows(), 6);
+  EXPECT_EQ(m.cols(), 5);
+  EXPECT_EQ(m(1 * 3 + 2, 4), t(1, 2, 4));
+}
+
+TEST(Tensor, FromMatrixRoundTrip) {
+  Rng rng(3);
+  const Tensor t = random_tensor({4, 3, 2}, rng);
+  const Tensor back = Tensor::from_matrix(t.as_matrix(1), {4, 3, 2});
+  EXPECT_EQ(max_abs_diff(t, back), 0.0);
+}
+
+TEST(Tensor, ConjNegatesImaginary) {
+  Tensor t({1, 1});
+  t[0] = cplx(1.0, 2.0);
+  EXPECT_EQ(t.conj()[0], cplx(1.0, -2.0));
+}
+
+TEST(Permute, IdentityPermutation) {
+  Rng rng(4);
+  const Tensor t = random_tensor({3, 4, 2}, rng);
+  EXPECT_EQ(max_abs_diff(permuted(t, {0, 1, 2}), t), 0.0);
+}
+
+TEST(Permute, TransposeMatrixCase) {
+  Rng rng(5);
+  const Tensor t = random_tensor({3, 5}, rng);
+  const Tensor p = permuted(t, {1, 0});
+  EXPECT_EQ(p.extent(0), 5);
+  for (idx i = 0; i < 3; ++i)
+    for (idx j = 0; j < 5; ++j) EXPECT_EQ(p(j, i), t(i, j));
+}
+
+TEST(Permute, ThreeAxisRotation) {
+  Rng rng(6);
+  const Tensor t = random_tensor({2, 3, 4}, rng);
+  const Tensor p = permuted(t, {2, 0, 1});
+  EXPECT_EQ(p.shape(), (std::vector<idx>{4, 2, 3}));
+  for (idx a = 0; a < 2; ++a)
+    for (idx b = 0; b < 3; ++b)
+      for (idx c = 0; c < 4; ++c) EXPECT_EQ(p(c, a, b), t(a, b, c));
+}
+
+TEST(Permute, InversePermutationRestores) {
+  Rng rng(7);
+  const Tensor t = random_tensor({2, 3, 4, 5}, rng);
+  const Tensor p = permuted(t, {3, 1, 0, 2});
+  // inverse of {3,1,0,2} is {2,1,3,0}
+  const Tensor back = permuted(p, {2, 1, 3, 0});
+  EXPECT_EQ(max_abs_diff(back, t), 0.0);
+}
+
+TEST(Permute, RejectsInvalidPermutation) {
+  Tensor t({2, 2});
+  EXPECT_THROW(permuted(t, {0, 0}), Error);
+  EXPECT_THROW(permuted(t, {0}), Error);
+}
+
+}  // namespace
+}  // namespace qkmps::tensor

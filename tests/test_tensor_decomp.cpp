@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "tensor/contract.hpp"
+#include "tensor/decompositions.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::tensor {
+namespace {
+
+Tensor random_tensor(std::vector<idx> shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (idx k = 0; k < t.size(); ++k) t[k] = rng.normal_cplx();
+  return t;
+}
+
+Tensor reassemble_svd(const TensorSvd& f) {
+  // Scale u's last axis by s, then contract with vh's first axis.
+  Tensor us = f.u;
+  const idx rank = static_cast<idx>(f.s.size());
+  const idx lead = us.size() / rank;
+  for (idx i = 0; i < lead; ++i)
+    for (idx r = 0; r < rank; ++r)
+      us[i * rank + r] *= f.s[static_cast<std::size_t>(r)];
+  return contract(us, {us.rank() - 1}, f.vh, {0});
+}
+
+TEST(SvdSplit, FullRankReconstructs) {
+  Rng rng(1);
+  const Tensor t = random_tensor({3, 2, 2, 4}, rng);
+  const TensorSvd f = svd_split(t, 2);
+  EXPECT_EQ(f.u.shape(), (std::vector<idx>{3, 2, 6}));
+  EXPECT_EQ(f.vh.shape(), (std::vector<idx>{6, 2, 4}));
+  EXPECT_LT(max_abs_diff(reassemble_svd(f), t), 1e-11);
+  EXPECT_EQ(f.discarded_weight, 0.0);
+}
+
+TEST(SvdSplit, TruncationReportsDiscardedWeight) {
+  Rng rng(2);
+  const Tensor t = random_tensor({4, 4}, rng);
+  const TensorSvd f = svd_split(t, 1, /*max_discarded_weight=*/1e300);
+  // Everything but one singular value is discarded under a huge budget.
+  EXPECT_EQ(f.s.size(), 1u);
+  EXPECT_GT(f.discarded_weight, 0.0);
+}
+
+TEST(SvdSplit, MaxRankCap) {
+  Rng rng(3);
+  const Tensor t = random_tensor({4, 6}, rng);
+  const TensorSvd f = svd_split(t, 1, -1.0, 2);
+  EXPECT_EQ(f.s.size(), 2u);
+  EXPECT_EQ(f.u.shape().back(), 2);
+}
+
+TEST(SvdSplit, TinyBudgetIsLossless) {
+  Rng rng(4);
+  const Tensor t = random_tensor({2, 3, 4}, rng);
+  const TensorSvd f = svd_split(t, 1, kDefaultTruncationError);
+  EXPECT_LT(max_abs_diff(reassemble_svd(f), t), 1e-10);
+  EXPECT_LE(f.discarded_weight, kDefaultTruncationError);
+}
+
+TEST(QrSplit, Reconstructs) {
+  Rng rng(5);
+  const Tensor t = random_tensor({3, 2, 5}, rng);
+  const TensorQr f = qr_split(t, 2);
+  const Tensor rec = contract(f.q, {2}, f.r, {0});
+  EXPECT_LT(max_abs_diff(rec, t), 1e-12);
+}
+
+TEST(QrSplit, QFactorIsIsometry) {
+  Rng rng(6);
+  const Tensor t = random_tensor({4, 2, 3}, rng);
+  const TensorQr f = qr_split(t, 2);
+  // Contract q with its conjugate over the left axes: should be identity.
+  const Tensor gram = contract(f.q.conj(), {0, 1}, f.q, {0, 1});
+  for (idx i = 0; i < gram.extent(0); ++i)
+    for (idx j = 0; j < gram.extent(1); ++j)
+      EXPECT_NEAR(std::abs(gram(i, j) - (i == j ? cplx(1.0) : cplx(0.0))), 0.0,
+                  1e-12);
+}
+
+TEST(SvdSplit, InvalidBipartitionThrows) {
+  Tensor t({2, 2});
+  EXPECT_THROW(svd_split(t, 0), Error);
+  EXPECT_THROW(svd_split(t, 2), Error);
+}
+
+}  // namespace
+}  // namespace qkmps::tensor

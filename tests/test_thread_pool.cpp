@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace qkmps::parallel {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTask) {
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  pool.submit([&] { ++hits; }).get();
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(ThreadPool, RunsManyTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> hits{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i) futs.push_back(pool.submit([&] { ++hits; }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> touched(257);
+  pool.parallel_for(257, [&](std::size_t i) { ++touched[i]; });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ParallelForSingleElement) {
+  ThreadPool pool(4);
+  std::atomic<int> hits{0};
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++hits;
+  });
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(ThreadPool, TaskExceptionSurfacesThroughFuture) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SizeReportsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) { EXPECT_THROW(ThreadPool(0), Error); }
+
+TEST(ThreadPool, ParallelForComputesCorrectSum) {
+  ThreadPool pool(2);
+  std::vector<double> values(1000);
+  pool.parallel_for(values.size(), [&](std::size_t i) {
+    values[i] = static_cast<double>(i);
+  });
+  const double sum = std::accumulate(values.begin(), values.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, 999.0 * 1000.0 / 2.0);
+}
+
+}  // namespace
+}  // namespace qkmps::parallel
