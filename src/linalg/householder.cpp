@@ -1,6 +1,8 @@
 #include "linalg/householder.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace qkmps::linalg {
 
@@ -10,6 +12,35 @@ Reflector make_reflector(const cplx* x, idx n) {
   h.v.assign(static_cast<std::size_t>(n), cplx(0.0));
   h.v[0] = 1.0;
 
+  // Columns whose entries sit in the denormal range make std::norm underflow
+  // to zero, which would turn beta into +-0 and tau into NaN below; columns
+  // near the overflow range would square to inf. Rescale to O(1) first
+  // (LAPACK zlarfg's safe-min loop); v and tau are scale-invariant and only
+  // beta has to be scaled back.
+  double amax = 0.0;
+  bool finite = true;
+  for (idx i = 0; i < n; ++i) {
+    const double re = std::abs(x[i].real()), im = std::abs(x[i].imag());
+    if (std::isnan(re) || std::isnan(im)) finite = false;
+    amax = std::max({amax, re, im});
+  }
+  if (amax == 0.0 && finite) {
+    // Exactly-zero column: nothing to annihilate, H = I. NaN-poisoned
+    // columns (which also leave amax untouched) must NOT take this path —
+    // they fall through so the NaN stays visible in beta/tau.
+    h.tau = 0.0;
+    h.beta = 0.0;
+    return h;
+  }
+  double rescale = 1.0;
+  std::vector<cplx> scaled;
+  if (amax < 1e-150 || amax > 1e150) {
+    rescale = amax;
+    scaled.assign(x, x + n);
+    for (auto& v : scaled) v /= rescale;
+    x = scaled.data();
+  }
+
   const cplx alpha = x[0];
   double xnorm_sq = 0.0;
   for (idx i = 1; i < n; ++i) xnorm_sq += std::norm(x[i]);
@@ -17,14 +48,14 @@ Reflector make_reflector(const cplx* x, idx n) {
   if (xnorm_sq == 0.0 && alpha.imag() == 0.0) {
     // Already of the required form; H = I.
     h.tau = 0.0;
-    h.beta = alpha.real();
+    h.beta = alpha.real() * rescale;
     return h;
   }
 
   const double anorm = std::sqrt(std::norm(alpha) + xnorm_sq);
   // beta gets the opposite sign of Re(alpha) to avoid cancellation.
   const double beta = (alpha.real() >= 0.0) ? -anorm : anorm;
-  h.beta = beta;
+  h.beta = beta * rescale;
   // Note: LAPACK's zlarfg returns tau such that (I - tau v v^H)^H x = beta e1;
   // we store the conjugate so that H = I - tau v v^H annihilates x directly.
   h.tau = cplx((beta - alpha.real()) / beta, alpha.imag() / beta);

@@ -14,9 +14,10 @@ struct TruncationConfig {
   idx max_bond = 0;
 };
 
-/// Running record of the error actually introduced: the fidelity lower
-/// bound is prod_k (1 - w_k) >= 1 - sum_k w_k over per-truncation discarded
-/// weights w_k, so we track their sum.
+/// Running record of the error actually introduced: we track the sum of
+/// per-truncation discarded weights w_k. 1 - sum_k w_k approximates the
+/// final fidelity to first order (see fidelity_lower_bound for when that
+/// is and is not a rigorous bound).
 struct TruncationStats {
   double total_discarded_weight = 0.0;
   idx truncation_count = 0;
@@ -28,7 +29,11 @@ struct TruncationStats {
     if (new_bond > max_bond_seen) max_bond_seen = new_bond;
   }
 
-  /// Lower bound on |<ideal|truncated>|^2 (Eq. 8 accumulated).
+  /// First-order estimate of |<ideal|truncated>|^2 (Eq. 8 accumulated).
+  /// Rigorous as a bound only in the small-budget regime (cross terms
+  /// between truncation errors are second order in w_k); under aggressive
+  /// truncation the guaranteed statement is the 2-norm one,
+  /// ||ideal - truncated|| <= sum_k sqrt(w_k) <= sqrt(count * sum_k w_k).
   double fidelity_lower_bound() const {
     const double f = 1.0 - total_discarded_weight;
     return f > 0.0 ? f : 0.0;

@@ -21,10 +21,16 @@
 #include "kernel/diagnostics.hpp"    // IWYU pragma: export
 #include "kernel/gaussian.hpp"       // IWYU pragma: export
 #include "kernel/gram.hpp"           // IWYU pragma: export
+#include "kernel/kernel_matrix.hpp"  // IWYU pragma: export
 #include "kernel/projected.hpp"      // IWYU pragma: export
 #include "kernel/shot_kernel.hpp"    // IWYU pragma: export
+#include "linalg/bidiag.hpp"         // IWYU pragma: export
 #include "linalg/gemm.hpp"           // IWYU pragma: export
+#include "linalg/householder.hpp"    // IWYU pragma: export
 #include "linalg/jacobi_svd.hpp"     // IWYU pragma: export
+#include "linalg/matrix.hpp"         // IWYU pragma: export
+#include "linalg/norms.hpp"          // IWYU pragma: export
+#include "linalg/policy.hpp"         // IWYU pragma: export
 #include "linalg/qr.hpp"             // IWYU pragma: export
 #include "linalg/svd.hpp"            // IWYU pragma: export
 #include "linalg/symeig.hpp"         // IWYU pragma: export
@@ -32,11 +38,13 @@
 #include "mps/entanglement.hpp"      // IWYU pragma: export
 #include "mps/gate_application.hpp"  // IWYU pragma: export
 #include "mps/inner_product.hpp"     // IWYU pragma: export
+#include "mps/memory_tracker.hpp"    // IWYU pragma: export
 #include "mps/mps.hpp"               // IWYU pragma: export
 #include "mps/observables.hpp"       // IWYU pragma: export
 #include "mps/sampling.hpp"          // IWYU pragma: export
 #include "mps/serialization.hpp"     // IWYU pragma: export
 #include "mps/simulator.hpp"         // IWYU pragma: export
+#include "mps/truncation.hpp"        // IWYU pragma: export
 #include "parallel/partition.hpp"    // IWYU pragma: export
 #include "parallel/rank_runtime.hpp" // IWYU pragma: export
 #include "parallel/thread_pool.hpp"  // IWYU pragma: export
@@ -48,6 +56,9 @@
 #include "tensor/permute.hpp"        // IWYU pragma: export
 #include "tensor/tensor.hpp"         // IWYU pragma: export
 #include "util/cli.hpp"              // IWYU pragma: export
+#include "util/error.hpp"            // IWYU pragma: export
+#include "util/json_writer.hpp"      // IWYU pragma: export
 #include "util/rng.hpp"              // IWYU pragma: export
 #include "util/stats.hpp"            // IWYU pragma: export
 #include "util/timer.hpp"            // IWYU pragma: export
+#include "util/types.hpp"            // IWYU pragma: export

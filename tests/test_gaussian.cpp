@@ -14,7 +14,7 @@ TEST(Gaussian, DiagonalIsOne) {
   for (idx i = 0; i < 4; ++i)
     for (idx j = 0; j < 3; ++j) x(i, j) = rng.normal();
   const RealMatrix k = gaussian_gram(x, 0.5);
-  for (idx i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(k(i, i), 1.0);
+  for (idx i = 0; i < 4; ++i) EXPECT_NEAR(k(i, i), 1.0, 1e-12);
 }
 
 TEST(Gaussian, KnownTwoPointValue) {

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/gate.hpp"
 #include "linalg/gemm.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/svd.hpp"
@@ -31,6 +37,105 @@ inline std::vector<double> random_features(idx m, Rng& rng) {
   std::vector<double> x(static_cast<std::size_t>(m));
   for (auto& v : x) v = rng.uniform(0.05, 1.95);
   return x;
+}
+
+/// Random circuit over the full gate vocabulary. Two-qubit gates act on
+/// adjacent sites when `nearest_neighbour_only` is set, and on arbitrary
+/// (distinct) pairs otherwise — the latter exercises the routing pass when
+/// fed to the MPS simulator.
+inline circuit::Circuit random_circuit(idx m, idx num_gates, Rng& rng,
+                                       bool nearest_neighbour_only = false) {
+  circuit::Circuit c(m);
+  for (idx g = 0; g < num_gates; ++g) {
+    const auto kind = rng.uniform_int(7);
+    const idx q0 = static_cast<idx>(rng.uniform_int(static_cast<std::uint64_t>(m)));
+    const double angle = rng.uniform(-kPi, kPi);
+    switch (kind) {
+      case 0: c.h(q0); break;
+      case 1: c.x(q0); break;
+      case 2: c.z(q0); break;
+      case 3: c.rz(q0, angle); break;
+      case 4: c.rx(q0, angle); break;
+      default: {
+        if (m < 2) { c.h(q0); break; }
+        idx a = q0, b;
+        if (nearest_neighbour_only) {
+          a = static_cast<idx>(rng.uniform_int(static_cast<std::uint64_t>(m - 1)));
+          b = a + 1;
+        } else {
+          do {
+            b = static_cast<idx>(rng.uniform_int(static_cast<std::uint64_t>(m)));
+          } while (b == a);
+        }
+        if (kind == 5) c.rxx(a, b, angle);
+        else c.swap(a, b);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+/// <a|b> = sum_i conj(a_i) b_i over dense amplitude vectors.
+inline cplx dense_inner_product(const std::vector<cplx>& a,
+                                const std::vector<cplx>& b) {
+  cplx acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::conj(a[i]) * b[i];
+  return acc;
+}
+
+/// Max elementwise |a_i - b_i| between dense amplitude vectors.
+inline double max_amplitude_diff(const std::vector<cplx>& a,
+                                 const std::vector<cplx>& b) {
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    diff = std::max(diff, std::abs(a[i] - b[i]));
+  return diff;
+}
+
+/// 1 - |<a|b>|^2: the infidelity of state b against reference a.
+inline double dense_infidelity(const std::vector<cplx>& a,
+                               const std::vector<cplx>& b) {
+  return 1.0 - std::norm(dense_inner_product(a, b));
+}
+
+/// <P_q> from a dense amplitude vector, qubit 0 = most significant bit
+/// (matching Statevector and Mps::to_statevector). `pauli` is 'X', 'Y',
+/// or 'Z'.
+inline double dense_pauli_expectation(const std::vector<cplx>& amps, idx m,
+                                      idx q, char pauli) {
+  const std::size_t mask = std::size_t{1} << (m - 1 - q);
+  cplx acc = 0.0;
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    const bool one = (i & mask) != 0;
+    switch (pauli) {
+      case 'Z':
+        acc += std::conj(amps[i]) * amps[i] * (one ? -1.0 : 1.0);
+        break;
+      case 'X':
+        acc += std::conj(amps[i]) * amps[i ^ mask];
+        break;
+      case 'Y':
+        acc += std::conj(amps[i]) * amps[i ^ mask] * cplx(0.0, one ? 1.0 : -1.0);
+        break;
+      default:
+        ADD_FAILURE() << "unknown Pauli " << pauli;
+    }
+  }
+  return acc.real();
+}
+
+/// <Z_q Z_{q+1}> from a dense amplitude vector.
+inline double dense_zz_correlation(const std::vector<cplx>& amps, idx m, idx q) {
+  const std::size_t mask0 = std::size_t{1} << (m - 1 - q);
+  const std::size_t mask1 = std::size_t{1} << (m - 2 - q);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    const double sign =
+        (((i & mask0) != 0) != ((i & mask1) != 0)) ? -1.0 : 1.0;
+    acc += std::norm(amps[i]) * sign;
+  }
+  return acc;
 }
 
 }  // namespace qkmps::testing

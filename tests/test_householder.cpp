@@ -66,6 +66,54 @@ TEST(Householder, AlreadyRealIsIdentity) {
   EXPECT_DOUBLE_EQ(h.beta, 2.0);
 }
 
+TEST(Householder, DenormalColumnStaysFinite) {
+  // Regression: columns whose entries square to zero (std::norm underflow)
+  // used to produce beta = +-0 and tau = NaN, poisoning every QR/LQ/SVD
+  // downstream. The rescaling path must keep the reflector finite and
+  // still annihilate the tail at the original scale.
+  std::vector<cplx> x = {cplx(0.0, 1e-193), cplx(3e-193, -2e-193),
+                         cplx(-1e-200, 0.0)};
+  const Reflector h = make_reflector(x.data(), 3);
+  EXPECT_TRUE(std::isfinite(h.beta));
+  EXPECT_TRUE(std::isfinite(h.tau.real()) && std::isfinite(h.tau.imag()));
+  for (const auto& v : h.v)
+    EXPECT_TRUE(std::isfinite(v.real()) && std::isfinite(v.imag()));
+  // |beta| = ||x|| at the original (denormal-squaring) scale.
+  const double expect_norm = std::hypot(std::hypot(1e-193, 3e-193),
+                                        std::hypot(2e-193, 1e-200));
+  EXPECT_NEAR(std::abs(h.beta) / expect_norm, 1.0, 1e-12);
+  const auto hx = apply_h(h, x);
+  for (std::size_t i = 1; i < 3; ++i)
+    EXPECT_NEAR(std::abs(hx[i]) / expect_norm, 0.0, 1e-12);
+}
+
+TEST(Householder, HugeColumnStaysFinite) {
+  // The mirror overflow case: entries whose squares overflow to inf.
+  std::vector<cplx> x = {cplx(2e160, -1e160), cplx(0.0, 3e160)};
+  const Reflector h = make_reflector(x.data(), 2);
+  EXPECT_TRUE(std::isfinite(h.beta));
+  EXPECT_TRUE(std::isfinite(h.tau.real()) && std::isfinite(h.tau.imag()));
+  const double expect_norm =
+      std::hypot(std::hypot(2e160, 1e160), 3e160);
+  EXPECT_NEAR(std::abs(h.beta) / expect_norm, 1.0, 1e-12);
+}
+
+TEST(Householder, ExactZeroColumnIsIdentity) {
+  std::vector<cplx> x(4, cplx(0.0));
+  const Reflector h = make_reflector(x.data(), 4);
+  EXPECT_EQ(h.tau, cplx(0.0));
+  EXPECT_EQ(h.beta, 0.0);
+}
+
+TEST(Householder, NanColumnPropagatesNan) {
+  // NaN must stay visible: an all-NaN column looks like amax == 0 to the
+  // max scan, but must not be laundered into an identity reflector.
+  std::vector<cplx> x = {cplx(std::nan(""), 0.0), cplx(0.0, 0.0)};
+  const Reflector h = make_reflector(x.data(), 2);
+  EXPECT_TRUE(std::isnan(h.beta) || std::isnan(h.tau.real()) ||
+              std::isnan(h.tau.imag()));
+}
+
 TEST(Householder, ReflectorIsUnitary) {
   Rng rng(4);
   std::vector<cplx> x(4);

@@ -81,7 +81,9 @@ TEST(FeatureScaler, TransformIsMonotone) {
   const auto t = s.transform(x);
   for (idx i = 0; i < 39; ++i)
     for (idx k = i + 1; k < 40; ++k)
-      if (x(i, 0) < x(k, 0)) EXPECT_LE(t(i, 0), t(k, 0));
+      if (x(i, 0) < x(k, 0)) {
+        EXPECT_LE(t(i, 0), t(k, 0));
+      }
 }
 
 TEST(FeatureScaler, RejectsFeatureCountMismatch) {

@@ -44,7 +44,7 @@ TEST(ProjectedKernel, FeaturesAreBoundedExpectations) {
 TEST(ProjectedKernel, GramDiagonalIsOne) {
   const RealMatrix x = random_scaled_data(6, 4, 3);
   const RealMatrix k = projected_gram(config(4), x);
-  for (idx i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(k(i, i), 1.0);
+  for (idx i = 0; i < 6; ++i) EXPECT_NEAR(k(i, i), 1.0, 1e-12);
 }
 
 TEST(ProjectedKernel, GramSymmetricBounded) {

@@ -39,7 +39,9 @@ TEST_P(SvdShapes, SingularValuesSortedNonNegative) {
   EXPECT_EQ(static_cast<idx>(f.s.size()), std::min(m, n));
   for (std::size_t i = 0; i < f.s.size(); ++i) {
     EXPECT_GE(f.s[i], 0.0);
-    if (i > 0) EXPECT_LE(f.s[i], f.s[i - 1]);
+    if (i > 0) {
+      EXPECT_LE(f.s[i], f.s[i - 1]);
+    }
   }
 }
 

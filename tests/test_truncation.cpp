@@ -1,0 +1,152 @@
+/// Tests for mps/truncation.hpp — the error-accounting contract (Eq. 8)
+/// and the bond-dimension cap, both as pure bookkeeping and as enforced by
+/// the gate-application/simulation pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "circuit/ansatz.hpp"
+#include "circuit/statevector.hpp"
+#include "linalg/svd.hpp"
+#include "mps/simulator.hpp"
+#include "mps/truncation.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::mps {
+namespace {
+
+using qkmps::testing::dense_infidelity;
+using qkmps::testing::random_features;
+
+TEST(TruncationConfig, DefaultBudgetIsMachinePrecisionAndUncapped) {
+  const TruncationConfig cfg;
+  EXPECT_EQ(cfg.max_discarded_weight, kDefaultTruncationError);
+  EXPECT_EQ(cfg.max_bond, 0);
+}
+
+TEST(TruncationStats, RecordAccumulatesWeightCountAndMaxBond) {
+  TruncationStats stats;
+  stats.record(1e-4, 4);
+  stats.record(2e-4, 8);
+  stats.record(0.0, 2);  // bond shrank; max must not
+  EXPECT_NEAR(stats.total_discarded_weight, 3e-4, 1e-18);
+  EXPECT_EQ(stats.truncation_count, 3);
+  EXPECT_EQ(stats.max_bond_seen, 8);
+}
+
+TEST(TruncationStats, FidelityLowerBoundComplementsWeight) {
+  TruncationStats stats;
+  stats.record(0.25, 2);
+  EXPECT_NEAR(stats.fidelity_lower_bound(), 0.75, 1e-15);
+}
+
+TEST(TruncationStats, FidelityLowerBoundClampsAtZero) {
+  TruncationStats stats;
+  stats.record(1.5, 2);
+  EXPECT_EQ(stats.fidelity_lower_bound(), 0.0);
+}
+
+TEST(TruncationRank, WalksTailUntilWeightBudgetExceeded) {
+  // Discarding 0.001^2 + 0.01^2 = 1.01e-4 fits a 2e-4 budget; adding
+  // 0.1^2 would not. Keep the first two values.
+  const std::vector<double> s = {1.0, 0.1, 0.01, 0.001};
+  EXPECT_EQ(linalg::truncation_rank(s, 2e-4, 0), 2);
+}
+
+TEST(TruncationRank, NeverDropsEverySingularValue) {
+  const std::vector<double> s = {0.3, 0.2, 0.1};
+  EXPECT_EQ(linalg::truncation_rank(s, 1e9, 0), 1);
+}
+
+TEST(TruncationRank, ZeroBudgetStillPrunesExactNullDirections) {
+  // The "exact" simulator config uses a zero budget; it must still drop
+  // singular values that are exactly zero (null directions cost nothing).
+  const std::vector<double> s = {1.0, 0.5, 0.0, 0.0};
+  EXPECT_EQ(linalg::truncation_rank(s, 0.0, 0), 2);
+}
+
+TEST(TruncationRank, BondCapOverridesWeightBudget) {
+  const std::vector<double> s = {1.0, 0.9, 0.8, 0.7};
+  EXPECT_EQ(linalg::truncation_rank(s, 1e-16, 2), 2);
+  // Cap looser than what the budget keeps: budget rules.
+  EXPECT_EQ(linalg::truncation_rank(s, 1e-16, 100), 4);
+}
+
+circuit::Circuit entangling_circuit(std::uint64_t seed) {
+  Rng rng(seed);
+  const circuit::AnsatzParams p{
+      .num_features = 8, .layers = 3, .distance = 3, .gamma = 1.2};
+  return circuit::feature_map_circuit(p, random_features(8, rng));
+}
+
+TEST(TruncationPipeline, BondCapIsEnforcedDuringSimulation) {
+  SimulatorConfig cfg;
+  cfg.truncation.max_bond = 4;
+  const MpsSimulator sim(cfg);
+  const SimulationResult r = sim.simulate(entangling_circuit(1));
+
+  EXPECT_LE(r.state.max_bond(), 4);
+  EXPECT_LE(r.truncation.max_bond_seen, 4);
+  EXPECT_GT(r.truncation.truncation_count, 0);
+  EXPECT_GT(r.truncation.total_discarded_weight, 0.0);
+}
+
+TEST(TruncationPipeline, StatsWeightMatchesLostNorm) {
+  // Each truncation renormalizes nothing: the squared norm of the state
+  // drops by exactly the discarded weight (to first order, products of
+  // per-step losses). The accumulated stats must bound the lost norm.
+  SimulatorConfig cfg;
+  cfg.truncation.max_bond = 4;
+  const MpsSimulator sim(cfg);
+  const SimulationResult r = sim.simulate(entangling_circuit(2));
+
+  const double norm2 = r.state.norm() * r.state.norm();
+  EXPECT_GE(norm2, r.truncation.fidelity_lower_bound() - 1e-12);
+  EXPECT_LE(norm2, 1.0 + 1e-12);
+}
+
+TEST(TruncationPipeline, TwoNormErrorBoundHoldsUnderHardBondCap) {
+  // The rigorous accumulated guarantee: each truncation adds 2-norm error
+  // sqrt(w_k) and gates are norm-preserving, so
+  //   ||ideal - trunc|| <= sum_k sqrt(w_k) <= sqrt(count * sum_k w_k)
+  // (Cauchy-Schwarz). Unlike the first-order fidelity estimate, this holds
+  // even when a hard chi cap discards substantial weight.
+  const circuit::Circuit c = entangling_circuit(3);
+  SimulatorConfig cfg;
+  cfg.truncation.max_bond = 6;
+  const MpsSimulator sim(cfg);
+  const SimulationResult r = sim.simulate(c);
+  EXPECT_GT(r.truncation.total_discarded_weight, 1e-10);  // cap actually bit
+
+  const std::vector<cplx> approx = r.state.to_statevector();
+  const auto ideal = circuit::simulate_statevector(c).amplitudes();
+  double err_sq = 0.0;
+  for (std::size_t i = 0; i < ideal.size(); ++i)
+    err_sq += std::norm(ideal[i] - approx[i]);
+  const double bound =
+      std::sqrt(static_cast<double>(r.truncation.truncation_count) *
+                r.truncation.total_discarded_weight);
+  EXPECT_LE(std::sqrt(err_sq), bound + 1e-12);
+}
+
+TEST(TruncationPipeline, LooserWeightBudgetDiscardsMore) {
+  const circuit::Circuit c = entangling_circuit(4);
+  double prev_weight = -1.0;
+  idx prev_bond = 1 << 10;
+  // Looser budgets discard more weight and keep smaller bonds.
+  for (const double budget : {1e-16, 1e-8, 1e-4, 1e-2}) {
+    SimulatorConfig cfg;
+    cfg.truncation.max_discarded_weight = budget;
+    const MpsSimulator sim(cfg);
+    const SimulationResult r = sim.simulate(c);
+    EXPECT_GE(r.truncation.total_discarded_weight, prev_weight);
+    EXPECT_LE(r.state.max_bond(), prev_bond);
+    prev_weight = r.truncation.total_discarded_weight;
+    prev_bond = r.state.max_bond();
+  }
+}
+
+}  // namespace
+}  // namespace qkmps::mps

@@ -88,7 +88,7 @@ TEST(ThreadCpuTimer, DoesNotAdvanceWhileSleeping) {
 TEST(ThreadCpuTimer, AdvancesUnderCompute) {
   ThreadCpuTimer t;
   volatile double sink = 0.0;
-  for (int i = 0; i < 20'000'000; ++i) sink += static_cast<double>(i) * 1e-9;
+  for (int i = 0; i < 20'000'000; ++i) sink = sink + static_cast<double>(i) * 1e-9;
   EXPECT_GT(t.seconds(), 0.001);
 }
 
