@@ -1,0 +1,228 @@
+/// Serving-subsystem benchmark: end-to-end throughput (requests/sec) and
+/// p50/p99 request latency of the micro-batched InferenceEngine, swept
+/// over batch size and cache configuration, against the naive baseline a
+/// one-shot script would use (re-simulate the query circuit per request,
+/// sequentially, no batching, no cache).
+///
+/// Workload: a repeated-query stream — each request is drawn from a small
+/// pool of distinct transactions, so a fraction of traffic re-queries
+/// recently seen points (the regime the StateCache targets; Sec. III-A's
+/// "one circuit simulation per new point" is the cost being amortized).
+///
+/// Knobs: QKMPS_SERVE_REQUESTS, QKMPS_SERVE_UNIQUE, QKMPS_SERVE_FEATURES,
+/// QKMPS_SERVE_TRAIN (per class); QKMPS_FULL=1 scales everything up.
+/// Emits serving.json for the bench trajectory.
+
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "kernel/gram.hpp"
+#include "mps/inner_product.hpp"
+#include "serve/inference_engine.hpp"
+#include "svm/svm.hpp"
+#include "util/timer.hpp"
+
+using namespace qkmps;
+
+namespace {
+
+struct Workload {
+  serve::ModelBundle bundle;
+  kernel::RealMatrix requests;  ///< raw (unscaled) feature rows, with repeats
+  idx n_train = 0;
+};
+
+Workload build_workload(idx per_class, idx m, idx layers, idx n_requests,
+                        idx n_unique) {
+  data::EllipticSyntheticParams gen;
+  gen.num_points = std::max<idx>(24 * per_class, 2000);
+  gen.num_features = m;
+  const data::Dataset pool = data::generate_elliptic_synthetic(gen);
+  Rng rng(42);
+  const data::Dataset sample = data::balanced_subsample(pool, per_class, rng);
+  const data::TrainTestSplit split = data::train_test_split(sample, 0.2, rng);
+  const data::FeatureScaler scaler = data::FeatureScaler::fit(split.train.x);
+  const auto x_train = scaler.transform(split.train.x);
+
+  kernel::QuantumKernelConfig cfg;
+  cfg.ansatz = {.num_features = m, .layers = layers, .distance = 1,
+                .gamma = 0.25};
+  const auto train_states = kernel::simulate_states(cfg, x_train);
+  const auto k_train = kernel::gram_from_states(train_states, cfg.sim.policy);
+  const auto model = svm::train_svc(k_train, split.train.y, {.c = 1.0});
+
+  Workload w;
+  w.bundle = serve::make_bundle(cfg, scaler, model, train_states);
+  w.n_train = split.train.size();
+
+  // Repeated-query stream over a small pool of distinct transactions.
+  Rng traffic(7);
+  w.requests = kernel::RealMatrix(n_requests, m);
+  for (idx r = 0; r < n_requests; ++r) {
+    const idx pick = static_cast<idx>(traffic.uniform_int(
+        static_cast<std::uint64_t>(std::min(n_unique, pool.size()))));
+    for (idx j = 0; j < m; ++j) w.requests(r, j) = pool.x(pick, j);
+  }
+  return w;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  double throughput = 0.0;  ///< requests / second
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double hit_rate = 0.0;
+  std::uint64_t circuits = 0;
+};
+
+/// Baseline: what inference costs without the serving layer — per request,
+/// scale + simulate the circuit + #SV inner products + score, one after
+/// another. Latency == per-request wall time (no queueing).
+RunResult run_sequential_baseline(const Workload& w) {
+  const serve::ModelBundle& b = w.bundle;
+  const idx n_sv = b.num_support_vectors();
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(w.requests.rows()));
+  Timer total;
+  for (idx r = 0; r < w.requests.rows(); ++r) {
+    Timer per_request;
+    kernel::RealMatrix one(1, w.requests.cols());
+    for (idx j = 0; j < w.requests.cols(); ++j) one(0, j) = w.requests(r, j);
+    const auto scaled = b.scaler.transform(one);
+    const auto state = kernel::simulate_states(b.config, scaled);
+    std::vector<double> k_row(static_cast<std::size_t>(n_sv));
+    for (idx j = 0; j < n_sv; ++j)
+      k_row[static_cast<std::size_t>(j)] = mps::overlap_squared(
+          state[0], b.sv_states[static_cast<std::size_t>(j)], b.config.sim.policy);
+    (void)b.model.decision_value(k_row);
+    latencies.push_back(per_request.seconds());
+  }
+  RunResult res;
+  res.seconds = total.seconds();
+  res.throughput = static_cast<double>(w.requests.rows()) / res.seconds;
+  res.p50_ms = 1e3 * quantile(latencies, 0.50);
+  res.p99_ms = 1e3 * quantile(latencies, 0.99);
+  res.circuits = static_cast<std::uint64_t>(w.requests.rows());
+  return res;
+}
+
+RunResult run_engine(const Workload& w, std::size_t max_batch,
+                     std::size_t cache_capacity) {
+  serve::EngineConfig cfg;
+  cfg.max_batch = max_batch;
+  cfg.cache_capacity = cache_capacity;
+  cfg.batch_deadline = std::chrono::microseconds(500);
+  serve::InferenceEngine engine(w.bundle, cfg);
+
+  std::vector<std::future<serve::Prediction>> futures;
+  futures.reserve(static_cast<std::size_t>(w.requests.rows()));
+  Timer total;
+  for (idx r = 0; r < w.requests.rows(); ++r)
+    futures.push_back(engine.submit(std::vector<double>(
+        w.requests.row(r), w.requests.row(r) + w.requests.cols())));
+  std::vector<double> latencies;
+  latencies.reserve(futures.size());
+  for (auto& f : futures) latencies.push_back(f.get().latency_seconds);
+
+  RunResult res;
+  res.seconds = total.seconds();
+  res.throughput = static_cast<double>(w.requests.rows()) / res.seconds;
+  res.p50_ms = 1e3 * quantile(latencies, 0.50);
+  res.p99_ms = 1e3 * quantile(latencies, 0.99);
+  const serve::EngineStats stats = engine.stats();
+  res.hit_rate = stats.cache.hit_rate();
+  res.circuits = stats.circuits_simulated;
+  return res;
+}
+
+void print_row(const char* label, const RunResult& r) {
+  std::printf("%-28s %9.0f req/s %9.2f ms %9.2f ms %7.0f%% %9llu\n", label,
+              r.throughput, r.p50_ms, r.p99_ms, 100.0 * r.hit_rate,
+              static_cast<unsigned long long>(r.circuits));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("serving: micro-batched engine vs per-request re-simulation");
+  const bool full = full_scale_requested();
+  const idx per_class = env_int("QKMPS_SERVE_TRAIN", full ? 100 : 30);
+  const idx m = env_int("QKMPS_SERVE_FEATURES", full ? 20 : 10);
+  const idx layers = env_int("QKMPS_SERVE_LAYERS", 4);
+  const idx n_requests = env_int("QKMPS_SERVE_REQUESTS", full ? 2000 : 400);
+  const idx n_unique = env_int("QKMPS_SERVE_UNIQUE", full ? 200 : 25);
+
+  std::printf("workload: %lld requests over %lld unique points, %lld-qubit "
+              "r=%lld ansatz, %lld training points per class\n",
+              static_cast<long long>(n_requests),
+              static_cast<long long>(n_unique), static_cast<long long>(m),
+              static_cast<long long>(layers),
+              static_cast<long long>(per_class));
+  const Workload w = build_workload(per_class, m, layers, n_requests, n_unique);
+  std::printf("bundle: %lld support vectors of %lld training points\n\n",
+              static_cast<long long>(w.bundle.num_support_vectors()),
+              static_cast<long long>(w.n_train));
+
+  std::printf("%-28s %15s %12s %12s %8s %10s\n", "configuration", "throughput",
+              "p50", "p99", "hits", "circuits");
+
+  const RunResult baseline = run_sequential_baseline(w);
+  print_row("sequential re-simulation", baseline);
+
+  struct Config {
+    const char* label;
+    std::size_t max_batch;
+    std::size_t cache;
+  };
+  const std::vector<Config> configs{
+      {"engine b=1  cache=off", 1, 0},
+      {"engine b=8  cache=off", 8, 0},
+      {"engine b=32 cache=off", 32, 0},
+      {"engine b=8  cache=on", 8, 4096},
+      {"engine b=32 cache=on", 32, 4096},
+  };
+  std::vector<RunResult> results;
+  for (const Config& c : configs) {
+    results.push_back(run_engine(w, c.max_batch, c.cache));
+    print_row(c.label, results.back());
+  }
+
+  const double speedup = results.back().throughput / baseline.throughput;
+  std::printf("\nbatched+cached vs sequential: %.1fx throughput, %llu vs %llu "
+              "circuits simulated\n",
+              speedup,
+              static_cast<unsigned long long>(results.back().circuits),
+              static_cast<unsigned long long>(baseline.circuits));
+
+  bench::write_artifact("serving.json", [&](JsonWriter& jw) {
+    jw.field("bench", "serving");
+    jw.field("requests", static_cast<long long>(n_requests));
+    jw.field("unique_points", static_cast<long long>(n_unique));
+    jw.field("features", static_cast<long long>(m));
+    jw.field("support_vectors",
+             static_cast<long long>(w.bundle.num_support_vectors()));
+    jw.begin_object("baseline");
+    jw.field("throughput_rps", baseline.throughput);
+    jw.field("p50_ms", baseline.p50_ms);
+    jw.field("p99_ms", baseline.p99_ms);
+    jw.field("circuits", static_cast<long long>(baseline.circuits));
+    jw.end_object();
+    jw.begin_array("engine");
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      jw.begin_array_object();
+      jw.field("max_batch", static_cast<long long>(configs[i].max_batch));
+      jw.field("cache_capacity", static_cast<long long>(configs[i].cache));
+      jw.field("throughput_rps", results[i].throughput);
+      jw.field("p50_ms", results[i].p50_ms);
+      jw.field("p99_ms", results[i].p99_ms);
+      jw.field("cache_hit_rate", results[i].hit_rate);
+      jw.field("circuits", static_cast<long long>(results[i].circuits));
+      jw.end_object();
+    }
+    jw.end_array();
+    jw.field("batched_cached_speedup", speedup);
+  });
+  return 0;
+}

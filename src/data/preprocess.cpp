@@ -55,6 +55,32 @@ FeatureScaler FeatureScaler::fit(const kernel::RealMatrix& x, double lo,
   return s;
 }
 
+FeatureScaler FeatureScaler::restore(std::vector<double> mean,
+                                     std::vector<double> stddev,
+                                     std::vector<double> min_z,
+                                     std::vector<double> max_z, double lo,
+                                     double hi) {
+  QKMPS_CHECK(!mean.empty());
+  QKMPS_CHECK(stddev.size() == mean.size() && min_z.size() == mean.size() &&
+              max_z.size() == mean.size());
+  QKMPS_CHECK(hi > lo);
+  for (std::size_t j = 0; j < mean.size(); ++j) {
+    QKMPS_CHECK_MSG(std::isfinite(mean[j]) && std::isfinite(stddev[j]) &&
+                        std::isfinite(min_z[j]) && std::isfinite(max_z[j]),
+                    "non-finite scaler state");
+    QKMPS_CHECK_MSG(stddev[j] > 0.0, "non-positive stddev in scaler state");
+    QKMPS_CHECK_MSG(max_z[j] > min_z[j], "degenerate z-range in scaler state");
+  }
+  FeatureScaler s;
+  s.mean_ = std::move(mean);
+  s.stddev_ = std::move(stddev);
+  s.min_z_ = std::move(min_z);
+  s.max_z_ = std::move(max_z);
+  s.lo_ = lo;
+  s.hi_ = hi;
+  return s;
+}
+
 kernel::RealMatrix FeatureScaler::transform(const kernel::RealMatrix& x) const {
   QKMPS_CHECK(x.cols() == num_features());
   kernel::RealMatrix out(x.rows(), x.cols());

@@ -24,6 +24,20 @@ class FeatureScaler {
   double lo() const { return lo_; }
   double hi() const { return hi_; }
 
+  /// Fitted per-feature statistics, exposed so a scaler can be persisted
+  /// inside a model artifact (serve::ModelBundle) and rebuilt bit-exactly.
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return stddev_; }
+  const std::vector<double>& min_z() const { return min_z_; }
+  const std::vector<double>& max_z() const { return max_z_; }
+
+  /// Rebuilds a scaler from previously fitted statistics (the inverse of
+  /// the accessors above). Validates shape consistency.
+  static FeatureScaler restore(std::vector<double> mean,
+                               std::vector<double> stddev,
+                               std::vector<double> min_z,
+                               std::vector<double> max_z, double lo, double hi);
+
  private:
   std::vector<double> mean_;
   std::vector<double> stddev_;

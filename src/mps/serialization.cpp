@@ -5,28 +5,19 @@
 #include <istream>
 #include <ostream>
 
+#include "util/binary_io.hpp"
 #include "util/error.hpp"
 
 namespace qkmps::mps {
 
 namespace {
 
+using io::read_pod;
+using io::write_pod;
+
 constexpr std::uint32_t kMpsMagic = 0x51'4B'4D'53;     // "QKMS"
 constexpr std::uint32_t kKernelMagic = 0x51'4B'4B'4D;  // "QKKM"
 constexpr std::uint32_t kVersion = 1;
-
-template <typename T>
-void write_pod(std::ostream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  QKMPS_CHECK_MSG(is.good(), "truncated stream");
-  return v;
-}
 
 }  // namespace
 

@@ -60,11 +60,28 @@ void ThreadPool::parallel_for(std::size_t n,
       for (;;) {
         const std::size_t i = next.fetch_add(1);
         if (i >= n) return;
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          next.store(n);  // stop handing out further indices
+          throw;
+        }
       }
     }));
   }
-  for (auto& f : futs) f.get();
+  // Join every lane before unwinding — the lane lambdas capture `next`
+  // and `fn` by reference, so leaving this frame while any lane still
+  // runs would dangle them. The first exception is rethrown after all
+  // lanes have finished.
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace qkmps::parallel

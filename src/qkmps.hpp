@@ -48,6 +48,10 @@
 #include "parallel/partition.hpp"    // IWYU pragma: export
 #include "parallel/rank_runtime.hpp" // IWYU pragma: export
 #include "parallel/thread_pool.hpp"  // IWYU pragma: export
+#include "serve/feature_key.hpp"     // IWYU pragma: export
+#include "serve/inference_engine.hpp"  // IWYU pragma: export
+#include "serve/model_bundle.hpp"    // IWYU pragma: export
+#include "serve/state_cache.hpp"     // IWYU pragma: export
 #include "svm/metrics.hpp"           // IWYU pragma: export
 #include "svm/model_selection.hpp"   // IWYU pragma: export
 #include "svm/svm.hpp"               // IWYU pragma: export

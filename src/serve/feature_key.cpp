@@ -1,0 +1,30 @@
+#include "serve/feature_key.hpp"
+
+#include <cstring>
+
+namespace qkmps::serve {
+
+std::uint64_t feature_hash(const double* v, std::size_t n) {
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ull;
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t h = kOffset;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(v);
+  for (std::size_t i = 0; i < n * sizeof(double); ++i) {
+    h ^= static_cast<std::uint64_t>(bytes[i]);
+    h *= kPrime;
+  }
+  return h;
+}
+
+std::uint64_t feature_hash(const std::vector<double>& v) {
+  return feature_hash(v.data(), v.size());
+}
+
+bool feature_bits_equal(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  if (a.empty()) return true;
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+}  // namespace qkmps::serve

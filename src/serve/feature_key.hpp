@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qkmps::serve {
+
+/// Cache keys for the serving layer. A request is identified by the exact
+/// bit pattern of its (scaled) feature vector: hashing and equality both
+/// operate on the raw little-endian bytes, so two requests collide in the
+/// cache only when they would produce the identical feature-map circuit —
+/// the condition under which reusing a simulated MPS is lossless.
+
+/// FNV-1a over the raw bytes of `v[0..n)`.
+std::uint64_t feature_hash(const double* v, std::size_t n);
+std::uint64_t feature_hash(const std::vector<double>& v);
+
+/// Bitwise equality (memcmp), consistent with feature_hash. Stricter than
+/// operator== on doubles (-0.0 != +0.0 here); a false negative only costs
+/// a redundant simulation, never a wrong answer.
+bool feature_bits_equal(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+}  // namespace qkmps::serve

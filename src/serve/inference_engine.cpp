@@ -1,0 +1,264 @@
+#include "serve/inference_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "circuit/ansatz.hpp"
+#include "mps/inner_product.hpp"
+#include "mps/simulator.hpp"
+#include "serve/feature_key.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace qkmps::serve {
+
+namespace {
+
+std::size_t default_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 2 : hw;
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(ModelBundle bundle, EngineConfig config)
+    : bundle_(std::move(bundle)),
+      config_(config),
+      cache_(config.cache_capacity),
+      pool_(default_threads(config.num_threads)) {
+  QKMPS_CHECK_MSG(!bundle_.sv_states.empty(), "bundle has no support vectors");
+  QKMPS_CHECK(bundle_.model.alpha.size() == bundle_.sv_states.size());
+  QKMPS_CHECK(config_.max_batch >= 1);
+  batcher_ = std::thread([this] { batcher_loop(); });
+}
+
+InferenceEngine::~InferenceEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  batcher_.join();  // drains whatever was queued before stop
+}
+
+namespace {
+
+/// Request validation at the API boundary: a malformed feature vector
+/// must fail the caller immediately, not score as a confident label
+/// (NaN decision values compare false against 0 and would all map to -1).
+void check_features(const std::vector<double>& features, idx expected) {
+  QKMPS_CHECK_MSG(static_cast<idx>(features.size()) == expected,
+                  "request has " << features.size()
+                                 << " features, bundle expects " << expected);
+  for (double v : features)
+    QKMPS_CHECK_MSG(std::isfinite(v), "non-finite feature in request");
+}
+
+}  // namespace
+
+std::future<Prediction> InferenceEngine::submit(std::vector<double> features) {
+  check_features(features, bundle_.num_features());
+  Request r;
+  r.features = std::move(features);
+  r.submitted = std::chrono::steady_clock::now();
+  std::future<Prediction> fut = r.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    QKMPS_CHECK_MSG(!stop_, "submit on a stopped engine");
+    queue_.push_back(std::move(r));
+  }
+  cv_.notify_all();
+  return fut;
+}
+
+void InferenceEngine::batcher_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;  // spurious wake
+    }
+    // Batch window: admit arrivals until the batch is full or the oldest
+    // pending request has waited batch_deadline since it was submitted —
+    // a request that queued while the previous batch executed is not held
+    // a second window. A full queue skips the wait entirely, so a
+    // saturated engine batches back-to-back.
+    const auto deadline = queue_.front().submitted + config_.batch_deadline;
+    while (!stop_ && queue_.size() < config_.max_batch) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
+    std::vector<Request> batch;
+    const std::size_t take = std::min(queue_.size(), config_.max_batch);
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    execute(batch);
+    lock.lock();
+  }
+}
+
+void InferenceEngine::execute(std::vector<Request>& batch) {
+  try {
+    // Features are moved out (Request only needs promise/submitted from
+    // here on); anything that throws — including this loop under memory
+    // pressure — must land in the catch so the batch fails its futures
+    // instead of escaping the batcher thread.
+    std::vector<std::vector<double>> features;
+    features.reserve(batch.size());
+    for (Request& r : batch) features.push_back(std::move(r.features));
+    std::vector<Prediction> out = run_batch(features);
+    // Counters are bumped before the promises resolve so a caller that
+    // has joined on its futures always observes them accounted for.
+    record_batch(batch.size());
+    const auto done = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      out[i].latency_seconds =
+          std::chrono::duration<double>(done - batch[i].submitted).count();
+      batch[i].promise.set_value(out[i]);
+    }
+  } catch (...) {
+    record_batch(batch.size());
+    const std::exception_ptr err = std::current_exception();
+    for (Request& r : batch) r.promise.set_exception(err);
+  }
+}
+
+void InferenceEngine::record_batch(std::size_t n_requests) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.batches;
+  stats_.requests += n_requests;
+  stats_.max_batch_seen =
+      std::max(stats_.max_batch_seen, static_cast<std::uint64_t>(n_requests));
+}
+
+std::vector<Prediction> InferenceEngine::run_batch(
+    const std::vector<std::vector<double>>& features) {
+  const idx m = bundle_.num_features();
+  const idx b = static_cast<idx>(features.size());
+  const idx n_sv = bundle_.num_support_vectors();
+
+  // Scale the whole batch through the bundle's fitted scaler; transform is
+  // row-independent, so values match a sequential per-request transform.
+  kernel::RealMatrix raw(b, m);
+  for (idx i = 0; i < b; ++i) {
+    const auto& f = features[static_cast<std::size_t>(i)];
+    QKMPS_CHECK(static_cast<idx>(f.size()) == m);
+    std::copy(f.begin(), f.end(), raw.row(i));
+  }
+  const kernel::RealMatrix scaled = bundle_.scaler.transform(raw);
+
+  // Cache pass: resident states are reused, misses are deduplicated within
+  // the batch (two identical uncached requests cost one simulation).
+  std::vector<std::vector<double>> keys(static_cast<std::size_t>(b));
+  std::vector<std::uint64_t> hashes(static_cast<std::size_t>(b), 0);
+  std::vector<std::shared_ptr<const mps::Mps>> states(
+      static_cast<std::size_t>(b));
+  std::vector<bool> hit(static_cast<std::size_t>(b), false);
+  std::vector<std::size_t> unique_miss;  // first occurrence of each key
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> miss_by_hash;
+  std::vector<std::size_t> alias_of(static_cast<std::size_t>(b), 0);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(b); ++i) {
+    keys[i].assign(scaled.row(static_cast<idx>(i)),
+                   scaled.row(static_cast<idx>(i)) + m);
+    hashes[i] = feature_hash(keys[i]);  // hashed once, reused for insert
+    states[i] = cache_.find(keys[i], hashes[i]);
+    if (states[i] != nullptr) {
+      hit[i] = true;
+      continue;
+    }
+    auto& bucket = miss_by_hash[hashes[i]];
+    std::size_t rep = i;
+    for (std::size_t earlier : bucket) {
+      if (feature_bits_equal(keys[earlier], keys[i])) {
+        rep = earlier;
+        break;
+      }
+    }
+    alias_of[i] = rep;
+    if (rep == i) {
+      bucket.push_back(i);
+      unique_miss.push_back(i);
+    }
+  }
+
+  // Simulate uncached circuits in parallel; each worker runs exactly the
+  // per-row body of kernel::simulate_states, so results are deterministic
+  // and independent of batch composition.
+  std::vector<std::shared_ptr<const mps::Mps>> fresh(unique_miss.size());
+  const mps::MpsSimulator sim(bundle_.config.sim);
+  pool_.parallel_for(unique_miss.size(), [&](std::size_t u) {
+    const std::size_t i = unique_miss[u];
+    const circuit::Circuit c =
+        circuit::feature_map_circuit(bundle_.config.ansatz, keys[i]);
+    fresh[u] = std::make_shared<const mps::Mps>(sim.simulate(c).state);
+  });
+  for (std::size_t u = 0; u < unique_miss.size(); ++u) {
+    const std::size_t i = unique_miss[u];
+    states[i] = cache_.insert(keys[i], hashes[i], fresh[u]);
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(b); ++i)
+    if (states[i] == nullptr) states[i] = states[alias_of[i]];
+
+  // Rectangular kernel against the support vectors only, then the SVC —
+  // entrywise the same overlap_squared / decision_values calls as
+  // kernel::cross_from_states + SvcModel::decision_values.
+  // Flattened over (request, SV) pairs so even a single-request batch
+  // spreads its #SV contractions across the pool.
+  kernel::RealMatrix k_batch(b, n_sv);
+  pool_.parallel_for(static_cast<std::size_t>(b * n_sv), [&](std::size_t t) {
+    const idx i = static_cast<idx>(t) / n_sv;
+    const idx j = static_cast<idx>(t) % n_sv;
+    k_batch(i, j) = mps::overlap_squared(
+        *states[static_cast<std::size_t>(i)],
+        bundle_.sv_states[static_cast<std::size_t>(j)],
+        bundle_.config.sim.policy);
+  });
+  const std::vector<double> f = bundle_.model.decision_values(k_batch);
+
+  std::vector<Prediction> out(static_cast<std::size_t>(b));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].decision_value = f[i];
+    out[i].label = f[i] >= 0.0 ? 1 : -1;
+    out[i].cache_hit = hit[i];
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.circuits_simulated += unique_miss.size();
+  }
+  return out;
+}
+
+std::vector<Prediction> InferenceEngine::predict_batch(
+    const kernel::RealMatrix& x) {
+  std::vector<std::vector<double>> features;
+  features.reserve(static_cast<std::size_t>(x.rows()));
+  for (idx i = 0; i < x.rows(); ++i) {
+    features.emplace_back(x.row(i), x.row(i) + x.cols());
+    check_features(features.back(), bundle_.num_features());
+  }
+  Timer timer;
+  std::vector<Prediction> out = run_batch(features);
+  const double seconds = timer.seconds();
+  for (Prediction& p : out) p.latency_seconds = seconds;
+  record_batch(out.size());
+  return out;
+}
+
+EngineStats InferenceEngine::stats() const {
+  EngineStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = stats_;
+  }
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace qkmps::serve

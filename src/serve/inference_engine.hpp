@@ -1,0 +1,115 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "serve/model_bundle.hpp"
+#include "serve/state_cache.hpp"
+
+namespace qkmps::serve {
+
+/// Knobs of the micro-batching engine. The defaults target the latency /
+/// throughput trade-off of an online scoring service: small deadline so a
+/// lone request is not held hostage, batch cap sized to keep the pool busy.
+struct EngineConfig {
+  std::size_t max_batch = 32;  ///< drain at most this many requests per batch
+  std::chrono::microseconds batch_deadline{2000};  ///< max wait for a batch
+  std::size_t num_threads = 0;     ///< simulation/kernel pool; 0 = hardware
+  std::size_t cache_capacity = 4096;  ///< StateCache entries; 0 disables
+};
+
+/// One scored request.
+struct Prediction {
+  int label = 0;                 ///< sign(f) in {-1, +1}
+  double decision_value = 0.0;   ///< f = sum_j alpha_j y_j K(x, sv_j) + b
+  /// State came from the StateCache. In-batch duplicates of an uncached
+  /// point also skip simulation (they alias the first occurrence) but
+  /// report false; EngineStats::circuits_simulated is the exact count.
+  bool cache_hit = false;
+  /// submit() -> promise fulfilment for async requests; the batch's wall
+  /// time for every row of a synchronous predict_batch() call.
+  double latency_seconds = 0.0;
+};
+
+/// Aggregate serving counters (monotonic since construction).
+struct EngineStats {
+  std::uint64_t requests = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t circuits_simulated = 0;
+  std::uint64_t max_batch_seen = 0;
+  CacheStats cache;
+};
+
+/// Asynchronous micro-batched inference over a ModelBundle. Callers
+/// submit() feature vectors and receive futures; a dedicated batcher
+/// thread drains up to max_batch requests (or whatever arrived within
+/// batch_deadline of the first), simulates uncached feature-map circuits
+/// in parallel on a parallel::ThreadPool, computes the rectangular kernel
+/// against the bundle's support-vector states only, and scores with the
+/// compacted SVC.
+///
+/// Determinism contract: batching is a scheduling choice, not a numeric
+/// one. Every stage (scaling, circuit simulation, zipper inner products,
+/// decision values) runs the same code the sequential pipeline
+/// (kernel::simulate_states + kernel::cross_from_states +
+/// SvcModel::decision_values) runs, on the same per-request inputs, so
+/// predictions are bitwise-identical regardless of batch composition,
+/// arrival order, or cache hits — the metamorphic relation
+/// tests/test_inference_engine.cpp pins down.
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(ModelBundle bundle, EngineConfig config = {});
+  ~InferenceEngine();  ///< drains pending requests, then stops
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Enqueues one request. Throws immediately on a feature-count mismatch;
+  /// otherwise the future carries the prediction (or the error that killed
+  /// its batch).
+  std::future<Prediction> submit(std::vector<double> features);
+
+  /// Synchronous convenience: scores every row of `x` through the same
+  /// compute path as the async batches (bypassing the queue and deadline).
+  std::vector<Prediction> predict_batch(const kernel::RealMatrix& x);
+
+  EngineStats stats() const;
+  const ModelBundle& bundle() const { return bundle_; }
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  struct Request {
+    std::vector<double> features;
+    std::promise<Prediction> promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  void batcher_loop();
+  void execute(std::vector<Request>& batch);
+  void record_batch(std::size_t n_requests);
+  /// Scales, simulates (cache-aware), computes SV kernels, scores.
+  std::vector<Prediction> run_batch(
+      const std::vector<std::vector<double>>& features);
+
+  const ModelBundle bundle_;
+  const EngineConfig config_;
+  StateCache cache_;
+  parallel::ThreadPool pool_;
+
+  mutable std::mutex mu_;  ///< guards queue_, stop_, stats_
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stop_ = false;
+  EngineStats stats_;
+
+  std::thread batcher_;  ///< last member: joins before the pool dies
+};
+
+}  // namespace qkmps::serve

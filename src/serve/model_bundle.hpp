@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/preprocess.hpp"
+#include "kernel/gram.hpp"
+#include "mps/mps.hpp"
+#include "svm/svm.hpp"
+
+namespace qkmps::serve {
+
+/// A self-contained, versioned model artifact: everything inference needs,
+/// in one directory, and nothing more. The paper's serving assumption
+/// (Sec. III-A) is that training-stage MPS stay resident so classifying a
+/// new point costs one circuit simulation plus inner products; a bundle
+/// persists exactly the states that assumption requires — the support
+/// vectors — rather than the whole training set (the zero-alpha states
+/// never enter a decision value).
+///
+/// On-disk layout under `dir/`:
+///   bundle.qkb    manifest: magic "QKBL", version, ansatz + simulator
+///                 config, fitted FeatureScaler statistics, the compacted
+///                 SvcModel, and the SV provenance indices
+///   sv_<i>.mps    one MPS per support vector, in mps::serialization's
+///                 existing "QKMS" format, indexed by SV position
+struct ModelBundle {
+  kernel::QuantumKernelConfig config;
+  data::FeatureScaler scaler;
+  svm::SvcModel model;              ///< compacted: one entry per SV
+  std::vector<idx> sv_indices;      ///< SV position -> original train index
+  std::vector<mps::Mps> sv_states;  ///< resident MPS, aligned with `model`
+
+  idx num_features() const { return config.ansatz.num_features; }
+  idx num_support_vectors() const { return static_cast<idx>(sv_states.size()); }
+};
+
+/// Assembles a bundle from a full training run: compacts the model to its
+/// support vectors and keeps only their states. `train_states` must be
+/// aligned with the training set the model was fitted on.
+ModelBundle make_bundle(const kernel::QuantumKernelConfig& config,
+                        const data::FeatureScaler& scaler,
+                        const svm::SvcModel& model,
+                        const std::vector<mps::Mps>& train_states);
+
+/// Writes `bundle` under `dir` (created if absent), atomically replacing
+/// any previous bundle there: the new contents are staged into a sibling
+/// `<dir>.tmp` directory and swapped in, so a crashed save never leaves a
+/// manifest paired with mismatched state files. Refuses to replace a
+/// directory that is neither empty nor an existing bundle.
+void save_bundle(const ModelBundle& bundle, const std::string& dir);
+
+/// Loads and validates a bundle; throws qkmps::Error on a missing
+/// directory, wrong magic, unsupported version, or internally inconsistent
+/// contents (state count/qubit count mismatches).
+ModelBundle load_bundle(const std::string& dir);
+
+}  // namespace qkmps::serve

@@ -116,20 +116,52 @@ SvcModel train_svc(const kernel::RealMatrix& k, const std::vector<int>& y,
   return model;
 }
 
+namespace {
+
+/// Gathered support list: the alpha_j y_j coefficients and their column
+/// indices, in training order. Walking this instead of all of alpha is the
+/// SV fast path — O(#SV) per test row — while keeping the accumulation
+/// order identical to a skip-zeros scan (bitwise-stable decision values).
+struct SupportList {
+  std::vector<idx> cols;
+  std::vector<double> coeff;  ///< alpha_j * y_j
+};
+
+SupportList gather_support(const std::vector<double>& alpha,
+                           const std::vector<int>& y) {
+  SupportList sv;
+  for (std::size_t j = 0; j < alpha.size(); ++j) {
+    if (alpha[j] == 0.0) continue;
+    sv.cols.push_back(static_cast<idx>(j));
+    sv.coeff.push_back(alpha[j] * static_cast<double>(y[j]));
+  }
+  return sv;
+}
+
+}  // namespace
+
 std::vector<double> SvcModel::decision_values(
     const kernel::RealMatrix& k_test) const {
   QKMPS_CHECK(k_test.cols() == static_cast<idx>(alpha.size()));
+  const SupportList sv = gather_support(alpha, y);
   std::vector<double> f(static_cast<std::size_t>(k_test.rows()), 0.0);
   for (idx i = 0; i < k_test.rows(); ++i) {
     double acc = 0.0;
-    for (idx j = 0; j < k_test.cols(); ++j) {
-      const auto js = static_cast<std::size_t>(j);
-      if (alpha[js] == 0.0) continue;
-      acc += alpha[js] * static_cast<double>(y[js]) * k_test(i, j);
-    }
+    for (std::size_t s = 0; s < sv.cols.size(); ++s)
+      acc += sv.coeff[s] * k_test(i, sv.cols[s]);
     f[static_cast<std::size_t>(i)] = acc + bias;
   }
   return f;
+}
+
+double SvcModel::decision_value(const std::vector<double>& k_row) const {
+  QKMPS_CHECK(k_row.size() == alpha.size());
+  double acc = 0.0;
+  for (std::size_t j = 0; j < alpha.size(); ++j) {
+    if (alpha[j] == 0.0) continue;
+    acc += alpha[j] * static_cast<double>(y[j]) * k_row[j];
+  }
+  return acc + bias;
 }
 
 std::vector<int> SvcModel::predict(const kernel::RealMatrix& k_test) const {
@@ -142,6 +174,21 @@ std::vector<int> SvcModel::predict(const kernel::RealMatrix& k_test) const {
 idx SvcModel::support_vector_count() const {
   return static_cast<idx>(
       std::count_if(alpha.begin(), alpha.end(), [](double a) { return a > 0.0; }));
+}
+
+CompactSvc compact_support_vectors(const SvcModel& model) {
+  QKMPS_CHECK(model.alpha.size() == model.y.size());
+  CompactSvc compact;
+  compact.model.bias = model.bias;
+  compact.model.iterations = model.iterations;
+  compact.model.converged = model.converged;
+  for (std::size_t j = 0; j < model.alpha.size(); ++j) {
+    if (model.alpha[j] == 0.0) continue;
+    compact.model.alpha.push_back(model.alpha[j]);
+    compact.model.y.push_back(model.y[j]);
+    compact.sv_indices.push_back(static_cast<idx>(j));
+  }
+  return compact;
 }
 
 }  // namespace qkmps::svm

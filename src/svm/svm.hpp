@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "kernel/kernel_matrix.hpp"
+#include "util/error.hpp"
 #include "util/types.hpp"
 
 namespace qkmps::svm {
@@ -27,8 +28,15 @@ struct SvcModel {
   bool converged = false;
 
   /// Decision values f_i = sum_j alpha_j y_j K(test_i, train_j) + b for a
-  /// rectangular test-vs-train kernel.
+  /// rectangular test-vs-train kernel. Internally walks only the support
+  /// vectors (alpha_j > 0), so a compacted model pays O(#SV) per row.
   std::vector<double> decision_values(const kernel::RealMatrix& k_test) const;
+
+  /// Single-sample decision value from one kernel row k_row[j] =
+  /// K(sample, train_j) — the one-request scoring primitive (used by the
+  /// per-request serving baseline in bench/serving.cpp; the engine scores
+  /// whole batches through decision_values).
+  double decision_value(const std::vector<double>& k_row) const;
 
   /// Signed predictions in {-1, +1}.
   std::vector<int> predict(const kernel::RealMatrix& k_test) const;
@@ -39,5 +47,37 @@ struct SvcModel {
 /// Trains on a symmetric n x n kernel and labels in {-1, +1}.
 SvcModel train_svc(const kernel::RealMatrix& k, const std::vector<int>& y,
                    const SvcParams& params);
+
+/// A trained model reduced to its support vectors. Inference only ever
+/// multiplies against alpha_j > 0 terms (Sec. III-A's stored-states
+/// argument), so dropping zero-alpha entries shrinks both the kernel
+/// columns to compute and the number of training MPS that must stay
+/// resident — the compaction serve::ModelBundle persists.
+struct CompactSvc {
+  SvcModel model;               ///< alpha/y hold only support-vector entries
+  std::vector<idx> sv_indices;  ///< SV position -> original training index
+};
+
+/// Drops zero-alpha entries and remaps indices; bias/convergence metadata
+/// are preserved. Decision values of the compact model against the
+/// SV-only kernel columns are bitwise-identical to the full model's
+/// (same nonzero terms, same accumulation order).
+CompactSvc compact_support_vectors(const SvcModel& model);
+
+/// Convenience overload that also gathers the per-SV subset of a
+/// training-aligned sequence (e.g. the simulated training MPS states).
+template <typename State>
+CompactSvc compact_support_vectors(const SvcModel& model,
+                                   const std::vector<State>& states,
+                                   std::vector<State>* sv_states) {
+  QKMPS_CHECK(states.size() == model.alpha.size());
+  QKMPS_CHECK(sv_states != nullptr);
+  CompactSvc compact = compact_support_vectors(model);
+  sv_states->clear();
+  sv_states->reserve(compact.sv_indices.size());
+  for (idx i : compact.sv_indices)
+    sv_states->push_back(states[static_cast<std::size_t>(i)]);
+  return compact;
+}
 
 }  // namespace qkmps::svm

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace qkmps::io {
+
+/// Binary primitives shared by every on-disk artifact in the repo (MPS
+/// states, kernel matrices, model bundles). Values are written in native
+/// host byte order — little-endian on every target the repo supports; the
+/// formats are not portable to big-endian hosts. Each format owns its
+/// magic/version header; these helpers only move PODs and flat vectors and
+/// fail loudly on short reads so corruption surfaces as a qkmps::Error
+/// instead of garbage tensors.
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  QKMPS_CHECK_MSG(is.good(), "truncated stream");
+  return v;
+}
+
+/// Length-prefixed flat vector of trivially-copyable elements.
+template <typename T>
+void write_vector(std::ostream& os, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_pod(os, static_cast<std::int64_t>(v.size()));
+  if (!v.empty())
+    os.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto n = read_pod<std::int64_t>(is);
+  QKMPS_CHECK_MSG(n >= 0, "negative vector length");
+  // Bound the length against the bytes actually left in the stream (when
+  // it is seekable) so a corrupt length prefix fails as qkmps::Error
+  // instead of bad_alloc / a runaway allocation.
+  const std::istream::pos_type pos = is.tellg();
+  if (pos != std::istream::pos_type(-1)) {
+    is.seekg(0, std::ios::end);
+    const std::istream::pos_type end = is.tellg();
+    is.seekg(pos);
+    QKMPS_CHECK_MSG(
+        n <= (end - pos) / static_cast<std::streamoff>(sizeof(T)),
+        "vector length " << n << " exceeds remaining stream size");
+  }
+  std::vector<T> v(static_cast<std::size_t>(n));
+  if (n > 0) {
+    is.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+    QKMPS_CHECK_MSG(is.good(), "truncated vector payload");
+  }
+  return v;
+}
+
+}  // namespace qkmps::io

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/elliptic_synthetic.hpp"
+#include "data/splits.hpp"
+#include "kernel/gram.hpp"
+#include "serve/model_bundle.hpp"
+#include "svm/svm.hpp"
+#include "util/rng.hpp"
+
+namespace qkmps::testing {
+
+/// Small end-to-end training run shared by the serving-subsystem suites:
+/// 6 qubits, ~22 training points — enough for a nontrivial SV subset,
+/// cheap enough for the smoke label. Carries both the full training
+/// artifacts (for parity checks against the uncompacted pipeline) and the
+/// assembled bundle.
+struct TrainedServing {
+  kernel::QuantumKernelConfig cfg;
+  data::FeatureScaler scaler;
+  svm::SvcModel full_model;
+  std::vector<mps::Mps> train_states;
+  kernel::RealMatrix x_test_raw;  ///< unscaled held-out features
+  serve::ModelBundle bundle;
+};
+
+inline TrainedServing train_small_serving(std::uint64_t seed) {
+  data::EllipticSyntheticParams gen;
+  gen.num_points = 400;
+  gen.num_features = 6;
+  const data::Dataset pool = data::generate_elliptic_synthetic(gen);
+  Rng rng(seed);
+  const data::Dataset sample = data::balanced_subsample(pool, 14, rng);
+  const data::TrainTestSplit split = data::train_test_split(sample, 0.2, rng);
+
+  TrainedServing t;
+  t.cfg.ansatz = {.num_features = 6, .layers = 2, .distance = 1, .gamma = 0.5};
+  t.scaler = data::FeatureScaler::fit(split.train.x);
+  const auto x_train = t.scaler.transform(split.train.x);
+  t.train_states = kernel::simulate_states(t.cfg, x_train);
+  const auto k_train = kernel::gram_from_states(t.train_states, t.cfg.sim.policy);
+  t.full_model = svm::train_svc(k_train, split.train.y, {.c = 1.0});
+  t.x_test_raw = split.test.x;
+  t.bundle = serve::make_bundle(t.cfg, t.scaler, t.full_model, t.train_states);
+  return t;
+}
+
+}  // namespace qkmps::testing

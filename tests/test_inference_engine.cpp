@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <future>
+#include <limits>
+#include <vector>
+
+#include "kernel/gram.hpp"
+#include "serve/inference_engine.hpp"
+#include "serve_test_fixture.hpp"
+#include "svm/svm.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::serve {
+namespace {
+
+using Serving = qkmps::testing::TrainedServing;
+
+/// One small trained bundle plus its raw held-out queries, and the full
+/// (uncompacted) training artifacts for the strongest parity check —
+/// engine vs. the naive full-training-set pipeline.
+Serving make_serving(std::uint64_t seed) {
+  return qkmps::testing::train_small_serving(seed);
+}
+
+std::vector<double> raw_row(const kernel::RealMatrix& x, idx i) {
+  return std::vector<double>(x.row(i), x.row(i) + x.cols());
+}
+
+/// The sequential reference pipeline on the *full* training artifacts:
+/// scale -> simulate_states -> cross kernel against every training state
+/// -> full-model decision values. The engine must reproduce this bitwise
+/// even though it batches, caches, and only ever touches the SV subset.
+std::vector<double> sequential_decision_values(const Serving& s) {
+  const auto x_test = s.bundle.scaler.transform(s.x_test_raw);
+  const auto test_states = kernel::simulate_states(s.bundle.config, x_test);
+  const auto k_test = kernel::cross_from_states(test_states, s.train_states,
+                                                s.bundle.config.sim.policy);
+  return s.full_model.decision_values(k_test);
+}
+
+TEST(InferenceEngine, MetamorphicParityBatchedVsSequential) {
+  const Serving s = make_serving(1);
+  const std::vector<double> f_seq = sequential_decision_values(s);
+  const std::vector<int> pred_seq = [&] {
+    std::vector<int> p(f_seq.size());
+    for (std::size_t i = 0; i < f_seq.size(); ++i) p[i] = f_seq[i] >= 0 ? 1 : -1;
+    return p;
+  }();
+
+  EngineConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_deadline = std::chrono::microseconds(3000);
+  cfg.num_threads = 3;
+  InferenceEngine engine(s.bundle, cfg);
+
+  std::vector<std::future<Prediction>> futures;
+  for (idx i = 0; i < s.x_test_raw.rows(); ++i)
+    futures.push_back(engine.submit(raw_row(s.x_test_raw, i)));
+
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Prediction p = futures[i].get();
+    // Bitwise: same scaling, same simulations, same zipper contractions,
+    // same decision-value accumulation order as the sequential pipeline.
+    EXPECT_EQ(p.decision_value, f_seq[i]) << "request " << i;
+    EXPECT_EQ(p.label, pred_seq[i]) << "request " << i;
+    EXPECT_GE(p.latency_seconds, 0.0);
+  }
+
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.requests, futures.size());
+  EXPECT_GE(st.batches, 1u);
+  EXPECT_LE(st.max_batch_seen, cfg.max_batch);
+}
+
+TEST(InferenceEngine, RepeatedQueriesHitCacheAndScoreIdentically) {
+  const Serving s = make_serving(2);
+  EngineConfig cfg;
+  cfg.max_batch = 8;
+  cfg.num_threads = 2;
+  InferenceEngine engine(s.bundle, cfg);
+
+  const idx n = s.x_test_raw.rows();
+  std::vector<std::future<Prediction>> first, second;
+  for (idx i = 0; i < n; ++i)
+    first.push_back(engine.submit(raw_row(s.x_test_raw, i)));
+  std::vector<Prediction> round1;
+  for (auto& f : first) round1.push_back(f.get());
+
+  for (idx i = 0; i < n; ++i)
+    second.push_back(engine.submit(raw_row(s.x_test_raw, i)));
+  for (idx i = 0; i < n; ++i) {
+    const Prediction p = second[static_cast<std::size_t>(i)].get();
+    EXPECT_TRUE(p.cache_hit) << "request " << i;
+    EXPECT_EQ(p.decision_value,
+              round1[static_cast<std::size_t>(i)].decision_value);
+    EXPECT_EQ(p.label, round1[static_cast<std::size_t>(i)].label);
+  }
+
+  const EngineStats st = engine.stats();
+  // Second round re-simulated nothing.
+  EXPECT_EQ(st.circuits_simulated, static_cast<std::uint64_t>(n));
+  EXPECT_GE(st.cache.hits, static_cast<std::uint64_t>(n));
+}
+
+TEST(InferenceEngine, DuplicatesWithinOneBatchSimulateOnce) {
+  const Serving s = make_serving(3);
+  EngineConfig cfg;
+  cfg.num_threads = 2;
+  cfg.cache_capacity = 0;  // isolate the in-batch dedup from the cache
+  InferenceEngine engine(s.bundle, cfg);
+
+  // Three distinct points, each duplicated.
+  kernel::RealMatrix x(6, s.x_test_raw.cols());
+  for (idx i = 0; i < 6; ++i)
+    for (idx j = 0; j < x.cols(); ++j) x(i, j) = s.x_test_raw(i / 2, j);
+  const auto preds = engine.predict_batch(x);
+  ASSERT_EQ(preds.size(), 6u);
+  for (idx i = 0; i < 6; i += 2) {
+    EXPECT_EQ(preds[static_cast<std::size_t>(i)].decision_value,
+              preds[static_cast<std::size_t>(i + 1)].decision_value);
+  }
+  EXPECT_EQ(engine.stats().circuits_simulated, 3u);
+}
+
+TEST(InferenceEngine, PredictBatchMatchesSubmit) {
+  const Serving s = make_serving(4);
+  EngineConfig cfg;
+  cfg.num_threads = 2;
+  InferenceEngine engine(s.bundle, cfg);
+
+  const auto batch = engine.predict_batch(s.x_test_raw);
+  for (idx i = 0; i < s.x_test_raw.rows(); ++i) {
+    const Prediction p = engine.submit(raw_row(s.x_test_raw, i)).get();
+    EXPECT_EQ(p.decision_value,
+              batch[static_cast<std::size_t>(i)].decision_value);
+    EXPECT_TRUE(p.cache_hit);  // predict_batch warmed the cache
+  }
+}
+
+TEST(InferenceEngine, CacheDisabledStillScoresIdentically) {
+  const Serving s = make_serving(5);
+  const std::vector<double> f_seq = sequential_decision_values(s);
+
+  EngineConfig cfg;
+  cfg.num_threads = 2;
+  cfg.cache_capacity = 0;
+  InferenceEngine engine(s.bundle, cfg);
+  const auto preds = engine.predict_batch(s.x_test_raw);
+  ASSERT_EQ(preds.size(), f_seq.size());
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    EXPECT_EQ(preds[i].decision_value, f_seq[i]);
+    EXPECT_FALSE(preds[i].cache_hit);
+  }
+}
+
+TEST(InferenceEngine, SubmitRejectsMalformedRequests) {
+  const Serving s = make_serving(6);
+  InferenceEngine engine(s.bundle, {.num_threads = 2});
+  EXPECT_THROW(engine.submit({0.1, 0.2}), Error);  // wrong feature count
+  // Non-finite features must fail the caller, not score as a confident
+  // label (NaN decision values would all map to -1).
+  std::vector<double> bad(6, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_THROW(engine.submit(bad), Error);
+  bad.assign(6, std::numeric_limits<double>::infinity());
+  EXPECT_THROW(engine.submit(bad), Error);
+}
+
+TEST(InferenceEngine, RejectsBundleWithoutSupportVectors) {
+  const Serving s = make_serving(7);
+  ModelBundle empty = s.bundle;
+  empty.sv_states.clear();
+  empty.model.alpha.clear();
+  empty.model.y.clear();
+  empty.sv_indices.clear();
+  EXPECT_THROW(InferenceEngine(std::move(empty), {.num_threads = 2}), Error);
+}
+
+TEST(InferenceEngine, DestructionDrainsPendingRequests) {
+  const Serving s = make_serving(8);
+  std::vector<std::future<Prediction>> futures;
+  {
+    EngineConfig cfg;
+    cfg.max_batch = 2;
+    cfg.num_threads = 2;
+    cfg.batch_deadline = std::chrono::microseconds(50);
+    InferenceEngine engine(s.bundle, cfg);
+    for (idx i = 0; i < s.x_test_raw.rows(); ++i)
+      futures.push_back(engine.submit(raw_row(s.x_test_raw, i)));
+    // Engine goes out of scope with (likely) work still queued.
+  }
+  for (auto& f : futures) {
+    const Prediction p = f.get();  // every promise was fulfilled
+    EXPECT_TRUE(p.label == 1 || p.label == -1);
+  }
+}
+
+}  // namespace
+}  // namespace qkmps::serve

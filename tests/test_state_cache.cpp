@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "serve/feature_key.hpp"
+#include "serve/state_cache.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::serve {
+namespace {
+
+/// Tiny distinguishable states: |0..0> on `sites` qubits with the first
+/// amplitude tagged is overkill — distinct site counts are enough to tell
+/// entries apart in assertions.
+mps::Mps tagged_state(idx sites) { return mps::Mps(sites); }
+
+std::vector<double> key_of(double a, double b) { return {a, b}; }
+
+TEST(FeatureKey, HashIsDeterministicAndSpreads) {
+  const auto k1 = key_of(0.25, 1.5);
+  EXPECT_EQ(feature_hash(k1), feature_hash(k1));
+  EXPECT_NE(feature_hash(key_of(0.25, 1.5)), feature_hash(key_of(1.5, 0.25)));
+  EXPECT_NE(feature_hash(key_of(0.25, 1.5)), feature_hash(key_of(0.25, 1.5001)));
+}
+
+TEST(FeatureKey, BitwiseEqualityIsExact) {
+  EXPECT_TRUE(feature_bits_equal(key_of(0.1, 0.2), key_of(0.1, 0.2)));
+  EXPECT_FALSE(feature_bits_equal(key_of(0.1, 0.2), key_of(0.1, 0.3)));
+  EXPECT_FALSE(feature_bits_equal({0.1}, {0.1, 0.2}));
+  // -0.0 and +0.0 compare equal as doubles but differ bitwise: the cache
+  // treats them as distinct keys (a redundant miss, never a wrong hit).
+  EXPECT_FALSE(feature_bits_equal({-0.0}, {0.0}));
+}
+
+TEST(StateCache, MissThenHit) {
+  StateCache cache(4);
+  EXPECT_EQ(cache.find(key_of(1, 2)), nullptr);
+  cache.insert(key_of(1, 2), tagged_state(3));
+  const auto hit = cache.find(key_of(1, 2));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->num_sites(), 3);
+
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+}
+
+TEST(StateCache, EvictsLeastRecentlyUsed) {
+  StateCache cache(2);
+  cache.insert(key_of(1, 0), tagged_state(2));
+  cache.insert(key_of(2, 0), tagged_state(3));
+  cache.insert(key_of(3, 0), tagged_state(4));  // evicts (1,0)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.find(key_of(1, 0)), nullptr);
+  EXPECT_NE(cache.find(key_of(2, 0)), nullptr);
+  EXPECT_NE(cache.find(key_of(3, 0)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(StateCache, FindRefreshesRecency) {
+  StateCache cache(2);
+  cache.insert(key_of(1, 0), tagged_state(2));
+  cache.insert(key_of(2, 0), tagged_state(3));
+  ASSERT_NE(cache.find(key_of(1, 0)), nullptr);  // (2,0) now oldest
+  cache.insert(key_of(3, 0), tagged_state(4));
+  EXPECT_NE(cache.find(key_of(1, 0)), nullptr);
+  EXPECT_EQ(cache.find(key_of(2, 0)), nullptr);
+}
+
+TEST(StateCache, DuplicateInsertKeepsExistingEntry) {
+  StateCache cache(4);
+  const auto first = cache.insert(key_of(5, 5), tagged_state(2));
+  const auto second = cache.insert(key_of(5, 5), tagged_state(7));
+  EXPECT_EQ(first.get(), second.get());  // original survives
+  EXPECT_EQ(second->num_sites(), 2);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(StateCache, ZeroCapacityDisablesCaching) {
+  StateCache cache(0);
+  const auto passthrough = cache.insert(key_of(1, 1), tagged_state(2));
+  ASSERT_NE(passthrough, nullptr);  // caller can still use the state
+  EXPECT_EQ(passthrough->num_sites(), 2);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find(key_of(1, 1)), nullptr);
+}
+
+TEST(StateCache, EvictedStateSurvivesViaSharedOwnership) {
+  StateCache cache(1);
+  const auto held = cache.insert(key_of(1, 1), tagged_state(5));
+  cache.insert(key_of(2, 2), tagged_state(2));  // evicts (1,1)
+  EXPECT_EQ(cache.find(key_of(1, 1)), nullptr);
+  // The in-flight reference is unaffected by eviction.
+  EXPECT_EQ(held->num_sites(), 5);
+  EXPECT_NEAR(held->norm(), 1.0, 1e-12);
+}
+
+TEST(StateCache, ClearEmptiesWithoutTouchingCounters) {
+  StateCache cache(4);
+  cache.insert(key_of(1, 1), tagged_state(2));
+  cache.find(key_of(1, 1));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find(key_of(1, 1)), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(StateCache, ConcurrentMixedAccessStaysConsistent) {
+  // 8 threads hammer a 16-entry cache with 64 distinct keys: constant
+  // hits, misses, and evictions racing each other. The assertions are
+  // about invariants (bounded size, coherent counters, usable states),
+  // not about which thread wins.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kKeys = 64;
+  constexpr std::size_t kOpsPerThread = 400;
+  StateCache cache(16);
+  std::atomic<std::uint64_t> observed_hits{0};
+  std::atomic<std::uint64_t> bad_states{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(100 + t);
+      for (std::size_t op = 0; op < kOpsPerThread; ++op) {
+        const auto k = static_cast<double>(rng.uniform_int(kKeys));
+        const std::vector<double> key{k, k + 0.5};
+        auto state = cache.find(key);
+        if (state == nullptr)
+          state = cache.insert(key, tagged_state(2 + (static_cast<idx>(k) % 3)));
+        else
+          observed_hits.fetch_add(1);
+        if (state->num_sites() != 2 + (static_cast<idx>(k) % 3))
+          bad_states.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(bad_states.load(), 0u);
+  EXPECT_LE(cache.size(), 16u);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, observed_hits.load());
+  EXPECT_EQ(s.hits + s.misses, kThreads * kOpsPerThread);
+  EXPECT_GE(s.insertions, 16u);  // at least enough to fill the cache
+  EXPECT_EQ(s.insertions, s.evictions + cache.size());
+}
+
+}  // namespace
+}  // namespace qkmps::serve

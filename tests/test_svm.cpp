@@ -160,5 +160,103 @@ TEST(Svm, RejectsNonPositiveC) {
   EXPECT_THROW(train_svc(k, {1, -1}, {.c = 0.0}), Error);
 }
 
+/// A Gaussian-kernel training problem with a healthy mix of zero and
+/// nonzero alphas, shared by the compaction tests below.
+struct TrainedProblem {
+  kernel::RealMatrix k;
+  std::vector<int> y;
+  SvcModel model;
+};
+
+TrainedProblem gaussian_problem(std::uint64_t seed, double c) {
+  Rng rng(seed);
+  const idx n = 40;
+  kernel::RealMatrix x(n, 3);
+  std::vector<int> y(static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i) {
+    y[static_cast<std::size_t>(i)] = (i % 2 == 0) ? 1 : -1;
+    for (idx j = 0; j < 3; ++j)
+      x(i, j) = rng.normal() + (y[static_cast<std::size_t>(i)] == 1 ? 0.9 : -0.9);
+  }
+  TrainedProblem p;
+  p.k = kernel::gaussian_gram(x, 0.8);
+  p.y = y;
+  p.model = train_svc(p.k, y, {.c = c, .tol = 1e-5});
+  return p;
+}
+
+TEST(SvmCompaction, DropsExactlyZeroAlphaEntries) {
+  const TrainedProblem p = gaussian_problem(10, 1.0);
+  ASSERT_GT(p.model.support_vector_count(), 0);
+  ASSERT_LT(p.model.support_vector_count(), static_cast<idx>(p.y.size()));
+
+  const CompactSvc compact = compact_support_vectors(p.model);
+  EXPECT_EQ(static_cast<idx>(compact.model.alpha.size()),
+            p.model.support_vector_count());
+  for (double a : compact.model.alpha) EXPECT_GT(a, 0.0);
+  EXPECT_EQ(compact.model.bias, p.model.bias);
+  EXPECT_EQ(compact.model.iterations, p.model.iterations);
+  EXPECT_EQ(compact.model.converged, p.model.converged);
+  // Index map points at the original nonzero entries, in training order.
+  for (std::size_t s = 0; s < compact.sv_indices.size(); ++s) {
+    const auto orig = static_cast<std::size_t>(compact.sv_indices[s]);
+    EXPECT_EQ(compact.model.alpha[s], p.model.alpha[orig]);
+    EXPECT_EQ(compact.model.y[s], p.model.y[orig]);
+    if (s > 0) {
+      EXPECT_GT(compact.sv_indices[s], compact.sv_indices[s - 1]);
+    }
+  }
+}
+
+TEST(SvmCompaction, DecisionValuesBitwiseMatchFullModel) {
+  const TrainedProblem p = gaussian_problem(11, 0.7);
+  const CompactSvc compact = compact_support_vectors(p.model);
+  const idx n = static_cast<idx>(p.y.size());
+  const idx n_sv = static_cast<idx>(compact.sv_indices.size());
+
+  // SV-only columns of the same kernel.
+  kernel::RealMatrix k_sv(n, n_sv);
+  for (idx i = 0; i < n; ++i)
+    for (idx s = 0; s < n_sv; ++s)
+      k_sv(i, s) = p.k(i, compact.sv_indices[static_cast<std::size_t>(s)]);
+
+  const auto f_full = p.model.decision_values(p.k);
+  const auto f_compact = compact.model.decision_values(k_sv);
+  ASSERT_EQ(f_full.size(), f_compact.size());
+  // Same nonzero terms in the same accumulation order => bitwise equality.
+  for (std::size_t i = 0; i < f_full.size(); ++i)
+    EXPECT_EQ(f_full[i], f_compact[i]);
+  EXPECT_EQ(p.model.predict(p.k), compact.model.predict(k_sv));
+}
+
+TEST(SvmCompaction, SingleRowDecisionValueMatchesBatch) {
+  const TrainedProblem p = gaussian_problem(12, 1.3);
+  const auto f = p.model.decision_values(p.k);
+  for (idx i = 0; i < p.k.rows(); ++i) {
+    const std::vector<double> row(p.k.row(i), p.k.row(i) + p.k.cols());
+    EXPECT_EQ(p.model.decision_value(row), f[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(SvmCompaction, StateGatherOverloadSelectsSvSubset) {
+  const TrainedProblem p = gaussian_problem(13, 1.0);
+  // Stand-in "states": the original training index, so the gather is
+  // directly checkable.
+  std::vector<int> states(p.y.size());
+  for (std::size_t i = 0; i < states.size(); ++i) states[i] = static_cast<int>(i);
+  std::vector<int> sv_states;
+  const CompactSvc compact = compact_support_vectors(p.model, states, &sv_states);
+  ASSERT_EQ(sv_states.size(), compact.sv_indices.size());
+  for (std::size_t s = 0; s < sv_states.size(); ++s)
+    EXPECT_EQ(sv_states[s], static_cast<int>(compact.sv_indices[s]));
+}
+
+TEST(SvmCompaction, RejectsMisalignedStates) {
+  const TrainedProblem p = gaussian_problem(14, 1.0);
+  std::vector<int> wrong_size(p.y.size() + 1, 0);
+  std::vector<int> out;
+  EXPECT_THROW(compact_support_vectors(p.model, wrong_size, &out), Error);
+}
+
 }  // namespace
 }  // namespace qkmps::svm

@@ -71,5 +71,34 @@ TEST(ThreadPool, ParallelForComputesCorrectSum) {
   EXPECT_DOUBLE_EQ(sum, 999.0 * 1000.0 / 2.0);
 }
 
+TEST(ThreadPool, ParallelForPropagatesWorkerException) {
+  // Exceptions in fn are a designed path (the serving engine forwards
+  // them to request futures): parallel_for must join every lane before
+  // unwinding, rethrow the first error, and leave the pool usable.
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(200,
+                                 [](std::size_t i) {
+                                   if (i == 13) throw Error("boom");
+                                 }),
+               Error);
+  std::atomic<int> hits{0};
+  pool.parallel_for(50, [&](std::size_t) { ++hits; });
+  EXPECT_EQ(hits.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForStopsHandingOutIndicesAfterError) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(1'000'000,
+                                 [&](std::size_t) {
+                                   ++ran;
+                                   throw Error("first index fails");
+                                 }),
+               Error);
+  // Each lane aborts on its first failure; the vast majority of the
+  // index space is never dispatched.
+  EXPECT_LE(ran.load(), 4);
+}
+
 }  // namespace
 }  // namespace qkmps::parallel
