@@ -105,48 +105,65 @@ int main(int argc, char** argv) {
               static_cast<double>(stats.avg_mps_bytes) / 1024.0);
 
   // --- Production-style serving loop. The winning model becomes a
-  //     ModelBundle (support vectors only) behind an async micro-batching
-  //     InferenceEngine; a stream of transactions — with the repeats a
-  //     real fraud feed exhibits — is scored through it. ------------------
-  serve::ModelBundle bundle = serve::make_bundle(cfg, scaler, model, q_states);
-  serve::EngineConfig engine_cfg;
-  engine_cfg.max_batch = 16;
-  serve::InferenceEngine engine(std::move(bundle), engine_cfg);
+  //     ModelBundle (support vectors only) behind a 2-shard frontend with
+  //     a bounded admission queue; a Zipf-hot stream of transactions —
+  //     the duplicate traffic a real fraud feed exhibits — is generated
+  //     by the deterministic workload scenario machinery and scored
+  //     through it. Shed-oldest backpressure: a fraud verdict delivered
+  //     after the transaction cleared helps nobody. -----------------------
+  serve::ShardedEngineConfig serving_cfg;
+  serving_cfg.num_shards = 2;
+  serving_cfg.admission_capacity = 64;
+  serving_cfg.policy = serve::AdmissionPolicy::kShedOldest;
+  serving_cfg.engine.max_batch = 16;
+  serve::ShardedEngine engine(
+      serve::make_bundle(cfg, scaler, model, q_states), serving_cfg);
 
-  const idx stream_len = 200;
-  Rng traffic(99);
-  std::vector<std::future<serve::Prediction>> futures;
-  futures.reserve(static_cast<std::size_t>(stream_len));
+  serve::workload::ScenarioConfig stream_cfg;
+  stream_cfg.name = "fraud-feed";
+  stream_cfg.seed = 99;
+  stream_cfg.num_requests = 200;
+  stream_cfg.num_unique = std::min<idx>(40, pool.size());
+  stream_cfg.keys = serve::workload::KeyPattern::kZipf;
+  const serve::workload::Scenario stream =
+      serve::workload::make_scenario(stream_cfg, pool.x);
+
+  std::vector<std::future<serve::RoutedPrediction>> futures;
+  futures.reserve(static_cast<std::size_t>(stream.size()));
   Timer serve_timer;
-  for (idx r = 0; r < stream_len; ++r) {
-    // Even requests draw from the whole pool; odd ones re-query a small
-    // hot set of recent transactions (duplicate traffic).
-    const idx pick =
-        (r % 2 == 0)
-            ? static_cast<idx>(traffic.uniform_int(
-                  static_cast<std::uint64_t>(pool.size())))
-            : static_cast<idx>(traffic.uniform_int(std::min<std::uint64_t>(
-                  20, static_cast<std::uint64_t>(pool.size()))));
-    futures.push_back(engine.submit(std::vector<double>(
-        pool.x.row(pick), pool.x.row(pick) + pool.x.cols())));
+  for (idx r = 0; r < stream.size(); ++r)
+    futures.push_back(engine.submit(stream.request(r)));
+  idx flagged = 0, served = 0, shed = 0;
+  for (auto& f : futures) {
+    const serve::RoutedPrediction p = f.get();
+    if (p.status != serve::ServeStatus::kServed) {
+      ++shed;
+      continue;
+    }
+    ++served;
+    if (p.prediction.label == 1) ++flagged;
   }
-  idx flagged = 0;
-  for (auto& f : futures)
-    if (f.get().label == 1) ++flagged;
   const double serve_seconds = serve_timer.seconds();
 
-  const serve::EngineStats es = engine.stats();
-  std::printf("\nserving: %llu requests in %.2fs (%.0f req/s), %llu "
-              "micro-batches, %llu circuits simulated, cache hit rate %.0f%%\n",
-              static_cast<unsigned long long>(es.requests), serve_seconds,
-              static_cast<double>(es.requests) / serve_seconds,
-              static_cast<unsigned long long>(es.batches),
-              static_cast<unsigned long long>(es.circuits_simulated),
-              100.0 * es.cache.hit_rate());
-  std::printf("  %lld of %lld streamed transactions flagged illicit "
-              "(%lld support vectors resident)\n",
-              static_cast<long long>(flagged),
-              static_cast<long long>(stream_len),
+  const serve::ShardedStats ss = engine.stats();
+  std::uint64_t circuits = 0, cache_hits = 0, memo_hits = 0;
+  for (const serve::ShardStats& shard : ss.shards) {
+    circuits += shard.engine.circuits_simulated;
+    cache_hits += shard.engine.cache.hits;
+    memo_hits += shard.engine.memo.hits;
+  }
+  std::printf("\nserving: %llu requests in %.2fs (%.0f served/s) across %zu "
+              "shards; %llu circuits simulated, %llu cache + %llu memo hits\n",
+              static_cast<unsigned long long>(ss.submitted), serve_seconds,
+              static_cast<double>(served) / serve_seconds, engine.num_shards(),
+              static_cast<unsigned long long>(circuits),
+              static_cast<unsigned long long>(cache_hits),
+              static_cast<unsigned long long>(memo_hits));
+  std::printf("  %lld served (p99 %.2f ms), %lld shed by backpressure; "
+              "%lld of the served flagged illicit (%lld support vectors "
+              "resident, shared across shards)\n",
+              static_cast<long long>(served), ss.p99_drain_ms,
+              static_cast<long long>(shed), static_cast<long long>(flagged),
               static_cast<long long>(engine.bundle().num_support_vectors()));
   return 0;
 }

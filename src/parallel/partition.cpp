@@ -21,6 +21,14 @@ std::vector<Range> split_evenly(idx n, idx parts) {
   return out;
 }
 
+std::vector<idx> split_sizes(idx n, idx parts) {
+  const std::vector<Range> ranges = split_evenly(n, parts);
+  std::vector<idx> sizes;
+  sizes.reserve(ranges.size());
+  for (const Range& r : ranges) sizes.push_back(r.size());
+  return sizes;
+}
+
 std::vector<Tile> make_tiles(idx n_rows, idx n_cols, idx grid_rows,
                              idx grid_cols) {
   const auto row_ranges = split_evenly(n_rows, grid_rows);

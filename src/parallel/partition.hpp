@@ -19,6 +19,12 @@ struct Range {
 /// parts > n.
 std::vector<Range> split_evenly(idx n, idx parts);
 
+/// Just the sizes of split_evenly(n, parts): the near-equal integer
+/// partition of n. Used where a resource count (hardware threads across
+/// engine shards, rows across ranks) must be divided without dropping
+/// the remainder the way a plain n / parts would.
+std::vector<idx> split_sizes(idx n, idx parts);
+
 /// Tile of a matrix: a row range x column range. The Gram matrix is tiled
 /// into near-square tiles (Sec. II-D: "square tiles are favoured").
 struct Tile {

@@ -50,8 +50,12 @@
 #include "parallel/thread_pool.hpp"  // IWYU pragma: export
 #include "serve/feature_key.hpp"     // IWYU pragma: export
 #include "serve/inference_engine.hpp"  // IWYU pragma: export
+#include "serve/lru_map.hpp"         // IWYU pragma: export
 #include "serve/model_bundle.hpp"    // IWYU pragma: export
+#include "serve/prediction_memo.hpp" // IWYU pragma: export
+#include "serve/sharded_engine.hpp"  // IWYU pragma: export
 #include "serve/state_cache.hpp"     // IWYU pragma: export
+#include "serve/workload.hpp"        // IWYU pragma: export
 #include "svm/metrics.hpp"           // IWYU pragma: export
 #include "svm/model_selection.hpp"   // IWYU pragma: export
 #include "svm/svm.hpp"               // IWYU pragma: export

@@ -9,6 +9,7 @@
 #include "mps/inner_product.hpp"
 #include "mps/simulator.hpp"
 #include "serve/feature_key.hpp"
+#include "util/atomics.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -24,15 +25,34 @@ std::size_t default_threads(std::size_t requested) {
 
 }  // namespace
 
+void check_request_features(const std::vector<double>& features,
+                            idx expected) {
+  QKMPS_CHECK_MSG(static_cast<idx>(features.size()) == expected,
+                  "request has " << features.size()
+                                 << " features, bundle expects " << expected);
+  for (double v : features)
+    QKMPS_CHECK_MSG(std::isfinite(v), "non-finite feature in request");
+}
+
 InferenceEngine::InferenceEngine(ModelBundle bundle, EngineConfig config)
+    : InferenceEngine(
+          std::make_shared<const ModelBundle>(std::move(bundle)), config) {}
+
+InferenceEngine::InferenceEngine(std::shared_ptr<const ModelBundle> bundle,
+                                 EngineConfig config)
     : bundle_(std::move(bundle)),
       config_(config),
       cache_(config.cache_capacity),
+      memo_(config.memo_capacity),
       pool_(default_threads(config.num_threads)) {
-  QKMPS_CHECK_MSG(!bundle_.sv_states.empty(), "bundle has no support vectors");
-  QKMPS_CHECK(bundle_.model.alpha.size() == bundle_.sv_states.size());
+  QKMPS_CHECK(bundle_ != nullptr);
+  QKMPS_CHECK_MSG(!bundle_->sv_states.empty(), "bundle has no support vectors");
+  QKMPS_CHECK(bundle_->model.alpha.size() == bundle_->sv_states.size());
   QKMPS_CHECK(config_.max_batch >= 1);
-  batcher_ = std::thread([this] { batcher_loop(); });
+  // The batcher thread starts lazily on the first submit(): callers that
+  // only ever use the synchronous predict_batch() path — notably the N
+  // inner engines of a ShardedEngine, whose drainers batch for them —
+  // never pay for a permanently idle thread.
 }
 
 InferenceEngine::~InferenceEngine() {
@@ -41,26 +61,12 @@ InferenceEngine::~InferenceEngine() {
     stop_ = true;
   }
   cv_.notify_all();
-  batcher_.join();  // drains whatever was queued before stop
+  if (batcher_.joinable())
+    batcher_.join();  // drains whatever was queued before stop
 }
-
-namespace {
-
-/// Request validation at the API boundary: a malformed feature vector
-/// must fail the caller immediately, not score as a confident label
-/// (NaN decision values compare false against 0 and would all map to -1).
-void check_features(const std::vector<double>& features, idx expected) {
-  QKMPS_CHECK_MSG(static_cast<idx>(features.size()) == expected,
-                  "request has " << features.size()
-                                 << " features, bundle expects " << expected);
-  for (double v : features)
-    QKMPS_CHECK_MSG(std::isfinite(v), "non-finite feature in request");
-}
-
-}  // namespace
 
 std::future<Prediction> InferenceEngine::submit(std::vector<double> features) {
-  check_features(features, bundle_.num_features());
+  check_request_features(features, bundle_->num_features());
   Request r;
   r.features = std::move(features);
   r.submitted = std::chrono::steady_clock::now();
@@ -68,6 +74,8 @@ std::future<Prediction> InferenceEngine::submit(std::vector<double> features) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     QKMPS_CHECK_MSG(!stop_, "submit on a stopped engine");
+    if (!batcher_.joinable())
+      batcher_ = std::thread([this] { batcher_loop(); });
     queue_.push_back(std::move(r));
   }
   cv_.notify_all();
@@ -131,18 +139,16 @@ void InferenceEngine::execute(std::vector<Request>& batch) {
 }
 
 void InferenceEngine::record_batch(std::size_t n_requests) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.batches;
-  stats_.requests += n_requests;
-  stats_.max_batch_seen =
-      std::max(stats_.max_batch_seen, static_cast<std::uint64_t>(n_requests));
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  requests_.fetch_add(n_requests, std::memory_order_relaxed);
+  fetch_max(max_batch_seen_, static_cast<std::uint64_t>(n_requests));
 }
 
 std::vector<Prediction> InferenceEngine::run_batch(
     const std::vector<std::vector<double>>& features) {
-  const idx m = bundle_.num_features();
+  const idx m = bundle_->num_features();
   const idx b = static_cast<idx>(features.size());
-  const idx n_sv = bundle_.num_support_vectors();
+  const idx n_sv = bundle_->num_support_vectors();
 
   // Scale the whole batch through the bundle's fitted scaler; transform is
   // row-independent, so values match a sequential per-request transform.
@@ -152,25 +158,42 @@ std::vector<Prediction> InferenceEngine::run_batch(
     QKMPS_CHECK(static_cast<idx>(f.size()) == m);
     std::copy(f.begin(), f.end(), raw.row(i));
   }
-  const kernel::RealMatrix scaled = bundle_.scaler.transform(raw);
+  const kernel::RealMatrix scaled = bundle_->scaler.transform(raw);
 
-  // Cache pass: resident states are reused, misses are deduplicated within
-  // the batch (two identical uncached requests cost one simulation).
+  std::vector<Prediction> out(static_cast<std::size_t>(b));
+
+  // Memo pass: an exact repeat of a previously scored request replays its
+  // decision value without touching the StateCache or the pool. Rows that
+  // miss stay "active" through the rest of the pipeline.
   std::vector<std::vector<double>> keys(static_cast<std::size_t>(b));
   std::vector<std::uint64_t> hashes(static_cast<std::size_t>(b), 0);
-  std::vector<std::shared_ptr<const mps::Mps>> states(
-      static_cast<std::size_t>(b));
-  std::vector<bool> hit(static_cast<std::size_t>(b), false);
-  std::vector<std::size_t> unique_miss;  // first occurrence of each key
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> miss_by_hash;
-  std::vector<std::size_t> alias_of(static_cast<std::size_t>(b), 0);
+  std::vector<std::size_t> active;
+  active.reserve(static_cast<std::size_t>(b));
   for (std::size_t i = 0; i < static_cast<std::size_t>(b); ++i) {
     keys[i].assign(scaled.row(static_cast<idx>(i)),
                    scaled.row(static_cast<idx>(i)) + m);
-    hashes[i] = feature_hash(keys[i]);  // hashed once, reused for insert
+    hashes[i] = feature_hash(keys[i]);  // hashed once, reused throughout
+    if (const auto memoized = memo_.find(keys[i], hashes[i])) {
+      out[i].label = memoized->label;
+      out[i].decision_value = memoized->decision_value;
+      out[i].memo_hit = true;
+      continue;
+    }
+    active.push_back(i);
+  }
+
+  // Cache pass over the active rows: resident states are reused, misses
+  // are deduplicated within the batch (two identical uncached requests
+  // cost one simulation).
+  std::vector<std::shared_ptr<const mps::Mps>> states(
+      static_cast<std::size_t>(b));
+  std::vector<std::size_t> unique_miss;  // first occurrence of each key
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> miss_by_hash;
+  std::vector<std::size_t> alias_of(static_cast<std::size_t>(b), 0);
+  for (std::size_t i : active) {
     states[i] = cache_.find(keys[i], hashes[i]);
     if (states[i] != nullptr) {
-      hit[i] = true;
+      out[i].cache_hit = true;
       continue;
     }
     auto& bucket = miss_by_hash[hashes[i]];
@@ -192,46 +215,49 @@ std::vector<Prediction> InferenceEngine::run_batch(
   // per-row body of kernel::simulate_states, so results are deterministic
   // and independent of batch composition.
   std::vector<std::shared_ptr<const mps::Mps>> fresh(unique_miss.size());
-  const mps::MpsSimulator sim(bundle_.config.sim);
+  const mps::MpsSimulator sim(bundle_->config.sim);
   pool_.parallel_for(unique_miss.size(), [&](std::size_t u) {
     const std::size_t i = unique_miss[u];
     const circuit::Circuit c =
-        circuit::feature_map_circuit(bundle_.config.ansatz, keys[i]);
+        circuit::feature_map_circuit(bundle_->config.ansatz, keys[i]);
     fresh[u] = std::make_shared<const mps::Mps>(sim.simulate(c).state);
   });
   for (std::size_t u = 0; u < unique_miss.size(); ++u) {
     const std::size_t i = unique_miss[u];
     states[i] = cache_.insert(keys[i], hashes[i], fresh[u]);
   }
-  for (std::size_t i = 0; i < static_cast<std::size_t>(b); ++i)
+  for (std::size_t i : active)
     if (states[i] == nullptr) states[i] = states[alias_of[i]];
 
-  // Rectangular kernel against the support vectors only, then the SVC —
-  // entrywise the same overlap_squared / decision_values calls as
-  // kernel::cross_from_states + SvcModel::decision_values.
-  // Flattened over (request, SV) pairs so even a single-request batch
-  // spreads its #SV contractions across the pool.
-  kernel::RealMatrix k_batch(b, n_sv);
-  pool_.parallel_for(static_cast<std::size_t>(b * n_sv), [&](std::size_t t) {
-    const idx i = static_cast<idx>(t) / n_sv;
+  // Rectangular kernel of the active rows against the support vectors
+  // only, then the SVC — entrywise the same overlap_squared /
+  // decision_values calls as kernel::cross_from_states +
+  // SvcModel::decision_values (decision values are row-independent, so
+  // scoring the active subset matches scoring the full batch). Flattened
+  // over (request, SV) pairs so even a single-request batch spreads its
+  // #SV contractions across the pool.
+  const idx n_active = static_cast<idx>(active.size());
+  kernel::RealMatrix k_active(n_active, n_sv);
+  pool_.parallel_for(static_cast<std::size_t>(n_active * n_sv),
+                     [&](std::size_t t) {
+    const idx a = static_cast<idx>(t) / n_sv;
     const idx j = static_cast<idx>(t) % n_sv;
-    k_batch(i, j) = mps::overlap_squared(
-        *states[static_cast<std::size_t>(i)],
-        bundle_.sv_states[static_cast<std::size_t>(j)],
-        bundle_.config.sim.policy);
+    k_active(a, j) = mps::overlap_squared(
+        *states[active[static_cast<std::size_t>(a)]],
+        bundle_->sv_states[static_cast<std::size_t>(j)],
+        bundle_->config.sim.policy);
   });
-  const std::vector<double> f = bundle_.model.decision_values(k_batch);
+  const std::vector<double> f = bundle_->model.decision_values(k_active);
 
-  std::vector<Prediction> out(static_cast<std::size_t>(b));
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i].decision_value = f[i];
-    out[i].label = f[i] >= 0.0 ? 1 : -1;
-    out[i].cache_hit = hit[i];
+  for (idx a = 0; a < n_active; ++a) {
+    const std::size_t i = active[static_cast<std::size_t>(a)];
+    out[i].decision_value = f[static_cast<std::size_t>(a)];
+    out[i].label = f[static_cast<std::size_t>(a)] >= 0.0 ? 1 : -1;
+    memo_.insert(keys[i], hashes[i],
+                 {out[i].label, out[i].decision_value});
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.circuits_simulated += unique_miss.size();
-  }
+  circuits_simulated_.fetch_add(unique_miss.size(),
+                                std::memory_order_relaxed);
   return out;
 }
 
@@ -239,10 +265,20 @@ std::vector<Prediction> InferenceEngine::predict_batch(
     const kernel::RealMatrix& x) {
   std::vector<std::vector<double>> features;
   features.reserve(static_cast<std::size_t>(x.rows()));
-  for (idx i = 0; i < x.rows(); ++i) {
+  for (idx i = 0; i < x.rows(); ++i)
     features.emplace_back(x.row(i), x.row(i) + x.cols());
-    check_features(features.back(), bundle_.num_features());
-  }
+  return predict_batch(std::move(features));
+}
+
+std::vector<Prediction> InferenceEngine::predict_batch(
+    std::vector<std::vector<double>> features) {
+  for (const std::vector<double>& f : features)
+    check_request_features(f, bundle_->num_features());
+  return predict_batch_trusted(std::move(features));
+}
+
+std::vector<Prediction> InferenceEngine::predict_batch_trusted(
+    std::vector<std::vector<double>> features) {
   Timer timer;
   std::vector<Prediction> out = run_batch(features);
   const double seconds = timer.seconds();
@@ -253,11 +289,12 @@ std::vector<Prediction> InferenceEngine::predict_batch(
 
 EngineStats InferenceEngine::stats() const {
   EngineStats s;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    s = stats_;
-  }
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.circuits_simulated = circuits_simulated_.load(std::memory_order_relaxed);
+  s.max_batch_seen = max_batch_seen_.load(std::memory_order_relaxed);
   s.cache = cache_.stats();
+  s.memo = memo_.stats();
   return s;
 }
 

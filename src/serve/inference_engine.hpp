@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -11,6 +12,7 @@
 
 #include "parallel/thread_pool.hpp"
 #include "serve/model_bundle.hpp"
+#include "serve/prediction_memo.hpp"
 #include "serve/state_cache.hpp"
 
 namespace qkmps::serve {
@@ -23,6 +25,11 @@ struct EngineConfig {
   std::chrono::microseconds batch_deadline{2000};  ///< max wait for a batch
   std::size_t num_threads = 0;     ///< simulation/kernel pool; 0 = hardware
   std::size_t cache_capacity = 4096;  ///< StateCache entries; 0 disables
+  /// Decision-value memo entries; 0 disables. An exact-repeat request
+  /// (identical scaled feature bits) short-circuits before the StateCache:
+  /// no simulation, no kernel row, no SVC pass — it replays the identical
+  /// prediction bits. ROADMAP's decision-value memoization.
+  std::size_t memo_capacity = 1024;
 };
 
 /// One scored request.
@@ -33,18 +40,25 @@ struct Prediction {
   /// point also skip simulation (they alias the first occurrence) but
   /// report false; EngineStats::circuits_simulated is the exact count.
   bool cache_hit = false;
+  /// Whole prediction came from the decision-value memo: the request
+  /// skipped simulation, the StateCache, and the kernel entirely (so
+  /// cache_hit is false for a memo hit — the StateCache was never asked).
+  bool memo_hit = false;
   /// submit() -> promise fulfilment for async requests; the batch's wall
   /// time for every row of a synchronous predict_batch() call.
   double latency_seconds = 0.0;
 };
 
-/// Aggregate serving counters (monotonic since construction).
+/// Aggregate serving counters (monotonic since construction). A snapshot:
+/// the engine keeps every counter atomic, so stats() never touches the
+/// request-queue lock and can be polled from any thread during traffic.
 struct EngineStats {
   std::uint64_t requests = 0;
   std::uint64_t batches = 0;
   std::uint64_t circuits_simulated = 0;
   std::uint64_t max_batch_seen = 0;
   CacheStats cache;
+  MemoStats memo;
 };
 
 /// Asynchronous micro-batched inference over a ModelBundle. Callers
@@ -61,11 +75,19 @@ struct EngineStats {
 /// (kernel::simulate_states + kernel::cross_from_states +
 /// SvcModel::decision_values) runs, on the same per-request inputs, so
 /// predictions are bitwise-identical regardless of batch composition,
-/// arrival order, or cache hits — the metamorphic relation
+/// arrival order, cache hits, or memo hits — the metamorphic relation
 /// tests/test_inference_engine.cpp pins down.
+///
+/// The bundle is held through shared_ptr<const ModelBundle>, so N engines
+/// (e.g. the shards of a ShardedEngine) keep one copy of the resident
+/// support-vector states between them.
+class ShardedEngine;
+
 class InferenceEngine {
  public:
   explicit InferenceEngine(ModelBundle bundle, EngineConfig config = {});
+  InferenceEngine(std::shared_ptr<const ModelBundle> bundle,
+                  EngineConfig config);
   ~InferenceEngine();  ///< drains pending requests, then stops
 
   InferenceEngine(const InferenceEngine&) = delete;
@@ -80,11 +102,25 @@ class InferenceEngine {
   /// compute path as the async batches (bypassing the queue and deadline).
   std::vector<Prediction> predict_batch(const kernel::RealMatrix& x);
 
+  /// Same, taking the rows directly — the sharded frontend's drainer
+  /// moves the admitted requests' feature vectors straight in, with no
+  /// intermediate matrix packing/unpacking copies.
+  std::vector<Prediction> predict_batch(
+      std::vector<std::vector<double>> features);
+
+  /// Lock-free counter snapshot; safe to poll during traffic.
   EngineStats stats() const;
-  const ModelBundle& bundle() const { return bundle_; }
+  const ModelBundle& bundle() const { return *bundle_; }
   const EngineConfig& config() const { return config_; }
 
  private:
+  /// The sharded frontend validates each request once at admission; its
+  /// drainers then score through predict_batch_trusted and skip the
+  /// re-validation scan on the latency-critical drain path.
+  friend class ShardedEngine;
+  std::vector<Prediction> predict_batch_trusted(
+      std::vector<std::vector<double>> features);
+
   struct Request {
     std::vector<double> features;
     std::promise<Prediction> promise;
@@ -94,22 +130,38 @@ class InferenceEngine {
   void batcher_loop();
   void execute(std::vector<Request>& batch);
   void record_batch(std::size_t n_requests);
-  /// Scales, simulates (cache-aware), computes SV kernels, scores.
+  /// Scales, memo-checks, simulates (cache-aware), computes SV kernels,
+  /// scores, memoizes.
   std::vector<Prediction> run_batch(
       const std::vector<std::vector<double>>& features);
 
-  const ModelBundle bundle_;
+  const std::shared_ptr<const ModelBundle> bundle_;
   const EngineConfig config_;
   StateCache cache_;
+  PredictionMemo memo_;
   parallel::ThreadPool pool_;
 
-  mutable std::mutex mu_;  ///< guards queue_, stop_, stats_
+  mutable std::mutex mu_;  ///< guards queue_ and stop_ only
   std::condition_variable cv_;
   std::deque<Request> queue_;
   bool stop_ = false;
-  EngineStats stats_;
 
-  std::thread batcher_;  ///< last member: joins before the pool dies
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> circuits_simulated_{0};
+  std::atomic<std::uint64_t> max_batch_seen_{0};
+
+  /// Started lazily by the first submit() (predict_batch-only callers,
+  /// like ShardedEngine's inner engines, never start it). Last member:
+  /// joins before the pool dies.
+  std::thread batcher_;
 };
+
+/// Request validation shared by every serving entry point (engine submit,
+/// sharded-frontend admission): a malformed feature vector must fail the
+/// caller immediately, not score as a confident label (NaN decision values
+/// compare false against 0 and would all map to -1). Throws qkmps::Error.
+void check_request_features(const std::vector<double>& features,
+                            idx expected);
 
 }  // namespace qkmps::serve

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "serve/lru_map.hpp"
+
+namespace qkmps::serve {
+
+/// Memoization counters; snapshot semantics as LruStats (atomic,
+/// lock-free to read while lookups and insertions are in flight).
+using MemoStats = LruStats;
+
+/// The memoized payload: exactly the parts of a Prediction that are a
+/// pure function of the scaled feature bits (label + decision value).
+/// Latency and hit provenance are per-request and never memoized.
+struct MemoizedPrediction {
+  int label = 0;
+  double decision_value = 0.0;
+};
+
+/// Tiny thread-safe LRU of *final* decision values, keyed by the bit
+/// pattern of the scaled feature vector — the ROADMAP's decision-value
+/// memoization, an LruMap instance (see lru_map.hpp). Sits in front of
+/// the whole simulation path: an exact repeat of a previously scored
+/// request skips scaling-downstream work entirely (no circuit
+/// simulation, no StateCache traffic, no SV kernel row, no SVC
+/// accumulation), returning the identical bits it returned the first
+/// time. Where the StateCache amortizes the simulation of a repeated
+/// *point*, the memo amortizes the entire request.
+///
+/// capacity == 0 disables memoization: find() always misses and insert()
+/// stores nothing.
+using PredictionMemo = LruMap<MemoizedPrediction>;
+
+}  // namespace qkmps::serve

@@ -1,0 +1,322 @@
+#include "serve/sharded_engine.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "parallel/partition.hpp"
+#include "serve/feature_key.hpp"
+#include "util/atomics.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace qkmps::serve {
+
+const char* to_string(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kServed:
+      return "served";
+    case ServeStatus::kRejected:
+      return "rejected";
+    case ServeStatus::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Per-shard simulation/kernel lane counts. num_threads == 0 partitions
+/// the hardware threads across the shards via parallel::split_sizes (N
+/// shards each draining through a full-width pool would just contend
+/// with each other; a plain total/N would drop the remainder lanes).
+/// Every shard gets at least one lane.
+std::vector<std::size_t> shard_lanes(std::size_t requested,
+                                     std::size_t num_shards) {
+  if (requested > 0)
+    return std::vector<std::size_t>(num_shards, requested);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const idx total = static_cast<idx>(hw == 0 ? 2 : hw);
+  const std::vector<idx> sizes =
+      parallel::split_sizes(total, static_cast<idx>(num_shards));
+  std::vector<std::size_t> lanes(num_shards, 1);
+  for (std::size_t i = 0; i < num_shards; ++i)
+    lanes[i] = std::max<std::size_t>(1, static_cast<std::size_t>(sizes[i]));
+  return lanes;
+}
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(ModelBundle bundle, ShardedEngineConfig config)
+    : ShardedEngine(std::make_shared<const ModelBundle>(std::move(bundle)),
+                    config) {}
+
+ShardedEngine::ShardedEngine(std::shared_ptr<const ModelBundle> bundle,
+                             ShardedEngineConfig config)
+    : bundle_(std::move(bundle)), config_(config) {
+  QKMPS_CHECK(bundle_ != nullptr);
+  QKMPS_CHECK_MSG(config_.num_shards >= 1, "need at least one shard");
+  QKMPS_CHECK_MSG(config_.admission_capacity >= 1,
+                  "admission queue needs capacity >= 1");
+  const std::vector<std::size_t> lanes =
+      shard_lanes(config_.engine.num_threads, config_.num_shards);
+  shards_.reserve(config_.num_shards);
+  for (std::size_t i = 0; i < config_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    EngineConfig engine_cfg = config_.engine;
+    engine_cfg.num_threads = lanes[i];
+    // Every shard scores through the same resident bundle; only caches,
+    // queues, and pools are per shard.
+    shard->engine = std::make_unique<InferenceEngine>(bundle_, engine_cfg);
+    shards_.push_back(std::move(shard));
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard* shard = shards_[i].get();
+    shard->drainer = std::thread(
+        [this, shard, i] { drain_loop(*shard, static_cast<int>(i)); });
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->stop = true;
+    }
+    shard->cv_work.notify_all();
+    shard->cv_space.notify_all();
+  }
+  // A submitter may still be inside submit() — most notably blocked in
+  // the kBlockWithDeadline wait, which stop just woke into a rejection.
+  // Wait for every in-flight submit to leave its shard before the shard
+  // is freed (the stop flag guarantees no new ones enter).
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    shard->cv_space.wait(lock, [&] { return shard->active_submits == 0; });
+  }
+  // Drainers finish every admitted request before exiting (stop overrides
+  // pause), so joining here cannot deadlock and drops no future.
+  for (auto& shard : shards_) shard->drainer.join();
+}
+
+int ShardedEngine::shard_for(const std::vector<double>& features) const {
+  return static_cast<int>(feature_hash(features) %
+                          static_cast<std::uint64_t>(shards_.size()));
+}
+
+std::size_t ShardedEngine::drain_batch_limit() const {
+  return config_.drain_max_batch > 0 ? config_.drain_max_batch
+                                     : config_.engine.max_batch;
+}
+
+std::future<RoutedPrediction> ShardedEngine::submit(
+    std::vector<double> features) {
+  check_request_features(features, bundle_->num_features());
+  const int shard_index = shard_for(features);
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
+
+  Pending request;
+  request.features = std::move(features);
+  request.submitted = std::chrono::steady_clock::now();
+  std::future<RoutedPrediction> fut = request.promise.get_future();
+
+  std::optional<Pending> victim;  // kShedOldest eviction, resolved unlocked
+  bool rejected = false;
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    QKMPS_CHECK_MSG(!shard.stop, "submit on a stopped ShardedEngine");
+    // Registered only once the stop check passed: the destructor waits
+    // for active_submits to drain, and a submit that throws on a stopping
+    // engine must not break submitted == admitted + rejected.
+    ++shard.active_submits;
+    shard.submitted.fetch_add(1, std::memory_order_relaxed);
+    if (shard.pending.size() >= config_.admission_capacity) {
+      switch (config_.policy) {
+        case AdmissionPolicy::kRejectNew:
+          rejected = true;
+          break;
+        case AdmissionPolicy::kBlockWithDeadline: {
+          const auto deadline = request.submitted + config_.block_deadline;
+          shard.cv_space.wait_until(lock, deadline, [&] {
+            return shard.stop ||
+                   shard.pending.size() < config_.admission_capacity;
+          });
+          // A stop during the wait also rejects: the request was never
+          // admitted, and rejecting beats throwing from under a blocked
+          // caller mid-shutdown.
+          rejected = shard.stop ||
+                     shard.pending.size() >= config_.admission_capacity;
+          break;
+        }
+        case AdmissionPolicy::kShedOldest:
+          victim.emplace(std::move(shard.pending.front()));
+          shard.pending.pop_front();
+          shard.shed.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+    }
+    if (!rejected) {
+      shard.pending.push_back(std::move(request));
+      shard.admitted.fetch_add(1, std::memory_order_relaxed);
+      fetch_max(shard.max_queue_depth, shard.pending.size());
+    }
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  if (victim) {
+    RoutedPrediction out;
+    out.status = ServeStatus::kShed;
+    out.shard = shard_index;
+    out.total_seconds = seconds_between(victim->submitted, now);
+    victim->promise.set_value(out);
+  }
+  if (rejected) {
+    shard.rejected.fetch_add(1, std::memory_order_relaxed);
+    RoutedPrediction out;
+    out.status = ServeStatus::kRejected;
+    out.shard = shard_index;
+    out.total_seconds = seconds_between(request.submitted, now);
+    request.promise.set_value(out);
+  } else {
+    shard.cv_work.notify_one();
+  }
+  bool stopping;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    --shard.active_submits;
+    stopping = shard.stop;
+  }
+  if (stopping) shard.cv_space.notify_all();  // wake a draining destructor
+  return fut;
+}
+
+void ShardedEngine::drain_loop(Shard& shard, int shard_index) {
+  const std::size_t limit = drain_batch_limit();
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      shard.cv_work.wait(lock, [&] {
+        return shard.stop || (!shard.paused && !shard.pending.empty());
+      });
+      if (shard.pending.empty()) {
+        if (shard.stop) return;
+        continue;  // spurious wake or pause toggled with an empty queue
+      }
+      const std::size_t take = std::min(shard.pending.size(), limit);
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(shard.pending.front()));
+        shard.pending.pop_front();
+      }
+      shard.cv_space.notify_all();  // blocked submitters get the freed slots
+    }
+
+    const auto drain_start = std::chrono::steady_clock::now();
+    shard.batches.fetch_add(1, std::memory_order_relaxed);
+    try {
+      std::vector<std::vector<double>> features;
+      features.reserve(batch.size());
+      for (Pending& p : batch) features.push_back(std::move(p.features));
+      // Trusted entry: every row was validated at admission, so the drain
+      // path skips the per-double re-validation scan.
+      const std::vector<Prediction> preds =
+          shard.engine->predict_batch_trusted(std::move(features));
+      const auto done = std::chrono::steady_clock::now();
+
+      std::vector<RoutedPrediction> out(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        out[i].status = ServeStatus::kServed;
+        out[i].shard = shard_index;
+        out[i].prediction = preds[i];
+        out[i].queue_seconds = seconds_between(batch[i].submitted, drain_start);
+        out[i].total_seconds = seconds_between(batch[i].submitted, done);
+      }
+      if (config_.latency_window > 0) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        for (const RoutedPrediction& r : out) {
+          if (shard.latencies.size() < config_.latency_window)
+            shard.latencies.push_back(r.total_seconds);
+          else
+            shard.latencies[shard.latency_next] = r.total_seconds;
+          shard.latency_next =
+              (shard.latency_next + 1) % config_.latency_window;
+        }
+      }
+      // Counters land before the promises so a caller that joined on its
+      // futures always observes them accounted for.
+      shard.completed.fetch_add(batch.size(), std::memory_order_relaxed);
+      for (std::size_t i = 0; i < batch.size(); ++i)
+        batch[i].promise.set_value(out[i]);
+    } catch (...) {
+      shard.completed.fetch_add(batch.size(), std::memory_order_relaxed);
+      const std::exception_ptr err = std::current_exception();
+      for (Pending& p : batch) p.promise.set_exception(err);
+    }
+  }
+}
+
+void ShardedEngine::pause_draining() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->paused = true;
+  }
+}
+
+void ShardedEngine::resume_draining() {
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->paused = false;
+    }
+    shard->cv_work.notify_all();
+  }
+}
+
+ShardedStats ShardedEngine::stats() const {
+  ShardedStats agg;
+  agg.shards.reserve(shards_.size());
+  std::vector<double> pooled;
+  for (const auto& shard : shards_) {
+    ShardStats s;
+    s.submitted = shard->submitted.load(std::memory_order_relaxed);
+    s.admitted = shard->admitted.load(std::memory_order_relaxed);
+    s.rejected = shard->rejected.load(std::memory_order_relaxed);
+    s.shed = shard->shed.load(std::memory_order_relaxed);
+    s.completed = shard->completed.load(std::memory_order_relaxed);
+    s.batches = shard->batches.load(std::memory_order_relaxed);
+    s.max_queue_depth = shard->max_queue_depth.load(std::memory_order_relaxed);
+    std::vector<double> samples;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      s.queue_depth = shard->pending.size();
+      samples = shard->latencies;
+    }
+    if (!samples.empty()) {
+      s.p50_drain_ms = 1e3 * quantile(samples, 0.50);
+      s.p99_drain_ms = 1e3 * quantile(samples, 0.99);
+    }
+    s.engine = shard->engine->stats();
+
+    agg.submitted += s.submitted;
+    agg.admitted += s.admitted;
+    agg.rejected += s.rejected;
+    agg.shed += s.shed;
+    agg.completed += s.completed;
+    agg.queue_depth += s.queue_depth;
+    pooled.insert(pooled.end(), samples.begin(), samples.end());
+    agg.shards.push_back(std::move(s));
+  }
+  if (!pooled.empty()) {
+    agg.p50_drain_ms = 1e3 * quantile(pooled, 0.50);
+    agg.p99_drain_ms = 1e3 * quantile(pooled, 0.99);
+  }
+  return agg;
+}
+
+}  // namespace qkmps::serve

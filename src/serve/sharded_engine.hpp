@@ -1,0 +1,203 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/inference_engine.hpp"
+#include "serve/model_bundle.hpp"
+
+namespace qkmps::serve {
+
+/// What the admission queue does when a request arrives and the routed
+/// shard's pending queue is already at capacity.
+enum class AdmissionPolicy {
+  /// The *new* request is refused immediately: its future resolves with
+  /// ServeStatus::kRejected (no exception — rejection is an expected
+  /// overload outcome, not an error).
+  kRejectNew,
+  /// submit() blocks until the queue has space or block_deadline elapses;
+  /// on timeout the new request resolves kRejected. Upstream callers feel
+  /// the backpressure as latency instead of errors.
+  kBlockWithDeadline,
+  /// The *oldest* pending request is evicted (its future resolves
+  /// ServeStatus::kShed) and the new one is admitted — freshest-first
+  /// semantics for feeds where stale scores lose their value (a fraud
+  /// decision after the transaction cleared helps nobody).
+  kShedOldest,
+};
+
+/// Outcome of a routed request. Exactly one of the three states; every
+/// future issued by ShardedEngine::submit resolves with one of them (or
+/// with the exception that killed its shard batch) — futures are never
+/// dropped, including on shutdown with queued work.
+enum class ServeStatus {
+  kServed = 0,  ///< admitted, drained, scored; `prediction` is valid
+  kRejected,    ///< refused at admission (kRejectNew or block timeout)
+  kShed,        ///< admitted, then evicted by kShedOldest before draining
+};
+
+const char* to_string(ServeStatus status);
+
+struct RoutedPrediction {
+  ServeStatus status = ServeStatus::kServed;
+  int shard = -1;           ///< which shard the feature-key hash routed to
+  Prediction prediction;    ///< valid only when status == kServed
+  double queue_seconds = 0.0;  ///< admission -> drain start (0 if rejected)
+  double total_seconds = 0.0;  ///< admission -> future fulfilment
+};
+
+struct ShardedEngineConfig {
+  std::size_t num_shards = 2;
+  /// Per-shard engine knobs. num_threads == 0 divides the hardware
+  /// threads evenly across shards (at least 1 each) instead of giving
+  /// every shard a full-width pool.
+  EngineConfig engine;
+  std::size_t admission_capacity = 256;  ///< pending bound, per shard
+  AdmissionPolicy policy = AdmissionPolicy::kRejectNew;
+  std::chrono::microseconds block_deadline{5000};  ///< kBlockWithDeadline
+  std::size_t drain_max_batch = 0;   ///< per drain cycle; 0 = engine.max_batch
+  std::size_t latency_window = 2048;  ///< drain-latency samples kept per shard
+};
+
+/// Per-shard counter snapshot. Invariants (modulo in-flight snapshots):
+/// submitted == admitted + rejected, and admitted == completed + shed +
+/// queue_depth once draining settles — a shed request was admitted first,
+/// then evicted before it could drain.
+struct ShardStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t batches = 0;           ///< drain cycles executed
+  std::uint64_t max_queue_depth = 0;   ///< high-water mark of pending
+  std::size_t queue_depth = 0;         ///< instantaneous pending count
+  double p50_drain_ms = 0.0;  ///< admission->fulfilment, served requests
+  double p99_drain_ms = 0.0;
+  EngineStats engine;
+};
+
+/// Aggregate across shards; quantiles are pooled over every shard's
+/// retained latency samples, counters are sums.
+struct ShardedStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  std::size_t queue_depth = 0;
+  double p50_drain_ms = 0.0;
+  double p99_drain_ms = 0.0;
+  std::vector<ShardStats> shards;
+};
+
+/// Sharded serving frontend: N independent InferenceEngine shards behind
+/// per-shard bounded admission queues.
+///
+///   submit(x) ── feature_hash(x) % N ──► [admission queue] ─► drainer ─► shard engine
+///
+/// Routing is by the hash of the raw feature bits, so bit-identical
+/// requests always land on the same shard — cache locality (StateCache
+/// and decision-value memo are per shard) survives sharding. Each shard
+/// owns a drainer thread that pops up to drain_max_batch pending requests
+/// and scores them through its engine's predict_batch, so micro-batching
+/// emerges under load exactly as in the single-engine path. All shards
+/// share one resident ModelBundle (shared_ptr; the support-vector states
+/// are not duplicated).
+///
+/// Determinism contract: routing, admission, and shard choice are
+/// scheduling decisions only. A served request's prediction is
+/// bitwise-identical to the sequential simulate_states + decision_values
+/// pipeline regardless of shard count, admission policy, queue pressure,
+/// or arrival order (tests/test_sharded_engine.cpp pins the metamorphic
+/// relation across workload scenarios x shard counts x policies).
+///
+/// Shutdown contract: the destructor stops admission, waits out any
+/// submitter still inside submit() (a kBlockWithDeadline waiter is woken
+/// into a rejection rather than left blocked on freed state), then
+/// drains every already-admitted request (even while paused) before
+/// joining — no future is ever dropped and destruction with queued work
+/// cannot deadlock. submit() entered after stop throws.
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(ModelBundle bundle, ShardedEngineConfig config = {});
+  ShardedEngine(std::shared_ptr<const ModelBundle> bundle,
+                ShardedEngineConfig config);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Routes, applies the admission policy, and returns a future that
+  /// always resolves (served, rejected, or shed). Throws immediately on a
+  /// malformed feature vector — admission statuses are for load, not for
+  /// bad input.
+  std::future<RoutedPrediction> submit(std::vector<double> features);
+
+  /// The shard `features` routes to (pure function of the feature bits).
+  int shard_for(const std::vector<double>& features) const;
+
+  /// Operational drain control: while paused, requests are admitted (and
+  /// policies enforced) but no batches start, so queues fill
+  /// deterministically — used by maintenance windows and by the
+  /// admission-control tests. Destruction drains regardless of pause.
+  void pause_draining();
+  void resume_draining();
+
+  ShardedStats stats() const;
+  std::size_t num_shards() const { return shards_.size(); }
+  const ShardedEngineConfig& config() const { return config_; }
+  const ModelBundle& bundle() const { return *bundle_; }
+
+ private:
+  struct Pending {
+    std::vector<double> features;
+    std::promise<RoutedPrediction> promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  struct Shard {
+    std::unique_ptr<InferenceEngine> engine;
+
+    std::mutex mu;  ///< guards pending, stop, paused, latencies
+    std::condition_variable cv_work;   ///< drainer wakeups
+    std::condition_variable cv_space;  ///< blocked submitters (kBlock...)
+    std::deque<Pending> pending;
+    bool stop = false;
+    bool paused = false;
+    /// submit() calls currently inside this shard (possibly blocked in
+    /// kBlockWithDeadline). The destructor waits for this to reach zero
+    /// before freeing the shard, so a submitter woken by stop never
+    /// touches freed memory.
+    int active_submits = 0;
+    std::vector<double> latencies;  ///< ring of served total_seconds
+    std::size_t latency_next = 0;
+
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> admitted{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> max_queue_depth{0};
+
+    std::thread drainer;
+  };
+
+  void drain_loop(Shard& shard, int shard_index);
+  std::size_t drain_batch_limit() const;
+
+  const std::shared_ptr<const ModelBundle> bundle_;
+  const ShardedEngineConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace qkmps::serve

@@ -1,17 +1,11 @@
 #include "serve/state_cache.hpp"
 
+#include <utility>
+
 #include "serve/feature_key.hpp"
 #include "util/error.hpp"
 
 namespace qkmps::serve {
-
-StateCache::LruList::iterator StateCache::locate(
-    std::uint64_t hash, const std::vector<double>& key) {
-  auto [lo, hi] = index_.equal_range(hash);
-  for (auto it = lo; it != hi; ++it)
-    if (feature_bits_equal(it->second->key, key)) return it->second;
-  return lru_.end();
-}
 
 std::shared_ptr<const mps::Mps> StateCache::find(
     const std::vector<double>& key) {
@@ -20,15 +14,8 @@ std::shared_ptr<const mps::Mps> StateCache::find(
 
 std::shared_ptr<const mps::Mps> StateCache::find(const std::vector<double>& key,
                                                  std::uint64_t hash) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto entry = locate(hash, key);
-  if (entry == lru_.end()) {
-    ++stats_.misses;
-    return nullptr;
-  }
-  lru_.splice(lru_.begin(), lru_, entry);  // iterators stay valid
-  ++stats_.hits;
-  return entry->state;
+  auto resident = map_.find(key, hash);
+  return resident ? std::move(*resident) : nullptr;
 }
 
 std::shared_ptr<const mps::Mps> StateCache::insert(const std::vector<double>& key,
@@ -46,53 +33,7 @@ std::shared_ptr<const mps::Mps> StateCache::insert(
     const std::vector<double>& key, std::uint64_t hash,
     std::shared_ptr<const mps::Mps> shared) {
   QKMPS_CHECK(shared != nullptr);
-  if (capacity_ == 0) return shared;
-
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto existing = locate(hash, key);
-  if (existing != lru_.end()) {
-    lru_.splice(lru_.begin(), lru_, existing);
-    return existing->state;
-  }
-  lru_.push_front(Entry{key, hash, shared});
-  index_.emplace(hash, lru_.begin());
-  ++stats_.insertions;
-  evict_overflow();
-  return shared;
-}
-
-void StateCache::evict_overflow() {
-  while (lru_.size() > capacity_) {
-    const auto victim = std::prev(lru_.end());
-    auto [lo, hi] = index_.equal_range(victim->hash);
-    bool unindexed = false;
-    for (auto it = lo; it != hi; ++it) {
-      if (it->second == victim) {
-        index_.erase(it);
-        unindexed = true;
-        break;
-      }
-    }
-    QKMPS_CHECK_MSG(unindexed, "LRU entry missing from hash index");
-    lru_.pop_back();
-    ++stats_.evictions;
-  }
-}
-
-std::size_t StateCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return lru_.size();
-}
-
-CacheStats StateCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
-}
-
-void StateCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  lru_.clear();
-  index_.clear();
+  return map_.insert(key, hash, std::move(shared));
 }
 
 }  // namespace qkmps::serve

@@ -1,13 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "mps/mps.hpp"
+#include "serve/lru_map.hpp"
 
 namespace qkmps::serve {
 
@@ -16,33 +14,23 @@ namespace qkmps::serve {
 /// A "miss" is strictly a failed cache lookup: duplicates of an uncached
 /// key within one engine batch each count as misses even though in-batch
 /// dedup simulates them only once (EngineStats::circuits_simulated is the
-/// exact simulation count).
-struct CacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t evictions = 0;
-  std::uint64_t insertions = 0;
-
-  double hit_rate() const {
-    const std::uint64_t total = hits + misses;
-    return total == 0 ? 0.0 : static_cast<double>(hits) /
-                                  static_cast<double>(total);
-  }
-};
+/// exact simulation count). Snapshot semantics: see LruStats.
+using CacheStats = LruStats;
 
 /// Thread-safe bounded LRU cache of simulated MPS, keyed by the bit
-/// pattern of the scaled feature vector (see feature_key.hpp). In the
-/// paper's cost model a classification is one circuit simulation plus
-/// #SV inner products; a hit removes the simulation entirely, which is
-/// the dominant term at production bond dimensions. States are handed out
-/// as shared_ptr<const Mps> so an entry can be evicted while an in-flight
+/// pattern of the scaled feature vector (an LruMap instance — see
+/// lru_map.hpp / feature_key.hpp). In the paper's cost model a
+/// classification is one circuit simulation plus #SV inner products; a
+/// hit removes the simulation entirely, which is the dominant term at
+/// production bond dimensions. States are handed out as
+/// shared_ptr<const Mps> so an entry can be evicted while an in-flight
 /// batch still computes kernels against it.
 ///
 /// capacity == 0 disables caching: find() always misses and insert()
 /// stores nothing (it still wraps the state for uniform call sites).
 class StateCache {
  public:
-  explicit StateCache(std::size_t capacity) : capacity_(capacity) {}
+  explicit StateCache(std::size_t capacity) : map_(capacity) {}
 
   StateCache(const StateCache&) = delete;
   StateCache& operator=(const StateCache&) = delete;
@@ -66,29 +54,15 @@ class StateCache {
   std::shared_ptr<const mps::Mps> insert(const std::vector<double>& key,
                                          mps::Mps state);
 
-  std::size_t size() const;
-  std::size_t capacity() const { return capacity_; }
-  CacheStats stats() const;
-  void clear();
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return map_.capacity(); }
+  /// Lock-free snapshot of the counters (safe during concurrent
+  /// find/insert traffic).
+  CacheStats stats() const { return map_.stats(); }
+  void clear() { map_.clear(); }
 
  private:
-  struct Entry {
-    std::vector<double> key;
-    std::uint64_t hash = 0;  ///< feature_hash(key), kept so eviction
-                             ///< never re-hashes inside the lock
-    std::shared_ptr<const mps::Mps> state;
-  };
-  using LruList = std::list<Entry>;
-
-  /// Looks up `key` in index_; lru_.end() if absent. Caller holds mu_.
-  LruList::iterator locate(std::uint64_t hash, const std::vector<double>& key);
-  void evict_overflow();  ///< caller holds mu_
-
-  const std::size_t capacity_;
-  mutable std::mutex mu_;
-  LruList lru_;  ///< front = most recently used
-  std::unordered_multimap<std::uint64_t, LruList::iterator> index_;
-  CacheStats stats_;
+  LruMap<std::shared_ptr<const mps::Mps>> map_;
 };
 
 }  // namespace qkmps::serve

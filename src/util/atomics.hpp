@@ -1,0 +1,20 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace qkmps {
+
+/// Monotonic max over an atomic counter, relaxed ordering: the serving
+/// layer's high-water marks (largest batch drained, deepest admission
+/// queue) are statistics, not synchronization.
+inline void fetch_max(std::atomic<std::uint64_t>& counter,
+                      std::uint64_t value) {
+  std::uint64_t prev = counter.load(std::memory_order_relaxed);
+  while (prev < value &&
+         !counter.compare_exchange_weak(prev, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace qkmps

@@ -26,6 +26,31 @@ struct TrainedServing {
   serve::ModelBundle bundle;
 };
 
+/// Raw request pool for the serving workload scenarios — same synthetic
+/// distribution the fixture trains on, with far more rows than the
+/// fixture's held-out split so scenarios can ask for a nontrivial unique
+/// set.
+inline kernel::RealMatrix serving_request_pool(idx rows = 200) {
+  data::EllipticSyntheticParams gen;
+  gen.num_points = rows;
+  gen.num_features = 6;
+  return data::generate_elliptic_synthetic(gen).x;
+}
+
+/// The sequential reference pipeline on the full training artifacts:
+/// scale -> simulate_states -> cross kernel -> full-model decision
+/// values, one per row of `points`. The serving-layer parity suites
+/// (engine, sharded frontend, stress) all compare against this oracle —
+/// bitwise, whatever the batching, sharding, admission, or arrival order.
+inline std::vector<double> sequential_reference(
+    const TrainedServing& s, const kernel::RealMatrix& points) {
+  const auto scaled = s.bundle.scaler.transform(points);
+  const auto states = kernel::simulate_states(s.bundle.config, scaled);
+  const auto k = kernel::cross_from_states(states, s.train_states,
+                                           s.bundle.config.sim.policy);
+  return s.full_model.decision_values(k);
+}
+
 inline TrainedServing train_small_serving(std::uint64_t seed) {
   data::EllipticSyntheticParams gen;
   gen.num_points = 400;

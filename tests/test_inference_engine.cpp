@@ -77,6 +77,7 @@ TEST(InferenceEngine, RepeatedQueriesHitCacheAndScoreIdentically) {
   EngineConfig cfg;
   cfg.max_batch = 8;
   cfg.num_threads = 2;
+  cfg.memo_capacity = 0;  // isolate the StateCache path from the memo
   InferenceEngine engine(s.bundle, cfg);
 
   const idx n = s.x_test_raw.rows();
@@ -133,8 +134,60 @@ TEST(InferenceEngine, PredictBatchMatchesSubmit) {
     const Prediction p = engine.submit(raw_row(s.x_test_raw, i)).get();
     EXPECT_EQ(p.decision_value,
               batch[static_cast<std::size_t>(i)].decision_value);
-    EXPECT_TRUE(p.cache_hit);  // predict_batch warmed the cache
+    // predict_batch warmed the serving caches; with the memo enabled the
+    // repeat short-circuits before it can touch the StateCache.
+    EXPECT_TRUE(p.memo_hit || p.cache_hit);
   }
+}
+
+TEST(InferenceEngine, MemoizedRepeatSkipsSimulationAndStateCache) {
+  const Serving s = make_serving(9);
+  EngineConfig cfg;
+  cfg.max_batch = 8;
+  cfg.num_threads = 2;
+  cfg.memo_capacity = 64;
+  InferenceEngine engine(s.bundle, cfg);
+
+  const idx n = s.x_test_raw.rows();
+  std::vector<Prediction> round1;
+  for (idx i = 0; i < n; ++i)
+    round1.push_back(engine.submit(raw_row(s.x_test_raw, i)).get());
+  const EngineStats after1 = engine.stats();
+
+  for (idx i = 0; i < n; ++i) {
+    const Prediction p = engine.submit(raw_row(s.x_test_raw, i)).get();
+    EXPECT_TRUE(p.memo_hit) << "request " << i;
+    EXPECT_FALSE(p.cache_hit) << "request " << i;  // memo answered first
+    // Replay is bitwise: the memo stores the final decision-value bits.
+    EXPECT_EQ(p.decision_value,
+              round1[static_cast<std::size_t>(i)].decision_value);
+    EXPECT_EQ(p.label, round1[static_cast<std::size_t>(i)].label);
+  }
+
+  const EngineStats after2 = engine.stats();
+  // Exact repeats simulated nothing and never consulted the StateCache.
+  EXPECT_EQ(after2.circuits_simulated, after1.circuits_simulated);
+  EXPECT_EQ(after2.cache.hits, after1.cache.hits);
+  EXPECT_EQ(after2.cache.misses, after1.cache.misses);
+  EXPECT_GE(after2.memo.hits, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(after2.memo.insertions, after1.memo.insertions);
+}
+
+TEST(InferenceEngine, MemoEvictionStaysCorrectUnderTinyCapacity) {
+  const Serving s = make_serving(10);
+  EngineConfig cfg;
+  cfg.num_threads = 2;
+  cfg.memo_capacity = 2;  // smaller than the query working set
+  InferenceEngine engine(s.bundle, cfg);
+
+  const auto reference = engine.predict_batch(s.x_test_raw);
+  const auto again = engine.predict_batch(s.x_test_raw);
+  ASSERT_EQ(again.size(), reference.size());
+  for (std::size_t i = 0; i < again.size(); ++i)
+    EXPECT_EQ(again[i].decision_value, reference[i].decision_value);
+  const EngineStats st = engine.stats();
+  EXPECT_GT(st.memo.evictions, 0u);
+  EXPECT_LE(st.memo.insertions - st.memo.evictions, 2u);
 }
 
 TEST(InferenceEngine, CacheDisabledStillScoresIdentically) {

@@ -44,6 +44,18 @@ TEST(SplitEvenly, ZeroElements) {
 
 TEST(SplitEvenly, RejectsZeroParts) { EXPECT_THROW(split_evenly(5, 0), Error); }
 
+TEST(SplitSizes, MatchesSplitEvenlyAndDropsNothing) {
+  const auto sizes = split_sizes(7, 4);  // e.g. hardware threads -> shards
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(sizes[0], 2);
+  EXPECT_EQ(sizes[1], 2);
+  EXPECT_EQ(sizes[2], 2);
+  EXPECT_EQ(sizes[3], 1);  // a plain 7/4 would hand every shard 1
+  idx total = 0;
+  for (idx s : sizes) total += s;
+  EXPECT_EQ(total, 7);
+}
+
 TEST(MakeTiles, GridCoversMatrix) {
   const auto tiles = make_tiles(10, 8, 3, 2);
   ASSERT_EQ(tiles.size(), 6u);

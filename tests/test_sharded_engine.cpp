@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <set>
+#include <vector>
+
+#include "data/elliptic_synthetic.hpp"
+#include "kernel/gram.hpp"
+#include "serve/sharded_engine.hpp"
+#include "serve/workload.hpp"
+#include "serve_test_fixture.hpp"
+#include "test_helpers.hpp"
+
+namespace qkmps::serve {
+namespace {
+
+using Serving = qkmps::testing::TrainedServing;
+using workload::Scenario;
+using workload::ScenarioConfig;
+
+// Shared with the stress suite via serve_test_fixture.hpp: one request
+// pool, one sequential parity oracle.
+using qkmps::testing::sequential_reference;
+using qkmps::testing::serving_request_pool;
+
+kernel::RealMatrix request_pool() { return serving_request_pool(200); }
+
+std::vector<double> reference_values(const Serving& s,
+                                     const kernel::RealMatrix& points) {
+  return sequential_reference(s, points);
+}
+
+TEST(ShardedEngine, MetamorphicParityAcrossScenariosAndShardCounts) {
+  const Serving s = qkmps::testing::train_small_serving(21);
+  const auto pool = request_pool();
+  for (const ScenarioConfig& cfg : workload::standard_scenarios(40, 8, 5)) {
+    const Scenario scenario = workload::make_scenario(cfg, pool);
+    const std::vector<double> ref = reference_values(s, scenario.unique_points);
+    for (std::size_t shards : {1u, 2u, 4u}) {
+      ShardedEngineConfig scfg;
+      scfg.num_shards = shards;
+      scfg.admission_capacity = 256;  // nothing rejected: pure parity sweep
+      scfg.engine.max_batch = 8;
+      scfg.engine.batch_deadline = std::chrono::microseconds(200);
+      ShardedEngine engine(s.bundle, scfg);
+
+      std::vector<std::future<RoutedPrediction>> futures;
+      for (idx r = 0; r < scenario.size(); ++r)
+        futures.push_back(engine.submit(scenario.request(r)));
+      for (idx r = 0; r < scenario.size(); ++r) {
+        const RoutedPrediction p =
+            futures[static_cast<std::size_t>(r)].get();
+        ASSERT_EQ(p.status, ServeStatus::kServed)
+            << cfg.name << " shards=" << shards << " request " << r;
+        const idx u = scenario.order[static_cast<std::size_t>(r)];
+        // Bitwise, not approximate: sharding and admission are scheduling
+        // decisions only.
+        EXPECT_EQ(p.prediction.decision_value,
+                  ref[static_cast<std::size_t>(u)])
+            << cfg.name << " shards=" << shards << " request " << r;
+      }
+      const ShardedStats st = engine.stats();
+      EXPECT_EQ(st.submitted, static_cast<std::uint64_t>(scenario.size()));
+      EXPECT_EQ(st.admitted, st.submitted);
+      EXPECT_EQ(st.rejected, 0u);
+      EXPECT_EQ(st.shed, 0u);
+      EXPECT_EQ(st.completed, st.admitted);
+      EXPECT_EQ(st.shards.size(), shards);
+    }
+  }
+}
+
+TEST(ShardedEngine, ParityHoldsUnderEveryAdmissionPolicyUnderPressure) {
+  const Serving s = qkmps::testing::train_small_serving(22);
+  const auto pool = request_pool();
+  ScenarioConfig cfg;
+  cfg.name = "pressure";
+  cfg.seed = 17;
+  cfg.num_requests = 120;
+  cfg.num_unique = 12;
+  cfg.keys = workload::KeyPattern::kZipf;
+  const Scenario scenario = workload::make_scenario(cfg, pool);
+  const std::vector<double> ref = reference_values(s, scenario.unique_points);
+
+  for (AdmissionPolicy policy :
+       {AdmissionPolicy::kRejectNew, AdmissionPolicy::kBlockWithDeadline,
+        AdmissionPolicy::kShedOldest}) {
+    ShardedEngineConfig scfg;
+    scfg.num_shards = 2;
+    scfg.admission_capacity = 4;  // deliberately tight: policies must fire
+    scfg.policy = policy;
+    scfg.block_deadline = std::chrono::microseconds(500);
+    scfg.engine.max_batch = 4;
+    ShardedEngine engine(s.bundle, scfg);
+
+    std::vector<std::future<RoutedPrediction>> futures;
+    for (idx r = 0; r < scenario.size(); ++r)
+      futures.push_back(engine.submit(scenario.request(r)));
+
+    std::uint64_t served = 0, rejected = 0, shed = 0;
+    for (idx r = 0; r < scenario.size(); ++r) {
+      const RoutedPrediction p = futures[static_cast<std::size_t>(r)].get();
+      switch (p.status) {
+        case ServeStatus::kServed: {
+          ++served;
+          const idx u = scenario.order[static_cast<std::size_t>(r)];
+          EXPECT_EQ(p.prediction.decision_value,
+                    ref[static_cast<std::size_t>(u)])
+              << "policy " << static_cast<int>(policy) << " request " << r;
+          break;
+        }
+        case ServeStatus::kRejected:
+          ++rejected;
+          break;
+        case ServeStatus::kShed:
+          ++shed;
+          break;
+      }
+    }
+    // Every future resolved with exactly one status; counters agree.
+    const ShardedStats st = engine.stats();
+    EXPECT_EQ(served + rejected + shed,
+              static_cast<std::uint64_t>(scenario.size()));
+    EXPECT_EQ(st.submitted, static_cast<std::uint64_t>(scenario.size()));
+    EXPECT_EQ(st.submitted, st.admitted + st.rejected);
+    EXPECT_EQ(st.rejected, rejected);
+    EXPECT_EQ(st.shed, shed);
+    if (policy == AdmissionPolicy::kShedOldest) EXPECT_EQ(rejected, 0u);
+  }
+}
+
+TEST(ShardedEngine, RoutingIsAPureFunctionOfFeatureBits) {
+  const Serving s = qkmps::testing::train_small_serving(23);
+  ShardedEngineConfig scfg;
+  scfg.num_shards = 4;
+  ShardedEngine engine(s.bundle, scfg);
+
+  const auto pool = request_pool();
+  std::set<int> shards_used;
+  for (idx i = 0; i < 32; ++i) {
+    const std::vector<double> f(pool.row(i), pool.row(i) + pool.cols());
+    const int shard = engine.shard_for(f);
+    EXPECT_EQ(shard, engine.shard_for(f));  // stable
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 4);
+    shards_used.insert(shard);
+  }
+  // FNV over 32 distinct points spreads across a 4-way ring.
+  EXPECT_GE(shards_used.size(), 2u);
+
+  // Duplicates in a live stream land on the same shard (cache locality).
+  const std::vector<double> f(pool.row(0), pool.row(0) + pool.cols());
+  auto a = engine.submit(f).get();
+  auto b = engine.submit(f).get();
+  EXPECT_EQ(a.shard, b.shard);
+  EXPECT_EQ(a.prediction.decision_value, b.prediction.decision_value);
+}
+
+/// Admission-policy semantics are tested deterministically: draining is
+/// paused, so queue occupancy is exact, not a race against the drainer.
+TEST(ShardedEngine, RejectNewRefusesExactlyWhenFull) {
+  const Serving s = qkmps::testing::train_small_serving(24);
+  const auto pool = request_pool();
+  ShardedEngineConfig scfg;
+  scfg.num_shards = 1;
+  scfg.admission_capacity = 2;
+  scfg.policy = AdmissionPolicy::kRejectNew;
+  ShardedEngine engine(s.bundle, scfg);
+  engine.pause_draining();
+
+  auto row = [&](idx i) {
+    return std::vector<double>(pool.row(i), pool.row(i) + pool.cols());
+  };
+  auto f0 = engine.submit(row(0));
+  auto f1 = engine.submit(row(1));
+  auto f2 = engine.submit(row(2));  // queue full: refused immediately
+  ASSERT_EQ(f2.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f2.get().status, ServeStatus::kRejected);
+
+  engine.resume_draining();
+  EXPECT_EQ(f0.get().status, ServeStatus::kServed);
+  EXPECT_EQ(f1.get().status, ServeStatus::kServed);
+  const ShardedStats st = engine.stats();
+  EXPECT_EQ(st.rejected, 1u);
+  EXPECT_EQ(st.shards[0].max_queue_depth, 2u);
+}
+
+TEST(ShardedEngine, ShedOldestEvictsTheOldestPendingRequest) {
+  const Serving s = qkmps::testing::train_small_serving(25);
+  const auto pool = request_pool();
+  ShardedEngineConfig scfg;
+  scfg.num_shards = 1;
+  scfg.admission_capacity = 2;
+  scfg.policy = AdmissionPolicy::kShedOldest;
+  ShardedEngine engine(s.bundle, scfg);
+  engine.pause_draining();
+
+  auto row = [&](idx i) {
+    return std::vector<double>(pool.row(i), pool.row(i) + pool.cols());
+  };
+  auto oldest = engine.submit(row(0));
+  auto middle = engine.submit(row(1));
+  auto newest = engine.submit(row(2));  // evicts row(0), admits row(2)
+  ASSERT_EQ(oldest.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(oldest.get().status, ServeStatus::kShed);
+
+  engine.resume_draining();
+  EXPECT_EQ(middle.get().status, ServeStatus::kServed);
+  EXPECT_EQ(newest.get().status, ServeStatus::kServed);
+  const ShardedStats st = engine.stats();
+  EXPECT_EQ(st.shed, 1u);
+  EXPECT_EQ(st.rejected, 0u);
+  EXPECT_EQ(st.completed, 2u);
+}
+
+TEST(ShardedEngine, BlockWithDeadlineTimesOutIntoRejection) {
+  const Serving s = qkmps::testing::train_small_serving(26);
+  const auto pool = request_pool();
+  ShardedEngineConfig scfg;
+  scfg.num_shards = 1;
+  scfg.admission_capacity = 1;
+  scfg.policy = AdmissionPolicy::kBlockWithDeadline;
+  scfg.block_deadline = std::chrono::microseconds(20'000);
+  ShardedEngine engine(s.bundle, scfg);
+  engine.pause_draining();
+
+  auto row = [&](idx i) {
+    return std::vector<double>(pool.row(i), pool.row(i) + pool.cols());
+  };
+  auto admitted = engine.submit(row(0));
+  const auto t0 = std::chrono::steady_clock::now();
+  auto blocked = engine.submit(row(1));  // full: blocks, then times out
+  const double waited = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+  ASSERT_EQ(blocked.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(blocked.get().status, ServeStatus::kRejected);
+  EXPECT_GE(waited, 0.015);  // actually blocked for ~the deadline
+
+  engine.resume_draining();
+  EXPECT_EQ(admitted.get().status, ServeStatus::kServed);
+}
+
+TEST(ShardedEngine, BlockedSubmitterAdmitsOnceTheDrainerFreesSpace) {
+  const Serving s = qkmps::testing::train_small_serving(27);
+  const auto pool = request_pool();
+  ShardedEngineConfig scfg;
+  scfg.num_shards = 1;
+  scfg.admission_capacity = 1;
+  scfg.policy = AdmissionPolicy::kBlockWithDeadline;
+  scfg.block_deadline = std::chrono::seconds(10);  // far beyond drain time
+  ShardedEngine engine(s.bundle, scfg);
+
+  auto row = [&](idx i) {
+    return std::vector<double>(pool.row(i), pool.row(i) + pool.cols());
+  };
+  std::vector<std::future<RoutedPrediction>> futures;
+  for (idx i = 0; i < 8; ++i) futures.push_back(engine.submit(row(i)));
+  for (auto& f : futures) EXPECT_EQ(f.get().status, ServeStatus::kServed);
+  EXPECT_EQ(engine.stats().rejected, 0u);
+}
+
+TEST(ShardedEngine, DestructionDrainsQueuedWorkEvenWhilePaused) {
+  const Serving s = qkmps::testing::train_small_serving(28);
+  const auto pool = request_pool();
+  const std::vector<double> ref = reference_values(
+      s, [&] {
+        kernel::RealMatrix pts(16, pool.cols());
+        for (idx i = 0; i < 16; ++i)
+          for (idx j = 0; j < pool.cols(); ++j) pts(i, j) = pool(i, j);
+        return pts;
+      }());
+
+  std::vector<std::future<RoutedPrediction>> futures;
+  {
+    ShardedEngineConfig scfg;
+    scfg.num_shards = 2;
+    scfg.admission_capacity = 32;
+    ShardedEngine engine(s.bundle, scfg);
+    engine.pause_draining();  // guarantee work is still queued at dtor time
+    for (idx i = 0; i < 16; ++i)
+      futures.push_back(engine.submit(
+          std::vector<double>(pool.row(i), pool.row(i) + pool.cols())));
+  }  // destructor must drain all 16 without deadlocking
+  for (idx i = 0; i < 16; ++i) {
+    const RoutedPrediction p = futures[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(p.status, ServeStatus::kServed);
+    EXPECT_EQ(p.prediction.decision_value, ref[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(ShardedEngine, MalformedRequestsThrowInsteadOfConsumingAdmission) {
+  const Serving s = qkmps::testing::train_small_serving(29);
+  ShardedEngine engine(s.bundle, {.num_shards = 2});
+  EXPECT_THROW(engine.submit({0.1, 0.2}), Error);
+  std::vector<double> bad(6, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_THROW(engine.submit(bad), Error);
+  EXPECT_EQ(engine.stats().submitted, 0u);
+}
+
+TEST(ShardedEngine, PerShardStatsExposeEngineAndQueueCounters) {
+  const Serving s = qkmps::testing::train_small_serving(30);
+  const auto pool = request_pool();
+  ShardedEngineConfig scfg;
+  scfg.num_shards = 2;
+  scfg.engine.memo_capacity = 0;
+  ShardedEngine engine(s.bundle, scfg);
+
+  // Two rounds, joined between them so the re-queries must come from the
+  // shard StateCaches rather than in-batch dedup.
+  for (idx rep = 0; rep < 2; ++rep) {
+    std::vector<std::future<RoutedPrediction>> futures;
+    for (idx i = 0; i < 12; ++i)
+      futures.push_back(engine.submit(
+          std::vector<double>(pool.row(i), pool.row(i) + pool.cols())));
+    for (auto& f : futures) EXPECT_EQ(f.get().status, ServeStatus::kServed);
+  }
+
+  const ShardedStats st = engine.stats();
+  ASSERT_EQ(st.shards.size(), 2u);
+  std::uint64_t engine_requests = 0, cache_hits = 0, simulated = 0;
+  for (const ShardStats& shard : st.shards) {
+    engine_requests += shard.engine.requests;
+    cache_hits += shard.engine.cache.hits;
+    simulated += shard.engine.circuits_simulated;
+    EXPECT_EQ(shard.submitted, shard.admitted + shard.rejected);
+  }
+  EXPECT_EQ(engine_requests, 24u);
+  EXPECT_EQ(simulated, 12u);      // 12 unique points across both shards
+  EXPECT_GE(cache_hits, 12u);     // the re-query round hit shard caches
+  EXPECT_EQ(st.completed, 24u);
+  EXPECT_GT(st.p99_drain_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace qkmps::serve
