@@ -1,0 +1,386 @@
+/// Rank-distributed serving benchmark: serve::RankShardedEngine — the
+/// sharded frontend whose shards are parallel::RankRuntime ranks and whose
+/// shard boundary is a typed-message transport (see DESIGN.md) — driven by
+/// the same deterministic serve::workload scenarios as bench/serving_sharded,
+/// so the two frontends' numbers are directly comparable.
+///
+/// Two sections:
+///  1. Rank scaling: the cache-pressure uniform stream swept over worker
+///     rank counts {1, 2, 4} (router rank excluded), consistent-hash
+///     routing. Per-shard resources fixed, so the aggregate cache scales
+///     with the rank count exactly as in the in-process frontend.
+///  2. Elastic resize: a Zipf hot-key stream served at N ranks, then
+///     add_shard() to N+1 and the identical stream replayed — once under
+///     the consistent-hash router and once under feature-hash modulo. The
+///     table reports how many keys remigrated and how many circuits the
+///     replay had to re-simulate: the ring keeps ~(1 - 1/(N+1)) of the
+///     StateCaches warm, modulo cold-starts nearly everything.
+///
+/// Every served prediction in both sections is compared bitwise against
+/// the sequential simulate_states + decision_values pipeline; any mismatch
+/// makes the process exit 1 (CI runs `serving_ranked --quick` as a parity
+/// smoke). Emits serving_ranked.json.
+///
+/// Knobs: QKMPS_RANKED_REQUESTS, QKMPS_RANKED_UNIQUE,
+/// QKMPS_RANKED_FEATURES, QKMPS_RANKED_LAYERS, QKMPS_RANKED_TRAIN,
+/// QKMPS_RANKED_CACHE (per-shard StateCache entries); QKMPS_FULL=1 scales
+/// everything up; --quick shrinks to a CI smoke.
+
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "kernel/gram.hpp"
+#include "serve/rank_sharded_engine.hpp"
+#include "serve/workload.hpp"
+#include "svm/svm.hpp"
+#include "util/timer.hpp"
+
+using namespace qkmps;
+namespace workload = qkmps::serve::workload;
+
+namespace {
+
+struct Setup {
+  std::shared_ptr<const serve::ModelBundle> bundle;
+  kernel::RealMatrix pool;
+};
+
+Setup build_setup(idx per_class, idx m, idx layers) {
+  data::EllipticSyntheticParams gen;
+  gen.num_points = std::max<idx>(24 * per_class, 2000);
+  gen.num_features = m;
+  const data::Dataset pool = data::generate_elliptic_synthetic(gen);
+  Rng rng(42);
+  const data::Dataset sample = data::balanced_subsample(pool, per_class, rng);
+  const data::TrainTestSplit split = data::train_test_split(sample, 0.2, rng);
+  const data::FeatureScaler scaler = data::FeatureScaler::fit(split.train.x);
+  const auto x_train = scaler.transform(split.train.x);
+
+  kernel::QuantumKernelConfig cfg;
+  cfg.ansatz = {.num_features = m, .layers = layers, .distance = 1,
+                .gamma = 0.25};
+  const auto train_states = kernel::simulate_states(cfg, x_train);
+  const auto k_train = kernel::gram_from_states(train_states, cfg.sim.policy);
+  const auto model = svm::train_svc(k_train, split.train.y, {.c = 1.0});
+
+  Setup s;
+  s.bundle = std::make_shared<const serve::ModelBundle>(
+      serve::make_bundle(cfg, scaler, model, train_states));
+  s.pool = pool.x;
+  return s;
+}
+
+std::vector<double> reference_values(const serve::ModelBundle& bundle,
+                                     const kernel::RealMatrix& points) {
+  const auto scaled = bundle.scaler.transform(points);
+  const auto states = kernel::simulate_states(bundle.config, scaled);
+  const auto k = kernel::cross_from_states(states, bundle.sv_states,
+                                           bundle.config.sim.policy);
+  return bundle.model.decision_values(k);
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  double throughput = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t served = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t circuits = 0;
+  double cache_hit_rate = 0.0;
+  std::uint64_t parity_mismatches = 0;
+};
+
+/// Fire-and-join replay of a scenario through a ranked engine, parity-
+/// checked per served prediction. `prior` subtracts an earlier snapshot so
+/// resize rounds report per-round circuit/cache numbers.
+RunResult run_scenario(serve::RankShardedEngine& engine,
+                       const workload::Scenario& scenario,
+                       const std::vector<double>& reference,
+                       const serve::RankShardedStats* prior = nullptr) {
+  std::vector<std::future<serve::RoutedPrediction>> futures;
+  futures.reserve(static_cast<std::size_t>(scenario.size()));
+  Timer total;
+  for (idx r = 0; r < scenario.size(); ++r)
+    futures.push_back(engine.submit(scenario.request(r)));
+
+  RunResult res;
+  std::vector<double> latencies;
+  latencies.reserve(futures.size());
+  for (idx r = 0; r < scenario.size(); ++r) {
+    const serve::RoutedPrediction p =
+        futures[static_cast<std::size_t>(r)].get();
+    if (p.status == serve::ServeStatus::kServed) {
+      ++res.served;
+      latencies.push_back(p.total_seconds);
+      const idx u = scenario.order[static_cast<std::size_t>(r)];
+      if (p.prediction.decision_value !=
+          reference[static_cast<std::size_t>(u)])
+        ++res.parity_mismatches;
+    } else {
+      ++res.rejected;
+    }
+  }
+  res.seconds = total.seconds();
+  res.throughput = static_cast<double>(res.served) / res.seconds;
+  if (!latencies.empty()) {
+    res.p50_ms = 1e3 * quantile(latencies, 0.50);
+    res.p99_ms = 1e3 * quantile(latencies, 0.99);
+  }
+
+  const serve::RankShardedStats st = engine.stats();
+  std::uint64_t hits = 0, lookups = 0, circuits = 0;
+  for (std::size_t i = 0; i < st.shards.size(); ++i) {
+    hits += st.shards[i].engine.cache.hits;
+    lookups += st.shards[i].engine.cache.hits +
+               st.shards[i].engine.cache.misses;
+    circuits += st.shards[i].engine.circuits_simulated;
+  }
+  if (prior != nullptr) {
+    std::uint64_t prior_hits = 0, prior_lookups = 0, prior_circuits = 0;
+    for (std::size_t i = 0; i < prior->shards.size(); ++i) {
+      prior_hits += prior->shards[i].engine.cache.hits;
+      prior_lookups += prior->shards[i].engine.cache.hits +
+                       prior->shards[i].engine.cache.misses;
+      prior_circuits += prior->shards[i].engine.circuits_simulated;
+    }
+    hits -= prior_hits;
+    lookups -= prior_lookups;
+    circuits -= prior_circuits;
+  }
+  res.circuits = circuits;
+  if (lookups > 0)
+    res.cache_hit_rate =
+        static_cast<double>(hits) / static_cast<double>(lookups);
+  return res;
+}
+
+void print_row(const char* label, const RunResult& r) {
+  std::printf("%-26s %9.0f req/s %8.2f ms %8.2f ms %6.0f%% %6llu %5llu/%llu\n",
+              label, r.throughput, r.p50_ms, r.p99_ms,
+              100.0 * r.cache_hit_rate,
+              static_cast<unsigned long long>(r.circuits),
+              static_cast<unsigned long long>(r.served),
+              static_cast<unsigned long long>(r.rejected));
+}
+
+std::string hex_digest(std::uint64_t digest) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+/// Fraction of the scenario's unique keys that change shard when the given
+/// router grows by one — measured on the actual routers, not estimated.
+double remap_fraction(const serve::RouterConfig& cfg, std::size_t shards,
+                      const workload::Scenario& scenario) {
+  const auto before = serve::make_router(cfg, shards);
+  const auto after = serve::make_router(cfg, shards);
+  after->add_shard();
+  std::size_t moved = 0;
+  const idx n = scenario.unique_points.rows();
+  for (idx i = 0; i < n; ++i) {
+    const std::vector<double> key(
+        scenario.unique_points.row(i),
+        scenario.unique_points.row(i) + scenario.unique_points.cols());
+    if (before->shard_for(key) != after->shard_for(key)) ++moved;
+  }
+  return n == 0 ? 0.0 : static_cast<double>(moved) / static_cast<double>(n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  bench::print_header(
+      "serving_ranked: rank-distributed sharded frontend over RankRuntime");
+  const bool full = full_scale_requested();
+  const idx per_class = env_int("QKMPS_RANKED_TRAIN", full ? 100 : 24);
+  const idx m = env_int("QKMPS_RANKED_FEATURES", full ? 20 : 10);
+  const idx layers = env_int("QKMPS_RANKED_LAYERS", 4);
+  const idx n_requests =
+      env_int("QKMPS_RANKED_REQUESTS", full ? 4000 : (quick ? 240 : 600));
+  const idx n_unique =
+      env_int("QKMPS_RANKED_UNIQUE", full ? 512 : (quick ? 48 : 96));
+  const idx cache_entries =
+      env_int("QKMPS_RANKED_CACHE", std::max<idx>(4, n_unique / 4));
+  const std::vector<std::size_t> rank_counts =
+      quick ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4};
+
+  std::printf("workload: %lld requests over %lld unique points, %lld-qubit "
+              "r=%lld ansatz, %lld per-shard cache entries\n",
+              static_cast<long long>(n_requests),
+              static_cast<long long>(n_unique), static_cast<long long>(m),
+              static_cast<long long>(layers),
+              static_cast<long long>(cache_entries));
+  const Setup setup = build_setup(per_class, m, layers);
+  std::printf("bundle: %lld support vectors resident (shared across ranks)\n",
+              static_cast<long long>(setup.bundle->num_support_vectors()));
+
+  std::uint64_t total_mismatches = 0;
+
+  // --- Section 1: rank scaling on the cache-pressure uniform stream. ----
+  workload::ScenarioConfig pressure;
+  pressure.name = "cache-pressure-uniform";
+  pressure.seed = 2024;
+  pressure.num_requests = n_requests;
+  pressure.num_unique = n_unique;
+  const workload::Scenario scaling_stream =
+      workload::make_scenario(pressure, setup.pool);
+  const std::vector<double> scaling_ref =
+      reference_values(*setup.bundle, scaling_stream.unique_points);
+  std::printf("\nscenario %s (digest %s), consistent-hash routing\n",
+              pressure.name.c_str(),
+              hex_digest(workload::scenario_digest(scaling_stream)).c_str());
+  std::printf("%-26s %15s %11s %11s %7s %7s %10s\n", "configuration",
+              "throughput", "p50", "p99", "cache", "circ", "srv/rej");
+
+  std::vector<RunResult> scaling;
+  for (std::size_t ranks : rank_counts) {
+    serve::RankShardedEngineConfig rcfg;
+    rcfg.num_shards = ranks;
+    rcfg.ingress_capacity = static_cast<std::size_t>(n_requests);  // admit all
+    rcfg.engine.max_batch = 16;
+    rcfg.engine.cache_capacity = static_cast<std::size_t>(cache_entries);
+    rcfg.engine.memo_capacity = static_cast<std::size_t>(cache_entries);
+    serve::RankShardedEngine engine(setup.bundle, rcfg);
+    scaling.push_back(run_scenario(engine, scaling_stream, scaling_ref));
+    char label[64];
+    std::snprintf(label, sizeof label, "%zu worker rank%s", ranks,
+                  ranks == 1 ? "" : "s");
+    print_row(label, scaling.back());
+    total_mismatches += scaling.back().parity_mismatches;
+  }
+  const double speedup =
+      scaling.back().throughput / scaling.front().throughput;
+  std::printf("\n%zu ranks vs 1: %.2fx throughput (per-shard resources "
+              "fixed; transport is the typed Comm channel pair)\n",
+              rank_counts.back(), speedup);
+
+  // --- Section 2: elastic resize, ring vs modulo on a Zipf stream. ------
+  const std::size_t resize_from = quick ? 2 : 3;
+  workload::ScenarioConfig zipf;
+  zipf.name = "zipf-hot-keys";
+  zipf.seed = 77;
+  zipf.num_requests = quick ? n_requests / 2 : n_requests;
+  zipf.num_unique = n_unique;
+  zipf.keys = workload::KeyPattern::kZipf;
+  const workload::Scenario zipf_stream =
+      workload::make_scenario(zipf, setup.pool);
+  const std::vector<double> zipf_ref =
+      reference_values(*setup.bundle, zipf_stream.unique_points);
+
+  std::printf("\nresize %zu -> %zu ranks on %s (digest %s): run, add_shard, "
+              "replay\n",
+              resize_from, resize_from + 1, zipf.name.c_str(),
+              hex_digest(workload::scenario_digest(zipf_stream)).c_str());
+  std::printf("%-26s %15s %11s %11s %7s %7s %10s\n", "configuration",
+              "throughput", "p50", "p99", "cache", "circ", "srv/rej");
+
+  struct ResizeOutcome {
+    const char* router = "";
+    double remap = 0.0;
+    RunResult before, after;
+  };
+  std::vector<ResizeOutcome> outcomes;
+  for (const serve::RouterKind kind :
+       {serve::RouterKind::kConsistentHash,
+        serve::RouterKind::kFeatureHashModulo}) {
+    ResizeOutcome oc;
+    oc.router = serve::to_string(kind);
+    const serve::RouterConfig router_cfg{kind, 128};
+    oc.remap = remap_fraction(router_cfg, resize_from, zipf_stream);
+
+    serve::RankShardedEngineConfig rcfg;
+    rcfg.num_shards = resize_from;
+    rcfg.router = router_cfg;
+    rcfg.ingress_capacity = static_cast<std::size_t>(zipf.num_requests);
+    rcfg.engine.max_batch = 16;
+    // Cache sized for the whole working set so the replay measures key
+    // remigration, not capacity eviction; memo off so the StateCache is
+    // what gets measured.
+    rcfg.engine.cache_capacity = static_cast<std::size_t>(n_unique) * 2;
+    rcfg.engine.memo_capacity = 0;
+    serve::RankShardedEngine engine(setup.bundle, rcfg);
+
+    oc.before = run_scenario(engine, zipf_stream, zipf_ref);
+    const serve::RankShardedStats snapshot = engine.stats();
+    engine.add_shard();
+    oc.after = run_scenario(engine, zipf_stream, zipf_ref, &snapshot);
+    total_mismatches += oc.before.parity_mismatches;
+    total_mismatches += oc.after.parity_mismatches;
+
+    char label[64];
+    std::snprintf(label, sizeof label, "%s cold", oc.router);
+    print_row(label, oc.before);
+    std::snprintf(label, sizeof label, "%s replay", oc.router);
+    print_row(label, oc.after);
+    std::printf("%-26s remapped %.0f%% of unique keys; replay re-simulated "
+                "%llu circuits\n",
+                "", 100.0 * oc.remap,
+                static_cast<unsigned long long>(oc.after.circuits));
+    outcomes.push_back(oc);
+  }
+
+  if (total_mismatches > 0)
+    std::printf("\nPARITY FAILURE: %llu served predictions diverged from the "
+                "sequential pipeline\n",
+                static_cast<unsigned long long>(total_mismatches));
+  else
+    std::printf("\nparity: every served prediction bitwise-matches the "
+                "sequential pipeline\n");
+
+  bench::write_artifact("serving_ranked.json", [&](JsonWriter& jw) {
+    jw.field("bench", "serving_ranked");
+    jw.field("quick", quick);
+    jw.field("requests", static_cast<long long>(n_requests));
+    jw.field("unique_points", static_cast<long long>(n_unique));
+    jw.field("features", static_cast<long long>(m));
+    jw.field("per_shard_cache_entries", static_cast<long long>(cache_entries));
+    jw.field("support_vectors",
+             static_cast<long long>(setup.bundle->num_support_vectors()));
+    jw.field("parity_ok", total_mismatches == 0);
+    jw.begin_array("rank_scaling");
+    for (std::size_t i = 0; i < rank_counts.size(); ++i) {
+      const RunResult& r = scaling[i];
+      jw.begin_array_object();
+      jw.field("worker_ranks", static_cast<long long>(rank_counts[i]));
+      jw.field("throughput_rps", r.throughput);
+      jw.field("p50_ms", r.p50_ms);
+      jw.field("p99_ms", r.p99_ms);
+      jw.field("cache_hit_rate", r.cache_hit_rate);
+      jw.field("circuits", static_cast<long long>(r.circuits));
+      jw.field("served", static_cast<long long>(r.served));
+      jw.end_object();
+    }
+    jw.end_array();
+    jw.field("scaling_scenario_digest",
+             hex_digest(workload::scenario_digest(scaling_stream)));
+    jw.field("speedup_max_ranks_vs_1", speedup);
+    jw.field("resize_from_ranks", static_cast<long long>(resize_from));
+    jw.field("resize_scenario_digest",
+             hex_digest(workload::scenario_digest(zipf_stream)));
+    jw.begin_array("resize");
+    for (const ResizeOutcome& oc : outcomes) {
+      jw.begin_array_object();
+      jw.field("router", oc.router);
+      jw.field("remap_fraction", oc.remap);
+      jw.field("cold_circuits", static_cast<long long>(oc.before.circuits));
+      jw.field("cold_cache_hit_rate", oc.before.cache_hit_rate);
+      jw.field("replay_circuits", static_cast<long long>(oc.after.circuits));
+      jw.field("replay_cache_hit_rate", oc.after.cache_hit_rate);
+      jw.field("replay_throughput_rps", oc.after.throughput);
+      jw.end_object();
+    }
+    jw.end_array();
+  });
+  return total_mismatches == 0 ? 0 : 1;
+}

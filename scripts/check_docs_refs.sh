@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Docs lint: fail if README.md or DESIGN.md reference repo files that do
+# not exist. Catches the classic dangling-citation rot (a header citing a
+# DESIGN.md section that was never written is how this script came to be).
+#
+# What counts as a reference: a backtick-quoted path rooted at one of the
+# source directories (src/ tests/ bench/ examples/ scripts/), or a
+# backtick-quoted top-level *.md file. Runtime artifacts (build/ paths,
+# JSON outputs) and glob-ish names containing <>* are ignored. A bench or
+# example referenced by its executable name (e.g. `bench/serving_ranked`)
+# resolves if the matching .cpp exists.
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+for doc in README.md DESIGN.md; do
+  if [ ! -f "$doc" ]; then
+    echo "missing doc: $doc"
+    status=1
+    continue
+  fi
+  refs=$(grep -oE '`[A-Za-z0-9_./-]+`' "$doc" | tr -d '`' |
+         grep -E '^((src|tests|bench|examples|scripts)/[A-Za-z0-9_./-]+|[A-Za-z0-9_-]+\.md)$' |
+         sort -u)
+  for ref in $refs; do
+    if [ -e "$ref" ] || [ -e "$ref.cpp" ] || [ -e "$ref.hpp" ]; then
+      continue
+    fi
+    echo "$doc references missing path: $ref"
+    status=1
+  done
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "docs refs OK"
+fi
+exit $status

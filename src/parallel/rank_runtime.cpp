@@ -34,6 +34,26 @@ std::any RankRuntime::pop(int src, int dst) {
   return payload;
 }
 
+std::optional<std::any> RankRuntime::try_pop(int src, int dst) {
+  Channel& ch = channel(src, dst);
+  std::lock_guard<std::mutex> lock(ch.mu);
+  if (ch.queue.empty()) return std::nullopt;
+  std::any payload = std::move(ch.queue.front());
+  ch.queue.pop_front();
+  return payload;
+}
+
+std::optional<std::any> RankRuntime::pop_for(
+    int src, int dst, std::chrono::microseconds timeout) {
+  Channel& ch = channel(src, dst);
+  std::unique_lock<std::mutex> lock(ch.mu);
+  if (!ch.cv.wait_for(lock, timeout, [&ch] { return !ch.queue.empty(); }))
+    return std::nullopt;
+  std::any payload = std::move(ch.queue.front());
+  ch.queue.pop_front();
+  return payload;
+}
+
 void RankRuntime::barrier_wait() {
   std::unique_lock<std::mutex> lock(barrier_mu_);
   const long long gen = barrier_generation_;

@@ -82,6 +82,7 @@ struct EngineStats {
 /// (e.g. the shards of a ShardedEngine) keep one copy of the resident
 /// support-vector states between them.
 class ShardedEngine;
+class RankShardedEngine;
 
 class InferenceEngine {
  public:
@@ -114,10 +115,12 @@ class InferenceEngine {
   const EngineConfig& config() const { return config_; }
 
  private:
-  /// The sharded frontend validates each request once at admission; its
-  /// drainers then score through predict_batch_trusted and skip the
-  /// re-validation scan on the latency-critical drain path.
+  /// The sharded frontends validate each request once at admission; their
+  /// drainers (ShardedEngine) and shard ranks (RankShardedEngine) then
+  /// score through predict_batch_trusted and skip the re-validation scan
+  /// on the latency-critical drain path.
   friend class ShardedEngine;
+  friend class RankShardedEngine;
   std::vector<Prediction> predict_batch_trusted(
       std::vector<std::vector<double>> features);
 

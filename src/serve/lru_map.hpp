@@ -39,6 +39,19 @@ struct LruStats {
 /// circuit). StateCache instantiates it with shared_ptr<const Mps>
 /// states; PredictionMemo with final decision values.
 ///
+/// Thread safety: every member is safe to call concurrently from any
+/// number of threads. find/insert/size/clear serialize on one internal
+/// mutex; stats() reads only atomics and never contends with the lookup
+/// hot path. Values are returned by copy (for the serving layer,
+/// shared_ptr or a small PODs), so a caller never holds a reference into
+/// the map and eviction can never invalidate a handed-out value.
+///
+/// Invariants: lru_ and index_ always hold exactly the same entries
+/// (checked on eviction); size() <= capacity() after every insert; an
+/// insert of an already-present key refreshes recency but never
+/// duplicates — the first resident value wins, so two threads racing the
+/// same miss agree on the value both end up using.
+///
 /// capacity == 0 disables the map: find() always misses (counted, but
 /// without taking the lock) and insert() stores nothing.
 template <typename Value>

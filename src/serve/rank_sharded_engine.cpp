@@ -1,0 +1,366 @@
+#include "serve/rank_sharded_engine.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "serve/feature_key.hpp"
+#include "util/error.hpp"
+
+namespace qkmps::serve {
+
+RankShardedEngine::RankShardedEngine(ModelBundle bundle,
+                                     RankShardedEngineConfig config)
+    : RankShardedEngine(
+          std::make_shared<const ModelBundle>(std::move(bundle)), config) {}
+
+RankShardedEngine::RankShardedEngine(std::shared_ptr<const ModelBundle> bundle,
+                                     RankShardedEngineConfig config)
+    : bundle_(std::move(bundle)), config_(config) {
+  QKMPS_CHECK(bundle_ != nullptr);
+  QKMPS_CHECK_MSG(config_.num_shards >= 1, "need at least one shard rank");
+  QKMPS_CHECK_MSG(config_.ingress_capacity >= 1,
+                  "ingress queue needs capacity >= 1");
+  router_ = make_router(config_.router, config_.num_shards);
+  const std::vector<std::size_t> lanes =
+      shard_thread_lanes(config_.engine.num_threads, config_.num_shards);
+  engines_.reserve(config_.num_shards);
+  for (std::size_t i = 0; i < config_.num_shards; ++i) {
+    EngineConfig engine_cfg = config_.engine;
+    engine_cfg.num_threads = lanes[i];
+    engines_.push_back(std::make_unique<InferenceEngine>(bundle_, engine_cfg));
+    shard_state_.push_back(std::make_unique<ShardState>());
+  }
+  start_runtime();
+}
+
+RankShardedEngine::~RankShardedEngine() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  stop_runtime(/*final_stop=*/true);
+}
+
+std::size_t RankShardedEngine::num_shards() const {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  return engines_.size();
+}
+
+int RankShardedEngine::shard_for(const std::vector<double>& features) const {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  return router_->shard_for(features);
+}
+
+std::size_t RankShardedEngine::drain_batch_limit() const {
+  return config_.drain_max_batch > 0 ? config_.drain_max_batch
+                                     : config_.engine.max_batch;
+}
+
+std::future<RoutedPrediction> RankShardedEngine::submit(
+    std::vector<double> features) {
+  check_request_features(features, bundle_->num_features());
+  Ingress request;
+  request.features = std::move(features);
+  request.submitted = std::chrono::steady_clock::now();
+  std::future<RoutedPrediction> fut = request.promise.get_future();
+
+  bool rejected = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (runtime_error_) std::rethrow_exception(runtime_error_);
+    QKMPS_CHECK_MSG(!stopped_, "submit on a stopped RankShardedEngine");
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (ingress_.size() >= config_.ingress_capacity) {
+      rejected = true;
+    } else {
+      ingress_.push_back(std::move(request));
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (rejected) {
+    // The request never reached the router, so no shard is charged for
+    // it: shard stays -1 (routing happens rank-side, after admission).
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    RoutedPrediction out;
+    out.status = ServeStatus::kRejected;
+    out.shard = -1;
+    out.total_seconds =
+        seconds_between(request.submitted, std::chrono::steady_clock::now());
+    request.promise.set_value(out);
+  } else {
+    cv_ingress_.notify_all();
+  }
+  return fut;
+}
+
+void RankShardedEngine::start_runtime() {
+  runtime_ = std::make_unique<parallel::RankRuntime>(
+      static_cast<int>(engines_.size()) + 1);
+  runtime_thread_ = std::thread([this] {
+    try {
+      runtime_->run([this](parallel::Comm& comm) {
+        if (comm.rank() == 0) {
+          try {
+            router_body(comm);
+          } catch (...) {
+            // A dying router must not strand shards in their blocking
+            // recv — run() joins every rank before rethrowing, so an
+            // unreleased shard would deadlock the destructor. send()
+            // never blocks; a shard that already exited just leaves the
+            // extra envelope unconsumed.
+            for (int s = 1; s < comm.size(); ++s)
+              comm.send(s,
+                        ShardEnvelope{ShardEnvelope::Kind::kShutdown, 0, {}});
+            throw;
+          }
+        } else {
+          shard_body(comm, static_cast<std::size_t>(comm.rank() - 1));
+        }
+      });
+    } catch (...) {
+      // A rank body escaped its own handling (internal invariant failure,
+      // e.g. a wire-type mismatch). Remember it so the next API call
+      // fails loudly instead of hanging on a dead router.
+      std::lock_guard<std::mutex> lock(mu_);
+      runtime_error_ = std::current_exception();
+    }
+  });
+}
+
+void RankShardedEngine::stop_runtime(bool final_stop) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+    if (final_stop) stopped_ = true;
+  }
+  cv_ingress_.notify_all();
+  if (runtime_thread_.joinable()) runtime_thread_.join();
+  runtime_.reset();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = false;
+  }
+}
+
+void RankShardedEngine::add_shard() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    QKMPS_CHECK_MSG(!stopped_, "add_shard on a stopped RankShardedEngine");
+  }
+  stop_runtime(/*final_stop=*/false);
+
+  // Existing engines keep their pools (and, crucially, their caches);
+  // only the new shard's lane count reflects the grown topology. With
+  // num_threads == 0 this slightly overcommits hardware threads after a
+  // resize — cache retention is worth more than perfect lane budgeting.
+  EngineConfig engine_cfg = config_.engine;
+  engine_cfg.num_threads =
+      shard_thread_lanes(config_.engine.num_threads, engines_.size() + 1)
+          .back();
+  engines_.push_back(std::make_unique<InferenceEngine>(bundle_, engine_cfg));
+  shard_state_.push_back(std::make_unique<ShardState>());
+  router_->add_shard();
+  resizes_.fetch_add(1, std::memory_order_relaxed);
+
+  start_runtime();
+}
+
+void RankShardedEngine::router_body(parallel::Comm& comm) {
+  struct InFlight {
+    std::promise<RoutedPrediction> promise;
+    std::chrono::steady_clock::time_point submitted;
+    std::chrono::steady_clock::time_point forwarded;
+    int shard = -1;
+  };
+  std::unordered_map<std::uint64_t, InFlight> inflight;
+  const int n = static_cast<int>(engines_.size());
+  bool drain_marker_sent = false;
+  int drained_acks = 0;
+
+  for (;;) {
+    bool progress = false;
+    bool drain = false;
+    std::deque<Ingress> pulled;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Idle with nothing in flight: sleep on the ingress cv (bounded by
+      // router_poll so a drain request can't be missed). With work in
+      // flight, fall through and poll the reply channels instead.
+      if (ingress_.empty() && inflight.empty() && !draining_) {
+        cv_ingress_.wait_for(lock, config_.router_poll, [this] {
+          return draining_ || !ingress_.empty();
+        });
+      }
+      pulled.swap(ingress_);
+      drain = draining_;
+    }
+
+    for (Ingress& request : pulled) {
+      progress = true;
+      const std::uint64_t id = next_id_++;
+      const int shard = router_->shard_for_hash(feature_hash(request.features));
+      InFlight fl;
+      fl.promise = std::move(request.promise);
+      fl.submitted = request.submitted;
+      fl.forwarded = std::chrono::steady_clock::now();
+      fl.shard = shard;
+      shard_state_[static_cast<std::size_t>(shard)]->routed.fetch_add(
+          1, std::memory_order_relaxed);
+      comm.send(shard + 1, ShardEnvelope{ShardEnvelope::Kind::kRequest, id,
+                                         std::move(request.features)});
+      inflight.emplace(id, std::move(fl));
+    }
+
+    for (int s = 0; s < n; ++s) {
+      while (std::optional<ShardReply> reply =
+                 comm.try_recv<ShardReply>(s + 1)) {
+        progress = true;
+        if (reply->kind == ShardReply::Kind::kDrained) {
+          ++drained_acks;
+          continue;
+        }
+        const auto it = inflight.find(reply->id);
+        QKMPS_CHECK_MSG(it != inflight.end(),
+                        "shard replied to an unknown request id");
+        InFlight fl = std::move(it->second);
+        inflight.erase(it);
+        const auto now = std::chrono::steady_clock::now();
+        if (reply->kind == ShardReply::Kind::kPrediction) {
+          RoutedPrediction out;
+          out.status = ServeStatus::kServed;
+          out.shard = fl.shard;
+          out.prediction = reply->prediction;
+          out.queue_seconds = seconds_between(fl.submitted, fl.forwarded);
+          out.total_seconds = seconds_between(fl.submitted, now);
+          completed_.fetch_add(1, std::memory_order_relaxed);
+          fl.promise.set_value(out);
+        } else {
+          QKMPS_CHECK_MSG(reply->kind == ShardReply::Kind::kFailed,
+                          "unexpected reply kind in router loop");
+          completed_.fetch_add(1, std::memory_order_relaxed);
+          fl.promise.set_exception(std::make_exception_ptr(
+              Error("shard batch failed: " + reply->error)));
+        }
+      }
+    }
+
+    if (drain) {
+      if (!drain_marker_sent) {
+        // Flush barrier: channels are FIFO, so a shard's kDrained ack
+        // proves every envelope sent before the marker has been scored
+        // and its replies are already queued back to us.
+        for (int s = 0; s < n; ++s)
+          comm.send(s + 1,
+                    ShardEnvelope{ShardEnvelope::Kind::kDrain, 0, {}});
+        drain_marker_sent = true;
+      }
+      bool ingress_empty;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ingress_empty = ingress_.empty();
+      }
+      if (ingress_empty && inflight.empty() && drained_acks == n) break;
+    }
+
+    if (!progress && (drain || !inflight.empty()))
+      std::this_thread::sleep_for(config_.router_poll);
+  }
+
+  // Shutdown handshake: every shard acks kStopped after finishing its
+  // in-hand batch, so joining the runtime cannot strand work. The timed
+  // recv turns a protocol bug into a loud error instead of a destructor
+  // that never returns.
+  for (int s = 0; s < n; ++s)
+    comm.send(s + 1, ShardEnvelope{ShardEnvelope::Kind::kShutdown, 0, {}});
+  for (int s = 0; s < n; ++s) {
+    const std::optional<ShardReply> ack =
+        comm.recv_for<ShardReply>(s + 1, std::chrono::microseconds(30'000'000));
+    QKMPS_CHECK_MSG(ack.has_value(), "shard never acked shutdown");
+    QKMPS_CHECK_MSG(ack->kind == ShardReply::Kind::kStopped,
+                    "expected kStopped ack during shutdown");
+  }
+}
+
+void RankShardedEngine::shard_body(parallel::Comm& comm,
+                                   std::size_t shard_index) {
+  InferenceEngine& engine = *engines_[shard_index];
+  ShardState& state = *shard_state_[shard_index];
+  const std::size_t limit = std::max<std::size_t>(1, drain_batch_limit());
+
+  for (;;) {
+    ShardEnvelope first = comm.recv<ShardEnvelope>(0);
+    if (first.kind == ShardEnvelope::Kind::kShutdown) {
+      comm.send(0, ShardReply{ShardReply::Kind::kStopped, 0, {}, {}});
+      return;
+    }
+    if (first.kind == ShardEnvelope::Kind::kDrain) {
+      comm.send(0, ShardReply{ShardReply::Kind::kDrained, 0, {}, {}});
+      continue;
+    }
+
+    // Gather: micro-batching emerges under load exactly as in the
+    // in-process frontend — whatever envelopes are already queued join
+    // the batch, up to the drain bound; an idle channel means a batch of
+    // one. A control envelope ends the gather and is honoured after the
+    // batch is scored (FIFO: its ack must follow our replies).
+    std::vector<std::uint64_t> ids{first.id};
+    std::vector<std::vector<double>> rows;
+    rows.push_back(std::move(first.features));
+    std::optional<ShardEnvelope::Kind> control;
+    while (rows.size() < limit) {
+      std::optional<ShardEnvelope> next = comm.try_recv<ShardEnvelope>(0);
+      if (!next) break;
+      if (next->kind != ShardEnvelope::Kind::kRequest) {
+        control = next->kind;
+        break;
+      }
+      ids.push_back(next->id);
+      rows.push_back(std::move(next->features));
+    }
+
+    try {
+      // Trusted entry: rows were validated once at submit().
+      const std::vector<Prediction> predictions =
+          engine.predict_batch_trusted(std::move(rows));
+      // Counter lands before the replies so a caller that joined on its
+      // futures always observes it accounted for (routed == served).
+      state.served.fetch_add(ids.size(), std::memory_order_relaxed);
+      for (std::size_t i = 0; i < ids.size(); ++i)
+        comm.send(0, ShardReply{ShardReply::Kind::kPrediction, ids[i],
+                                predictions[i], {}});
+    } catch (const std::exception& e) {
+      for (std::size_t i = 0; i < ids.size(); ++i)
+        comm.send(0,
+                  ShardReply{ShardReply::Kind::kFailed, ids[i], {}, e.what()});
+    }
+
+    if (control) {
+      if (*control == ShardEnvelope::Kind::kShutdown) {
+        comm.send(0, ShardReply{ShardReply::Kind::kStopped, 0, {}, {}});
+        return;
+      }
+      comm.send(0, ShardReply{ShardReply::Kind::kDrained, 0, {}, {}});
+    }
+  }
+}
+
+RankShardedStats RankShardedEngine::stats() const {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  RankShardedStats agg;
+  agg.submitted = submitted_.load(std::memory_order_relaxed);
+  agg.admitted = admitted_.load(std::memory_order_relaxed);
+  agg.rejected = rejected_.load(std::memory_order_relaxed);
+  agg.completed = completed_.load(std::memory_order_relaxed);
+  agg.resizes = resizes_.load(std::memory_order_relaxed);
+  agg.shards.reserve(engines_.size());
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    RankShardStats s;
+    s.routed = shard_state_[i]->routed.load(std::memory_order_relaxed);
+    s.served = shard_state_[i]->served.load(std::memory_order_relaxed);
+    s.engine = engines_[i]->stats();
+    agg.shards.push_back(std::move(s));
+  }
+  return agg;
+}
+
+}  // namespace qkmps::serve

@@ -1,0 +1,227 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "parallel/rank_runtime.hpp"
+#include "serve/inference_engine.hpp"
+#include "serve/model_bundle.hpp"
+#include "serve/router.hpp"
+#include "serve/sharded_engine.hpp"
+
+namespace qkmps::serve {
+
+/// Wire protocol of the rank-distributed serving frontend. Everything the
+/// router rank and the shard ranks exchange travels as one of these two
+/// typed Comm messages — no shared queues, no shared locks — so the shard
+/// boundary is already a transport boundary: a socket layer replacing
+/// parallel::Comm only has to serialize these structs (see DESIGN.md,
+/// "From ranks to processes").
+
+/// Router -> shard. A request envelope carries the raw (pre-scaling)
+/// feature vector, validated once at submit(); control kinds carry no
+/// payload.
+struct ShardEnvelope {
+  enum class Kind : std::uint8_t {
+    kRequest,   ///< score `features`, reply kPrediction with the same id
+    kDrain,     ///< flush any gathered batch now (maintenance barrier)
+    kShutdown,  ///< finish in-hand work, reply kStopped, exit the rank
+  };
+  Kind kind = Kind::kRequest;
+  std::uint64_t id = 0;  ///< router-assigned, unique per engine incarnation
+  std::vector<double> features;
+};
+
+/// Shard -> router.
+struct ShardReply {
+  enum class Kind : std::uint8_t {
+    kPrediction,  ///< `prediction` is valid for request `id`
+    kFailed,      ///< the batch containing `id` threw; `error` explains
+    kDrained,     ///< ack of kDrain
+    kStopped,     ///< ack of kShutdown; the shard rank has exited its loop
+  };
+  Kind kind = Kind::kPrediction;
+  std::uint64_t id = 0;
+  Prediction prediction;
+  std::string error;
+};
+
+struct RankShardedEngineConfig {
+  /// Worker shards (ranks 1..num_shards). Rank 0 is the router, so the
+  /// underlying RankRuntime always runs num_shards + 1 ranks.
+  std::size_t num_shards = 2;
+  /// Per-shard engine knobs; num_threads == 0 divides hardware threads
+  /// across shards exactly as in ShardedEngine.
+  EngineConfig engine;
+  /// Key->shard assignment. Defaults to the consistent-hash ring because
+  /// this engine supports add_shard(): growth only remigrates ~1/(N+1) of
+  /// keys, so the per-shard StateCaches stay warm across a resize.
+  RouterConfig router{RouterKind::kConsistentHash, 64};
+  /// Bound on requests queued at the router (admission control). When
+  /// full, submit() resolves the new future kRejected immediately —
+  /// reject-new semantics; the blocking/shedding policies of
+  /// ShardedEngine belong to the in-process frontend where the submitter
+  /// and the queue share an address space.
+  std::size_t ingress_capacity = 1024;
+  /// Per shard-drain batch bound; 0 = engine.max_batch.
+  std::size_t drain_max_batch = 0;
+  /// How long the idle router sleeps between ingress/reply polls. Lower =
+  /// less added latency, more wakeups; the default adds at most ~0.1 ms.
+  std::chrono::microseconds router_poll{100};
+};
+
+/// Per-shard snapshot: router-side routing counters plus the shard
+/// engine's own counters (cache, memo, circuits).
+struct RankShardStats {
+  std::uint64_t routed = 0;  ///< envelopes the router sent this shard
+  std::uint64_t served = 0;  ///< predictions this shard replied
+  EngineStats engine;
+};
+
+/// Aggregate snapshot. Invariant (once traffic settles): submitted ==
+/// admitted + rejected and admitted == completed.
+struct RankShardedStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t resizes = 0;  ///< add_shard() calls served so far
+  std::vector<RankShardStats> shards;
+};
+
+/// Rank-distributed sharded serving frontend: the shard boundary of
+/// ShardedEngine lifted onto parallel::RankRuntime, per the ROADMAP's
+/// multi-process sharding step.
+///
+///   caller threads ── submit() ─► [ingress queue]
+///                                      │ rank 0 (router):
+///                                      │   route = Router(feature_hash)
+///                                      ▼   forward / poll replies
+///        rank 1 ◄── ShardEnvelope ── Comm ── ShardEnvelope ──► rank N
+///     InferenceEngine                 ▲               InferenceEngine
+///        └───────── ShardReply ───────┴──── ShardReply ─────────┘
+///
+/// Rank 0 is the router: it pulls submitted requests off the ingress
+/// queue, assigns ids, routes by feature-bit hash through the configured
+/// Router, forwards request envelopes, and multiplexes the shards' reply
+/// channels with Comm::try_recv. Ranks 1..N each own an InferenceEngine
+/// (with its StateCache and memo) and run a gather->predict->reply loop:
+/// block on the first envelope, opportunistically try_recv more up to the
+/// drain batch bound, score through the engine, reply per request. The
+/// only cross-thread state is the typed Comm channels plus the ingress
+/// queue — which is exactly the boundary a socket transport replaces.
+///
+/// Elasticity: add_shard() drains in-flight work, stops the rank loops,
+/// adds one InferenceEngine and one router ring point set, and restarts
+/// with num_shards + 1 worker ranks. The existing shard engines — and
+/// their StateCaches/memos — survive the resize; with the default
+/// consistent-hash router only ~1/(N+1) of keys remigrate, so hot caches
+/// stay hot (tests/test_rank_sharded_engine.cpp pins the retention).
+/// Requests submitted during a resize simply wait in the ingress queue
+/// for the new topology.
+///
+/// Determinism contract: identical to ShardedEngine's — routing,
+/// batching, and transport are scheduling decisions only; every served
+/// prediction is bitwise-identical to the sequential simulate_states +
+/// decision_values pipeline regardless of rank count, batch composition,
+/// arrival order, or resize history.
+///
+/// Thread safety: submit(), shard_for(), and stats() are safe from any
+/// number of threads. add_shard() serializes against itself and the
+/// destructor, and may run concurrently with submitters (their requests
+/// queue across the restart); it must not race the destructor.
+///
+/// Shutdown contract: the destructor stops admission (later submits
+/// throw), serves every request already admitted to the ingress queue or
+/// in flight, shuts the shard ranks down with control envelopes, and
+/// joins — no future is ever dropped.
+class RankShardedEngine {
+ public:
+  explicit RankShardedEngine(ModelBundle bundle,
+                             RankShardedEngineConfig config = {});
+  RankShardedEngine(std::shared_ptr<const ModelBundle> bundle,
+                    RankShardedEngineConfig config);
+  ~RankShardedEngine();
+
+  RankShardedEngine(const RankShardedEngine&) = delete;
+  RankShardedEngine& operator=(const RankShardedEngine&) = delete;
+
+  /// Validates, applies ingress admission, and returns a future that
+  /// always resolves (kServed or kRejected; this frontend never sheds).
+  /// Throws immediately on a malformed feature vector, or on submit
+  /// after the destructor began.
+  std::future<RoutedPrediction> submit(std::vector<double> features);
+
+  /// The shard `features` routes to under the current topology (pure
+  /// function of the feature bits and the shard count).
+  int shard_for(const std::vector<double>& features) const;
+
+  /// Grows the shard set by one rank: drains, extends engines + router,
+  /// restarts. Existing shards keep their caches. Blocks until the new
+  /// topology is serving.
+  void add_shard();
+
+  RankShardedStats stats() const;
+  std::size_t num_shards() const;
+  const RankShardedEngineConfig& config() const { return config_; }
+  const ModelBundle& bundle() const { return *bundle_; }
+
+ private:
+  struct Ingress {
+    std::vector<double> features;
+    std::promise<RoutedPrediction> promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  /// Router-side per-shard counters; engine stats live in the engines.
+  struct ShardState {
+    std::atomic<std::uint64_t> routed{0};
+    std::atomic<std::uint64_t> served{0};
+  };
+
+  void start_runtime();
+  /// Sets drain mode (and optionally the terminal stop flag), wakes the
+  /// router, joins the runtime thread. After return no rank is running.
+  void stop_runtime(bool final_stop);
+  void router_body(parallel::Comm& comm);
+  void shard_body(parallel::Comm& comm, std::size_t shard_index);
+  std::size_t drain_batch_limit() const;
+
+  const std::shared_ptr<const ModelBundle> bundle_;
+  const RankShardedEngineConfig config_;
+
+  /// Topology (router_, engines_, shard_state_) mutates only between
+  /// stop_runtime()/start_runtime() pairs under lifecycle_mu_.
+  mutable std::mutex lifecycle_mu_;
+  std::unique_ptr<Router> router_;
+  std::vector<std::unique_ptr<InferenceEngine>> engines_;
+  std::vector<std::unique_ptr<ShardState>> shard_state_;
+
+  mutable std::mutex mu_;  ///< guards ingress_, draining_, stopped_
+  std::condition_variable cv_ingress_;
+  std::deque<Ingress> ingress_;
+  bool draining_ = false;  ///< router: finish outstanding work and return
+  bool stopped_ = false;   ///< terminal: submit() throws from now on
+
+  std::unique_ptr<parallel::RankRuntime> runtime_;
+  std::thread runtime_thread_;
+  std::exception_ptr runtime_error_;  ///< first rank-body escapee, if any
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> resizes_{0};
+  std::uint64_t next_id_ = 0;  ///< router-thread-only
+};
+
+}  // namespace qkmps::serve

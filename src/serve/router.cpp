@@ -1,0 +1,104 @@
+#include "serve/router.hpp"
+
+#include <algorithm>
+
+#include "serve/feature_key.hpp"
+#include "util/error.hpp"
+
+namespace qkmps::serve {
+
+namespace {
+
+/// splitmix64 finalizer: decorrelates ring-point ids (and incoming FNV key
+/// hashes) into uniform 64-bit ring positions. Stability matters more than
+/// speed here — these constants are part of the routing contract, since a
+/// future multi-process router must place keys identically.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* to_string(RouterKind kind) {
+  switch (kind) {
+    case RouterKind::kFeatureHashModulo:
+      return "feature-hash-modulo";
+    case RouterKind::kConsistentHash:
+      return "consistent-hash";
+  }
+  return "unknown";
+}
+
+int Router::shard_for(const std::vector<double>& features) const {
+  return shard_for_hash(feature_hash(features));
+}
+
+ModuloRouter::ModuloRouter(std::size_t num_shards) : num_shards_(num_shards) {
+  QKMPS_CHECK_MSG(num_shards >= 1, "router needs at least one shard");
+}
+
+int ModuloRouter::shard_for_hash(std::uint64_t key_hash) const {
+  return static_cast<int>(key_hash % static_cast<std::uint64_t>(num_shards_));
+}
+
+ConsistentHashRouter::ConsistentHashRouter(std::size_t num_shards,
+                                           std::size_t virtual_nodes)
+    : num_shards_(num_shards), virtual_nodes_(virtual_nodes) {
+  QKMPS_CHECK_MSG(num_shards >= 1, "router needs at least one shard");
+  QKMPS_CHECK_MSG(virtual_nodes >= 1, "ring needs at least one point per shard");
+  ring_.reserve(num_shards * virtual_nodes);
+  for (std::size_t s = 0; s < num_shards; ++s)
+    insert_shard_points(static_cast<int>(s));
+}
+
+void ConsistentHashRouter::insert_shard_points(int shard) {
+  for (std::size_t r = 0; r < virtual_nodes_; ++r) {
+    // Ring position of replica r of `shard`: a pure function of the pair,
+    // so adding shard N never moves the points of shards 0..N-1 — the
+    // stability add_shard()'s ~1/(N+1) remap bound rests on.
+    const std::uint64_t point =
+        mix64((static_cast<std::uint64_t>(shard) << 32) ^
+              static_cast<std::uint64_t>(r));
+    ring_.push_back(RingPoint{point, shard});
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const RingPoint& a,
+                                           const RingPoint& b) {
+    // Shard id breaks position ties so the ring order (hence every
+    // assignment) is deterministic even on a 64-bit collision.
+    return a.point != b.point ? a.point < b.point : a.shard < b.shard;
+  });
+}
+
+void ConsistentHashRouter::add_shard() {
+  insert_shard_points(static_cast<int>(num_shards_));
+  ++num_shards_;
+}
+
+int ConsistentHashRouter::shard_for_hash(std::uint64_t key_hash) const {
+  // Re-mix the FNV key hash so key positions and ring positions come from
+  // the same uniform family; first point at or clockwise of the key wins,
+  // wrapping past the top of the ring to ring_.front().
+  const std::uint64_t pos = mix64(key_hash);
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), pos,
+      [](const RingPoint& p, std::uint64_t key) { return p.point < key; });
+  return (it == ring_.end() ? ring_.front() : *it).shard;
+}
+
+std::unique_ptr<Router> make_router(const RouterConfig& config,
+                                    std::size_t num_shards) {
+  switch (config.kind) {
+    case RouterKind::kFeatureHashModulo:
+      return std::make_unique<ModuloRouter>(num_shards);
+    case RouterKind::kConsistentHash:
+      return std::make_unique<ConsistentHashRouter>(num_shards,
+                                                    config.virtual_nodes);
+  }
+  QKMPS_CHECK_MSG(false, "unknown RouterKind");
+  return nullptr;
+}
+
+}  // namespace qkmps::serve

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace qkmps::serve {
+
+/// Which key->shard assignment strategy a serving frontend uses. Both
+/// strategies hash the raw feature bits (serve::feature_hash), so
+/// bit-identical requests always colocate and per-shard cache locality
+/// survives sharding; they differ in what happens when the shard set
+/// changes size (see DESIGN.md, "Routing").
+enum class RouterKind {
+  /// `feature_hash(x) % N`. Perfectly balanced, zero state — but growing
+  /// N -> N+1 reassigns ~N/(N+1) of all keys, cold-starting nearly every
+  /// shard's StateCache and memo.
+  kFeatureHashModulo,
+  /// Consistent-hash ring with virtual nodes: each shard owns
+  /// `virtual_nodes` points on a 64-bit ring and a key belongs to the
+  /// first shard point at or clockwise of its hash. Growing N -> N+1
+  /// moves only the ~1/(N+1) of keys the new shard's points capture;
+  /// every other key keeps its shard, and its shard keeps its cache
+  /// (tests/test_router.cpp pins both properties).
+  kConsistentHash,
+};
+
+const char* to_string(RouterKind kind);
+
+struct RouterConfig {
+  RouterKind kind = RouterKind::kFeatureHashModulo;
+  /// Ring points per shard (kConsistentHash only). More points tighten
+  /// the load spread (relative imbalance ~ 1/sqrt(virtual_nodes)) at the
+  /// cost of a larger binary-searched ring.
+  std::size_t virtual_nodes = 64;
+};
+
+/// Stable key->shard assignment shared by serve::ShardedEngine (in-process
+/// shards) and serve::RankShardedEngine (rank-distributed shards).
+///
+/// Thread safety: shard_for / shard_for_hash / num_shards are const and
+/// safe to call concurrently from any number of threads. add_shard is a
+/// topology mutation and must be externally serialized against lookups —
+/// the owning engine only resizes while its router loop is stopped.
+///
+/// Invariants: shard_for_hash returns a value in [0, num_shards()) for
+/// every 64-bit hash; the assignment is a pure function of (hash, current
+/// topology) — no request history, no load feedback — so two routers
+/// built the same way agree on every key (the property that lets a future
+/// multi-process deployment route client-side).
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  /// Shard owning `key_hash` (a serve::feature_hash value).
+  virtual int shard_for_hash(std::uint64_t key_hash) const = 0;
+
+  /// Grows the topology by one shard (new shard id = previous
+  /// num_shards()). Not thread-safe against concurrent lookups.
+  virtual void add_shard() = 0;
+
+  virtual std::size_t num_shards() const = 0;
+  virtual RouterKind kind() const = 0;
+
+  /// Convenience: hashes the raw feature bits and dispatches.
+  int shard_for(const std::vector<double>& features) const;
+};
+
+/// `hash % N` (the original ShardedEngine routing, now behind the Router
+/// interface). add_shard() is supported but remaps almost every key.
+class ModuloRouter final : public Router {
+ public:
+  explicit ModuloRouter(std::size_t num_shards);
+
+  int shard_for_hash(std::uint64_t key_hash) const override;
+  void add_shard() override { ++num_shards_; }
+  std::size_t num_shards() const override { return num_shards_; }
+  RouterKind kind() const override { return RouterKind::kFeatureHashModulo; }
+
+ private:
+  std::size_t num_shards_;
+};
+
+/// Consistent-hash ring with virtual nodes. Construction is deterministic:
+/// a shard's ring points depend only on (shard id, replica index), so
+/// ConsistentHashRouter(n+1) and ConsistentHashRouter(n) + add_shard()
+/// produce identical assignments for every key.
+class ConsistentHashRouter final : public Router {
+ public:
+  explicit ConsistentHashRouter(std::size_t num_shards,
+                                std::size_t virtual_nodes = 64);
+
+  int shard_for_hash(std::uint64_t key_hash) const override;
+  void add_shard() override;
+  std::size_t num_shards() const override { return num_shards_; }
+  RouterKind kind() const override { return RouterKind::kConsistentHash; }
+  std::size_t virtual_nodes() const { return virtual_nodes_; }
+
+ private:
+  struct RingPoint {
+    std::uint64_t point;
+    int shard;
+  };
+
+  void insert_shard_points(int shard);
+
+  std::size_t num_shards_;
+  std::size_t virtual_nodes_;
+  std::vector<RingPoint> ring_;  ///< sorted by (point, shard)
+};
+
+/// Factory used by the engine configs.
+std::unique_ptr<Router> make_router(const RouterConfig& config,
+                                    std::size_t num_shards);
+
+}  // namespace qkmps::serve

@@ -5,7 +5,6 @@
 #include <utility>
 
 #include "parallel/partition.hpp"
-#include "serve/feature_key.hpp"
 #include "util/atomics.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
@@ -24,15 +23,8 @@ const char* to_string(ServeStatus status) {
   return "unknown";
 }
 
-namespace {
-
-/// Per-shard simulation/kernel lane counts. num_threads == 0 partitions
-/// the hardware threads across the shards via parallel::split_sizes (N
-/// shards each draining through a full-width pool would just contend
-/// with each other; a plain total/N would drop the remainder lanes).
-/// Every shard gets at least one lane.
-std::vector<std::size_t> shard_lanes(std::size_t requested,
-                                     std::size_t num_shards) {
+std::vector<std::size_t> shard_thread_lanes(std::size_t requested,
+                                            std::size_t num_shards) {
   if (requested > 0)
     return std::vector<std::size_t>(num_shards, requested);
   const unsigned hw = std::thread::hardware_concurrency();
@@ -45,26 +37,21 @@ std::vector<std::size_t> shard_lanes(std::size_t requested,
   return lanes;
 }
 
-double seconds_between(std::chrono::steady_clock::time_point from,
-                       std::chrono::steady_clock::time_point to) {
-  return std::chrono::duration<double>(to - from).count();
-}
-
-}  // namespace
-
 ShardedEngine::ShardedEngine(ModelBundle bundle, ShardedEngineConfig config)
     : ShardedEngine(std::make_shared<const ModelBundle>(std::move(bundle)),
                     config) {}
 
 ShardedEngine::ShardedEngine(std::shared_ptr<const ModelBundle> bundle,
                              ShardedEngineConfig config)
-    : bundle_(std::move(bundle)), config_(config) {
+    : bundle_(std::move(bundle)),
+      config_(config),
+      router_(make_router(config.router, config.num_shards)) {
   QKMPS_CHECK(bundle_ != nullptr);
   QKMPS_CHECK_MSG(config_.num_shards >= 1, "need at least one shard");
   QKMPS_CHECK_MSG(config_.admission_capacity >= 1,
                   "admission queue needs capacity >= 1");
   const std::vector<std::size_t> lanes =
-      shard_lanes(config_.engine.num_threads, config_.num_shards);
+      shard_thread_lanes(config_.engine.num_threads, config_.num_shards);
   shards_.reserve(config_.num_shards);
   for (std::size_t i = 0; i < config_.num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
@@ -105,8 +92,7 @@ ShardedEngine::~ShardedEngine() {
 }
 
 int ShardedEngine::shard_for(const std::vector<double>& features) const {
-  return static_cast<int>(feature_hash(features) %
-                          static_cast<std::uint64_t>(shards_.size()));
+  return router_->shard_for(features);
 }
 
 std::size_t ShardedEngine::drain_batch_limit() const {

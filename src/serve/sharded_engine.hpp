@@ -13,6 +13,7 @@
 
 #include "serve/inference_engine.hpp"
 #include "serve/model_bundle.hpp"
+#include "serve/router.hpp"
 
 namespace qkmps::serve {
 
@@ -46,6 +47,20 @@ enum class ServeStatus {
 
 const char* to_string(ServeStatus status);
 
+/// Per-shard simulation/kernel lane counts shared by the sharded
+/// frontends. requested == 0 partitions the hardware threads across the
+/// shards via parallel::split_sizes (N shards each draining through a
+/// full-width pool would just contend with each other; a plain total/N
+/// would drop the remainder lanes). Every shard gets at least one lane.
+std::vector<std::size_t> shard_thread_lanes(std::size_t requested,
+                                            std::size_t num_shards);
+
+/// Latency-measurement primitive of the serving frontends.
+inline double seconds_between(std::chrono::steady_clock::time_point from,
+                              std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
 struct RoutedPrediction {
   ServeStatus status = ServeStatus::kServed;
   int shard = -1;           ///< which shard the feature-key hash routed to
@@ -60,6 +75,11 @@ struct ShardedEngineConfig {
   /// threads evenly across shards (at least 1 each) instead of giving
   /// every shard a full-width pool.
   EngineConfig engine;
+  /// Key->shard assignment (see router.hpp and DESIGN.md). The default
+  /// modulo router reproduces the original feature_hash % N routing
+  /// bit-for-bit; kConsistentHash keeps assignments stable under shard-set
+  /// growth (relevant when snapshotting/restoring across topologies).
+  RouterConfig router;
   std::size_t admission_capacity = 256;  ///< pending bound, per shard
   AdmissionPolicy policy = AdmissionPolicy::kRejectNew;
   std::chrono::microseconds block_deadline{5000};  ///< kBlockWithDeadline
@@ -102,16 +122,25 @@ struct ShardedStats {
 /// Sharded serving frontend: N independent InferenceEngine shards behind
 /// per-shard bounded admission queues.
 ///
-///   submit(x) ── feature_hash(x) % N ──► [admission queue] ─► drainer ─► shard engine
+///   submit(x) ── Router(feature_hash(x)) ──► [admission queue] ─► drainer ─► shard engine
 ///
-/// Routing is by the hash of the raw feature bits, so bit-identical
-/// requests always land on the same shard — cache locality (StateCache
-/// and decision-value memo are per shard) survives sharding. Each shard
-/// owns a drainer thread that pops up to drain_max_batch pending requests
-/// and scores them through its engine's predict_batch, so micro-batching
-/// emerges under load exactly as in the single-engine path. All shards
-/// share one resident ModelBundle (shared_ptr; the support-vector states
-/// are not duplicated).
+/// Routing hashes the raw feature bits through the configured Router
+/// (modulo by default, consistent-hash optionally — see router.hpp), so
+/// bit-identical requests always land on the same shard — cache locality
+/// (StateCache and decision-value memo are per shard) survives sharding.
+/// Each shard owns a drainer thread that pops up to drain_max_batch
+/// pending requests and scores them through its engine's predict_batch,
+/// so micro-batching emerges under load exactly as in the single-engine
+/// path. All shards share one resident ModelBundle (shared_ptr; the
+/// support-vector states are not duplicated). The shard set is fixed for
+/// the engine's lifetime; serve::RankShardedEngine is the resizable,
+/// transport-based sibling (see DESIGN.md for the topology comparison).
+///
+/// Thread safety: submit(), shard_for(), stats(), pause_draining(), and
+/// resume_draining() are safe to call concurrently from any number of
+/// threads for the whole lifetime of the engine; the only caller-side
+/// ordering requirement is the usual one that no call may race the
+/// destructor.
 ///
 /// Determinism contract: routing, admission, and shard choice are
 /// scheduling decisions only. A served request's prediction is
@@ -197,6 +226,7 @@ class ShardedEngine {
 
   const std::shared_ptr<const ModelBundle> bundle_;
   const ShardedEngineConfig config_;
+  const std::unique_ptr<Router> router_;  ///< immutable topology: N is fixed
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -7,6 +7,14 @@
 #include "kernel/kernel_matrix.hpp"
 #include "util/types.hpp"
 
+/// Deterministic workload generation for the serving layer.
+///
+/// Thread safety: everything here is value semantics — free functions are
+/// pure (all randomness flows from ScenarioConfig::seed through a local
+/// Rng; no globals, no hidden state), and a materialized Scenario is
+/// immutable-by-convention data that any number of threads may read
+/// concurrently. Invariants: `order[r]` always indexes a valid row of
+/// `unique_points`, and `arrival_us` is nondecreasing.
 namespace qkmps::serve::workload {
 
 /// Which unique point each request re-queries.
