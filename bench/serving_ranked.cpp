@@ -1,15 +1,25 @@
 /// Rank-distributed serving benchmark: serve::RankShardedEngine — the
-/// sharded frontend whose shards are parallel::RankRuntime ranks and whose
-/// shard boundary is a typed-message transport (see DESIGN.md) — driven by
-/// the same deterministic serve::workload scenarios as bench/serving_sharded,
-/// so the two frontends' numbers are directly comparable.
+/// sharded frontend whose shard boundary is a parallel::Transport (see
+/// DESIGN.md) — driven by the same deterministic serve::workload scenarios
+/// as bench/serving_sharded, so the two frontends' numbers are directly
+/// comparable.
+///
+/// Transports (--transport=inproc|socket, default inproc):
+///  - inproc: shards are parallel::RankRuntime ranks, messages over typed
+///    in-process channels.
+///  - socket: shards are serving_rankd worker processes connected over
+///    Unix-domain sockets with the QKFR frame codec — the real wire. The
+///    bench spawns the workers itself (worker binary baked in at build
+///    time, overridable with --worker=PATH); throughput/p99 against the
+///    inproc numbers shows the framing + loopback cost.
 ///
 /// Two sections:
-///  1. Rank scaling: the cache-pressure uniform stream swept over worker
-///     rank counts {1, 2, 4} (router rank excluded), consistent-hash
-///     routing. Per-shard resources fixed, so the aggregate cache scales
-///     with the rank count exactly as in the in-process frontend.
-///  2. Elastic resize: a Zipf hot-key stream served at N ranks, then
+///  1. Rank scaling (both transports): the cache-pressure uniform stream
+///     swept over worker counts {1, 2, 4}, consistent-hash routing.
+///     Per-shard resources fixed, so the aggregate cache scales with the
+///     worker count exactly as in the in-process frontend.
+///  2. Elastic resize (inproc only — add_shard over socket workers is a
+///     ROADMAP item): a Zipf hot-key stream served at N ranks, then
 ///     add_shard() to N+1 and the identical stream replayed — once under
 ///     the consistent-hash router and once under feature-hash modulo. The
 ///     table reports how many keys remigrated and how many circuits the
@@ -18,17 +28,22 @@
 ///
 /// Every served prediction in both sections is compared bitwise against
 /// the sequential simulate_states + decision_values pipeline; any mismatch
-/// makes the process exit 1 (CI runs `serving_ranked --quick` as a parity
-/// smoke). Emits serving_ranked.json.
+/// makes the process exit 1 (CI runs `serving_ranked --quick` in both
+/// transports as parity smokes). Emits serving_ranked.json (inproc) /
+/// serving_ranked_socket.json (socket).
 ///
 /// Knobs: QKMPS_RANKED_REQUESTS, QKMPS_RANKED_UNIQUE,
 /// QKMPS_RANKED_FEATURES, QKMPS_RANKED_LAYERS, QKMPS_RANKED_TRAIN,
 /// QKMPS_RANKED_CACHE (per-shard StateCache entries); QKMPS_FULL=1 scales
 /// everything up; --quick shrinks to a CI smoke.
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <future>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -196,11 +211,53 @@ double remap_fraction(const serve::RouterConfig& cfg, std::size_t shards,
 
 int main(int argc, char** argv) {
   bool quick = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  bool socket_mode = false;
+  std::string worker_path =
+#ifdef QKMPS_RANKD_PATH
+      QKMPS_RANKD_PATH;
+#else
+      "";
+#endif
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--transport=", 12) == 0) {
+      const std::string kind = argv[i] + 12;
+      if (kind == "socket") {
+        socket_mode = true;
+      } else if (kind != "inproc") {
+        std::fprintf(stderr, "unknown --transport=%s (inproc|socket)\n",
+                     kind.c_str());
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--worker=", 9) == 0) {
+      worker_path = argv[i] + 9;
+    }
+  }
+  if (socket_mode && worker_path.empty()) {
+    std::fprintf(stderr,
+                 "--transport=socket needs --worker=PATH (no serving_rankd "
+                 "baked into this build)\n");
+    return 2;
+  }
+  // Socket mode hands the model to the workers through the bundle format;
+  // stage it in a per-process temp directory.
+  const std::string bundle_dir =
+      (std::filesystem::temp_directory_path() /
+       ("qkmps_serving_ranked_" + std::to_string(::getpid())))
+          .string();
+  const auto configure_transport = [&](serve::RankShardedEngineConfig& rcfg) {
+    if (!socket_mode) return;
+    rcfg.transport = serve::TransportKind::kSocket;
+    rcfg.socket.worker_path = worker_path;
+    rcfg.socket.bundle_dir = bundle_dir;
+  };
 
-  bench::print_header(
-      "serving_ranked: rank-distributed sharded frontend over RankRuntime");
+  bench::print_header(socket_mode
+                          ? "serving_ranked: rank-distributed sharded "
+                            "frontend over socket workers (serving_rankd)"
+                          : "serving_ranked: rank-distributed sharded "
+                            "frontend over RankRuntime");
   const bool full = full_scale_requested();
   const idx per_class = env_int("QKMPS_RANKED_TRAIN", full ? 100 : 24);
   const idx m = env_int("QKMPS_RANKED_FEATURES", full ? 20 : 10);
@@ -237,9 +294,11 @@ int main(int argc, char** argv) {
       workload::make_scenario(pressure, setup.pool);
   const std::vector<double> scaling_ref =
       reference_values(*setup.bundle, scaling_stream.unique_points);
-  std::printf("\nscenario %s (digest %s), consistent-hash routing\n",
+  std::printf("\nscenario %s (digest %s), consistent-hash routing, "
+              "%s transport\n",
               pressure.name.c_str(),
-              hex_digest(workload::scenario_digest(scaling_stream)).c_str());
+              hex_digest(workload::scenario_digest(scaling_stream)).c_str(),
+              socket_mode ? "socket" : "inproc");
   std::printf("%-26s %15s %11s %11s %7s %7s %10s\n", "configuration",
               "throughput", "p50", "p99", "cache", "circ", "srv/rej");
 
@@ -251,21 +310,26 @@ int main(int argc, char** argv) {
     rcfg.engine.max_batch = 16;
     rcfg.engine.cache_capacity = static_cast<std::size_t>(cache_entries);
     rcfg.engine.memo_capacity = static_cast<std::size_t>(cache_entries);
+    configure_transport(rcfg);
     serve::RankShardedEngine engine(setup.bundle, rcfg);
     scaling.push_back(run_scenario(engine, scaling_stream, scaling_ref));
     char label[64];
-    std::snprintf(label, sizeof label, "%zu worker rank%s", ranks,
-                  ranks == 1 ? "" : "s");
+    std::snprintf(label, sizeof label, "%zu worker %s%s", ranks,
+                  socket_mode ? "proc" : "rank", ranks == 1 ? "" : "s");
     print_row(label, scaling.back());
     total_mismatches += scaling.back().parity_mismatches;
   }
   const double speedup =
       scaling.back().throughput / scaling.front().throughput;
-  std::printf("\n%zu ranks vs 1: %.2fx throughput (per-shard resources "
-              "fixed; transport is the typed Comm channel pair)\n",
-              rank_counts.back(), speedup);
+  std::printf("\n%zu workers vs 1: %.2fx throughput (per-shard resources "
+              "fixed; transport: %s)\n",
+              rank_counts.back(), speedup,
+              socket_mode ? "QKFR-framed unix sockets"
+                          : "the typed Comm channel pair");
 
   // --- Section 2: elastic resize, ring vs modulo on a Zipf stream. ------
+  // In-process transport only: add_shard over live socket workers is the
+  // ROADMAP's elastic-worker-set step.
   const std::size_t resize_from = quick ? 2 : 3;
   workload::ScenarioConfig zipf;
   zipf.name = "zipf-hot-keys";
@@ -275,15 +339,6 @@ int main(int argc, char** argv) {
   zipf.keys = workload::KeyPattern::kZipf;
   const workload::Scenario zipf_stream =
       workload::make_scenario(zipf, setup.pool);
-  const std::vector<double> zipf_ref =
-      reference_values(*setup.bundle, zipf_stream.unique_points);
-
-  std::printf("\nresize %zu -> %zu ranks on %s (digest %s): run, add_shard, "
-              "replay\n",
-              resize_from, resize_from + 1, zipf.name.c_str(),
-              hex_digest(workload::scenario_digest(zipf_stream)).c_str());
-  std::printf("%-26s %15s %11s %11s %7s %7s %10s\n", "configuration",
-              "throughput", "p50", "p99", "cache", "circ", "srv/rej");
 
   struct ResizeOutcome {
     const char* router = "";
@@ -291,43 +346,58 @@ int main(int argc, char** argv) {
     RunResult before, after;
   };
   std::vector<ResizeOutcome> outcomes;
-  for (const serve::RouterKind kind :
-       {serve::RouterKind::kConsistentHash,
-        serve::RouterKind::kFeatureHashModulo}) {
-    ResizeOutcome oc;
-    oc.router = serve::to_string(kind);
-    const serve::RouterConfig router_cfg{kind, 128};
-    oc.remap = remap_fraction(router_cfg, resize_from, zipf_stream);
+  if (socket_mode) {
+    std::printf("\nresize section skipped: add_shard over socket workers is "
+                "not supported yet (in-process transport only)\n");
+  } else {
+    const std::vector<double> zipf_ref =
+        reference_values(*setup.bundle, zipf_stream.unique_points);
 
-    serve::RankShardedEngineConfig rcfg;
-    rcfg.num_shards = resize_from;
-    rcfg.router = router_cfg;
-    rcfg.ingress_capacity = static_cast<std::size_t>(zipf.num_requests);
-    rcfg.engine.max_batch = 16;
-    // Cache sized for the whole working set so the replay measures key
-    // remigration, not capacity eviction; memo off so the StateCache is
-    // what gets measured.
-    rcfg.engine.cache_capacity = static_cast<std::size_t>(n_unique) * 2;
-    rcfg.engine.memo_capacity = 0;
-    serve::RankShardedEngine engine(setup.bundle, rcfg);
+    std::printf("\nresize %zu -> %zu ranks on %s (digest %s): run, add_shard, "
+                "replay\n",
+                resize_from, resize_from + 1, zipf.name.c_str(),
+                hex_digest(workload::scenario_digest(zipf_stream)).c_str());
+    std::printf("%-26s %15s %11s %11s %7s %7s %10s\n", "configuration",
+                "throughput", "p50", "p99", "cache", "circ", "srv/rej");
 
-    oc.before = run_scenario(engine, zipf_stream, zipf_ref);
-    const serve::RankShardedStats snapshot = engine.stats();
-    engine.add_shard();
-    oc.after = run_scenario(engine, zipf_stream, zipf_ref, &snapshot);
-    total_mismatches += oc.before.parity_mismatches;
-    total_mismatches += oc.after.parity_mismatches;
+    for (const serve::RouterKind kind :
+         {serve::RouterKind::kConsistentHash,
+          serve::RouterKind::kFeatureHashModulo}) {
+      ResizeOutcome oc;
+      oc.router = serve::to_string(kind);
+      const serve::RouterConfig router_cfg{kind, 128};
+      oc.remap = remap_fraction(router_cfg, resize_from, zipf_stream);
 
-    char label[64];
-    std::snprintf(label, sizeof label, "%s cold", oc.router);
-    print_row(label, oc.before);
-    std::snprintf(label, sizeof label, "%s replay", oc.router);
-    print_row(label, oc.after);
-    std::printf("%-26s remapped %.0f%% of unique keys; replay re-simulated "
-                "%llu circuits\n",
-                "", 100.0 * oc.remap,
-                static_cast<unsigned long long>(oc.after.circuits));
-    outcomes.push_back(oc);
+      serve::RankShardedEngineConfig rcfg;
+      rcfg.num_shards = resize_from;
+      rcfg.router = router_cfg;
+      rcfg.ingress_capacity = static_cast<std::size_t>(zipf.num_requests);
+      rcfg.engine.max_batch = 16;
+      // Cache sized for the whole working set so the replay measures key
+      // remigration, not capacity eviction; memo off so the StateCache is
+      // what gets measured.
+      rcfg.engine.cache_capacity = static_cast<std::size_t>(n_unique) * 2;
+      rcfg.engine.memo_capacity = 0;
+      serve::RankShardedEngine engine(setup.bundle, rcfg);
+
+      oc.before = run_scenario(engine, zipf_stream, zipf_ref);
+      const serve::RankShardedStats snapshot = engine.stats();
+      engine.add_shard();
+      oc.after = run_scenario(engine, zipf_stream, zipf_ref, &snapshot);
+      total_mismatches += oc.before.parity_mismatches;
+      total_mismatches += oc.after.parity_mismatches;
+
+      char label[64];
+      std::snprintf(label, sizeof label, "%s cold", oc.router);
+      print_row(label, oc.before);
+      std::snprintf(label, sizeof label, "%s replay", oc.router);
+      print_row(label, oc.after);
+      std::printf("%-26s remapped %.0f%% of unique keys; replay re-simulated "
+                  "%llu circuits\n",
+                  "", 100.0 * oc.remap,
+                  static_cast<unsigned long long>(oc.after.circuits));
+      outcomes.push_back(oc);
+    }
   }
 
   if (total_mismatches > 0)
@@ -338,8 +408,11 @@ int main(int argc, char** argv) {
     std::printf("\nparity: every served prediction bitwise-matches the "
                 "sequential pipeline\n");
 
-  bench::write_artifact("serving_ranked.json", [&](JsonWriter& jw) {
+  bench::write_artifact(
+      socket_mode ? "serving_ranked_socket.json" : "serving_ranked.json",
+      [&](JsonWriter& jw) {
     jw.field("bench", "serving_ranked");
+    jw.field("transport", socket_mode ? "socket" : "inproc");
     jw.field("quick", quick);
     jw.field("requests", static_cast<long long>(n_requests));
     jw.field("unique_points", static_cast<long long>(n_unique));
@@ -382,5 +455,8 @@ int main(int argc, char** argv) {
     }
     jw.end_array();
   });
+  std::error_code ec;
+  std::filesystem::remove_all(bundle_dir, ec);
+  std::filesystem::remove_all(bundle_dir + ".tmp", ec);
   return total_mismatches == 0 ? 0 : 1;
 }

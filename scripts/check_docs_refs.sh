@@ -4,11 +4,12 @@
 # DESIGN.md section that was never written is how this script came to be).
 #
 # What counts as a reference: a backtick-quoted path rooted at one of the
-# source directories (src/ tests/ bench/ examples/ scripts/), or a
+# source directories (src/ tests/ bench/ examples/ scripts/ tools/), or a
 # backtick-quoted top-level *.md file. Runtime artifacts (build/ paths,
-# JSON outputs) and glob-ish names containing <>* are ignored. A bench or
-# example referenced by its executable name (e.g. `bench/serving_ranked`)
-# resolves if the matching .cpp exists.
+# JSON outputs) and glob-ish names containing <>* are ignored. A bench,
+# example, or tool referenced by its executable name (e.g.
+# `bench/serving_ranked`, `tools/serving_rankd`) resolves if the matching
+# .cpp exists.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -20,7 +21,7 @@ for doc in README.md DESIGN.md; do
     continue
   fi
   refs=$(grep -oE '`[A-Za-z0-9_./-]+`' "$doc" | tr -d '`' |
-         grep -E '^((src|tests|bench|examples|scripts)/[A-Za-z0-9_./-]+|[A-Za-z0-9_-]+\.md)$' |
+         grep -E '^((src|tests|bench|examples|scripts|tools)/[A-Za-z0-9_./-]+|[A-Za-z0-9_-]+\.md)$' |
          sort -u)
   for ref in $refs; do
     if [ -e "$ref" ] || [ -e "$ref.cpp" ] || [ -e "$ref.hpp" ]; then

@@ -45,6 +45,13 @@ std::optional<std::any> RankRuntime::try_pop(int src, int dst) {
 
 std::optional<std::any> RankRuntime::pop_for(
     int src, int dst, std::chrono::microseconds timeout) {
+  // Zero / negative timeouts degrade to try_pop semantics: an
+  // already-queued message is returned, an empty channel yields nullopt
+  // immediately. Routing this around wait_for avoids leaning on how a
+  // given libstdc++ treats non-positive waits (and a negative duration
+  // must never read as "wait forever"). The socket transport's router
+  // loop reuses this contract (parallel/socket_transport.cpp).
+  if (timeout <= std::chrono::microseconds::zero()) return try_pop(src, dst);
   Channel& ch = channel(src, dst);
   std::unique_lock<std::mutex> lock(ch.mu);
   if (!ch.cv.wait_for(lock, timeout, [&ch] { return !ch.queue.empty(); }))

@@ -54,6 +54,10 @@ class Comm {
   /// died or a shutdown that races the send leaves the caller with a
   /// nullopt after `timeout`, not a permanent hang (pinned by the
   /// shutdown-while-blocked coverage in tests/test_rank_runtime.cpp).
+  /// A zero or negative timeout degrades to try_recv semantics: pop an
+  /// already-queued message or return nullopt without waiting — never
+  /// wait forever, never throw (also pinned there; every Transport
+  /// implementation honours the same contract, see parallel/transport.hpp).
   template <typename T>
   std::optional<T> recv_for(int src, std::chrono::microseconds timeout);
 

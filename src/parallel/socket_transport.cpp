@@ -1,0 +1,445 @@
+#include "parallel/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "util/binary_io.hpp"
+#include "util/error.hpp"
+
+namespace qkmps::parallel {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  QKMPS_CHECK_MSG(flags >= 0, "fcntl(F_GETFL) failed");
+  QKMPS_CHECK_MSG(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                  "fcntl(F_SETFL, O_NONBLOCK) failed");
+}
+
+constexpr const char* kUnixPrefix = "unix:";
+constexpr const char* kTcpPrefix = "tcp:";
+
+bool has_prefix(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  QKMPS_CHECK_MSG(path.size() < sizeof(addr.sun_path),
+                  "unix socket path too long (" << path.size() << " bytes): "
+                                                << path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in make_tcp_addr(const std::string& spec) {
+  // spec is "<ip>:<port>".
+  const std::size_t colon = spec.rfind(':');
+  QKMPS_CHECK_MSG(colon != std::string::npos,
+                  "tcp address needs ip:port, got: " << spec);
+  const std::string ip = spec.substr(0, colon);
+  const std::string port_str = spec.substr(colon + 1);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  QKMPS_CHECK_MSG(::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) == 1,
+                  "bad IPv4 address: " << ip);
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  QKMPS_CHECK_MSG(end != nullptr && *end == '\0' && port >= 0 &&
+                      port <= 65535,
+                  "bad tcp port: " << port_str);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  return addr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Frame codec.
+
+std::uint32_t frame_checksum(const std::uint8_t* data, std::size_t n) {
+  // FNV-1a 64, folded to 32 by xoring the halves.
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+FrameHeader decode_frame_header(const std::uint8_t* bytes) {
+  FrameHeader h;
+  std::memcpy(&h.magic, bytes + 0, sizeof h.magic);
+  std::memcpy(&h.version, bytes + 4, sizeof h.version);
+  std::memcpy(&h.reserved, bytes + 6, sizeof h.reserved);
+  std::memcpy(&h.length, bytes + 8, sizeof h.length);
+  std::memcpy(&h.checksum, bytes + 16, sizeof h.checksum);
+  return h;
+}
+
+void encode_frame_header(const FrameHeader& header,
+                         std::uint8_t out[kFrameHeaderBytes]) {
+  std::memcpy(out + 0, &header.magic, sizeof header.magic);
+  std::memcpy(out + 4, &header.version, sizeof header.version);
+  std::memcpy(out + 6, &header.reserved, sizeof header.reserved);
+  std::memcpy(out + 8, &header.length, sizeof header.length);
+  std::memcpy(out + 16, &header.checksum, sizeof header.checksum);
+}
+
+void validate_frame_header(const FrameHeader& header,
+                           std::uint64_t max_payload) {
+  QKMPS_CHECK_MSG(header.magic == kFrameMagic,
+                  "bad frame magic 0x" << std::hex << header.magic
+                                       << " (not a QKFR frame)");
+  QKMPS_CHECK_MSG(header.version == kFrameVersion,
+                  "unsupported frame version " << header.version
+                                               << " (this build speaks "
+                                               << kFrameVersion << ")");
+  QKMPS_CHECK_MSG(header.reserved == 0,
+                  "nonzero reserved frame field " << header.reserved);
+  QKMPS_CHECK_MSG(header.length <= max_payload,
+                  "frame payload length " << header.length
+                                          << " exceeds the bound of "
+                                          << max_payload << " bytes");
+}
+
+void verify_frame_checksum(const FrameHeader& header,
+                           const std::uint8_t* payload) {
+  const std::uint32_t sum =
+      frame_checksum(payload, static_cast<std::size_t>(header.length));
+  QKMPS_CHECK_MSG(sum == header.checksum,
+                  "frame checksum mismatch (header 0x"
+                      << std::hex << header.checksum << ", payload 0x" << sum
+                      << ")");
+}
+
+void write_frame(std::ostream& os, const std::uint8_t* payload,
+                 std::size_t n) {
+  FrameHeader header;
+  header.length = n;
+  header.checksum = frame_checksum(payload, n);
+  std::uint8_t raw[kFrameHeaderBytes];
+  encode_frame_header(header, raw);
+  os.write(reinterpret_cast<const char*>(raw), kFrameHeaderBytes);
+  QKMPS_CHECK_MSG(os.good(), "short write (frame header)");
+  if (n > 0) {
+    os.write(reinterpret_cast<const char*>(payload),
+             static_cast<std::streamsize>(n));
+    QKMPS_CHECK_MSG(os.good(),
+                    "short write (frame payload of " << n << " bytes)");
+  }
+}
+
+void write_frame(std::ostream& os, const std::vector<std::uint8_t>& payload) {
+  write_frame(os, payload.data(), payload.size());
+}
+
+std::optional<std::vector<std::uint8_t>> read_frame(
+    std::istream& is, std::uint64_t max_payload) {
+  std::uint8_t raw[kFrameHeaderBytes];
+  is.read(reinterpret_cast<char*>(raw), kFrameHeaderBytes);
+  const std::streamsize got = is.gcount();
+  if (got == 0) return std::nullopt;  // clean end at a frame boundary
+  QKMPS_CHECK_MSG(got == static_cast<std::streamsize>(kFrameHeaderBytes),
+                  "truncated frame header (" << got << " of "
+                                             << kFrameHeaderBytes
+                                             << " bytes)");
+  const FrameHeader header = decode_frame_header(raw);
+  validate_frame_header(header, max_payload);
+
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(header.length));
+  if (header.length > 0) {
+    is.read(reinterpret_cast<char*>(payload.data()),
+            static_cast<std::streamsize>(header.length));
+    QKMPS_CHECK_MSG(
+        is.gcount() == static_cast<std::streamsize>(header.length),
+        "truncated frame payload (" << is.gcount() << " of "
+                                    << header.length << " bytes)");
+  }
+  verify_frame_checksum(header, payload.data());
+  return payload;
+}
+
+// ---------------------------------------------------------------------
+// SocketListener.
+
+SocketListener::SocketListener(int fd, std::string address,
+                               std::string unlink_path)
+    : fd_(fd),
+      address_(std::move(address)),
+      unlink_path_(std::move(unlink_path)) {}
+
+SocketListener::SocketListener(SocketListener&& other) noexcept
+    : fd_(other.fd_),
+      address_(std::move(other.address_)),
+      unlink_path_(std::move(other.unlink_path_)) {
+  other.fd_ = -1;
+  other.unlink_path_.clear();
+}
+
+SocketListener::~SocketListener() {
+  if (fd_ >= 0) ::close(fd_);
+  if (!unlink_path_.empty()) ::unlink(unlink_path_.c_str());
+}
+
+SocketListener SocketListener::listen(const std::string& address) {
+  if (has_prefix(address, kUnixPrefix)) {
+    const std::string path = address.substr(std::strlen(kUnixPrefix));
+    const sockaddr_un addr = make_unix_addr(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket(AF_UNIX)");
+    ::unlink(path.c_str());  // a stale socket file from a dead process
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      ::close(fd);
+      throw_errno("bind(" + address + ")");
+    }
+    if (::listen(fd, 16) != 0) {
+      ::close(fd);
+      throw_errno("listen(" + address + ")");
+    }
+    set_nonblocking(fd);
+    return SocketListener(fd, address, path);
+  }
+  QKMPS_CHECK_MSG(has_prefix(address, kTcpPrefix),
+                  "address must start with unix: or tcp:, got: " << address);
+  sockaddr_in addr = make_tcp_addr(address.substr(std::strlen(kTcpPrefix)));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    throw_errno("bind(" + address + ")");
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    throw_errno("listen(" + address + ")");
+  }
+  // Report the real port for ephemeral binds.
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    throw_errno("getsockname");
+  }
+  char ip[INET_ADDRSTRLEN] = {0};
+  ::inet_ntop(AF_INET, &bound.sin_addr, ip, sizeof ip);
+  const std::string resolved = std::string(kTcpPrefix) + ip + ":" +
+                               std::to_string(ntohs(bound.sin_port));
+  set_nonblocking(fd);
+  return SocketListener(fd, resolved, "");
+}
+
+std::unique_ptr<SocketTransport> SocketListener::accept_for(
+    std::chrono::milliseconds timeout) {
+  QKMPS_CHECK_MSG(fd_ >= 0, "accept on a closed listener");
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd >= 0) {
+      set_nonblocking(cfd);
+      return std::make_unique<SocketTransport>(cfd);
+    }
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+      throw_errno("accept(" + address_ + ")");
+    const auto remaining = deadline - std::chrono::steady_clock::now();
+    if (remaining <= std::chrono::steady_clock::duration::zero())
+      return nullptr;
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ms = static_cast<int>(std::min<long long>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+                .count() +
+            1,
+        1000));
+    ::poll(&pfd, 1, ms);
+  }
+}
+
+// ---------------------------------------------------------------------
+// SocketTransport.
+
+SocketTransport::SocketTransport(int fd, std::uint64_t max_payload)
+    : fd_(fd), max_payload_(max_payload) {
+  QKMPS_CHECK_MSG(fd_ >= 0, "SocketTransport needs a connected fd");
+}
+
+SocketTransport::~SocketTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<SocketTransport> SocketTransport::connect(
+    const std::string& address, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::string last_error;
+  do {
+    int fd = -1;
+    int rc = -1;
+    if (has_prefix(address, kUnixPrefix)) {
+      const sockaddr_un addr =
+          make_unix_addr(address.substr(std::strlen(kUnixPrefix)));
+      fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd < 0) throw_errno("socket(AF_UNIX)");
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof addr);
+    } else {
+      QKMPS_CHECK_MSG(has_prefix(address, kTcpPrefix),
+                      "address must start with unix: or tcp:, got: "
+                          << address);
+      const sockaddr_in addr =
+          make_tcp_addr(address.substr(std::strlen(kTcpPrefix)));
+      fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) throw_errno("socket(AF_INET)");
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof addr);
+    }
+    if (rc == 0) {
+      set_nonblocking(fd);
+      return std::make_unique<SocketTransport>(fd);
+    }
+    last_error = std::strerror(errno);
+    ::close(fd);
+    // The listener may still be booting (spawned-process race); retry.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  } while (std::chrono::steady_clock::now() < deadline);
+  throw Error("connect(" + address + ") timed out: " + last_error);
+}
+
+void SocketTransport::send_all(const std::uint8_t* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Kernel buffer full: wait for drain, bounded so a wedged peer
+      // surfaces as an error instead of a frozen router loop. An
+      // interrupted poll is retried — a stray signal must not demote a
+      // healthy peer to dead.
+      pollfd pfd{fd_, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, 30'000);
+      if (ready < 0 && errno == EINTR) continue;
+      QKMPS_CHECK_MSG(ready > 0, "send stalled: peer not draining");
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    throw_errno("send: peer gone");
+  }
+}
+
+void SocketTransport::send(const std::vector<std::uint8_t>& payload) {
+  QKMPS_CHECK_MSG(fd_ >= 0, "send on a closed transport");
+  // Header on the stack, payload straight from the caller's buffer — the
+  // per-message hot path makes no intermediate copies of either.
+  FrameHeader header;
+  header.length = payload.size();
+  header.checksum = frame_checksum(payload.data(), payload.size());
+  std::uint8_t raw[kFrameHeaderBytes];
+  encode_frame_header(header, raw);
+  send_all(raw, kFrameHeaderBytes);
+  if (!payload.empty()) send_all(payload.data(), payload.size());
+}
+
+void SocketTransport::fill_from_socket(bool wait,
+                                       std::chrono::microseconds timeout) {
+  // Compact the consumed prefix before appending: one amortized memmove
+  // per refill instead of one per popped frame, and the buffer cannot
+  // grow without bound across refills.
+  if (rx_offset_ > 0) {
+    rx_.erase(rx_.begin(), rx_.begin() + static_cast<long>(rx_offset_));
+    rx_offset_ = 0;
+  }
+  if (wait) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const auto ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(timeout)
+            .count();
+    ::poll(&pfd, 1, static_cast<int>(std::clamp<long long>(ms, 0, 60'000)));
+  }
+  std::uint8_t buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      rx_.insert(rx_.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) {
+      // Remember the close but let already-buffered complete frames be
+      // delivered first; the throw happens when the buffer runs dry.
+      peer_closed_ = true;
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    throw_errno("recv");
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> SocketTransport::pop_frame() {
+  const std::size_t available = rx_.size() - rx_offset_;
+  if (available < kFrameHeaderBytes) return std::nullopt;
+  const std::uint8_t* head = rx_.data() + rx_offset_;
+  const FrameHeader header = decode_frame_header(head);
+  validate_frame_header(header, max_payload_);  // throws on hostile bytes
+  const std::size_t total =
+      kFrameHeaderBytes + static_cast<std::size_t>(header.length);
+  if (available < total) return std::nullopt;
+  std::vector<std::uint8_t> payload(head + kFrameHeaderBytes, head + total);
+  verify_frame_checksum(header, payload.data());
+  rx_offset_ += total;
+  if (rx_offset_ == rx_.size()) {
+    rx_.clear();
+    rx_offset_ = 0;
+  }
+  return payload;
+}
+
+std::optional<std::vector<std::uint8_t>> SocketTransport::try_recv() {
+  QKMPS_CHECK_MSG(fd_ >= 0, "recv on a closed transport");
+  if (auto frame = pop_frame()) return frame;
+  if (!peer_closed_) fill_from_socket(/*wait=*/false, std::chrono::microseconds(0));
+  if (auto frame = pop_frame()) return frame;
+  if (peer_closed_)
+    throw Error(rx_.size() == rx_offset_ ? "peer closed the connection"
+                                         : "peer closed mid-frame");
+  return std::nullopt;
+}
+
+std::optional<std::vector<std::uint8_t>> SocketTransport::recv_for(
+    std::chrono::microseconds timeout) {
+  // Zero/negative degrade to try_recv semantics — the Comm::recv_for
+  // contract pinned in tests/test_rank_runtime.cpp.
+  if (timeout <= std::chrono::microseconds::zero()) return try_recv();
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    if (auto frame = try_recv()) return frame;
+    const auto remaining = std::chrono::duration_cast<std::chrono::microseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining <= std::chrono::microseconds::zero()) return std::nullopt;
+    fill_from_socket(/*wait=*/true, remaining);
+  }
+}
+
+}  // namespace qkmps::parallel

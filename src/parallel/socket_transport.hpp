@@ -1,0 +1,176 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "parallel/transport.hpp"
+
+namespace qkmps::parallel {
+
+/// Socket transport: the Transport interface over a connected stream
+/// socket (TCP loopback or Unix-domain), with each message carried as one
+/// length-prefixed, version-tagged, checksummed frame. This is the layer
+/// that turns serve::RankShardedEngine's shard ranks into shard processes
+/// (DESIGN.md §1, "From ranks to processes"); correctness of the framing
+/// is load-bearing, so every malformed input — truncated header,
+/// truncated payload, wrong magic, future version, oversized or hostile
+/// length, corrupted bytes — must surface as qkmps::Error, never as a
+/// crash, a hang, or a silently wrong message
+/// (tests/test_socket_transport.cpp tortures exactly that).
+///
+/// Frame layout (20-byte header, fields written with io::write_pod — so
+/// native little-endian, inheriting binary_io.hpp's endianness caveat):
+///
+///   offset  size  field
+///        0     4  magic     0x52464B51 ("QKFR" as LE bytes)
+///        4     2  version   kFrameVersion; a reader rejects newer
+///        6     2  reserved  must be 0 in v1; readers reject nonzero, so
+///                           assigning these bits requires a version bump
+///        8     8  length    payload bytes that follow the header
+///       16     4  checksum  FNV-1a-32 of the payload bytes
+///
+/// The length field is validated against a hard payload bound *before*
+/// any allocation, so a hostile prefix cannot over-allocate; the
+/// checksum turns corrupted-in-flight payloads into loud errors instead
+/// of plausible-but-wrong ShardReply bits.
+
+inline constexpr std::uint32_t kFrameMagic = 0x52464B51u;  // "QKFR"
+inline constexpr std::uint16_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 20;
+/// Default hard bound on one frame's payload. Generous against real
+/// envelopes (a request is ~tens of doubles) while keeping the worst
+/// hostile allocation far below memory-exhaustion territory.
+inline constexpr std::uint64_t kMaxFramePayload = 1ull << 26;  // 64 MiB
+
+/// FNV-1a over `n` bytes, folded to 32 bits — cheap, dependency-free,
+/// and plenty to catch truncation/corruption (this is an integrity
+/// check, not an authenticity one).
+std::uint32_t frame_checksum(const std::uint8_t* data, std::size_t n);
+
+struct FrameHeader {
+  std::uint32_t magic = kFrameMagic;
+  std::uint16_t version = kFrameVersion;
+  std::uint16_t reserved = 0;
+  std::uint64_t length = 0;
+  std::uint32_t checksum = 0;
+};
+
+/// Decodes 20 header bytes (no validation — see validate_frame_header).
+FrameHeader decode_frame_header(const std::uint8_t* bytes);
+
+/// Encodes a header into its 20 wire bytes (exact inverse of
+/// decode_frame_header — the one definition of the layout both the
+/// stream codec and the socket send path share).
+void encode_frame_header(const FrameHeader& header,
+                         std::uint8_t out[kFrameHeaderBytes]);
+
+/// Throws qkmps::Error on wrong magic, a version newer than this build
+/// speaks, a nonzero reserved field, or a length over `max_payload`.
+void validate_frame_header(const FrameHeader& header,
+                           std::uint64_t max_payload);
+
+/// Throws qkmps::Error when the payload's checksum disagrees with the
+/// header's — shared by the stream reader and the socket receive path so
+/// the torture suite's guarantees hold for both.
+void verify_frame_checksum(const FrameHeader& header,
+                           const std::uint8_t* payload);
+
+/// Writes one frame (header + payload) to `os`; a short write throws at
+/// the write site via the hardened io::write_pod path.
+void write_frame(std::ostream& os, const std::uint8_t* payload,
+                 std::size_t n);
+void write_frame(std::ostream& os, const std::vector<std::uint8_t>& payload);
+
+/// Reads one frame from `os`'s counterpart stream. Returns the payload,
+/// or nullopt on a clean end-of-stream at a frame boundary (zero bytes
+/// available). Anything else malformed — a partial header, a bad header,
+/// a payload cut short, a checksum mismatch — throws qkmps::Error.
+std::optional<std::vector<std::uint8_t>> read_frame(
+    std::istream& is, std::uint64_t max_payload = kMaxFramePayload);
+
+/// A bound-and-listening server socket. Addresses:
+///   "unix:<path>"       Unix-domain socket at <path> (unlinked on close)
+///   "tcp:<ip>:<port>"   TCP on a loopback/interface ip; port 0 binds an
+///                       ephemeral port (address() reports the real one)
+class SocketListener {
+ public:
+  static SocketListener listen(const std::string& address);
+  ~SocketListener();
+  SocketListener(SocketListener&& other) noexcept;
+  SocketListener& operator=(SocketListener&&) = delete;
+  SocketListener(const SocketListener&) = delete;
+  SocketListener& operator=(const SocketListener&) = delete;
+
+  /// The resolved address peers should connect() to (ephemeral TCP ports
+  /// substituted in) — hand this to spawned worker processes.
+  const std::string& address() const { return address_; }
+
+  /// Accepts one connection, waiting at most `timeout`; nullptr on
+  /// timeout, qkmps::Error on listener failure.
+  std::unique_ptr<class SocketTransport> accept_for(
+      std::chrono::milliseconds timeout);
+
+ private:
+  SocketListener(int fd, std::string address, std::string unlink_path);
+  int fd_ = -1;
+  std::string address_;
+  std::string unlink_path_;  ///< unix socket file to remove on close
+};
+
+/// Transport over one connected stream socket. Thread safety: none —
+/// one side of a link belongs to one loop (the router thread or the
+/// worker main), matching how Comm channels are used.
+class SocketTransport final : public Transport {
+ public:
+  /// Connects to a SocketListener address, retrying until `timeout`
+  /// (covers the race of connecting before the listener's backlog is
+  /// ready, and of a spawned router/worker that is still booting).
+  static std::unique_ptr<SocketTransport> connect(
+      const std::string& address, std::chrono::milliseconds timeout);
+
+  /// Adopts an already-connected fd (accept side).
+  explicit SocketTransport(int fd,
+                           std::uint64_t max_payload = kMaxFramePayload);
+  ~SocketTransport() override;
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  /// Frames and writes the whole message; throws qkmps::Error if the
+  /// peer is gone (EPIPE/reset) or the fd dies mid-write.
+  void send(const std::vector<std::uint8_t>& payload) override;
+
+  /// Non-blocking: drains whatever bytes the kernel has, returns one
+  /// complete decoded frame payload if available. Throws qkmps::Error on
+  /// a malformed frame or a peer that closed (cleanly or mid-frame) —
+  /// on this duplex link an EOF is always a dead peer, and the caller
+  /// (router loop / worker loop) owns the failure semantics.
+  std::optional<std::vector<std::uint8_t>> try_recv() override;
+
+  /// Timed receive; zero/negative timeout degrades to try_recv (the
+  /// Comm::recv_for contract).
+  std::optional<std::vector<std::uint8_t>> recv_for(
+      std::chrono::microseconds timeout) override;
+
+ private:
+  void send_all(const std::uint8_t* data, std::size_t n);
+  void fill_from_socket(bool wait, std::chrono::microseconds timeout);
+  std::optional<std::vector<std::uint8_t>> pop_frame();
+
+  int fd_ = -1;
+  std::uint64_t max_payload_;
+  /// Receive buffer; bytes before rx_offset_ are already-consumed frames
+  /// (compacted once the buffer drains, so popping N buffered frames is
+  /// linear instead of a front-erase memmove per frame).
+  std::vector<std::uint8_t> rx_;
+  std::size_t rx_offset_ = 0;
+  /// Peer sent EOF. Complete frames still in rx_ are delivered first;
+  /// once the buffer runs dry, recv calls throw qkmps::Error.
+  bool peer_closed_ = false;
+};
+
+}  // namespace qkmps::parallel

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "parallel/rank_runtime.hpp"
+
+namespace qkmps::parallel {
+
+/// One end of a duplex, message-oriented link to a single peer — the
+/// transport boundary the rank-sharded serving frontend is written
+/// against (see DESIGN.md, "From ranks to processes"). The router holds
+/// one Transport per shard; a shard worker holds one Transport back to
+/// the router. Payloads are opaque byte messages with boundaries
+/// preserved: one send() arrives as exactly one recv, in FIFO order —
+/// the property the serving drain barrier relies on.
+///
+/// Two implementations: CommTransport (below) carries messages over a
+/// parallel::Comm channel pair, keeping everything in-process — the test
+/// double that makes the wire protocol exercisable without sockets; and
+/// SocketTransport (socket_transport.hpp) frames the same bytes over a
+/// TCP or Unix-domain stream socket, turning shard ranks into shard
+/// processes.
+///
+/// Contracts shared by every implementation:
+///  - send() never blocks indefinitely on a slow peer reading; it throws
+///    qkmps::Error if the link is broken (closed pipe, reset).
+///  - try_recv() pops a complete queued message or returns nullopt
+///    without waiting.
+///  - recv_for(timeout) blocks until a message or the timeout; a zero or
+///    negative timeout degrades to try_recv semantics (never "wait
+///    forever", never a throw) — the same contract Comm::recv_for pins
+///    in tests/test_rank_runtime.cpp.
+///  - A dead peer surfaces as qkmps::Error from the next call that needs
+///    it, never as a hang or silently dropped bytes.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual void send(const std::vector<std::uint8_t>& payload) = 0;
+  virtual std::optional<std::vector<std::uint8_t>> try_recv() = 0;
+  virtual std::optional<std::vector<std::uint8_t>> recv_for(
+      std::chrono::microseconds timeout) = 0;
+};
+
+/// parallel::Comm as a Transport: byte messages travel the typed channel
+/// pair between this rank and `peer`. This is the in-process transport of
+/// serve::RankShardedEngine — bit-for-bit the same payloads the socket
+/// framing carries, minus the frame header, so the serialization layer is
+/// exercised even when no process boundary exists.
+class CommTransport final : public Transport {
+ public:
+  CommTransport(Comm& comm, int peer) : comm_(comm), peer_(peer) {}
+
+  void send(const std::vector<std::uint8_t>& payload) override {
+    comm_.send(peer_, payload);
+  }
+
+  std::optional<std::vector<std::uint8_t>> try_recv() override {
+    return comm_.try_recv<std::vector<std::uint8_t>>(peer_);
+  }
+
+  std::optional<std::vector<std::uint8_t>> recv_for(
+      std::chrono::microseconds timeout) override {
+    return comm_.recv_for<std::vector<std::uint8_t>>(peer_, timeout);
+  }
+
+ private:
+  Comm& comm_;
+  int peer_;
+};
+
+}  // namespace qkmps::parallel

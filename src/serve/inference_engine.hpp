@@ -15,6 +15,10 @@
 #include "serve/prediction_memo.hpp"
 #include "serve/state_cache.hpp"
 
+namespace qkmps::parallel {
+class Transport;  // the shard-worker loop's link (parallel/transport.hpp)
+}
+
 namespace qkmps::serve {
 
 /// Knobs of the micro-batching engine. The defaults target the latency /
@@ -116,11 +120,17 @@ class InferenceEngine {
 
  private:
   /// The sharded frontends validate each request once at admission; their
-  /// drainers (ShardedEngine) and shard ranks (RankShardedEngine) then
-  /// score through predict_batch_trusted and skip the re-validation scan
-  /// on the latency-critical drain path.
+  /// drainers (ShardedEngine) and shard workers (the shared
+  /// serve::run_shard_worker loop behind RankShardedEngine and
+  /// serving_rankd) then score through predict_batch_trusted and skip the
+  /// re-validation scan on the latency-critical drain path. Socket-mode
+  /// requests were validated by the router's submit() before they ever
+  /// crossed the wire.
   friend class ShardedEngine;
   friend class RankShardedEngine;
+  friend bool run_shard_worker(parallel::Transport& link,
+                               InferenceEngine& engine,
+                               const struct ShardWorkerOptions& options);
   std::vector<Prediction> predict_batch_trusted(
       std::vector<std::vector<double>> features);
 

@@ -1,14 +1,79 @@
 #include "serve/rank_sharded_engine.hpp"
 
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstring>
 #include <optional>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "serve/feature_key.hpp"
+#include "serve/shard_worker.hpp"
 #include "util/error.hpp"
 
+extern char** environ;
+
 namespace qkmps::serve {
+
+namespace {
+
+/// Fresh Unix-domain address per engine incarnation: pid + a process-wide
+/// counter keeps concurrently constructed engines (and engine-heavy test
+/// suites) from colliding on the filesystem.
+std::string default_socket_address() {
+  static std::atomic<unsigned> seq{0};
+  return "unix:/tmp/qkmps_rankd_" + std::to_string(::getpid()) + "_" +
+         std::to_string(seq.fetch_add(1)) + ".sock";
+}
+
+long spawn_worker_process(const std::string& exe,
+                          const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 2);
+  argv.push_back(const_cast<char*>(exe.c_str()));
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  pid_t pid = 0;
+  const int rc =
+      ::posix_spawn(&pid, exe.c_str(), nullptr, nullptr, argv.data(), environ);
+  QKMPS_CHECK_MSG(rc == 0, "posix_spawn(" << exe
+                                          << ") failed: " << std::strerror(rc));
+  return static_cast<long>(pid);
+}
+
+/// Waits `grace` for the worker to exit on its own (it just saw its link
+/// close or a kShutdown), then escalates to SIGKILL — the destructor must
+/// never hang on a wedged child.
+void reap_worker(long pid, std::chrono::milliseconds grace) {
+  const auto deadline = std::chrono::steady_clock::now() + grace;
+  for (;;) {
+    int status = 0;
+    const pid_t r = ::waitpid(static_cast<pid_t>(pid), &status, WNOHANG);
+    if (r != 0) return;  // reaped (or already gone / not ours)
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ::kill(static_cast<pid_t>(pid), SIGKILL);
+  int status = 0;
+  ::waitpid(static_cast<pid_t>(pid), &status, 0);
+}
+
+}  // namespace
+
+const char* to_string(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kInProcess:
+      return "inproc";
+    case TransportKind::kSocket:
+      return "socket";
+  }
+  return "unknown";
+}
 
 RankShardedEngine::RankShardedEngine(ModelBundle bundle,
                                      RankShardedEngineConfig config)
@@ -17,20 +82,24 @@ RankShardedEngine::RankShardedEngine(ModelBundle bundle,
 
 RankShardedEngine::RankShardedEngine(std::shared_ptr<const ModelBundle> bundle,
                                      RankShardedEngineConfig config)
-    : bundle_(std::move(bundle)), config_(config) {
+    : bundle_(std::move(bundle)), config_(std::move(config)) {
   QKMPS_CHECK(bundle_ != nullptr);
-  QKMPS_CHECK_MSG(config_.num_shards >= 1, "need at least one shard rank");
+  QKMPS_CHECK_MSG(config_.num_shards >= 1, "need at least one shard");
   QKMPS_CHECK_MSG(config_.ingress_capacity >= 1,
                   "ingress queue needs capacity >= 1");
   router_ = make_router(config_.router, config_.num_shards);
-  const std::vector<std::size_t> lanes =
-      shard_thread_lanes(config_.engine.num_threads, config_.num_shards);
-  engines_.reserve(config_.num_shards);
-  for (std::size_t i = 0; i < config_.num_shards; ++i) {
-    EngineConfig engine_cfg = config_.engine;
-    engine_cfg.num_threads = lanes[i];
-    engines_.push_back(std::make_unique<InferenceEngine>(bundle_, engine_cfg));
+  for (std::size_t i = 0; i < config_.num_shards; ++i)
     shard_state_.push_back(std::make_unique<ShardState>());
+  if (config_.transport == TransportKind::kInProcess) {
+    const std::vector<std::size_t> lanes =
+        shard_thread_lanes(config_.engine.num_threads, config_.num_shards);
+    engines_.reserve(config_.num_shards);
+    for (std::size_t i = 0; i < config_.num_shards; ++i) {
+      EngineConfig engine_cfg = config_.engine;
+      engine_cfg.num_threads = lanes[i];
+      engines_.push_back(
+          std::make_unique<InferenceEngine>(bundle_, engine_cfg));
+    }
   }
   start_runtime();
 }
@@ -42,7 +111,7 @@ RankShardedEngine::~RankShardedEngine() {
 
 std::size_t RankShardedEngine::num_shards() const {
   std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
-  return engines_.size();
+  return shard_state_.size();
 }
 
 int RankShardedEngine::shard_for(const std::vector<double>& features) const {
@@ -78,7 +147,7 @@ std::future<RoutedPrediction> RankShardedEngine::submit(
   }
   if (rejected) {
     // The request never reached the router, so no shard is charged for
-    // it: shard stays -1 (routing happens rank-side, after admission).
+    // it: shard stays -1 (routing happens router-side, after admission).
     rejected_.fetch_add(1, std::memory_order_relaxed);
     RoutedPrediction out;
     out.status = ServeStatus::kRejected;
@@ -93,36 +162,142 @@ std::future<RoutedPrediction> RankShardedEngine::submit(
 }
 
 void RankShardedEngine::start_runtime() {
+  if (config_.transport == TransportKind::kSocket) {
+    start_socket_runtime();
+    return;
+  }
   runtime_ = std::make_unique<parallel::RankRuntime>(
       static_cast<int>(engines_.size()) + 1);
   runtime_thread_ = std::thread([this] {
     try {
       runtime_->run([this](parallel::Comm& comm) {
         if (comm.rank() == 0) {
+          std::vector<std::unique_ptr<parallel::CommTransport>> links;
+          std::vector<parallel::Transport*> ptrs;
+          for (int s = 1; s < comm.size(); ++s) {
+            links.push_back(std::make_unique<parallel::CommTransport>(comm, s));
+            ptrs.push_back(links.back().get());
+          }
           try {
-            router_body(comm);
+            router_loop(ptrs);
           } catch (...) {
-            // A dying router must not strand shards in their blocking
-            // recv — run() joins every rank before rethrowing, so an
-            // unreleased shard would deadlock the destructor. send()
+            // A dying router must not strand shards in their recv loop —
+            // run() joins every rank before rethrowing, so an unreleased
+            // shard would deadlock the destructor. CommTransport::send
             // never blocks; a shard that already exited just leaves the
             // extra envelope unconsumed.
-            for (int s = 1; s < comm.size(); ++s)
-              comm.send(s,
-                        ShardEnvelope{ShardEnvelope::Kind::kShutdown, 0, {}});
+            for (parallel::Transport* link : ptrs)
+              link->send(encode_envelope(
+                  ShardEnvelope{ShardEnvelope::Kind::kShutdown, 0, {}}));
             throw;
           }
         } else {
-          shard_body(comm, static_cast<std::size_t>(comm.rank() - 1));
+          parallel::CommTransport link(comm, 0);
+          ShardWorkerOptions options;
+          options.batch_limit = std::max<std::size_t>(1, drain_batch_limit());
+          run_shard_worker(
+              link, *engines_[static_cast<std::size_t>(comm.rank() - 1)],
+              options);
         }
       });
     } catch (...) {
       // A rank body escaped its own handling (internal invariant failure,
-      // e.g. a wire-type mismatch). Remember it so the next API call
+      // e.g. a wire-codec mismatch). Remember it so the next API call
       // fails loudly instead of hanging on a dead router.
       std::lock_guard<std::mutex> lock(mu_);
       runtime_error_ = std::current_exception();
     }
+  });
+}
+
+void RankShardedEngine::start_socket_runtime() {
+  const SocketTransportConfig& sc = config_.socket;
+  QKMPS_CHECK_MSG(!sc.worker_path.empty(),
+                  "socket transport needs socket.worker_path (the "
+                  "serving_rankd binary)");
+  QKMPS_CHECK_MSG(!sc.bundle_dir.empty(),
+                  "socket transport needs socket.bundle_dir (the bundle "
+                  "handoff directory)");
+  // Hand the model to the workers through the bundle format — the same
+  // artifact a real deployment ships. save_bundle is atomic, so workers
+  // can never observe a half-written manifest.
+  save_bundle(*bundle_, sc.bundle_dir);
+
+  const std::string address =
+      sc.listen_address.empty() ? default_socket_address() : sc.listen_address;
+  listener_ = std::make_unique<parallel::SocketListener>(
+      parallel::SocketListener::listen(address));
+
+  const std::size_t n = shard_state_.size();
+  // Same lane budgeting as the in-process constructor: num_threads == 0
+  // divides the hardware threads across the shards. The workers share
+  // this host, so handing each a full-width pool would oversubscribe it
+  // N-fold — and would make the bench's inproc-vs-socket comparison
+  // measure thread counts instead of transport cost.
+  const std::vector<std::size_t> lanes =
+      shard_thread_lanes(config_.engine.num_threads, n);
+  try {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<std::string> args = {
+          "--connect=" + listener_->address(),
+          "--shard=" + std::to_string(i),
+          "--bundle=" + sc.bundle_dir,
+          "--max-batch=" + std::to_string(config_.engine.max_batch),
+          "--gather=" + std::to_string(drain_batch_limit()),
+          "--batch-deadline-us=" +
+              std::to_string(config_.engine.batch_deadline.count()),
+          "--threads=" + std::to_string(lanes[i]),
+          "--cache=" + std::to_string(config_.engine.cache_capacity),
+          "--memo=" + std::to_string(config_.engine.memo_capacity)};
+      args.insert(args.end(), sc.worker_extra_args.begin(),
+                  sc.worker_extra_args.end());
+      worker_pids_.push_back(spawn_worker_process(sc.worker_path, args));
+    }
+    links_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::unique_ptr<parallel::SocketTransport> conn =
+          listener_->accept_for(sc.connect_timeout);
+      QKMPS_CHECK_MSG(conn != nullptr,
+                      "timed out waiting for shard workers to connect ("
+                          << i << " of " << n << " arrived)");
+      const ShardHello hello = shard_handshake_server(
+          *conn, n, bundle_->num_features(),
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              sc.connect_timeout));
+      QKMPS_CHECK_MSG(links_[hello.shard_index] == nullptr,
+                      "two workers claimed shard " << hello.shard_index);
+      links_[hello.shard_index] = std::move(conn);
+    }
+  } catch (...) {
+    // Fail construction loudly but cleanly: no orphan processes, no
+    // stale socket files.
+    links_.clear();
+    listener_.reset();
+    for (long pid : worker_pids_)
+      reap_worker(pid, std::chrono::milliseconds(500));
+    worker_pids_.clear();
+    throw;
+  }
+
+  runtime_thread_ = std::thread([this] {
+    std::vector<parallel::Transport*> ptrs;
+    ptrs.reserve(links_.size());
+    for (const auto& link : links_) ptrs.push_back(link.get());
+    try {
+      router_loop(ptrs);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      runtime_error_ = std::current_exception();
+    }
+    // Fulfil any stats request that raced the shutdown so no caller is
+    // left waiting on a promise nobody owns.
+    std::deque<std::promise<std::vector<EngineStats>>> leftovers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      leftovers.swap(stats_requests_);
+    }
+    for (auto& p : leftovers)
+      p.set_value(std::vector<EngineStats>(links_.size()));
   });
 }
 
@@ -135,6 +310,14 @@ void RankShardedEngine::stop_runtime(bool final_stop) {
   cv_ingress_.notify_all();
   if (runtime_thread_.joinable()) runtime_thread_.join();
   runtime_.reset();
+  // Socket teardown: closing the links EOFs any worker the shutdown
+  // handshake missed (it exits on the transport error), then the reaper
+  // waits it out — escalating to SIGKILL so a wedged child cannot hang
+  // the destructor.
+  links_.clear();
+  listener_.reset();
+  for (long pid : worker_pids_) reap_worker(pid, std::chrono::milliseconds(5000));
+  worker_pids_.clear();
   {
     std::lock_guard<std::mutex> lock(mu_);
     draining_ = false;
@@ -142,6 +325,10 @@ void RankShardedEngine::stop_runtime(bool final_stop) {
 }
 
 void RankShardedEngine::add_shard() {
+  QKMPS_CHECK_MSG(
+      config_.transport == TransportKind::kInProcess,
+      "add_shard over the socket transport is not implemented yet — elastic "
+      "worker sets are the ROADMAP's next serving step");
   std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -165,7 +352,8 @@ void RankShardedEngine::add_shard() {
   start_runtime();
 }
 
-void RankShardedEngine::router_body(parallel::Comm& comm) {
+void RankShardedEngine::router_loop(
+    const std::vector<parallel::Transport*>& links) {
   struct InFlight {
     std::promise<RoutedPrediction> promise;
     std::chrono::steady_clock::time_point submitted;
@@ -173,26 +361,138 @@ void RankShardedEngine::router_body(parallel::Comm& comm) {
     int shard = -1;
   };
   std::unordered_map<std::uint64_t, InFlight> inflight;
-  const int n = static_cast<int>(engines_.size());
+  const int n = static_cast<int>(links.size());
+  const bool socket = config_.transport == TransportKind::kSocket;
   bool drain_marker_sent = false;
-  int drained_acks = 0;
+  std::vector<char> drain_acked(static_cast<std::size_t>(n), 0);
+  // Socket mode: a connected-but-unresponsive worker (deadlocked,
+  // SIGSTOP'd) owing replies or a drain ack would otherwise stall the
+  // drain loop — and with it the destructor — forever. Any progress
+  // pushes the deadline out; total silence past it demotes the
+  // offenders, matching the shutdown handshake's escalation.
+  constexpr std::chrono::seconds kDrainStall{30};
+  std::chrono::steady_clock::time_point drain_stall_deadline{};
+
+  const auto alive = [this](int s) {
+    return shard_state_[static_cast<std::size_t>(s)]->alive.load(
+        std::memory_order_relaxed);
+  };
+
+  // Shed with status: the worker is gone, so the honest outcome is a
+  // resolved future that says so — never a hang, never a dropped
+  // promise, never a re-route (assignments stay a pure function of the
+  // topology so client-side routing keeps working).
+  const auto shed = [this](InFlight fl, const std::string& why) {
+    RoutedPrediction out;
+    out.status = ServeStatus::kShed;
+    out.shard = fl.shard;
+    out.error = why;
+    out.queue_seconds = seconds_between(fl.submitted, fl.forwarded);
+    out.total_seconds =
+        seconds_between(fl.submitted, std::chrono::steady_clock::now());
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    fl.promise.set_value(out);
+  };
+
+  const auto mark_dead = [&](int s, const std::string& why) {
+    ShardState& state = *shard_state_[static_cast<std::size_t>(s)];
+    if (!state.alive.exchange(false, std::memory_order_relaxed)) return;
+    for (auto it = inflight.begin(); it != inflight.end();) {
+      if (it->second.shard == s) {
+        shed(std::move(it->second), "shard worker died: " + why);
+        it = inflight.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  // In-process transport failures are protocol bugs and escape (the
+  // rank-0 catch turns them into a loud runtime_error_); a socket link
+  // failure is an expected distributed-systems outcome and demotes the
+  // shard to dead.
+  const auto shard_send = [&](int s, const ShardEnvelope& envelope) -> bool {
+    try {
+      links[static_cast<std::size_t>(s)]->send(encode_envelope(envelope));
+      return true;
+    } catch (const Error& e) {
+      if (!socket) throw;
+      mark_dead(s, e.what());
+      return false;
+    }
+  };
+
+  const auto handle_reply = [&](int s, ShardReply reply) {
+    if (reply.kind == ShardReply::Kind::kDrained) {
+      drain_acked[static_cast<std::size_t>(s)] = 1;
+      return;
+    }
+    if (reply.kind == ShardReply::Kind::kStats) {
+      // A stats sweep that timed out and was abandoned; stale, drop it.
+      return;
+    }
+    QKMPS_CHECK_MSG(reply.kind == ShardReply::Kind::kPrediction ||
+                        reply.kind == ShardReply::Kind::kFailed,
+                    "unexpected reply kind in router loop");
+    const auto it = inflight.find(reply.id);
+    QKMPS_CHECK_MSG(it != inflight.end(),
+                    "shard replied to an unknown request id");
+    InFlight fl = std::move(it->second);
+    inflight.erase(it);
+    const auto now = std::chrono::steady_clock::now();
+    if (reply.kind == ShardReply::Kind::kPrediction) {
+      shard_state_[static_cast<std::size_t>(s)]->served.fetch_add(
+          1, std::memory_order_relaxed);
+      RoutedPrediction out;
+      out.status = ServeStatus::kServed;
+      out.shard = fl.shard;
+      out.prediction = reply.prediction;
+      out.queue_seconds = seconds_between(fl.submitted, fl.forwarded);
+      out.total_seconds = seconds_between(fl.submitted, now);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      fl.promise.set_value(out);
+    } else {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      fl.promise.set_exception(std::make_exception_ptr(
+          Error("shard batch failed: " + reply.error)));
+    }
+  };
+
+  const auto shard_try_recv = [&](int s) -> std::optional<ShardReply> {
+    try {
+      std::optional<std::vector<std::uint8_t>> bytes =
+          links[static_cast<std::size_t>(s)]->try_recv();
+      if (!bytes) return std::nullopt;
+      return decode_reply(*bytes);
+    } catch (const Error& e) {
+      if (!socket) throw;
+      mark_dead(s, e.what());
+      return std::nullopt;
+    }
+  };
 
   for (;;) {
     bool progress = false;
     bool drain = false;
     std::deque<Ingress> pulled;
+    std::optional<std::promise<std::vector<EngineStats>>> stats_request;
     {
       std::unique_lock<std::mutex> lock(mu_);
       // Idle with nothing in flight: sleep on the ingress cv (bounded by
       // router_poll so a drain request can't be missed). With work in
-      // flight, fall through and poll the reply channels instead.
-      if (ingress_.empty() && inflight.empty() && !draining_) {
+      // flight, fall through and poll the reply links instead.
+      if (ingress_.empty() && inflight.empty() && !draining_ &&
+          stats_requests_.empty()) {
         cv_ingress_.wait_for(lock, config_.router_poll, [this] {
-          return draining_ || !ingress_.empty();
+          return draining_ || !ingress_.empty() || !stats_requests_.empty();
         });
       }
       pulled.swap(ingress_);
       drain = draining_;
+      if (!stats_requests_.empty()) {
+        stats_request = std::move(stats_requests_.front());
+        stats_requests_.pop_front();
+      }
     }
 
     for (Ingress& request : pulled) {
@@ -204,144 +504,163 @@ void RankShardedEngine::router_body(parallel::Comm& comm) {
       fl.submitted = request.submitted;
       fl.forwarded = std::chrono::steady_clock::now();
       fl.shard = shard;
+      if (!alive(shard)) {
+        shed(std::move(fl), "shard worker died before the request");
+        continue;
+      }
       shard_state_[static_cast<std::size_t>(shard)]->routed.fetch_add(
           1, std::memory_order_relaxed);
-      comm.send(shard + 1, ShardEnvelope{ShardEnvelope::Kind::kRequest, id,
-                                         std::move(request.features)});
       inflight.emplace(id, std::move(fl));
+      shard_send(shard, ShardEnvelope{ShardEnvelope::Kind::kRequest, id,
+                                      std::move(request.features)});
+      // On failure mark_dead already shed this request out of inflight.
     }
 
     for (int s = 0; s < n; ++s) {
-      while (std::optional<ShardReply> reply =
-                 comm.try_recv<ShardReply>(s + 1)) {
+      if (!alive(s)) continue;
+      while (std::optional<ShardReply> reply = shard_try_recv(s)) {
         progress = true;
-        if (reply->kind == ShardReply::Kind::kDrained) {
-          ++drained_acks;
-          continue;
-        }
-        const auto it = inflight.find(reply->id);
-        QKMPS_CHECK_MSG(it != inflight.end(),
-                        "shard replied to an unknown request id");
-        InFlight fl = std::move(it->second);
-        inflight.erase(it);
-        const auto now = std::chrono::steady_clock::now();
-        if (reply->kind == ShardReply::Kind::kPrediction) {
-          RoutedPrediction out;
-          out.status = ServeStatus::kServed;
-          out.shard = fl.shard;
-          out.prediction = reply->prediction;
-          out.queue_seconds = seconds_between(fl.submitted, fl.forwarded);
-          out.total_seconds = seconds_between(fl.submitted, now);
-          completed_.fetch_add(1, std::memory_order_relaxed);
-          fl.promise.set_value(out);
-        } else {
-          QKMPS_CHECK_MSG(reply->kind == ShardReply::Kind::kFailed,
-                          "unexpected reply kind in router loop");
-          completed_.fetch_add(1, std::memory_order_relaxed);
-          fl.promise.set_exception(std::make_exception_ptr(
-              Error("shard batch failed: " + reply->error)));
+        // A well-framed but protocol-violating reply (duplicate/unknown
+        // id, spurious kind) gets the same demotion a dead link gets:
+        // one misbehaving worker must not take the router — and every
+        // other shard's futures — down with it.
+        try {
+          handle_reply(s, std::move(*reply));
+        } catch (const Error& e) {
+          if (!socket) throw;
+          mark_dead(s, e.what());
+          break;
         }
       }
+    }
+
+    if (stats_request) {
+      progress = true;
+      // Synchronous sweep: briefly prioritises the snapshot over routing
+      // (a stats() call is an operator action, not a data-path one).
+      // Non-kStats replies arriving meanwhile are processed normally.
+      std::vector<EngineStats> snapshot(static_cast<std::size_t>(n));
+      for (int s = 0; s < n; ++s) {
+        if (!alive(s)) continue;
+        if (!shard_send(s, ShardEnvelope{ShardEnvelope::Kind::kStats, 0, {}}))
+          continue;
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(5);
+        while (alive(s) && std::chrono::steady_clock::now() < deadline) {
+          try {
+            std::optional<std::vector<std::uint8_t>> bytes =
+                links[static_cast<std::size_t>(s)]->recv_for(
+                    std::chrono::microseconds(10'000));
+            if (!bytes) continue;
+            ShardReply reply = decode_reply(*bytes);
+            if (reply.kind == ShardReply::Kind::kStats) {
+              snapshot[static_cast<std::size_t>(s)] = reply.stats;
+              break;
+            }
+            handle_reply(s, std::move(reply));
+          } catch (const Error& e) {
+            if (!socket) throw;
+            mark_dead(s, e.what());
+          }
+        }
+      }
+      stats_request->set_value(std::move(snapshot));
     }
 
     if (drain) {
       if (!drain_marker_sent) {
-        // Flush barrier: channels are FIFO, so a shard's kDrained ack
+        // Flush barrier: links are FIFO, so a shard's kDrained ack
         // proves every envelope sent before the marker has been scored
         // and its replies are already queued back to us.
         for (int s = 0; s < n; ++s)
-          comm.send(s + 1,
-                    ShardEnvelope{ShardEnvelope::Kind::kDrain, 0, {}});
+          if (alive(s))
+            shard_send(s, ShardEnvelope{ShardEnvelope::Kind::kDrain, 0, {}});
         drain_marker_sent = true;
+        drain_stall_deadline = std::chrono::steady_clock::now() + kDrainStall;
       }
+      if (progress)
+        drain_stall_deadline = std::chrono::steady_clock::now() + kDrainStall;
       bool ingress_empty;
       {
         std::lock_guard<std::mutex> lock(mu_);
         ingress_empty = ingress_.empty();
       }
-      if (ingress_empty && inflight.empty() && drained_acks == n) break;
+      bool acked = true;
+      for (int s = 0; s < n; ++s)
+        if (alive(s) && !drain_acked[static_cast<std::size_t>(s)]) acked = false;
+      if (ingress_empty && inflight.empty() && acked) break;
+      if (socket && std::chrono::steady_clock::now() > drain_stall_deadline) {
+        std::vector<char> owes(static_cast<std::size_t>(n), 0);
+        for (const auto& [id, fl] : inflight)
+          owes[static_cast<std::size_t>(fl.shard)] = 1;
+        for (int s = 0; s < n; ++s)
+          if (alive(s) && (owes[static_cast<std::size_t>(s)] ||
+                           !drain_acked[static_cast<std::size_t>(s)]))
+            mark_dead(s, "no progress during drain within the deadline");
+      }
     }
 
     if (!progress && (drain || !inflight.empty()))
       std::this_thread::sleep_for(config_.router_poll);
   }
 
-  // Shutdown handshake: every shard acks kStopped after finishing its
-  // in-hand batch, so joining the runtime cannot strand work. The timed
-  // recv turns a protocol bug into a loud error instead of a destructor
-  // that never returns.
+  // Shutdown handshake: every live shard acks kStopped after finishing
+  // its in-hand batch, so joining the runtime cannot strand work. The
+  // timed recv turns a protocol bug into a loud error instead of a
+  // destructor that never returns; a socket worker that will not ack is
+  // demoted to dead (the reaper escalates to SIGKILL).
   for (int s = 0; s < n; ++s)
-    comm.send(s + 1, ShardEnvelope{ShardEnvelope::Kind::kShutdown, 0, {}});
+    if (alive(s))
+      shard_send(s, ShardEnvelope{ShardEnvelope::Kind::kShutdown, 0, {}});
   for (int s = 0; s < n; ++s) {
-    const std::optional<ShardReply> ack =
-        comm.recv_for<ShardReply>(s + 1, std::chrono::microseconds(30'000'000));
-    QKMPS_CHECK_MSG(ack.has_value(), "shard never acked shutdown");
-    QKMPS_CHECK_MSG(ack->kind == ShardReply::Kind::kStopped,
-                    "expected kStopped ack during shutdown");
+    while (alive(s)) {
+      std::optional<ShardReply> ack;
+      try {
+        std::optional<std::vector<std::uint8_t>> bytes =
+            links[static_cast<std::size_t>(s)]->recv_for(
+                std::chrono::microseconds(30'000'000));
+        if (bytes) ack = decode_reply(*bytes);
+      } catch (const Error& e) {
+        if (!socket) throw;
+        mark_dead(s, e.what());
+        break;
+      }
+      if (socket && !ack.has_value()) {
+        mark_dead(s, "no shutdown ack within the deadline");
+        break;
+      }
+      QKMPS_CHECK_MSG(ack.has_value(), "shard never acked shutdown");
+      if (ack->kind == ShardReply::Kind::kStopped) break;
+      // Late replies queued before the shutdown envelope: handle them so
+      // their futures resolve, then keep waiting for the ack. A
+      // protocol-violating late reply demotes the shard like a dead link.
+      try {
+        handle_reply(s, std::move(*ack));
+      } catch (const Error& e) {
+        if (!socket) throw;
+        mark_dead(s, e.what());
+        break;
+      }
+    }
   }
 }
 
-void RankShardedEngine::shard_body(parallel::Comm& comm,
-                                   std::size_t shard_index) {
-  InferenceEngine& engine = *engines_[shard_index];
-  ShardState& state = *shard_state_[shard_index];
-  const std::size_t limit = std::max<std::size_t>(1, drain_batch_limit());
-
-  for (;;) {
-    ShardEnvelope first = comm.recv<ShardEnvelope>(0);
-    if (first.kind == ShardEnvelope::Kind::kShutdown) {
-      comm.send(0, ShardReply{ShardReply::Kind::kStopped, 0, {}, {}});
-      return;
-    }
-    if (first.kind == ShardEnvelope::Kind::kDrain) {
-      comm.send(0, ShardReply{ShardReply::Kind::kDrained, 0, {}, {}});
-      continue;
-    }
-
-    // Gather: micro-batching emerges under load exactly as in the
-    // in-process frontend — whatever envelopes are already queued join
-    // the batch, up to the drain bound; an idle channel means a batch of
-    // one. A control envelope ends the gather and is honoured after the
-    // batch is scored (FIFO: its ack must follow our replies).
-    std::vector<std::uint64_t> ids{first.id};
-    std::vector<std::vector<double>> rows;
-    rows.push_back(std::move(first.features));
-    std::optional<ShardEnvelope::Kind> control;
-    while (rows.size() < limit) {
-      std::optional<ShardEnvelope> next = comm.try_recv<ShardEnvelope>(0);
-      if (!next) break;
-      if (next->kind != ShardEnvelope::Kind::kRequest) {
-        control = next->kind;
-        break;
-      }
-      ids.push_back(next->id);
-      rows.push_back(std::move(next->features));
-    }
-
-    try {
-      // Trusted entry: rows were validated once at submit().
-      const std::vector<Prediction> predictions =
-          engine.predict_batch_trusted(std::move(rows));
-      // Counter lands before the replies so a caller that joined on its
-      // futures always observes it accounted for (routed == served).
-      state.served.fetch_add(ids.size(), std::memory_order_relaxed);
-      for (std::size_t i = 0; i < ids.size(); ++i)
-        comm.send(0, ShardReply{ShardReply::Kind::kPrediction, ids[i],
-                                predictions[i], {}});
-    } catch (const std::exception& e) {
-      for (std::size_t i = 0; i < ids.size(); ++i)
-        comm.send(0,
-                  ShardReply{ShardReply::Kind::kFailed, ids[i], {}, e.what()});
-    }
-
-    if (control) {
-      if (*control == ShardEnvelope::Kind::kShutdown) {
-        comm.send(0, ShardReply{ShardReply::Kind::kStopped, 0, {}, {}});
-        return;
-      }
-      comm.send(0, ShardReply{ShardReply::Kind::kDrained, 0, {}, {}});
-    }
+std::vector<EngineStats> RankShardedEngine::fetch_remote_stats() const {
+  const std::size_t n = shard_state_.size();
+  std::promise<std::vector<EngineStats>> promise;
+  std::future<std::vector<EngineStats>> fut = promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_ || draining_ || runtime_error_)
+      return std::vector<EngineStats>(n);
+    stats_requests_.push_back(std::move(promise));
   }
+  cv_ingress_.notify_all();
+  if (fut.wait_for(std::chrono::seconds(10)) != std::future_status::ready)
+    return std::vector<EngineStats>(n);
+  std::vector<EngineStats> snapshot = fut.get();
+  snapshot.resize(n);
+  return snapshot;
 }
 
 RankShardedStats RankShardedEngine::stats() const {
@@ -351,13 +670,22 @@ RankShardedStats RankShardedEngine::stats() const {
   agg.admitted = admitted_.load(std::memory_order_relaxed);
   agg.rejected = rejected_.load(std::memory_order_relaxed);
   agg.completed = completed_.load(std::memory_order_relaxed);
+  agg.shed = shed_.load(std::memory_order_relaxed);
   agg.resizes = resizes_.load(std::memory_order_relaxed);
-  agg.shards.reserve(engines_.size());
-  for (std::size_t i = 0; i < engines_.size(); ++i) {
+  std::vector<EngineStats> engine_stats;
+  if (config_.transport == TransportKind::kSocket) {
+    engine_stats = fetch_remote_stats();
+  } else {
+    engine_stats.reserve(engines_.size());
+    for (const auto& engine : engines_) engine_stats.push_back(engine->stats());
+  }
+  agg.shards.reserve(shard_state_.size());
+  for (std::size_t i = 0; i < shard_state_.size(); ++i) {
     RankShardStats s;
     s.routed = shard_state_[i]->routed.load(std::memory_order_relaxed);
     s.served = shard_state_[i]->served.load(std::memory_order_relaxed);
-    s.engine = engines_[i]->stats();
+    s.alive = shard_state_[i]->alive.load(std::memory_order_relaxed);
+    s.engine = i < engine_stats.size() ? engine_stats[i] : EngineStats{};
     agg.shards.push_back(std::move(s));
   }
   return agg;

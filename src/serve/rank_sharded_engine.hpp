@@ -13,54 +13,62 @@
 #include <vector>
 
 #include "parallel/rank_runtime.hpp"
+#include "parallel/socket_transport.hpp"
+#include "parallel/transport.hpp"
 #include "serve/inference_engine.hpp"
 #include "serve/model_bundle.hpp"
 #include "serve/router.hpp"
+#include "serve/shard_wire.hpp"
 #include "serve/sharded_engine.hpp"
 
 namespace qkmps::serve {
 
-/// Wire protocol of the rank-distributed serving frontend. Everything the
-/// router rank and the shard ranks exchange travels as one of these two
-/// typed Comm messages — no shared queues, no shared locks — so the shard
-/// boundary is already a transport boundary: a socket layer replacing
-/// parallel::Comm only has to serialize these structs (see DESIGN.md,
-/// "From ranks to processes").
-
-/// Router -> shard. A request envelope carries the raw (pre-scaling)
-/// feature vector, validated once at submit(); control kinds carry no
-/// payload.
-struct ShardEnvelope {
-  enum class Kind : std::uint8_t {
-    kRequest,   ///< score `features`, reply kPrediction with the same id
-    kDrain,     ///< flush any gathered batch now (maintenance barrier)
-    kShutdown,  ///< finish in-hand work, reply kStopped, exit the rank
-  };
-  Kind kind = Kind::kRequest;
-  std::uint64_t id = 0;  ///< router-assigned, unique per engine incarnation
-  std::vector<double> features;
+/// Which transport carries the ShardEnvelope/ShardReply protocol between
+/// the router and its shards (see shard_wire.hpp for the messages and
+/// DESIGN.md §1 for the substitution story).
+enum class TransportKind : std::uint8_t {
+  /// Shard ranks on parallel::RankRuntime threads, messages over
+  /// CommTransport — everything in-process. Supports add_shard().
+  kInProcess,
+  /// Shard worker processes (the serving_rankd binary in tools/),
+  /// spawned by the engine and connected over SocketTransport. The
+  /// protocol bytes are identical to kInProcess; only the carrier and
+  /// the failure model change (a worker can die — see the shed-on-death
+  /// semantics below).
+  kSocket,
 };
 
-/// Shard -> router.
-struct ShardReply {
-  enum class Kind : std::uint8_t {
-    kPrediction,  ///< `prediction` is valid for request `id`
-    kFailed,      ///< the batch containing `id` threw; `error` explains
-    kDrained,     ///< ack of kDrain
-    kStopped,     ///< ack of kShutdown; the shard rank has exited its loop
-  };
-  Kind kind = Kind::kPrediction;
-  std::uint64_t id = 0;
-  Prediction prediction;
-  std::string error;
+const char* to_string(TransportKind kind);
+
+/// Socket-mode deployment knobs.
+struct SocketTransportConfig {
+  /// The shard worker executable (tools/serving_rankd.cpp). Required.
+  std::string worker_path;
+  /// Directory the engine saves its bundle to and workers load it from
+  /// (save_bundle is atomic, so a half-written handoff cannot be
+  /// observed). Required.
+  std::string bundle_dir;
+  /// "unix:<path>" or "tcp:<ip>:<port>"; empty picks a fresh Unix-domain
+  /// socket under /tmp.
+  std::string listen_address;
+  /// Bound on spawn -> connect -> handshake per worker; a worker that
+  /// cannot connect and handshake in time fails construction loudly.
+  std::chrono::milliseconds connect_timeout{15000};
+  /// Extra argv entries appended to every worker spawn — the test hook
+  /// that lets the suites simulate crashing workers (--die-after=N).
+  std::vector<std::string> worker_extra_args;
 };
 
 struct RankShardedEngineConfig {
-  /// Worker shards (ranks 1..num_shards). Rank 0 is the router, so the
-  /// underlying RankRuntime always runs num_shards + 1 ranks.
+  /// Worker shards. In-process: ranks 1..num_shards with rank 0 the
+  /// router, so the underlying RankRuntime runs num_shards + 1 ranks.
+  /// Socket: num_shards spawned worker processes.
   std::size_t num_shards = 2;
   /// Per-shard engine knobs; num_threads == 0 divides hardware threads
-  /// across shards exactly as in ShardedEngine.
+  /// across the shards exactly as in ShardedEngine — including socket
+  /// workers, which are handed their lane count on the command line (the
+  /// processes share this host, so full-width pools would oversubscribe
+  /// it N-fold).
   EngineConfig engine;
   /// Key->shard assignment. Defaults to the consistent-hash ring because
   /// this engine supports add_shard(): growth only remigrates ~1/(N+1) of
@@ -77,63 +85,93 @@ struct RankShardedEngineConfig {
   /// How long the idle router sleeps between ingress/reply polls. Lower =
   /// less added latency, more wakeups; the default adds at most ~0.1 ms.
   std::chrono::microseconds router_poll{100};
+  /// Transport selection + socket-mode knobs.
+  TransportKind transport = TransportKind::kInProcess;
+  SocketTransportConfig socket;
 };
 
 /// Per-shard snapshot: router-side routing counters plus the shard
-/// engine's own counters (cache, memo, circuits).
+/// engine's own counters (cache, memo, circuits). In socket mode the
+/// engine counters are fetched over the wire (kStats flow) and are zeros
+/// for a dead worker.
 struct RankShardStats {
   std::uint64_t routed = 0;  ///< envelopes the router sent this shard
   std::uint64_t served = 0;  ///< predictions this shard replied
+  bool alive = true;         ///< false once the worker's link died
   EngineStats engine;
 };
 
 /// Aggregate snapshot. Invariant (once traffic settles): submitted ==
-/// admitted + rejected and admitted == completed.
+/// admitted + rejected and admitted == completed + shed — shed counts
+/// requests lost to a dead worker (socket mode only; the in-process
+/// transport cannot lose a shard).
 struct RankShardedStats {
   std::uint64_t submitted = 0;
   std::uint64_t admitted = 0;
   std::uint64_t rejected = 0;
   std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
   std::uint64_t resizes = 0;  ///< add_shard() calls served so far
   std::vector<RankShardStats> shards;
 };
 
 /// Rank-distributed sharded serving frontend: the shard boundary of
-/// ShardedEngine lifted onto parallel::RankRuntime, per the ROADMAP's
-/// multi-process sharding step.
+/// ShardedEngine lifted onto a parallel::Transport, per the ROADMAP's
+/// socket-transport step.
 ///
 ///   caller threads ── submit() ─► [ingress queue]
-///                                      │ rank 0 (router):
+///                                      │ router thread:
 ///                                      │   route = Router(feature_hash)
 ///                                      ▼   forward / poll replies
-///        rank 1 ◄── ShardEnvelope ── Comm ── ShardEnvelope ──► rank N
-///     InferenceEngine                 ▲               InferenceEngine
-///        └───────── ShardReply ───────┴──── ShardReply ─────────┘
+///      shard 0 ◄── ShardEnvelope ── Transport ── ShardEnvelope ──► shard N-1
+///   InferenceEngine                    ▲                  InferenceEngine
+///      └────────── ShardReply ─────────┴───── ShardReply ──────────┘
 ///
-/// Rank 0 is the router: it pulls submitted requests off the ingress
-/// queue, assigns ids, routes by feature-bit hash through the configured
-/// Router, forwards request envelopes, and multiplexes the shards' reply
-/// channels with Comm::try_recv. Ranks 1..N each own an InferenceEngine
-/// (with its StateCache and memo) and run a gather->predict->reply loop:
-/// block on the first envelope, opportunistically try_recv more up to the
-/// drain batch bound, score through the engine, reply per request. The
-/// only cross-thread state is the typed Comm channels plus the ingress
-/// queue — which is exactly the boundary a socket transport replaces.
+/// The router pulls submitted requests off the ingress queue, assigns
+/// ids, routes by feature-bit hash through the configured Router,
+/// forwards request envelopes, and multiplexes the shards' reply links
+/// with try_recv. Each shard owns an InferenceEngine (with its
+/// StateCache and memo) and runs the shared gather->predict->reply loop
+/// (serve::run_shard_worker): block on the first envelope,
+/// opportunistically try_recv more up to the drain batch bound, score
+/// through the engine, reply per request. The only state crossing the
+/// shard boundary is protocol bytes — which is what lets the transport
+/// be swapped:
 ///
-/// Elasticity: add_shard() drains in-flight work, stops the rank loops,
-/// adds one InferenceEngine and one router ring point set, and restarts
-/// with num_shards + 1 worker ranks. The existing shard engines — and
-/// their StateCaches/memos — survive the resize; with the default
-/// consistent-hash router only ~1/(N+1) of keys remigrate, so hot caches
-/// stay hot (tests/test_rank_sharded_engine.cpp pins the retention).
-/// Requests submitted during a resize simply wait in the ingress queue
-/// for the new topology.
+///  - kInProcess: shards are RankRuntime ranks, links are CommTransport
+///    over typed channels. Behaviourally identical to the pre-transport
+///    engine, bit-for-bit on every served prediction.
+///  - kSocket: shards are serving_rankd processes the engine spawns;
+///    links are SocketTransport framed over TCP or Unix-domain sockets.
+///    Construction is listen -> spawn N workers -> accept N connections
+///    -> handshake each (wire-version + shard-index + model-shape
+///    check, see shard_wire.hpp).
+///
+/// Worker-death semantics (socket mode): a dead link — worker crash,
+/// kill, handshake loss mid-run — marks that shard dead and sheds with
+/// status instead of hanging or poisoning the engine: every in-flight
+/// request on that shard, and every later request routed to it, resolves
+/// ServeStatus::kShed with RoutedPrediction::error naming the cause.
+/// Other shards keep serving; stats() reports the shard !alive. Requests
+/// are deliberately not re-routed: the assignment must stay a pure
+/// function of (hash, topology) so client-side routing stays possible —
+/// re-spawning the worker is the operator's move, not the router's.
+///
+/// Elasticity: add_shard() (in-process transport only — a socket-mode
+/// call throws) drains in-flight work, stops the rank loops, adds one
+/// InferenceEngine and one router ring point set, and restarts with one
+/// more rank. The existing shard engines — and their StateCaches/memos —
+/// survive the resize; with the default consistent-hash router only
+/// ~1/(N+1) of keys remigrate, so hot caches stay hot
+/// (tests/test_rank_sharded_engine.cpp pins the retention). Requests
+/// submitted during a resize simply wait in the ingress queue for the
+/// new topology.
 ///
 /// Determinism contract: identical to ShardedEngine's — routing,
 /// batching, and transport are scheduling decisions only; every served
 /// prediction is bitwise-identical to the sequential simulate_states +
-/// decision_values pipeline regardless of rank count, batch composition,
-/// arrival order, or resize history.
+/// decision_values pipeline regardless of shard count, transport, batch
+/// composition, arrival order, or resize history.
 ///
 /// Thread safety: submit(), shard_for(), and stats() are safe from any
 /// number of threads. add_shard() serializes against itself and the
@@ -142,8 +180,9 @@ struct RankShardedStats {
 ///
 /// Shutdown contract: the destructor stops admission (later submits
 /// throw), serves every request already admitted to the ingress queue or
-/// in flight, shuts the shard ranks down with control envelopes, and
-/// joins — no future is ever dropped.
+/// in flight (shedding those owed to dead workers), shuts the shards
+/// down with control envelopes, joins the router, and reaps worker
+/// processes — no future is ever dropped.
 class RankShardedEngine {
  public:
   explicit RankShardedEngine(ModelBundle bundle,
@@ -156,9 +195,9 @@ class RankShardedEngine {
   RankShardedEngine& operator=(const RankShardedEngine&) = delete;
 
   /// Validates, applies ingress admission, and returns a future that
-  /// always resolves (kServed or kRejected; this frontend never sheds).
-  /// Throws immediately on a malformed feature vector, or on submit
-  /// after the destructor began.
+  /// always resolves: kServed or kRejected, plus kShed when the routed
+  /// shard's worker died (socket mode). Throws immediately on a
+  /// malformed feature vector, or on submit after the destructor began.
   std::future<RoutedPrediction> submit(std::vector<double> features);
 
   /// The shard `features` routes to under the current topology (pure
@@ -167,7 +206,8 @@ class RankShardedEngine {
 
   /// Grows the shard set by one rank: drains, extends engines + router,
   /// restarts. Existing shards keep their caches. Blocks until the new
-  /// topology is serving.
+  /// topology is serving. In-process transport only; throws over socket
+  /// (elastic worker sets are a ROADMAP item).
   void add_shard();
 
   RankShardedStats stats() const;
@@ -186,14 +226,22 @@ class RankShardedEngine {
   struct ShardState {
     std::atomic<std::uint64_t> routed{0};
     std::atomic<std::uint64_t> served{0};
+    std::atomic<bool> alive{true};
   };
 
   void start_runtime();
+  void start_socket_runtime();
   /// Sets drain mode (and optionally the terminal stop flag), wakes the
-  /// router, joins the runtime thread. After return no rank is running.
+  /// router, joins the runtime thread, and (socket mode) closes links
+  /// and reaps workers. After return no shard loop is running.
   void stop_runtime(bool final_stop);
-  void router_body(parallel::Comm& comm);
-  void shard_body(parallel::Comm& comm, std::size_t shard_index);
+  /// The transport-generic router loop: one Transport per shard. Runs on
+  /// rank 0 (in-process) or the engine's router thread (socket).
+  void router_loop(const std::vector<parallel::Transport*>& links);
+  /// Socket mode: snapshot every live worker's EngineStats over the
+  /// kStats flow. Called by stats() via the stats_requests_ queue the
+  /// router services between iterations.
+  std::vector<EngineStats> fetch_remote_stats() const;
   std::size_t drain_batch_limit() const;
 
   const std::shared_ptr<const ModelBundle> bundle_;
@@ -203,16 +251,25 @@ class RankShardedEngine {
   /// stop_runtime()/start_runtime() pairs under lifecycle_mu_.
   mutable std::mutex lifecycle_mu_;
   std::unique_ptr<Router> router_;
+  /// In-process transport only; socket-mode engines live in the worker
+  /// processes.
   std::vector<std::unique_ptr<InferenceEngine>> engines_;
   std::vector<std::unique_ptr<ShardState>> shard_state_;
 
-  mutable std::mutex mu_;  ///< guards ingress_, draining_, stopped_
-  std::condition_variable cv_ingress_;
+  mutable std::mutex mu_;  ///< guards ingress_, stats_requests_, flags
+  mutable std::condition_variable cv_ingress_;
   std::deque<Ingress> ingress_;
+  /// stats() -> router handoff (socket mode): the router answers each
+  /// with a kStats sweep of the live workers.
+  mutable std::deque<std::promise<std::vector<EngineStats>>> stats_requests_;
   bool draining_ = false;  ///< router: finish outstanding work and return
   bool stopped_ = false;   ///< terminal: submit() throws from now on
 
-  std::unique_ptr<parallel::RankRuntime> runtime_;
+  std::unique_ptr<parallel::RankRuntime> runtime_;  ///< in-process mode
+  /// Socket mode: listener + one link and one spawned pid per shard.
+  std::unique_ptr<parallel::SocketListener> listener_;
+  std::vector<std::unique_ptr<parallel::SocketTransport>> links_;
+  std::vector<long> worker_pids_;
   std::thread runtime_thread_;
   std::exception_ptr runtime_error_;  ///< first rank-body escapee, if any
 
@@ -220,6 +277,7 @@ class RankShardedEngine {
   std::atomic<std::uint64_t> admitted_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> resizes_{0};
   std::uint64_t next_id_ = 0;  ///< router-thread-only
 };

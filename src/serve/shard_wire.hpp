@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/inference_engine.hpp"
+
+namespace qkmps::serve {
+
+/// Wire protocol of the rank-distributed serving frontend. Everything the
+/// router and the shard workers exchange travels as one of these two
+/// message structs, and each struct has exactly one byte serialization
+/// (encode/decode below) — the payload a parallel::Transport carries.
+/// Over the in-process CommTransport the bytes ride a typed channel; over
+/// SocketTransport the same bytes get a frame header on the wire
+/// (parallel/socket_transport.hpp). Either way the router logic, the
+/// worker loop, and the batching are identical — the transport
+/// substitution DESIGN.md §1 promises.
+///
+/// Numbers are written with the util/binary_io.hpp primitives, so the
+/// wire inherits its endianness caveat: native little-endian, not
+/// portable to big-endian hosts.
+
+/// Router -> shard. A request envelope carries the raw (pre-scaling)
+/// feature vector, validated once at submit(); control kinds carry no
+/// payload.
+struct ShardEnvelope {
+  enum class Kind : std::uint8_t {
+    kRequest,   ///< score `features`, reply kPrediction with the same id
+    kDrain,     ///< flush any gathered batch now (maintenance barrier)
+    kShutdown,  ///< finish in-hand work, reply kStopped, exit the loop
+    kStats,     ///< reply kStats with an EngineStats snapshot
+  };
+  Kind kind = Kind::kRequest;
+  std::uint64_t id = 0;  ///< router-assigned, unique per engine incarnation
+  std::vector<double> features;
+};
+
+/// Shard -> router.
+struct ShardReply {
+  enum class Kind : std::uint8_t {
+    kPrediction,  ///< `prediction` is valid for request `id`
+    kFailed,      ///< the batch containing `id` threw; `error` explains
+    kDrained,     ///< ack of kDrain
+    kStopped,     ///< ack of kShutdown; the shard has exited its loop
+    kStats,       ///< `stats` is a point-in-time EngineStats snapshot
+  };
+  Kind kind = Kind::kPrediction;
+  std::uint64_t id = 0;
+  Prediction prediction;
+  std::string error;
+  EngineStats stats;  ///< meaningful for kStats replies only
+};
+
+/// Version of the *payload* schema (fields and their order), negotiated
+/// at handshake. Independent of the frame-codec version, which covers
+/// only the 20-byte header around each payload.
+inline constexpr std::uint16_t kShardWireVersion = 1;
+
+/// Worker -> router, first message after connect: identifies which shard
+/// this process serves and what it believes the model shape is, so a
+/// mis-spawned or stale worker fails the handshake instead of scoring
+/// with the wrong bundle.
+struct ShardHello {
+  std::uint16_t wire_version = kShardWireVersion;
+  std::uint64_t shard_index = 0;
+  std::int64_t num_features = 0;
+};
+
+/// Router -> worker, handshake verdict. A refused worker exits instead
+/// of serving; `error` says why (version skew, wrong shard, wrong model).
+struct ShardWelcome {
+  std::uint16_t wire_version = kShardWireVersion;
+  bool accepted = false;
+  std::string error;
+};
+
+/// Byte codecs. decode_* treat the payload as untrusted wire input:
+/// unknown kind bytes, truncated payloads, hostile vector lengths (the
+/// byte-budget read_vector overload bounds every allocation to the
+/// payload size), and trailing garbage all throw qkmps::Error — never a
+/// crash or a silently wrong message (tests/test_shard_wire.cpp).
+std::vector<std::uint8_t> encode_envelope(const ShardEnvelope& envelope);
+ShardEnvelope decode_envelope(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_reply(const ShardReply& reply);
+ShardReply decode_reply(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_hello(const ShardHello& hello);
+ShardHello decode_hello(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_welcome(const ShardWelcome& welcome);
+ShardWelcome decode_welcome(const std::vector<std::uint8_t>& payload);
+
+}  // namespace qkmps::serve

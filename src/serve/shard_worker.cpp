@@ -1,0 +1,154 @@
+#include "serve/shard_worker.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace qkmps::serve {
+
+bool run_shard_worker(parallel::Transport& link, InferenceEngine& engine,
+                      const ShardWorkerOptions& options) {
+  const std::size_t limit = std::max<std::size_t>(1, options.batch_limit);
+  std::size_t scored_total = 0;
+
+  const auto reply_control = [&link, &engine](ShardEnvelope::Kind kind) {
+    ShardReply reply;
+    switch (kind) {
+      case ShardEnvelope::Kind::kDrain:
+        reply.kind = ShardReply::Kind::kDrained;
+        break;
+      case ShardEnvelope::Kind::kShutdown:
+        reply.kind = ShardReply::Kind::kStopped;
+        break;
+      case ShardEnvelope::Kind::kStats:
+        reply.kind = ShardReply::Kind::kStats;
+        reply.stats = engine.stats();
+        break;
+      case ShardEnvelope::Kind::kRequest:
+        QKMPS_CHECK_MSG(false, "kRequest is not a control envelope");
+    }
+    link.send(encode_reply(reply));
+  };
+
+  for (;;) {
+    // Blocking first recv, in reclaimable ticks: a dead router surfaces
+    // as a transport error from recv_for, never as a permanent block.
+    ShardEnvelope first;
+    for (;;) {
+      if (std::optional<std::vector<std::uint8_t>> bytes =
+              link.recv_for(options.idle_poll)) {
+        first = decode_envelope(*bytes);
+        break;
+      }
+    }
+    if (first.kind != ShardEnvelope::Kind::kRequest) {
+      reply_control(first.kind);
+      if (first.kind == ShardEnvelope::Kind::kShutdown) return true;
+      continue;
+    }
+
+    // Gather: micro-batching emerges under load exactly as in the
+    // in-process frontend — whatever envelopes are already queued join
+    // the batch, up to the drain bound; an idle link means a batch of
+    // one. A control envelope ends the gather and is honoured after the
+    // batch is scored (FIFO: its ack must follow our replies).
+    std::vector<std::uint64_t> ids{first.id};
+    std::vector<std::vector<double>> rows;
+    rows.push_back(std::move(first.features));
+    std::optional<ShardEnvelope::Kind> control;
+    while (rows.size() < limit) {
+      std::optional<std::vector<std::uint8_t>> bytes = link.try_recv();
+      if (!bytes) break;
+      ShardEnvelope next = decode_envelope(*bytes);
+      if (next.kind != ShardEnvelope::Kind::kRequest) {
+        control = next.kind;
+        break;
+      }
+      ids.push_back(next.id);
+      rows.push_back(std::move(next.features));
+    }
+
+    try {
+      // Trusted entry: rows were validated once at submit().
+      const std::vector<Prediction> predictions =
+          engine.predict_batch_trusted(std::move(rows));
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        ShardReply reply;
+        reply.kind = ShardReply::Kind::kPrediction;
+        reply.id = ids[i];
+        reply.prediction = predictions[i];
+        link.send(encode_reply(reply));
+      }
+    } catch (const std::exception& e) {
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        ShardReply reply;
+        reply.kind = ShardReply::Kind::kFailed;
+        reply.id = ids[i];
+        reply.error = e.what();
+        link.send(encode_reply(reply));
+      }
+    }
+    scored_total += ids.size();
+
+    if (control) {
+      reply_control(*control);
+      if (*control == ShardEnvelope::Kind::kShutdown) return true;
+    }
+
+    if (options.die_after_requests > 0 &&
+        scored_total >= options.die_after_requests)
+      return false;  // simulated crash: no kStopped, the link just closes
+  }
+}
+
+void shard_handshake_client(parallel::Transport& link,
+                            const ShardHello& hello,
+                            std::chrono::microseconds timeout) {
+  link.send(encode_hello(hello));
+  const std::optional<std::vector<std::uint8_t>> bytes =
+      link.recv_for(timeout);
+  QKMPS_CHECK_MSG(bytes.has_value(), "handshake timed out awaiting welcome");
+  const ShardWelcome welcome = decode_welcome(*bytes);
+  QKMPS_CHECK_MSG(welcome.accepted,
+                  "router refused shard " << hello.shard_index << ": "
+                                          << welcome.error);
+  QKMPS_CHECK_MSG(welcome.wire_version == kShardWireVersion,
+                  "router speaks wire version "
+                      << welcome.wire_version << ", this worker speaks "
+                      << kShardWireVersion);
+}
+
+ShardHello shard_handshake_server(parallel::Transport& link,
+                                  std::size_t num_shards,
+                                  std::int64_t num_features,
+                                  std::chrono::microseconds timeout) {
+  const std::optional<std::vector<std::uint8_t>> bytes =
+      link.recv_for(timeout);
+  QKMPS_CHECK_MSG(bytes.has_value(), "handshake timed out awaiting hello");
+  const ShardHello hello = decode_hello(*bytes);
+
+  std::ostringstream reason;
+  if (hello.wire_version != kShardWireVersion)
+    reason << "wire version skew: worker speaks " << hello.wire_version
+           << ", router speaks " << kShardWireVersion;
+  else if (hello.shard_index >= num_shards)
+    reason << "shard index " << hello.shard_index << " out of range (have "
+           << num_shards << " shards)";
+  else if (hello.num_features != num_features)
+    reason << "model shape mismatch: worker bundle has "
+           << hello.num_features << " features, router bundle has "
+           << num_features;
+
+  ShardWelcome welcome;
+  welcome.accepted = reason.str().empty();
+  welcome.error = reason.str();
+  link.send(encode_welcome(welcome));
+  QKMPS_CHECK_MSG(welcome.accepted, "refused worker: " << welcome.error);
+  return hello;
+}
+
+}  // namespace qkmps::serve

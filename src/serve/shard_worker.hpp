@@ -1,0 +1,64 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+#include "parallel/transport.hpp"
+#include "serve/inference_engine.hpp"
+#include "serve/shard_wire.hpp"
+
+namespace qkmps::serve {
+
+/// The shard side of the rank-sharded serving protocol, factored out of
+/// the engine so the exact same loop serves both deployments: an
+/// in-process rank of serve::RankShardedEngine (over CommTransport) and
+/// the serving_rankd worker process (over SocketTransport). One loop
+/// body means the socket mode cannot drift behaviourally from the
+/// in-process mode the parity suites pin.
+
+struct ShardWorkerOptions {
+  /// Gather bound per batch (the engine's drain_max_batch resolution).
+  std::size_t batch_limit = 32;
+  /// Poll tick while idle-waiting for the first envelope of a batch: the
+  /// worker stays reclaimable (a dead router surfaces as a transport
+  /// error on the next tick) instead of blocking forever.
+  std::chrono::microseconds idle_poll{100'000};
+  /// Test hook: abandon the loop — without sending the kStopped ack —
+  /// once this many requests have been scored, simulating a worker that
+  /// crashes mid-service (the socket closes when the process exits).
+  /// 0 disables.
+  std::size_t die_after_requests = 0;
+};
+
+/// Runs the gather->predict->reply loop until a kShutdown envelope
+/// arrives (acked with kStopped) or `die_after_requests` trips. Batching
+/// is opportunistic exactly as in the rank body it replaces: block for
+/// the first envelope, try_recv whatever is already queued up to
+/// batch_limit, score once through the engine, reply per request. kDrain
+/// and kStats are honoured after the in-hand batch (FIFO: their acks must
+/// follow the batch's replies). Throws qkmps::Error if the link dies —
+/// the caller owns what a dead router means (a worker process exits).
+/// Returns true on a clean, kStopped-acked shutdown; false when the
+/// die_after_requests hook ended the loop instead (so serving_rankd can
+/// report which exit it took).
+bool run_shard_worker(parallel::Transport& link, InferenceEngine& engine,
+                      const ShardWorkerOptions& options = {});
+
+/// Worker-side handshake: sends `hello`, waits for the router's verdict.
+/// Throws qkmps::Error on timeout, version skew, or refusal (carrying the
+/// router's reason).
+void shard_handshake_client(parallel::Transport& link,
+                            const ShardHello& hello,
+                            std::chrono::microseconds timeout);
+
+/// Router-side handshake: receives a hello on a freshly accepted
+/// connection, validates it (wire version, shard index in range, model
+/// feature count), and replies with the verdict. Returns the validated
+/// hello; throws qkmps::Error — after sending the refusal so the worker
+/// can die loudly too — when validation fails or the hello never comes.
+ShardHello shard_handshake_server(parallel::Transport& link,
+                                  std::size_t num_shards,
+                                  std::int64_t num_features,
+                                  std::chrono::microseconds timeout);
+
+}  // namespace qkmps::serve

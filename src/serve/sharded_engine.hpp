@@ -67,6 +67,10 @@ struct RoutedPrediction {
   Prediction prediction;    ///< valid only when status == kServed
   double queue_seconds = 0.0;  ///< admission -> drain start (0 if rejected)
   double total_seconds = 0.0;  ///< admission -> future fulfilment
+  /// Why a request was shed without being scored — set by the
+  /// rank-sharded frontend when a shard worker died (socket transport);
+  /// empty for load-shedding and every other status.
+  std::string error;
 };
 
 struct ShardedEngineConfig {

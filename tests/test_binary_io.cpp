@@ -1,0 +1,200 @@
+// util/binary_io.hpp: the primitives every on-disk artifact and every
+// wire frame are built from. The hardening contract under test: short
+// writes throw at the write site (not confusingly at read time), corrupt
+// length prefixes can never over-allocate — with or without a seekable
+// stream — and the seekable-path length probe leaves no sticky stream
+// state behind.
+
+#include "util/binary_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace qkmps {
+namespace {
+
+// ---------------------------------------------------------------------
+// Round trips.
+
+TEST(BinaryIo, PodRoundTripPreservesBits) {
+  std::stringstream ss;
+  io::write_pod(ss, std::uint64_t{0xDEADBEEFCAFEF00Dull});
+  io::write_pod(ss, -1.5);
+  io::write_pod(ss, std::int32_t{-7});
+  EXPECT_EQ(io::read_pod<std::uint64_t>(ss), 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(io::read_pod<double>(ss), -1.5);
+  EXPECT_EQ(io::read_pod<std::int32_t>(ss), -7);
+}
+
+TEST(BinaryIo, VectorRoundTripIncludingEmpty) {
+  std::stringstream ss;
+  const std::vector<double> v{1.0, -0.0, 3.25};
+  io::write_vector(ss, v);
+  io::write_vector(ss, std::vector<double>{});
+  const auto back = io::read_vector<double>(ss);
+  ASSERT_EQ(back.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(back[i], v[i]);
+  EXPECT_TRUE(io::read_vector<double>(ss).empty());
+}
+
+// ---------------------------------------------------------------------
+// Short reads.
+
+TEST(BinaryIo, TruncatedPodThrows) {
+  std::stringstream ss;
+  ss.write("ab", 2);
+  EXPECT_THROW(io::read_pod<std::uint64_t>(ss), Error);
+}
+
+TEST(BinaryIo, TruncatedVectorPayloadThrows) {
+  std::stringstream ss;
+  io::write_pod(ss, std::int64_t{4});
+  io::write_pod(ss, 1.0);  // one element where four were promised
+  EXPECT_THROW(io::read_vector<double>(ss), Error);
+}
+
+TEST(BinaryIo, NegativeVectorLengthThrows) {
+  std::stringstream ss;
+  io::write_pod(ss, std::int64_t{-3});
+  EXPECT_THROW(io::read_vector<double>(ss), Error);
+}
+
+TEST(BinaryIo, HugeLengthPrefixFailsBeforeAllocatingOnSeekableStream) {
+  std::stringstream ss;
+  io::write_pod(ss, std::int64_t{1} << 60);
+  io::write_pod(ss, 1.0);
+  // The seekable-stream guard compares the claim against the bytes that
+  // actually remain; a 2^60-element claim must die as Error, not
+  // bad_alloc.
+  EXPECT_THROW(io::read_vector<double>(ss), Error);
+}
+
+TEST(BinaryIo, SeekProbeLeavesStreamUsableForLaterReads) {
+  std::stringstream ss;
+  io::write_vector(ss, std::vector<std::int32_t>{1, 2, 3});
+  io::write_pod(ss, std::uint64_t{42});
+  const auto v = io::read_vector<std::int32_t>(ss);
+  ASSERT_EQ(v.size(), 3u);
+  // The length-probe seek round-trip must not leave eof/fail state that
+  // would make this follow-up read fail spuriously.
+  EXPECT_TRUE(ss.good());
+  EXPECT_EQ(io::read_pod<std::uint64_t>(ss), 42u);
+}
+
+// ---------------------------------------------------------------------
+// Non-seekable streams and the byte-budget overload.
+
+/// A read-only streambuf with no seek support: tellg() == -1, exactly
+/// the shape of a socket or pipe stream.
+class NonSeekableBuf : public std::streambuf {
+ public:
+  explicit NonSeekableBuf(std::string bytes) : bytes_(std::move(bytes)) {
+    setg(bytes_.data(), bytes_.data(), bytes_.data() + bytes_.size());
+  }
+
+ protected:
+  // No seekoff/seekpos overrides: pubseekoff fails, so tellg() == -1.
+
+ private:
+  std::string bytes_;
+};
+
+std::string vector_bytes(std::int64_t claimed_len,
+                         const std::vector<double>& payload) {
+  std::ostringstream os;
+  io::write_pod(os, claimed_len);
+  for (double d : payload) io::write_pod(os, d);
+  return os.str();
+}
+
+TEST(BinaryIo, NonSeekableStreamHonestPayloadRoundTrips) {
+  NonSeekableBuf buf(vector_bytes(2, {1.5, 2.5}));
+  std::istream is(&buf);
+  ASSERT_EQ(is.tellg(), std::istream::pos_type(-1));
+  const auto v = io::read_vector<double>(is, 1024);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 1.5);
+  EXPECT_EQ(v[1], 2.5);
+}
+
+TEST(BinaryIo, ByteBudgetRejectsHostileLengthWithoutAllocating) {
+  // A hostile length prefix on a non-seekable stream: the unbudgeted
+  // overload has no way to bound it, which is exactly why the codec path
+  // must pass a budget. 2^61 * 8 bytes would be a fatal allocation.
+  NonSeekableBuf buf(vector_bytes(std::int64_t{1} << 61, {1.0}));
+  std::istream is(&buf);
+  EXPECT_THROW(io::read_vector<double>(is, 1 << 20), Error);
+}
+
+TEST(BinaryIo, ByteBudgetBoundaryIsInclusive) {
+  {
+    NonSeekableBuf buf(vector_bytes(2, {1.0, 2.0}));
+    std::istream is(&buf);
+    EXPECT_EQ(io::read_vector<double>(is, 2 * sizeof(double)).size(), 2u);
+  }
+  {
+    NonSeekableBuf buf(vector_bytes(2, {1.0, 2.0}));
+    std::istream is(&buf);
+    EXPECT_THROW(io::read_vector<double>(is, 2 * sizeof(double) - 1), Error);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Short writes.
+
+/// An output streambuf that accepts `capacity` bytes and then rejects
+/// everything — a full disk / closed pipe stand-in.
+class FailingAfterBuf : public std::streambuf {
+ public:
+  explicit FailingAfterBuf(std::size_t capacity) : capacity_(capacity) {}
+  std::size_t written() const { return written_; }
+
+ protected:
+  int overflow(int ch) override {
+    if (written_ >= capacity_) return traits_type::eof();
+    ++written_;
+    return ch;
+  }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    const std::streamsize room =
+        static_cast<std::streamsize>(capacity_ - written_);
+    const std::streamsize take = n < room ? n : room;
+    written_ += static_cast<std::size_t>(take);
+    return take;  // short count past capacity -> badbit on the stream
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t written_ = 0;
+};
+
+TEST(BinaryIo, ShortPodWriteThrowsAtTheWriteSite) {
+  FailingAfterBuf buf(3);  // room for less than one uint64
+  std::ostream os(&buf);
+  EXPECT_THROW(io::write_pod(os, std::uint64_t{7}), Error);
+}
+
+TEST(BinaryIo, ShortVectorPayloadWriteThrowsAtTheWriteSite) {
+  // Room for the length prefix plus one element; the second element hits
+  // the wall. Pre-hardening this returned silently and the truncation
+  // surfaced only at read time.
+  FailingAfterBuf buf(sizeof(std::int64_t) + sizeof(double));
+  std::ostream os(&buf);
+  EXPECT_THROW(io::write_vector(os, std::vector<double>{1.0, 2.0}), Error);
+}
+
+TEST(BinaryIo, WriteToAlreadyFailedStreamThrows) {
+  std::ostringstream os;
+  os.setstate(std::ios::badbit);
+  EXPECT_THROW(io::write_pod(os, 1), Error);
+}
+
+}  // namespace
+}  // namespace qkmps

@@ -210,6 +210,43 @@ TEST(RankRuntime, RecvForTimesOutWhenNoSenderExists) {
   });
 }
 
+/// Zero and negative timeouts are a documented degenerate case, not an
+/// accident of wait_for: they must behave exactly like try_recv —
+/// deliver an already-queued message, return nullopt immediately on an
+/// empty channel, and never block or throw. The socket transport's
+/// router loop passes computed (possibly non-positive) remainders of a
+/// deadline straight through, so this contract is load-bearing.
+TEST(RankRuntime, RecvForZeroAndNegativeTimeoutsAreTryRecv) {
+  RankRuntime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 11);
+      c.send(1, 22);
+    } else {
+      c.barrier();  // both messages are queued before we probe
+      const std::optional<int> zero =
+          c.recv_for<int>(0, std::chrono::microseconds(0));
+      ASSERT_TRUE(zero.has_value());
+      EXPECT_EQ(*zero, 11);
+      const std::optional<int> negative =
+          c.recv_for<int>(0, std::chrono::microseconds(-5'000'000));
+      ASSERT_TRUE(negative.has_value());
+      EXPECT_EQ(*negative, 22);
+
+      // Empty channel: both degenerate timeouts return immediately. The
+      // negative case especially must not read as "wait forever".
+      const auto t0 = std::chrono::steady_clock::now();
+      EXPECT_FALSE(c.recv_for<int>(0, std::chrono::microseconds(0)));
+      EXPECT_FALSE(c.recv_for<int>(0, std::chrono::microseconds(-1)));
+      const double waited = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+      EXPECT_LT(waited, 0.5);
+    }
+    if (c.rank() == 0) c.barrier();
+  });
+}
+
 TEST(RankRuntime, RecvForWakesPromptlyOnArrival) {
   RankRuntime rt(2);
   rt.run([&](Comm& c) {

@@ -1,0 +1,186 @@
+// serve/shard_wire.hpp: the byte serialization of the shard protocol.
+// Round trips must be lossless (bitwise on doubles — the determinism
+// contract rides on this), and decoders must treat payloads as untrusted
+// wire input: unknown kinds, truncation, hostile vector lengths, and
+// trailing garbage all throw qkmps::Error.
+
+#include "serve/shard_wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace qkmps::serve {
+namespace {
+
+TEST(ShardWire, EnvelopeRoundTripIsLossless) {
+  ShardEnvelope envelope;
+  envelope.kind = ShardEnvelope::Kind::kRequest;
+  envelope.id = 0xFEEDFACE12345678ull;
+  envelope.features = {1.5, -0.0, std::numeric_limits<double>::denorm_min(),
+                       -3.25e-300, 2.0};
+  const ShardEnvelope back = decode_envelope(encode_envelope(envelope));
+  EXPECT_EQ(back.kind, envelope.kind);
+  EXPECT_EQ(back.id, envelope.id);
+  ASSERT_EQ(back.features.size(), envelope.features.size());
+  for (std::size_t i = 0; i < envelope.features.size(); ++i) {
+    // Bitwise, not ==: -0.0 must survive as -0.0 (the cache keys by
+    // feature bits, so the wire may not canonicalize).
+    EXPECT_EQ(std::signbit(back.features[i]),
+              std::signbit(envelope.features[i]));
+    EXPECT_EQ(back.features[i], envelope.features[i]);
+  }
+}
+
+TEST(ShardWire, ControlEnvelopesRoundTrip) {
+  for (const auto kind :
+       {ShardEnvelope::Kind::kDrain, ShardEnvelope::Kind::kShutdown,
+        ShardEnvelope::Kind::kStats}) {
+    const ShardEnvelope back =
+        decode_envelope(encode_envelope(ShardEnvelope{kind, 7, {}}));
+    EXPECT_EQ(back.kind, kind);
+    EXPECT_EQ(back.id, 7u);
+    EXPECT_TRUE(back.features.empty());
+  }
+}
+
+TEST(ShardWire, ReplyRoundTripIsLossless) {
+  ShardReply reply;
+  reply.kind = ShardReply::Kind::kPrediction;
+  reply.id = 42;
+  reply.prediction.label = -1;
+  reply.prediction.decision_value = -0.12345678901234567;
+  reply.prediction.cache_hit = true;
+  reply.prediction.memo_hit = false;
+  reply.prediction.latency_seconds = 3.5e-4;
+  reply.error = "none really";
+  reply.stats.requests = 9;
+  reply.stats.circuits_simulated = 5;
+  reply.stats.cache.hits = 4;
+  reply.stats.memo.insertions = 2;
+  const ShardReply back = decode_reply(encode_reply(reply));
+  EXPECT_EQ(back.kind, reply.kind);
+  EXPECT_EQ(back.id, reply.id);
+  EXPECT_EQ(back.prediction.label, reply.prediction.label);
+  EXPECT_EQ(back.prediction.decision_value, reply.prediction.decision_value);
+  EXPECT_EQ(back.prediction.cache_hit, reply.prediction.cache_hit);
+  EXPECT_EQ(back.prediction.memo_hit, reply.prediction.memo_hit);
+  EXPECT_EQ(back.prediction.latency_seconds, reply.prediction.latency_seconds);
+  EXPECT_EQ(back.error, reply.error);
+  EXPECT_EQ(back.stats.requests, reply.stats.requests);
+  EXPECT_EQ(back.stats.circuits_simulated, reply.stats.circuits_simulated);
+  EXPECT_EQ(back.stats.cache.hits, reply.stats.cache.hits);
+  EXPECT_EQ(back.stats.memo.insertions, reply.stats.memo.insertions);
+}
+
+TEST(ShardWire, HandshakeRoundTrips) {
+  ShardHello hello;
+  hello.shard_index = 3;
+  hello.num_features = 17;
+  const ShardHello hback = decode_hello(encode_hello(hello));
+  EXPECT_EQ(hback.wire_version, kShardWireVersion);
+  EXPECT_EQ(hback.shard_index, 3u);
+  EXPECT_EQ(hback.num_features, 17);
+
+  ShardWelcome welcome;
+  welcome.accepted = false;
+  welcome.error = "wire version skew";
+  const ShardWelcome wback = decode_welcome(encode_welcome(welcome));
+  EXPECT_FALSE(wback.accepted);
+  EXPECT_EQ(wback.error, "wire version skew");
+}
+
+// ---------------------------------------------------------------------
+// Untrusted-input behaviour.
+
+TEST(ShardWire, UnknownKindBytesThrow) {
+  std::vector<std::uint8_t> env = encode_envelope(
+      ShardEnvelope{ShardEnvelope::Kind::kRequest, 1, {1.0}});
+  env[0] = 200;
+  EXPECT_THROW(decode_envelope(env), Error);
+
+  std::vector<std::uint8_t> rep = encode_reply(ShardReply{});
+  rep[0] = 99;
+  EXPECT_THROW(decode_reply(rep), Error);
+}
+
+TEST(ShardWire, TruncatedPayloadsThrowEverywhere) {
+  const std::vector<std::uint8_t> env = encode_envelope(
+      ShardEnvelope{ShardEnvelope::Kind::kRequest, 1, {1.0, 2.0, 3.0}});
+  for (std::size_t keep = 0; keep < env.size(); ++keep) {
+    const std::vector<std::uint8_t> cut(env.begin(),
+                                        env.begin() + static_cast<long>(keep));
+    EXPECT_THROW(decode_envelope(cut), Error) << "envelope cut at " << keep;
+  }
+  const std::vector<std::uint8_t> rep = encode_reply(ShardReply{});
+  for (std::size_t keep = 0; keep < rep.size(); ++keep) {
+    const std::vector<std::uint8_t> cut(rep.begin(),
+                                        rep.begin() + static_cast<long>(keep));
+    EXPECT_THROW(decode_reply(cut), Error) << "reply cut at " << keep;
+  }
+}
+
+TEST(ShardWire, HostileFeatureLengthCannotOverAllocate) {
+  // Craft an envelope whose feature-vector length prefix claims 2^59
+  // elements. The decoder's byte budget (the payload size) must reject
+  // it before any allocation.
+  std::vector<std::uint8_t> env = encode_envelope(
+      ShardEnvelope{ShardEnvelope::Kind::kRequest, 1, {1.0}});
+  // Layout: u8 kind | u64 id | i64 count | payload. Overwrite count.
+  const std::uint64_t huge = 1ull << 59;
+  for (int b = 0; b < 8; ++b)
+    env[9 + static_cast<std::size_t>(b)] =
+        static_cast<std::uint8_t>((huge >> (8 * b)) & 0xFF);
+  EXPECT_THROW(decode_envelope(env), Error);
+}
+
+TEST(ShardWire, TrailingGarbageThrows) {
+  std::vector<std::uint8_t> env = encode_envelope(
+      ShardEnvelope{ShardEnvelope::Kind::kDrain, 0, {}});
+  env.push_back(0xAB);
+  EXPECT_THROW(decode_envelope(env), Error);
+
+  std::vector<std::uint8_t> rep = encode_reply(ShardReply{});
+  rep.push_back(0x01);
+  EXPECT_THROW(decode_reply(rep), Error);
+}
+
+TEST(ShardWire, HandshakeMagicConfusionThrows) {
+  // A hello decoded as a welcome (and vice versa) must fail on magic,
+  // not misparse: the two payloads are deliberately not shape-compatible.
+  EXPECT_THROW(decode_welcome(encode_hello(ShardHello{})), Error);
+  EXPECT_THROW(decode_hello(encode_welcome(ShardWelcome{})), Error);
+  EXPECT_THROW(decode_hello(encode_envelope(
+                   ShardEnvelope{ShardEnvelope::Kind::kDrain, 0, {}})),
+               Error);
+}
+
+TEST(ShardWire, ByteFuzzNeverCrashes) {
+  // Single-byte corruption sweep over a request envelope: every outcome
+  // is either a clean decode (some bytes are don't-care equivalent,
+  // e.g. flips inside a double) or qkmps::Error. Never a crash or an
+  // over-allocation.
+  const std::vector<std::uint8_t> env = encode_envelope(
+      ShardEnvelope{ShardEnvelope::Kind::kRequest, 77, {1.0, -2.0}});
+  for (std::size_t pos = 0; pos < env.size(); ++pos) {
+    for (const std::uint8_t flip : {0x01, 0x10, 0xFF}) {
+      std::vector<std::uint8_t> corrupted = env;
+      corrupted[pos] ^= flip;
+      try {
+        const ShardEnvelope decoded = decode_envelope(corrupted);
+        // A surviving decode must at least be internally consistent.
+        EXPECT_LE(decoded.features.size(), corrupted.size());
+      } catch (const Error&) {
+        // loud failure: the desired outcome for structural corruption
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qkmps::serve

@@ -1,0 +1,130 @@
+/// serving_rankd: one shard of the rank-sharded serving frontend as a
+/// standalone process. serve::RankShardedEngine spawns N of these in
+/// socket-transport mode (RankShardedEngineConfig::socket); each loads
+/// the model bundle from disk, connects back to the router's listener,
+/// handshakes (wire version + shard index + model shape, see
+/// src/serve/shard_wire.hpp), and then runs the exact same
+/// gather->predict->reply loop the in-process ranks run
+/// (serve::run_shard_worker) — the transport substitution DESIGN.md §1
+/// promises, with zero drift between the two deployments.
+///
+/// Usage:
+///   serving_rankd --connect=ADDR --shard=I --bundle=DIR
+///                 [--max-batch=N] [--gather=N] [--batch-deadline-us=N]
+///                 [--threads=N] [--cache=N] [--memo=N] [--die-after=N]
+///
+/// --max-batch configures the engine (mirroring the in-process shards'
+/// EngineConfig); --gather bounds the worker loop's opportunistic batch
+/// (the router's drain_max_batch resolution) and defaults to --max-batch.
+///
+/// ADDR is a parallel::SocketListener address ("unix:<path>" or
+/// "tcp:<ip>:<port>"). --die-after=N is a test hook: exit abruptly (no
+/// shutdown ack, socket just closes) after scoring N requests, so the
+/// suites can rehearse the router's worker-death shedding path.
+///
+/// Exit codes: 0 clean shutdown (kShutdown acked), 1 usage/handshake/
+/// runtime error — including the router's link vanishing mid-serve, which
+/// the worker cannot distinguish from any other dead peer — and 42 when
+/// the --die-after hook tripped.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "parallel/socket_transport.hpp"
+#include "serve/model_bundle.hpp"
+#include "serve/shard_worker.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+struct Args {
+  std::string connect;
+  std::string bundle_dir;
+  std::size_t shard = 0;
+  bool shard_set = false;
+  qkmps::serve::EngineConfig engine;
+  std::size_t gather = 0;  ///< 0 = engine.max_batch
+  std::size_t die_after = 0;
+};
+
+bool parse_flag(const char* arg, const char* name, std::string& out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  out = arg + n + 1;
+  return true;
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (parse_flag(argv[i], "--connect", value)) {
+      args.connect = value;
+    } else if (parse_flag(argv[i], "--bundle", value)) {
+      args.bundle_dir = value;
+    } else if (parse_flag(argv[i], "--shard", value)) {
+      args.shard = static_cast<std::size_t>(std::stoull(value));
+      args.shard_set = true;
+    } else if (parse_flag(argv[i], "--max-batch", value)) {
+      args.engine.max_batch = static_cast<std::size_t>(std::stoull(value));
+    } else if (parse_flag(argv[i], "--gather", value)) {
+      args.gather = static_cast<std::size_t>(std::stoull(value));
+    } else if (parse_flag(argv[i], "--batch-deadline-us", value)) {
+      args.engine.batch_deadline = std::chrono::microseconds(std::stoll(value));
+    } else if (parse_flag(argv[i], "--threads", value)) {
+      args.engine.num_threads = static_cast<std::size_t>(std::stoull(value));
+    } else if (parse_flag(argv[i], "--cache", value)) {
+      args.engine.cache_capacity = static_cast<std::size_t>(std::stoull(value));
+    } else if (parse_flag(argv[i], "--memo", value)) {
+      args.engine.memo_capacity = static_cast<std::size_t>(std::stoull(value));
+    } else if (parse_flag(argv[i], "--die-after", value)) {
+      args.die_after = static_cast<std::size_t>(std::stoull(value));
+    } else {
+      throw qkmps::Error(std::string("unknown argument: ") + argv[i]);
+    }
+  }
+  if (args.connect.empty() || args.bundle_dir.empty() || !args.shard_set)
+    throw qkmps::Error(
+        "usage: serving_rankd --connect=ADDR --shard=I --bundle=DIR "
+        "[--max-batch=N] [--batch-deadline-us=N] [--threads=N] [--cache=N] "
+        "[--memo=N] [--die-after=N]");
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qkmps;
+  try {
+    const Args args = parse_args(argc, argv);
+
+    const auto bundle = std::make_shared<const serve::ModelBundle>(
+        serve::load_bundle(args.bundle_dir));
+    serve::InferenceEngine engine(bundle, args.engine);
+
+    std::unique_ptr<parallel::SocketTransport> link =
+        parallel::SocketTransport::connect(args.connect,
+                                           std::chrono::milliseconds(10'000));
+    serve::ShardHello hello;
+    hello.shard_index = args.shard;
+    hello.num_features = bundle->num_features();
+    serve::shard_handshake_client(*link, hello,
+                                  std::chrono::microseconds(10'000'000));
+
+    serve::ShardWorkerOptions options;
+    options.batch_limit =
+        args.gather > 0 ? args.gather : args.engine.max_batch;
+    options.die_after_requests = args.die_after;
+    const bool clean = run_shard_worker(*link, engine, options);
+
+    // Clean = acked kShutdown; otherwise the --die-after test hook
+    // tripped (simulated crash: exit without a word; the closing socket
+    // is the signal the router acts on).
+    return clean ? 0 : 42;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serving_rankd: %s\n", e.what());
+    return 1;
+  }
+}
