@@ -13,23 +13,31 @@
 ///    time, overridable with --worker=PATH); throughput/p99 against the
 ///    inproc numbers shows the framing + loopback cost.
 ///
-/// Two sections:
+/// Three sections:
 ///  1. Rank scaling (both transports): the cache-pressure uniform stream
 ///     swept over worker counts {1, 2, 4}, consistent-hash routing.
 ///     Per-shard resources fixed, so the aggregate cache scales with the
 ///     worker count exactly as in the in-process frontend.
-///  2. Elastic resize (inproc only — add_shard over socket workers is a
-///     ROADMAP item): a Zipf hot-key stream served at N ranks, then
-///     add_shard() to N+1 and the identical stream replayed — once under
-///     the consistent-hash router and once under feature-hash modulo. The
-///     table reports how many keys remigrated and how many circuits the
-///     replay had to re-simulate: the ring keeps ~(1 - 1/(N+1)) of the
-///     StateCaches warm, modulo cold-starts nearly everything.
+///  2. Elastic resize (both transports — over sockets this grows a live
+///     worker fleet: a new serving_rankd process is spawned and
+///     handshaken while the survivors keep serving): a Zipf hot-key
+///     stream served at N workers, then add_shard() to N+1 and the
+///     identical stream replayed — once under the consistent-hash router
+///     and once under feature-hash modulo. The table reports how many
+///     keys remigrated and how many circuits the replay had to
+///     re-simulate: the ring keeps ~(1 - 1/(N+1)) of the StateCaches
+///     warm, modulo cold-starts nearly everything. Gate: the ring
+///     replay's cache hit-rate must beat modulo's.
+///  3. Self-heal (socket only): a worker is SIGKILL'd mid-stream. Every
+///     in-flight future must still resolve (served or shed — zero lost),
+///     the monitor must respawn the worker, and the respawned process
+///     must serve again. Gate: respawn observed + zero lost futures.
 ///
-/// Every served prediction in both sections is compared bitwise against
-/// the sequential simulate_states + decision_values pipeline; any mismatch
-/// makes the process exit 1 (CI runs `serving_ranked --quick` in both
-/// transports as parity smokes). Emits serving_ranked.json (inproc) /
+/// Every served prediction is compared bitwise against the sequential
+/// simulate_states + decision_values pipeline; any mismatch — or a
+/// failed resize/self-heal gate — makes the process exit 1 (CI runs
+/// `serving_ranked --quick` in both transports as parity + elasticity
+/// smokes). Emits serving_ranked.json (inproc) /
 /// serving_ranked_socket.json (socket).
 ///
 /// Knobs: QKMPS_RANKED_REQUESTS, QKMPS_RANKED_UNIQUE,
@@ -37,13 +45,16 @@
 /// QKMPS_RANKED_CACHE (per-shard StateCache entries); QKMPS_FULL=1 scales
 /// everything up; --quick shrinks to a CI smoke.
 
+#include <signal.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -328,8 +339,8 @@ int main(int argc, char** argv) {
                           : "the typed Comm channel pair");
 
   // --- Section 2: elastic resize, ring vs modulo on a Zipf stream. ------
-  // In-process transport only: add_shard over live socket workers is the
-  // ROADMAP's elastic-worker-set step.
+  // Both transports: over sockets the add_shard() spawns and handshakes a
+  // live serving_rankd process while the survivors keep serving.
   const std::size_t resize_from = quick ? 2 : 3;
   workload::ScenarioConfig zipf;
   zipf.name = "zipf-hot-keys";
@@ -346,16 +357,14 @@ int main(int argc, char** argv) {
     RunResult before, after;
   };
   std::vector<ResizeOutcome> outcomes;
-  if (socket_mode) {
-    std::printf("\nresize section skipped: add_shard over socket workers is "
-                "not supported yet (in-process transport only)\n");
-  } else {
+  {
     const std::vector<double> zipf_ref =
         reference_values(*setup.bundle, zipf_stream.unique_points);
 
-    std::printf("\nresize %zu -> %zu ranks on %s (digest %s): run, add_shard, "
+    std::printf("\nresize %zu -> %zu %s on %s (digest %s): run, add_shard, "
                 "replay\n",
-                resize_from, resize_from + 1, zipf.name.c_str(),
+                resize_from, resize_from + 1,
+                socket_mode ? "worker processes" : "ranks", zipf.name.c_str(),
                 hex_digest(workload::scenario_digest(zipf_stream)).c_str());
     std::printf("%-26s %15s %11s %11s %7s %7s %10s\n", "configuration",
                 "throughput", "p50", "p99", "cache", "circ", "srv/rej");
@@ -378,6 +387,7 @@ int main(int argc, char** argv) {
       // what gets measured.
       rcfg.engine.cache_capacity = static_cast<std::size_t>(n_unique) * 2;
       rcfg.engine.memo_capacity = 0;
+      configure_transport(rcfg);
       serve::RankShardedEngine engine(setup.bundle, rcfg);
 
       oc.before = run_scenario(engine, zipf_stream, zipf_ref);
@@ -399,6 +409,107 @@ int main(int argc, char** argv) {
       outcomes.push_back(oc);
     }
   }
+  // Gate: the whole point of the ring is that a resize keeps the
+  // survivors' StateCaches warm — its replay hit-rate must beat modulo's.
+  const bool resize_gate_ok =
+      outcomes.size() == 2 &&
+      outcomes[0].after.cache_hit_rate > outcomes[1].after.cache_hit_rate;
+  if (!resize_gate_ok)
+    std::printf("\nRESIZE GATE FAILURE: consistent-hash replay hit-rate "
+                "(%.0f%%) did not beat modulo (%.0f%%)\n",
+                outcomes.size() == 2 ? 100.0 * outcomes[0].after.cache_hit_rate
+                                     : 0.0,
+                outcomes.size() == 2 ? 100.0 * outcomes[1].after.cache_hit_rate
+                                     : 0.0);
+
+  // --- Section 3: self-heal (socket only): SIGKILL a worker mid-stream. -
+  // Gate: every future resolves (zero lost), the monitor respawns the
+  // victim, and the respawned process serves again.
+  struct SelfHealOutcome {
+    bool ran = false;
+    bool ok = false;
+    long victim_pid = 0;
+    long respawned_pid = 0;
+    std::uint64_t respawns = 0;
+    std::uint64_t served = 0;
+    std::uint64_t shed = 0;
+    double seconds_to_serve_again = 0.0;
+  };
+  SelfHealOutcome heal;
+  if (socket_mode) {
+    heal.ran = true;
+    serve::RankShardedEngineConfig rcfg;
+    rcfg.num_shards = 2;
+    rcfg.ingress_capacity = static_cast<std::size_t>(zipf.num_requests);
+    rcfg.engine.max_batch = 16;
+    rcfg.engine.cache_capacity = static_cast<std::size_t>(cache_entries);
+    rcfg.engine.memo_capacity = static_cast<std::size_t>(cache_entries);
+    configure_transport(rcfg);
+    rcfg.socket.respawn = true;
+    rcfg.socket.respawn_backoff = std::chrono::milliseconds(100);
+    serve::RankShardedEngine engine(setup.bundle, rcfg);
+
+    const std::size_t victim = 0;
+    heal.victim_pid = engine.worker_pid(victim);
+
+    // Fire the whole stream, murder the victim with requests in flight,
+    // then collect: .get() on every future proves none is lost.
+    std::vector<std::future<serve::RoutedPrediction>> futures;
+    futures.reserve(static_cast<std::size_t>(zipf_stream.size()));
+    for (idx r = 0; r < zipf_stream.size(); ++r)
+      futures.push_back(engine.submit(zipf_stream.request(r)));
+    ::kill(static_cast<pid_t>(heal.victim_pid), SIGKILL);
+    for (auto& f : futures) {
+      const serve::RoutedPrediction p = f.get();
+      if (p.status == serve::ServeStatus::kServed)
+        ++heal.served;
+      else
+        ++heal.shed;
+    }
+
+    // Hammer the victim's shard until the respawned worker serves again.
+    Timer recover;
+    bool serves_again = false;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (!serves_again && std::chrono::steady_clock::now() < deadline) {
+      bool sent_one = false;
+      for (idx u = 0; u < zipf_stream.unique_points.rows(); ++u) {
+        const std::vector<double> key(
+            zipf_stream.unique_points.row(u),
+            zipf_stream.unique_points.row(u) +
+                zipf_stream.unique_points.cols());
+        if (engine.shard_for(key) != static_cast<int>(victim)) continue;
+        sent_one = true;
+        if (engine.submit(key).get().status == serve::ServeStatus::kServed) {
+          serves_again = true;
+          break;
+        }
+      }
+      if (!sent_one) break;  // nothing routes to the victim: cannot probe
+      if (!serves_again)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    heal.seconds_to_serve_again = recover.seconds();
+
+    const serve::RankShardedStats st = engine.stats();
+    heal.respawns = st.shards[victim].respawns;
+    heal.respawned_pid = engine.worker_pid(victim);
+    heal.ok = serves_again && heal.respawns >= 1 &&
+              heal.respawned_pid > 0 && heal.respawned_pid != heal.victim_pid;
+
+    std::printf("\nself-heal: SIGKILL'd worker %ld mid-stream; %llu served / "
+                "%llu shed / 0 lost; respawned as pid %ld after %llu "
+                "attempt(s); serving again in %.2fs%s\n",
+                heal.victim_pid,
+                static_cast<unsigned long long>(heal.served),
+                static_cast<unsigned long long>(heal.shed),
+                heal.respawned_pid,
+                static_cast<unsigned long long>(heal.respawns),
+                heal.seconds_to_serve_again,
+                heal.ok ? "" : "  <-- SELF-HEAL GATE FAILURE");
+  }
+  const bool self_heal_ok = !heal.ran || heal.ok;
 
   if (total_mismatches > 0)
     std::printf("\nPARITY FAILURE: %llu served predictions diverged from the "
@@ -441,6 +552,7 @@ int main(int argc, char** argv) {
     jw.field("resize_from_ranks", static_cast<long long>(resize_from));
     jw.field("resize_scenario_digest",
              hex_digest(workload::scenario_digest(zipf_stream)));
+    jw.field("resize_gate_ok", resize_gate_ok);
     jw.begin_array("resize");
     for (const ResizeOutcome& oc : outcomes) {
       jw.begin_array_object();
@@ -454,9 +566,21 @@ int main(int argc, char** argv) {
       jw.end_object();
     }
     jw.end_array();
+    if (heal.ran) {
+      jw.begin_object("self_heal");
+      jw.field("ok", heal.ok);
+      jw.field("victim_pid", static_cast<long long>(heal.victim_pid));
+      jw.field("respawned_pid", static_cast<long long>(heal.respawned_pid));
+      jw.field("respawns", static_cast<long long>(heal.respawns));
+      jw.field("served", static_cast<long long>(heal.served));
+      jw.field("shed", static_cast<long long>(heal.shed));
+      jw.field("lost_futures", 0LL);  // every .get() returned, by control flow
+      jw.field("seconds_to_serve_again", heal.seconds_to_serve_again);
+      jw.end_object();
+    }
   });
   std::error_code ec;
   std::filesystem::remove_all(bundle_dir, ec);
   std::filesystem::remove_all(bundle_dir + ".tmp", ec);
-  return total_mismatches == 0 ? 0 : 1;
+  return (total_mismatches == 0 && resize_gate_ok && self_heal_ok) ? 0 : 1;
 }

@@ -34,6 +34,39 @@ void set_nonblocking(int fd) {
                   "fcntl(F_SETFL, O_NONBLOCK) failed");
 }
 
+/// Every fd this layer creates must be close-on-exec: the serving engine
+/// posix_spawn's worker processes, and a worker that inherits the
+/// router's listener or a sibling's connection fd delays peer-EOF death
+/// detection (the sibling's dup keeps the socket open) and leaks fds per
+/// respawn generation. SOCK_CLOEXEC/accept4 set the flag atomically where
+/// available; this fcntl fallback covers the rest.
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  QKMPS_CHECK_MSG(flags >= 0, "fcntl(F_GETFD) failed");
+  QKMPS_CHECK_MSG(::fcntl(fd, F_SETFD, flags | FD_CLOEXEC) == 0,
+                  "fcntl(F_SETFD, FD_CLOEXEC) failed");
+}
+
+int cloexec_socket(int domain) {
+#ifdef SOCK_CLOEXEC
+  return ::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0);
+#else
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd >= 0) set_cloexec(fd);
+  return fd;
+#endif
+}
+
+int cloexec_accept(int listener_fd) {
+#if defined(SOCK_CLOEXEC) && defined(__linux__)
+  return ::accept4(listener_fd, nullptr, nullptr, SOCK_CLOEXEC);
+#else
+  const int fd = ::accept(listener_fd, nullptr, nullptr);
+  if (fd >= 0) set_cloexec(fd);
+  return fd;
+#endif
+}
+
 constexpr const char* kUnixPrefix = "unix:";
 constexpr const char* kTcpPrefix = "tcp:";
 
@@ -205,7 +238,7 @@ SocketListener SocketListener::listen(const std::string& address) {
   if (has_prefix(address, kUnixPrefix)) {
     const std::string path = address.substr(std::strlen(kUnixPrefix));
     const sockaddr_un addr = make_unix_addr(path);
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    const int fd = cloexec_socket(AF_UNIX);
     if (fd < 0) throw_errno("socket(AF_UNIX)");
     ::unlink(path.c_str());  // a stale socket file from a dead process
     if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
@@ -223,7 +256,7 @@ SocketListener SocketListener::listen(const std::string& address) {
   QKMPS_CHECK_MSG(has_prefix(address, kTcpPrefix),
                   "address must start with unix: or tcp:, got: " << address);
   sockaddr_in addr = make_tcp_addr(address.substr(std::strlen(kTcpPrefix)));
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = cloexec_socket(AF_INET);
   if (fd < 0) throw_errno("socket(AF_INET)");
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
@@ -256,7 +289,7 @@ std::unique_ptr<SocketTransport> SocketListener::accept_for(
   QKMPS_CHECK_MSG(fd_ >= 0, "accept on a closed listener");
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   for (;;) {
-    const int cfd = ::accept(fd_, nullptr, nullptr);
+    const int cfd = cloexec_accept(fd_);
     if (cfd >= 0) {
       set_nonblocking(cfd);
       return std::make_unique<SocketTransport>(cfd);
@@ -298,7 +331,7 @@ std::unique_ptr<SocketTransport> SocketTransport::connect(
     if (has_prefix(address, kUnixPrefix)) {
       const sockaddr_un addr =
           make_unix_addr(address.substr(std::strlen(kUnixPrefix)));
-      fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      fd = cloexec_socket(AF_UNIX);
       if (fd < 0) throw_errno("socket(AF_UNIX)");
       rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                      sizeof addr);
@@ -308,7 +341,7 @@ std::unique_ptr<SocketTransport> SocketTransport::connect(
                           << address);
       const sockaddr_in addr =
           make_tcp_addr(address.substr(std::strlen(kTcpPrefix)));
-      fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      fd = cloexec_socket(AF_INET);
       if (fd < 0) throw_errno("socket(AF_INET)");
       rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                      sizeof addr);

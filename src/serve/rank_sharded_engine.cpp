@@ -6,6 +6,8 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <optional>
 #include <thread>
@@ -46,6 +48,18 @@ long spawn_worker_process(const std::string& exe,
   return static_cast<long>(pid);
 }
 
+/// waitpid that retries EINTR: a signal delivered to this thread (a
+/// profiler tick, a debugger attach, SIGCHLD itself) must not abandon
+/// the wait — an abandoned wait leaks the child as a zombie for the
+/// life of the engine process.
+pid_t waitpid_eintr(long pid, int* status, int options) {
+  pid_t r;
+  do {
+    r = ::waitpid(static_cast<pid_t>(pid), status, options);
+  } while (r == -1 && errno == EINTR);
+  return r;
+}
+
 /// Waits `grace` for the worker to exit on its own (it just saw its link
 /// close or a kShutdown), then escalates to SIGKILL — the destructor must
 /// never hang on a wedged child.
@@ -53,14 +67,23 @@ void reap_worker(long pid, std::chrono::milliseconds grace) {
   const auto deadline = std::chrono::steady_clock::now() + grace;
   for (;;) {
     int status = 0;
-    const pid_t r = ::waitpid(static_cast<pid_t>(pid), &status, WNOHANG);
+    const pid_t r = waitpid_eintr(pid, &status, WNOHANG);
     if (r != 0) return;  // reaped (or already gone / not ours)
     if (std::chrono::steady_clock::now() >= deadline) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   ::kill(static_cast<pid_t>(pid), SIGKILL);
   int status = 0;
-  ::waitpid(static_cast<pid_t>(pid), &status, 0);
+  waitpid_eintr(pid, &status, 0);
+}
+
+/// Full-precision decimal so the weight a worker parses from its command
+/// line is bit-identical to the one the router pinned in the handshake
+/// policy (17 significant digits round-trip any double).
+std::string format_weight(double weight) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", weight);
+  return buf;
 }
 
 }  // namespace
@@ -87,9 +110,16 @@ RankShardedEngine::RankShardedEngine(std::shared_ptr<const ModelBundle> bundle,
   QKMPS_CHECK_MSG(config_.num_shards >= 1, "need at least one shard");
   QKMPS_CHECK_MSG(config_.ingress_capacity >= 1,
                   "ingress queue needs capacity >= 1");
-  router_ = make_router(config_.router, config_.num_shards);
-  for (std::size_t i = 0; i < config_.num_shards; ++i)
+  std::vector<double> weights = config_.shard_weights;
+  if (weights.empty()) weights.assign(config_.num_shards, 1.0);
+  QKMPS_CHECK_MSG(weights.size() == config_.num_shards,
+                  "shard_weights has " << weights.size() << " entries for "
+                                       << config_.num_shards << " shards");
+  router_ = make_router(config_.router, weights);
+  for (std::size_t i = 0; i < config_.num_shards; ++i) {
     shard_state_.push_back(std::make_unique<ShardState>());
+    shard_state_.back()->weight = weights[i];
+  }
   if (config_.transport == TransportKind::kInProcess) {
     const std::vector<std::size_t> lanes =
         shard_thread_lanes(config_.engine.num_threads, config_.num_shards);
@@ -110,13 +140,24 @@ RankShardedEngine::~RankShardedEngine() {
 }
 
 std::size_t RankShardedEngine::num_shards() const {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  std::lock_guard<std::mutex> topo(topology_mu_);
   return shard_state_.size();
 }
 
 int RankShardedEngine::shard_for(const std::vector<double>& features) const {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  std::lock_guard<std::mutex> topo(topology_mu_);
   return router_->shard_for(features);
+}
+
+long RankShardedEngine::worker_pid(std::size_t shard) const {
+  std::lock_guard<std::mutex> topo(topology_mu_);
+  if (shard >= shard_state_.size() || shard >= worker_pids_.size()) return -1;
+  const ShardState& state = *shard_state_[shard];
+  if (state.removed.load(std::memory_order_relaxed) ||
+      state.demoted.load(std::memory_order_relaxed) ||
+      !state.alive.load(std::memory_order_relaxed))
+    return -1;
+  return worker_pids_[shard];
 }
 
 std::size_t RankShardedEngine::drain_batch_limit() const {
@@ -192,12 +233,17 @@ void RankShardedEngine::start_runtime() {
             throw;
           }
         } else {
-          parallel::CommTransport link(comm, 0);
-          ShardWorkerOptions options;
-          options.batch_limit = std::max<std::size_t>(1, drain_batch_limit());
-          run_shard_worker(
-              link, *engines_[static_cast<std::size_t>(comm.rank() - 1)],
-              options);
+          // A removed shard's slot still gets a rank (ids are never
+          // reused) but has no engine left — its loop is a no-op; the
+          // router never addresses it.
+          InferenceEngine* engine =
+              engines_[static_cast<std::size_t>(comm.rank() - 1)].get();
+          if (engine != nullptr) {
+            parallel::CommTransport link(comm, 0);
+            ShardWorkerOptions options;
+            options.batch_limit = std::max<std::size_t>(1, drain_batch_limit());
+            run_shard_worker(link, *engine, options);
+          }
         }
       });
     } catch (...) {
@@ -208,6 +254,27 @@ void RankShardedEngine::start_runtime() {
       runtime_error_ = std::current_exception();
     }
   });
+}
+
+std::vector<std::string> RankShardedEngine::worker_args(
+    std::size_t shard, std::size_t threads, double weight,
+    std::uint64_t generation) const {
+  std::vector<std::string> args = {
+      "--connect=" + listener_->address(),
+      "--shard=" + std::to_string(shard),
+      "--bundle=" + config_.socket.bundle_dir,
+      "--max-batch=" + std::to_string(config_.engine.max_batch),
+      "--gather=" + std::to_string(drain_batch_limit()),
+      "--batch-deadline-us=" +
+          std::to_string(config_.engine.batch_deadline.count()),
+      "--threads=" + std::to_string(threads),
+      "--cache=" + std::to_string(config_.engine.cache_capacity),
+      "--memo=" + std::to_string(config_.engine.memo_capacity),
+      "--weight=" + format_weight(weight),
+      "--generation=" + std::to_string(generation)};
+  args.insert(args.end(), config_.socket.worker_extra_args.begin(),
+              config_.socket.worker_extra_args.end());
+  return args;
 }
 
 void RankShardedEngine::start_socket_runtime() {
@@ -225,6 +292,9 @@ void RankShardedEngine::start_socket_runtime() {
 
   const std::string address =
       sc.listen_address.empty() ? default_socket_address() : sc.listen_address;
+  // The listener stays open for the engine's whole life — it is what
+  // makes the fleet elastic: add_shard() and the respawn path accept
+  // fresh workers on it long after the initial fleet handshakes in.
   listener_ = std::make_unique<parallel::SocketListener>(
       parallel::SocketListener::listen(address));
 
@@ -238,20 +308,10 @@ void RankShardedEngine::start_socket_runtime() {
       shard_thread_lanes(config_.engine.num_threads, n);
   try {
     for (std::size_t i = 0; i < n; ++i) {
-      std::vector<std::string> args = {
-          "--connect=" + listener_->address(),
-          "--shard=" + std::to_string(i),
-          "--bundle=" + sc.bundle_dir,
-          "--max-batch=" + std::to_string(config_.engine.max_batch),
-          "--gather=" + std::to_string(drain_batch_limit()),
-          "--batch-deadline-us=" +
-              std::to_string(config_.engine.batch_deadline.count()),
-          "--threads=" + std::to_string(lanes[i]),
-          "--cache=" + std::to_string(config_.engine.cache_capacity),
-          "--memo=" + std::to_string(config_.engine.memo_capacity)};
-      args.insert(args.end(), sc.worker_extra_args.begin(),
-                  sc.worker_extra_args.end());
-      worker_pids_.push_back(spawn_worker_process(sc.worker_path, args));
+      shard_state_[i]->threads = lanes[i];
+      worker_pids_.push_back(spawn_worker_process(
+          sc.worker_path,
+          worker_args(i, lanes[i], shard_state_[i]->weight, 0)));
     }
     links_.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -260,12 +320,18 @@ void RankShardedEngine::start_socket_runtime() {
       QKMPS_CHECK_MSG(conn != nullptr,
                       "timed out waiting for shard workers to connect ("
                           << i << " of " << n << " arrived)");
+      ShardAcceptPolicy policy;
+      policy.num_shards = n;
+      policy.num_features = bundle_->num_features();
       const ShardHello hello = shard_handshake_server(
-          *conn, n, bundle_->num_features(),
+          *conn, policy,
           std::chrono::duration_cast<std::chrono::microseconds>(
               sc.connect_timeout));
       QKMPS_CHECK_MSG(links_[hello.shard_index] == nullptr,
                       "two workers claimed shard " << hello.shard_index);
+      QKMPS_CHECK_MSG(hello.weight == shard_state_[hello.shard_index]->weight,
+                      "worker for shard " << hello.shard_index
+                                          << " echoed the wrong ring weight");
       links_[hello.shard_index] = std::move(conn);
     }
   } catch (...) {
@@ -284,20 +350,25 @@ void RankShardedEngine::start_socket_runtime() {
     ptrs.reserve(links_.size());
     for (const auto& link : links_) ptrs.push_back(link.get());
     try {
-      router_loop(ptrs);
+      router_loop(std::move(ptrs));
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
       runtime_error_ = std::current_exception();
     }
-    // Fulfil any stats request that raced the shutdown so no caller is
-    // left waiting on a promise nobody owns.
-    std::deque<std::promise<std::vector<EngineStats>>> leftovers;
+    // Fulfil any stats or resize request that raced the shutdown so no
+    // caller is left waiting on a promise nobody owns.
+    std::deque<std::promise<std::vector<EngineStats>>> stats_leftovers;
+    std::deque<TopologyCommand> topology_leftovers;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      leftovers.swap(stats_requests_);
+      stats_leftovers.swap(stats_requests_);
+      topology_leftovers.swap(topology_requests_);
     }
-    for (auto& p : leftovers)
+    for (auto& p : stats_leftovers)
       p.set_value(std::vector<EngineStats>(links_.size()));
+    for (auto& c : topology_leftovers)
+      c.done.set_exception(std::make_exception_ptr(
+          Error("engine stopped before the resize could run")));
   });
 }
 
@@ -313,27 +384,51 @@ void RankShardedEngine::stop_runtime(bool final_stop) {
   // Socket teardown: closing the links EOFs any worker the shutdown
   // handshake missed (it exits on the transport error), then the reaper
   // waits it out — escalating to SIGKILL so a wedged child cannot hang
-  // the destructor.
-  links_.clear();
-  listener_.reset();
-  for (long pid : worker_pids_) reap_worker(pid, std::chrono::milliseconds(5000));
-  worker_pids_.clear();
+  // the destructor. The vectors mutate under topology_mu_ because
+  // worker_pid()/stats() readers may still be in flight.
+  std::vector<long> pids;
+  {
+    std::lock_guard<std::mutex> topo(topology_mu_);
+    links_.clear();
+    listener_.reset();
+    pids.swap(worker_pids_);
+  }
+  for (long pid : pids)
+    if (pid > 0) reap_worker(pid, std::chrono::milliseconds(5000));
   {
     std::lock_guard<std::mutex> lock(mu_);
     draining_ = false;
   }
 }
 
-void RankShardedEngine::add_shard() {
-  QKMPS_CHECK_MSG(
-      config_.transport == TransportKind::kInProcess,
-      "add_shard over the socket transport is not implemented yet — elastic "
-      "worker sets are the ROADMAP's next serving step");
+void RankShardedEngine::add_shard(double weight) {
+  QKMPS_CHECK_MSG(weight > 0.0,
+                  "shard weight must be positive, got " << weight);
   std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     QKMPS_CHECK_MSG(!stopped_, "add_shard on a stopped RankShardedEngine");
   }
+
+  if (config_.transport == TransportKind::kSocket) {
+    // The router thread is the topology's single writer: hand it the
+    // resize and wait. Survivors keep serving throughout — their caches
+    // live in their own processes and never notice the growth.
+    TopologyCommand cmd;
+    cmd.op = TopologyCommand::Op::kAdd;
+    cmd.weight = weight;
+    std::future<void> done = cmd.done.get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (runtime_error_) std::rethrow_exception(runtime_error_);
+      topology_requests_.push_back(std::move(cmd));
+    }
+    cv_ingress_.notify_all();
+    done.get();  // rethrows a failed spawn/handshake
+    resizes_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
   stop_runtime(/*final_stop=*/false);
 
   // Existing engines keep their pools (and, crucially, their caches);
@@ -344,16 +439,66 @@ void RankShardedEngine::add_shard() {
   engine_cfg.num_threads =
       shard_thread_lanes(config_.engine.num_threads, engines_.size() + 1)
           .back();
-  engines_.push_back(std::make_unique<InferenceEngine>(bundle_, engine_cfg));
-  shard_state_.push_back(std::make_unique<ShardState>());
-  router_->add_shard();
+  {
+    std::lock_guard<std::mutex> topo(topology_mu_);
+    engines_.push_back(std::make_unique<InferenceEngine>(bundle_, engine_cfg));
+    shard_state_.push_back(std::make_unique<ShardState>());
+    shard_state_.back()->weight = weight;
+    router_->add_shard(weight);
+  }
   resizes_.fetch_add(1, std::memory_order_relaxed);
 
   start_runtime();
 }
 
-void RankShardedEngine::router_loop(
-    const std::vector<parallel::Transport*>& links) {
+void RankShardedEngine::remove_shard(std::size_t shard) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    QKMPS_CHECK_MSG(!stopped_, "remove_shard on a stopped RankShardedEngine");
+  }
+  {
+    std::lock_guard<std::mutex> topo(topology_mu_);
+    QKMPS_CHECK_MSG(shard < shard_state_.size(),
+                    "remove_shard(" << shard << ") out of range");
+    QKMPS_CHECK_MSG(!shard_state_[shard]->removed.load(),
+                    "shard " << shard << " was already removed");
+    std::size_t remaining = 0;
+    for (const auto& state : shard_state_)
+      if (!state->removed.load()) ++remaining;
+    QKMPS_CHECK_MSG(remaining > 1, "cannot remove the last shard");
+  }
+
+  if (config_.transport == TransportKind::kSocket) {
+    TopologyCommand cmd;
+    cmd.op = TopologyCommand::Op::kRemove;
+    cmd.shard = shard;
+    std::future<void> done = cmd.done.get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (runtime_error_) std::rethrow_exception(runtime_error_);
+      topology_requests_.push_back(std::move(cmd));
+    }
+    cv_ingress_.notify_all();
+    done.get();
+    resizes_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  // In-process: the drain inside stop_runtime serves the shard's
+  // in-flight work before its engine (and caches) are released.
+  stop_runtime(/*final_stop=*/false);
+  {
+    std::lock_guard<std::mutex> topo(topology_mu_);
+    router_->remove_shard(static_cast<int>(shard));
+    shard_state_[shard]->removed.store(true, std::memory_order_relaxed);
+    engines_[shard].reset();
+  }
+  resizes_.fetch_add(1, std::memory_order_relaxed);
+  start_runtime();
+}
+
+void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
   struct InFlight {
     std::promise<RoutedPrediction> promise;
     std::chrono::steady_clock::time_point submitted;
@@ -361,10 +506,11 @@ void RankShardedEngine::router_loop(
     int shard = -1;
   };
   std::unordered_map<std::uint64_t, InFlight> inflight;
-  const int n = static_cast<int>(links.size());
   const bool socket = config_.transport == TransportKind::kSocket;
   bool drain_marker_sent = false;
-  std::vector<char> drain_acked(static_cast<std::size_t>(n), 0);
+  // Sized when the drain marker goes out: the topology is frozen from
+  // that point on (resize commands are refused while draining).
+  std::vector<char> drain_acked;
   // Socket mode: a connected-but-unresponsive worker (deadlocked,
   // SIGSTOP'd) owing replies or a drain ack would otherwise stall the
   // drain loop — and with it the destructor — forever. Any progress
@@ -373,9 +519,13 @@ void RankShardedEngine::router_loop(
   constexpr std::chrono::seconds kDrainStall{30};
   std::chrono::steady_clock::time_point drain_stall_deadline{};
 
-  const auto alive = [this](int s) {
-    return shard_state_[static_cast<std::size_t>(s)]->alive.load(
-        std::memory_order_relaxed);
+  // A shard is addressable when it is neither dead nor drained out of
+  // the topology. Removed slots keep their index (ids are never reused)
+  // but own no ring points, no link, and no futures.
+  const auto routable = [this](int s) {
+    const ShardState& state = *shard_state_[static_cast<std::size_t>(s)];
+    return state.alive.load(std::memory_order_relaxed) &&
+           !state.removed.load(std::memory_order_relaxed);
   };
 
   // Shed with status: the worker is gone, so the honest outcome is a
@@ -405,6 +555,11 @@ void RankShardedEngine::router_loop(
         ++it;
       }
     }
+    // Arm the self-heal: a fresh death gets a fresh attempt budget and
+    // the base backoff (the monitor below doubles it per failure).
+    state.respawn_attempts = 0;
+    state.respawn_delay = config_.socket.respawn_backoff;
+    state.next_respawn = std::chrono::steady_clock::now() + state.respawn_delay;
   };
 
   // In-process transport failures are protocol bugs and escape (the
@@ -471,20 +626,227 @@ void RankShardedEngine::router_loop(
     }
   };
 
+  // -------------------------------------------------------------------
+  // Elastic machinery (socket mode). All of it runs on this thread —
+  // the topology's single writer — so only the pointer-swap moments
+  // take topology_mu_ (for the external readers), never the spawns,
+  // accepts, or drains.
+
+  // Accepts connections until one passes the pinned handshake or the
+  // budget runs out. A refused straggler (a superseded generation that
+  // connected late, a backlogged corpse) is not a failure — it is told
+  // why and dropped, and we keep waiting for the worker we spawned.
+  const auto accept_expected =
+      [&](const ShardAcceptPolicy& policy, std::chrono::milliseconds budget)
+      -> std::unique_ptr<parallel::SocketTransport> {
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    for (;;) {
+      const auto left = deadline - std::chrono::steady_clock::now();
+      QKMPS_CHECK_MSG(left > std::chrono::milliseconds::zero(),
+                      "timed out waiting for the spawned worker to connect");
+      std::unique_ptr<parallel::SocketTransport> conn = listener_->accept_for(
+          std::chrono::duration_cast<std::chrono::milliseconds>(left));
+      QKMPS_CHECK_MSG(conn != nullptr,
+                      "timed out waiting for the spawned worker to connect");
+      try {
+        shard_handshake_server(
+            *conn, policy,
+            std::chrono::duration_cast<std::chrono::microseconds>(left));
+        return conn;
+      } catch (const Error&) {
+        if (std::chrono::steady_clock::now() >= deadline) throw;
+      }
+    }
+  };
+
+  // One respawn attempt for a dead (not removed, not demoted) slot:
+  // reap the corpse, spawn the next generation with the slot's weight,
+  // handshake it in pinned to (slot, generation, weight). Ring points
+  // are a pure function of (shard, weight), so the replacement inherits
+  // exactly the keyspace its predecessor owned — nothing else moves.
+  const auto try_respawn = [&](std::size_t s) {
+    ShardState& state = *shard_state_[s];
+    {
+      std::lock_guard<std::mutex> topo(topology_mu_);
+      if (worker_pids_[s] > 0) reap_worker(worker_pids_[s],
+                                           std::chrono::milliseconds(0));
+      worker_pids_[s] = -1;
+    }
+    const std::uint64_t generation =
+        state.generation.load(std::memory_order_relaxed) + 1;
+    long pid = -1;
+    try {
+      pid = spawn_worker_process(
+          config_.socket.worker_path,
+          worker_args(s, state.threads, state.weight, generation));
+      ShardAcceptPolicy policy;
+      policy.num_shards = shard_state_.size();
+      policy.num_features = bundle_->num_features();
+      policy.require_shard = s;
+      policy.require_generation = generation;
+      policy.require_weight = state.weight;
+      std::unique_ptr<parallel::SocketTransport> conn =
+          accept_expected(policy, config_.socket.connect_timeout);
+      {
+        std::lock_guard<std::mutex> topo(topology_mu_);
+        links_[s] = std::move(conn);
+        worker_pids_[s] = pid;
+      }
+      links[s] = links_[s].get();
+      state.generation.store(generation, std::memory_order_relaxed);
+      state.respawns.fetch_add(1, std::memory_order_relaxed);
+      state.respawn_attempts = 0;
+      state.respawn_delay = config_.socket.respawn_backoff;
+      // Back in rotation: requests hashing to this slot serve again.
+      state.alive.store(true, std::memory_order_relaxed);
+    } catch (const std::exception&) {
+      if (pid > 0) reap_worker(pid, std::chrono::milliseconds(500));
+      ++state.respawn_attempts;
+      if (state.respawn_attempts >= config_.socket.max_respawn_attempts) {
+        // Out of budget: the slot sheds forever, loudly visible in
+        // stats() — never a silent crash loop.
+        state.demoted.store(true, std::memory_order_relaxed);
+        return;
+      }
+      state.respawn_delay =
+          std::min(state.respawn_delay * 2, config_.socket.respawn_backoff_max);
+      state.next_respawn =
+          std::chrono::steady_clock::now() + state.respawn_delay;
+    }
+  };
+
+  // add_shard over live workers: spawn + handshake generation 0 of a
+  // brand-new slot, then splice it into the topology in one locked
+  // pointer swap. Survivors never stop serving; consistent hashing
+  // moves only ~1/(N+1) of the keyspace onto the newcomer.
+  const auto execute_add = [&](double weight) {
+    const std::size_t s = shard_state_.size();
+    const std::size_t threads =
+        shard_thread_lanes(config_.engine.num_threads, s + 1).back();
+    const long pid = spawn_worker_process(
+        config_.socket.worker_path, worker_args(s, threads, weight, 0));
+    std::unique_ptr<parallel::SocketTransport> conn;
+    try {
+      ShardAcceptPolicy policy;
+      policy.num_shards = s + 1;
+      policy.num_features = bundle_->num_features();
+      policy.require_shard = s;
+      policy.require_generation = 0;
+      policy.require_weight = weight;
+      conn = accept_expected(policy, config_.socket.connect_timeout);
+    } catch (...) {
+      reap_worker(pid, std::chrono::milliseconds(500));
+      throw;
+    }
+    auto state = std::make_unique<ShardState>();
+    state->weight = weight;
+    state->threads = threads;
+    {
+      std::lock_guard<std::mutex> topo(topology_mu_);
+      shard_state_.push_back(std::move(state));
+      links_.push_back(std::move(conn));
+      worker_pids_.push_back(pid);
+      router_->add_shard(weight);
+    }
+    links.push_back(links_.back().get());
+  };
+
+  // remove_shard: ring handoff first (new routes skip the leaver
+  // immediately), then drain what it still owes, then the shutdown
+  // handshake and the reap. The slot stays, marked removed.
+  const auto execute_remove = [&](std::size_t s) {
+    ShardState& state = *shard_state_[s];
+    {
+      // Handoff: erase the leaver's ring points. Links are FIFO, so
+      // every envelope it owes predates the kDrain marker below.
+      std::lock_guard<std::mutex> topo(topology_mu_);
+      router_->remove_shard(static_cast<int>(s));
+    }
+    if (routable(static_cast<int>(s))) {
+      if (shard_send(static_cast<int>(s),
+                     ShardEnvelope{ShardEnvelope::Kind::kDrain, 0, {}})) {
+        auto stall = std::chrono::steady_clock::now() + kDrainStall;
+        while (routable(static_cast<int>(s))) {
+          try {
+            std::optional<std::vector<std::uint8_t>> bytes =
+                links[s]->recv_for(std::chrono::microseconds(10'000));
+            if (!bytes) {
+              if (std::chrono::steady_clock::now() > stall)
+                mark_dead(static_cast<int>(s),
+                          "no progress during removal drain");
+              continue;
+            }
+            ShardReply reply = decode_reply(*bytes);
+            if (reply.kind == ShardReply::Kind::kDrained) break;
+            handle_reply(static_cast<int>(s), std::move(reply));
+            stall = std::chrono::steady_clock::now() + kDrainStall;
+          } catch (const Error& e) {
+            mark_dead(static_cast<int>(s), e.what());
+          }
+        }
+      }
+      // Post-ack the leaver owes nothing (FIFO: its kDrained follows
+      // every reply to pre-handoff envelopes), so the shutdown
+      // handshake is immediate.
+      if (routable(static_cast<int>(s)) &&
+          shard_send(static_cast<int>(s),
+                     ShardEnvelope{ShardEnvelope::Kind::kShutdown, 0, {}})) {
+        while (routable(static_cast<int>(s))) {
+          try {
+            std::optional<std::vector<std::uint8_t>> bytes =
+                links[s]->recv_for(std::chrono::microseconds(5'000'000));
+            if (!bytes) {
+              mark_dead(static_cast<int>(s), "no shutdown ack while leaving");
+              break;
+            }
+            ShardReply reply = decode_reply(*bytes);
+            if (reply.kind == ShardReply::Kind::kStopped) break;
+            handle_reply(static_cast<int>(s), std::move(reply));
+          } catch (const Error& e) {
+            mark_dead(static_cast<int>(s), e.what());
+          }
+        }
+      }
+    }
+    // Whether it left cleanly or died on the way out, its futures are
+    // all resolved (served above, or shed by mark_dead). Defensive:
+    // shed any stragglers so removal can never leak a promise.
+    for (auto it = inflight.begin(); it != inflight.end();) {
+      if (it->second.shard == static_cast<int>(s)) {
+        shed(std::move(it->second), "shard removed");
+        it = inflight.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    long pid;
+    {
+      std::lock_guard<std::mutex> topo(topology_mu_);
+      links_[s].reset();
+      pid = worker_pids_[s];
+      worker_pids_[s] = -1;
+    }
+    links[s] = nullptr;
+    if (pid > 0) reap_worker(pid, std::chrono::milliseconds(5000));
+    state.removed.store(true, std::memory_order_relaxed);
+  };
+
   for (;;) {
     bool progress = false;
     bool drain = false;
     std::deque<Ingress> pulled;
     std::optional<std::promise<std::vector<EngineStats>>> stats_request;
+    std::optional<TopologyCommand> topology_command;
     {
       std::unique_lock<std::mutex> lock(mu_);
       // Idle with nothing in flight: sleep on the ingress cv (bounded by
       // router_poll so a drain request can't be missed). With work in
       // flight, fall through and poll the reply links instead.
       if (ingress_.empty() && inflight.empty() && !draining_ &&
-          stats_requests_.empty()) {
+          stats_requests_.empty() && topology_requests_.empty()) {
         cv_ingress_.wait_for(lock, config_.router_poll, [this] {
-          return draining_ || !ingress_.empty() || !stats_requests_.empty();
+          return draining_ || !ingress_.empty() || !stats_requests_.empty() ||
+                 !topology_requests_.empty();
         });
       }
       pulled.swap(ingress_);
@@ -492,6 +854,10 @@ void RankShardedEngine::router_loop(
       if (!stats_requests_.empty()) {
         stats_request = std::move(stats_requests_.front());
         stats_requests_.pop_front();
+      }
+      if (!topology_requests_.empty()) {
+        topology_command = std::move(topology_requests_.front());
+        topology_requests_.pop_front();
       }
     }
 
@@ -504,7 +870,7 @@ void RankShardedEngine::router_loop(
       fl.submitted = request.submitted;
       fl.forwarded = std::chrono::steady_clock::now();
       fl.shard = shard;
-      if (!alive(shard)) {
+      if (!routable(shard)) {
         shed(std::move(fl), "shard worker died before the request");
         continue;
       }
@@ -516,8 +882,9 @@ void RankShardedEngine::router_loop(
       // On failure mark_dead already shed this request out of inflight.
     }
 
+    int n = static_cast<int>(links.size());
     for (int s = 0; s < n; ++s) {
-      if (!alive(s)) continue;
+      if (!routable(s)) continue;
       while (std::optional<ShardReply> reply = shard_try_recv(s)) {
         progress = true;
         // A well-framed but protocol-violating reply (duplicate/unknown
@@ -534,6 +901,44 @@ void RankShardedEngine::router_loop(
       }
     }
 
+    if (topology_command) {
+      progress = true;
+      // Resizes execute here — between routing iterations on the
+      // topology's single writer thread — so they cannot race routing,
+      // replies, or each other. A resize that arrives during shutdown
+      // is refused, not left hanging.
+      try {
+        QKMPS_CHECK_MSG(!drain, "engine is stopping; resize refused");
+        if (topology_command->op == TopologyCommand::Op::kAdd) {
+          execute_add(topology_command->weight);
+        } else {
+          execute_remove(topology_command->shard);
+        }
+        topology_command->done.set_value();
+      } catch (...) {
+        topology_command->done.set_exception(std::current_exception());
+      }
+      n = static_cast<int>(links.size());
+    }
+
+    // Self-heal monitor: any slot that died (and was neither removed
+    // nor demoted) gets respawned once its backoff expires. Runs after
+    // routing so a death observed this iteration sheds first — owed
+    // futures never ride the respawn.
+    if (socket && !drain && config_.socket.respawn) {
+      const auto now = std::chrono::steady_clock::now();
+      for (std::size_t s = 0; s < shard_state_.size(); ++s) {
+        ShardState& state = *shard_state_[s];
+        if (state.alive.load(std::memory_order_relaxed) ||
+            state.removed.load(std::memory_order_relaxed) ||
+            state.demoted.load(std::memory_order_relaxed))
+          continue;
+        if (now < state.next_respawn) continue;
+        try_respawn(s);
+        progress = true;
+      }
+    }
+
     if (stats_request) {
       progress = true;
       // Synchronous sweep: briefly prioritises the snapshot over routing
@@ -541,12 +946,12 @@ void RankShardedEngine::router_loop(
       // Non-kStats replies arriving meanwhile are processed normally.
       std::vector<EngineStats> snapshot(static_cast<std::size_t>(n));
       for (int s = 0; s < n; ++s) {
-        if (!alive(s)) continue;
+        if (!routable(s)) continue;
         if (!shard_send(s, ShardEnvelope{ShardEnvelope::Kind::kStats, 0, {}}))
           continue;
         const auto deadline =
             std::chrono::steady_clock::now() + std::chrono::seconds(5);
-        while (alive(s) && std::chrono::steady_clock::now() < deadline) {
+        while (routable(s) && std::chrono::steady_clock::now() < deadline) {
           try {
             std::optional<std::vector<std::uint8_t>> bytes =
                 links[static_cast<std::size_t>(s)]->recv_for(
@@ -572,8 +977,9 @@ void RankShardedEngine::router_loop(
         // Flush barrier: links are FIFO, so a shard's kDrained ack
         // proves every envelope sent before the marker has been scored
         // and its replies are already queued back to us.
+        drain_acked.assign(static_cast<std::size_t>(n), 0);
         for (int s = 0; s < n; ++s)
-          if (alive(s))
+          if (routable(s))
             shard_send(s, ShardEnvelope{ShardEnvelope::Kind::kDrain, 0, {}});
         drain_marker_sent = true;
         drain_stall_deadline = std::chrono::steady_clock::now() + kDrainStall;
@@ -587,15 +993,16 @@ void RankShardedEngine::router_loop(
       }
       bool acked = true;
       for (int s = 0; s < n; ++s)
-        if (alive(s) && !drain_acked[static_cast<std::size_t>(s)]) acked = false;
+        if (routable(s) && !drain_acked[static_cast<std::size_t>(s)])
+          acked = false;
       if (ingress_empty && inflight.empty() && acked) break;
       if (socket && std::chrono::steady_clock::now() > drain_stall_deadline) {
         std::vector<char> owes(static_cast<std::size_t>(n), 0);
         for (const auto& [id, fl] : inflight)
           owes[static_cast<std::size_t>(fl.shard)] = 1;
         for (int s = 0; s < n; ++s)
-          if (alive(s) && (owes[static_cast<std::size_t>(s)] ||
-                           !drain_acked[static_cast<std::size_t>(s)]))
+          if (routable(s) && (owes[static_cast<std::size_t>(s)] ||
+                              !drain_acked[static_cast<std::size_t>(s)]))
             mark_dead(s, "no progress during drain within the deadline");
       }
     }
@@ -609,11 +1016,12 @@ void RankShardedEngine::router_loop(
   // timed recv turns a protocol bug into a loud error instead of a
   // destructor that never returns; a socket worker that will not ack is
   // demoted to dead (the reaper escalates to SIGKILL).
+  const int n = static_cast<int>(links.size());
   for (int s = 0; s < n; ++s)
-    if (alive(s))
+    if (routable(s))
       shard_send(s, ShardEnvelope{ShardEnvelope::Kind::kShutdown, 0, {}});
   for (int s = 0; s < n; ++s) {
-    while (alive(s)) {
+    while (routable(s)) {
       std::optional<ShardReply> ack;
       try {
         std::optional<std::vector<std::uint8_t>> bytes =
@@ -646,7 +1054,11 @@ void RankShardedEngine::router_loop(
 }
 
 std::vector<EngineStats> RankShardedEngine::fetch_remote_stats() const {
-  const std::size_t n = shard_state_.size();
+  std::size_t n;
+  {
+    std::lock_guard<std::mutex> topo(topology_mu_);
+    n = shard_state_.size();
+  }
   std::promise<std::vector<EngineStats>> promise;
   std::future<std::vector<EngineStats>> fut = promise.get_future();
   {
@@ -664,7 +1076,6 @@ std::vector<EngineStats> RankShardedEngine::fetch_remote_stats() const {
 }
 
 RankShardedStats RankShardedEngine::stats() const {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   RankShardedStats agg;
   agg.submitted = submitted_.load(std::memory_order_relaxed);
   agg.admitted = admitted_.load(std::memory_order_relaxed);
@@ -673,11 +1084,16 @@ RankShardedStats RankShardedEngine::stats() const {
   agg.shed = shed_.load(std::memory_order_relaxed);
   agg.resizes = resizes_.load(std::memory_order_relaxed);
   std::vector<EngineStats> engine_stats;
-  if (config_.transport == TransportKind::kSocket) {
+  // The remote sweep happens before topology_mu_ is taken: the router
+  // answers it, and the router may itself be inside a resize holding
+  // topology_mu_ — waiting on it while it waited on us would deadlock.
+  if (config_.transport == TransportKind::kSocket)
     engine_stats = fetch_remote_stats();
-  } else {
+  std::lock_guard<std::mutex> topo(topology_mu_);
+  if (config_.transport != TransportKind::kSocket) {
     engine_stats.reserve(engines_.size());
-    for (const auto& engine : engines_) engine_stats.push_back(engine->stats());
+    for (const auto& engine : engines_)
+      engine_stats.push_back(engine ? engine->stats() : EngineStats{});
   }
   agg.shards.reserve(shard_state_.size());
   for (std::size_t i = 0; i < shard_state_.size(); ++i) {
@@ -685,6 +1101,11 @@ RankShardedStats RankShardedEngine::stats() const {
     s.routed = shard_state_[i]->routed.load(std::memory_order_relaxed);
     s.served = shard_state_[i]->served.load(std::memory_order_relaxed);
     s.alive = shard_state_[i]->alive.load(std::memory_order_relaxed);
+    s.removed = shard_state_[i]->removed.load(std::memory_order_relaxed);
+    s.demoted = shard_state_[i]->demoted.load(std::memory_order_relaxed);
+    s.respawns = shard_state_[i]->respawns.load(std::memory_order_relaxed);
+    s.generation = shard_state_[i]->generation.load(std::memory_order_relaxed);
+    s.weight = shard_state_[i]->weight;
     s.engine = i < engine_stats.size() ? engine_stats[i] : EngineStats{};
     agg.shards.push_back(std::move(s));
   }

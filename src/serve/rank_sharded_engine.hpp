@@ -57,6 +57,20 @@ struct SocketTransportConfig {
   /// Extra argv entries appended to every worker spawn — the test hook
   /// that lets the suites simulate crashing workers (--die-after=N).
   std::vector<std::string> worker_extra_args;
+  /// Self-healing: when a worker's link dies mid-serve, the router
+  /// respawns a replacement (next generation of the same shard slot,
+  /// same ring weight, so routing is undisturbed and the handshake can
+  /// refuse stragglers from the dead generation). In-flight and
+  /// interim requests still shed — the respawn restores capacity, it
+  /// never silently retries work.
+  bool respawn = true;
+  /// Consecutive failed respawn attempts before the slot is permanently
+  /// demoted (it keeps shedding, stats report it `demoted`).
+  std::size_t max_respawn_attempts = 3;
+  /// First retry delay after a death; doubles per failed attempt.
+  std::chrono::milliseconds respawn_backoff{200};
+  /// Ceiling on the doubling.
+  std::chrono::milliseconds respawn_backoff_max{5000};
 };
 
 struct RankShardedEngineConfig {
@@ -88,6 +102,11 @@ struct RankShardedEngineConfig {
   /// Transport selection + socket-mode knobs.
   TransportKind transport = TransportKind::kInProcess;
   SocketTransportConfig socket;
+  /// Ring weights of the initial fleet (heterogeneous shards: a worker
+  /// with twice the --threads budget can carry twice the ring share).
+  /// Empty = uniform 1.0. Otherwise must have num_shards entries, all
+  /// positive; non-uniform weights require the consistent-hash router.
+  std::vector<double> shard_weights;
 };
 
 /// Per-shard snapshot: router-side routing counters plus the shard
@@ -98,6 +117,11 @@ struct RankShardStats {
   std::uint64_t routed = 0;  ///< envelopes the router sent this shard
   std::uint64_t served = 0;  ///< predictions this shard replied
   bool alive = true;         ///< false once the worker's link died
+  bool removed = false;      ///< drained out of the topology by remove_shard
+  bool demoted = false;      ///< respawn budget exhausted; permanently dead
+  std::uint64_t respawns = 0;    ///< successful self-heals of this slot
+  std::uint64_t generation = 0;  ///< current spawn generation (0 = initial)
+  double weight = 1.0;           ///< consistent-hash ring weight
   EngineStats engine;
 };
 
@@ -111,7 +135,7 @@ struct RankShardedStats {
   std::uint64_t rejected = 0;
   std::uint64_t completed = 0;
   std::uint64_t shed = 0;
-  std::uint64_t resizes = 0;  ///< add_shard() calls served so far
+  std::uint64_t resizes = 0;  ///< add_shard() + remove_shard() calls served
   std::vector<RankShardStats> shards;
 };
 
@@ -150,19 +174,39 @@ struct RankShardedStats {
 /// Worker-death semantics (socket mode): a dead link — worker crash,
 /// kill, handshake loss mid-run — marks that shard dead and sheds with
 /// status instead of hanging or poisoning the engine: every in-flight
-/// request on that shard, and every later request routed to it, resolves
-/// ServeStatus::kShed with RoutedPrediction::error naming the cause.
-/// Other shards keep serving; stats() reports the shard !alive. Requests
-/// are deliberately not re-routed: the assignment must stay a pure
-/// function of (hash, topology) so client-side routing stays possible —
-/// re-spawning the worker is the operator's move, not the router's.
+/// request on that shard, and every later request routed to it while it
+/// is down, resolves ServeStatus::kShed with RoutedPrediction::error
+/// naming the cause. Other shards keep serving. Requests are
+/// deliberately not re-routed: the assignment must stay a pure function
+/// of (hash, topology) so client-side routing stays possible.
 ///
-/// Elasticity: add_shard() (in-process transport only — a socket-mode
-/// call throws) drains in-flight work, stops the rank loops, adds one
-/// InferenceEngine and one router ring point set, and restarts with one
-/// more rank. The existing shard engines — and their StateCaches/memos —
-/// survive the resize; with the default consistent-hash router only
-/// ~1/(N+1) of keys remigrate, so hot caches stay hot
+/// Self-healing (socket mode, socket.respawn): after shedding, the
+/// router respawns the dead slot — reap the corpse, bump the slot's
+/// generation, spawn a fresh serving_rankd with the same shard index /
+/// ring weight, and handshake it in (the pinned generation refuses any
+/// straggler from the dead spawn). Ring points never move, so the
+/// respawned worker inherits exactly the keyspace its predecessor owned.
+/// Failed attempts back off exponentially (socket.respawn_backoff,
+/// doubling to respawn_backoff_max); socket.max_respawn_attempts
+/// consecutive failures demote the slot permanently — it sheds forever
+/// and stats() reports it `demoted`. Every future owed at any point in
+/// this state machine resolves; none ride the respawn.
+///
+/// Elasticity — both transports:
+///  - add_shard(weight): in-process, drains in-flight work, stops the
+///    rank loops, adds one InferenceEngine and one router ring point
+///    set, and restarts with one more rank. Over socket, no restart at
+///    all: the router spawns + handshakes one more serving_rankd and
+///    extends the ring while the survivors keep serving — their caches
+///    live in their own processes and are never touched.
+///  - remove_shard(i): hands i's ring keys to the clockwise survivors
+///    (no survivor key moves), drains i's in-flight envelopes, then
+///    shutdown-handshakes and (socket) reaps it. Shard ids are never
+///    reused: the slot stays, marked `removed`, so assignments remain a
+///    pure function of (hash, topology-history).
+/// The existing shard engines — and their StateCaches/memos — survive
+/// every resize; with the consistent-hash router growth remigrates only
+/// ~1/(N+1) of keys, so hot caches stay hot
 /// (tests/test_rank_sharded_engine.cpp pins the retention). Requests
 /// submitted during a resize simply wait in the ingress queue for the
 /// new topology.
@@ -173,10 +217,14 @@ struct RankShardedStats {
 /// decision_values pipeline regardless of shard count, transport, batch
 /// composition, arrival order, or resize history.
 ///
-/// Thread safety: submit(), shard_for(), and stats() are safe from any
-/// number of threads. add_shard() serializes against itself and the
-/// destructor, and may run concurrently with submitters (their requests
-/// queue across the restart); it must not race the destructor.
+/// Thread safety: submit(), shard_for(), num_shards(), worker_pid(),
+/// and stats() are safe from any number of threads. add_shard() and
+/// remove_shard() serialize against each other and the destructor
+/// (lifecycle_mu_), and may run concurrently with submitters. In socket
+/// mode the router thread is the single writer of the live topology
+/// (links, ring, shard slots); external readers synchronize through
+/// topology_mu_, never through the router — so a resize can make
+/// progress while stats()/shard_for() callers come and go.
 ///
 /// Shutdown contract: the destructor stops admission (later submits
 /// throw), serves every request already admitted to the ingress queue or
@@ -204,11 +252,28 @@ class RankShardedEngine {
   /// function of the feature bits and the shard count).
   int shard_for(const std::vector<double>& features) const;
 
-  /// Grows the shard set by one rank: drains, extends engines + router,
-  /// restarts. Existing shards keep their caches. Blocks until the new
-  /// topology is serving. In-process transport only; throws over socket
-  /// (elastic worker sets are a ROADMAP item).
-  void add_shard();
+  /// Grows the shard set by one shard of ring weight `weight`.
+  /// In-process: drains, extends engines + router, restarts the ranks.
+  /// Socket: spawns + handshakes one more serving_rankd while the
+  /// surviving workers keep serving — no restart, no cache disturbance.
+  /// Blocks until the new topology is serving. Non-1.0 weights require
+  /// the consistent-hash router.
+  void add_shard(double weight = 1.0);
+
+  /// Shrinks the fleet: hands shard `shard`'s ring keys to the
+  /// clockwise survivors, drains its in-flight envelopes, shutdown-
+  /// handshakes it, and (socket) reaps the worker process. The id is
+  /// never reused — the slot stays, reported `removed` by stats(), and
+  /// num_shards() keeps counting it. Throws when `shard` is out of
+  /// range, already removed, or the last shard standing. Blocks until
+  /// the handoff is complete.
+  void remove_shard(std::size_t shard);
+
+  /// Socket mode: the pid of the worker currently serving shard
+  /// `shard`, or -1 when there is none (in-process transport, removed
+  /// slot, dead worker awaiting respawn, demoted slot, or engine
+  /// stopped). Test/ops hook — it is inherently racy against respawn.
+  long worker_pid(std::size_t shard) const;
 
   RankShardedStats stats() const;
   std::size_t num_shards() const;
@@ -222,11 +287,37 @@ class RankShardedEngine {
     std::chrono::steady_clock::time_point submitted;
   };
 
-  /// Router-side per-shard counters; engine stats live in the engines.
+  /// Router-side per-shard slot: routing counters, liveness, and the
+  /// respawn state machine. Atomics are the cross-thread surface
+  /// (stats() snapshots them); the trailing plain fields belong to
+  /// whoever is allowed to mutate topology at that moment (the router
+  /// thread in socket mode, the resize caller between runtimes
+  /// otherwise).
   struct ShardState {
     std::atomic<std::uint64_t> routed{0};
     std::atomic<std::uint64_t> served{0};
     std::atomic<bool> alive{true};
+    std::atomic<bool> removed{false};
+    std::atomic<bool> demoted{false};
+    std::atomic<std::uint64_t> respawns{0};
+    std::atomic<std::uint64_t> generation{0};
+    double weight = 1.0;
+    std::size_t threads = 0;  ///< lane budget handed to socket workers
+    /// Respawn bookkeeping (router-thread-only, socket mode).
+    std::size_t respawn_attempts = 0;
+    std::chrono::milliseconds respawn_delay{0};
+    std::chrono::steady_clock::time_point next_respawn{};
+  };
+
+  /// add_shard()/remove_shard() -> router handoff (socket mode): the
+  /// router is the single topology writer, so resizes execute on its
+  /// thread between routing iterations.
+  struct TopologyCommand {
+    enum class Op : std::uint8_t { kAdd, kRemove };
+    Op op = Op::kAdd;
+    std::size_t shard = 0;  ///< kRemove target
+    double weight = 1.0;    ///< kAdd ring weight
+    std::promise<void> done;
   };
 
   void start_runtime();
@@ -235,9 +326,14 @@ class RankShardedEngine {
   /// router, joins the runtime thread, and (socket mode) closes links
   /// and reaps workers. After return no shard loop is running.
   void stop_runtime(bool final_stop);
-  /// The transport-generic router loop: one Transport per shard. Runs on
+  /// The transport-generic router loop: one Transport per shard, taken
+  /// by value because socket-mode resizes grow it in place. Runs on
   /// rank 0 (in-process) or the engine's router thread (socket).
-  void router_loop(const std::vector<parallel::Transport*>& links);
+  void router_loop(std::vector<parallel::Transport*> links);
+  /// Command line for one serving_rankd spawn (socket mode).
+  std::vector<std::string> worker_args(std::size_t shard, std::size_t threads,
+                                       double weight,
+                                       std::uint64_t generation) const;
   /// Socket mode: snapshot every live worker's EngineStats over the
   /// kStats flow. Called by stats() via the stats_requests_ queue the
   /// router services between iterations.
@@ -247,21 +343,31 @@ class RankShardedEngine {
   const std::shared_ptr<const ModelBundle> bundle_;
   const RankShardedEngineConfig config_;
 
-  /// Topology (router_, engines_, shard_state_) mutates only between
-  /// stop_runtime()/start_runtime() pairs under lifecycle_mu_.
+  /// Serializes public lifecycle ops (add_shard, remove_shard, dtor)
+  /// against each other. Never taken by the router thread — a resize
+  /// caller holds it while *waiting on* the router, so the router
+  /// taking it would deadlock.
   mutable std::mutex lifecycle_mu_;
+  /// Guards the topology the outside reads (router_, engines_,
+  /// shard_state_/links_/worker_pids_ vectors) against its writer: the
+  /// router thread in socket mode, the resize caller between runtimes
+  /// otherwise. Held for pointer-swap moments only, never across a
+  /// drain or a spawn.
+  mutable std::mutex topology_mu_;
   std::unique_ptr<Router> router_;
   /// In-process transport only; socket-mode engines live in the worker
-  /// processes.
+  /// processes. A removed in-process shard's slot holds nullptr.
   std::vector<std::unique_ptr<InferenceEngine>> engines_;
   std::vector<std::unique_ptr<ShardState>> shard_state_;
 
-  mutable std::mutex mu_;  ///< guards ingress_, stats_requests_, flags
+  mutable std::mutex mu_;  ///< guards ingress_, request queues, flags
   mutable std::condition_variable cv_ingress_;
   std::deque<Ingress> ingress_;
   /// stats() -> router handoff (socket mode): the router answers each
   /// with a kStats sweep of the live workers.
   mutable std::deque<std::promise<std::vector<EngineStats>>> stats_requests_;
+  /// add/remove_shard -> router handoff (socket mode).
+  std::deque<TopologyCommand> topology_requests_;
   bool draining_ = false;  ///< router: finish outstanding work and return
   bool stopped_ = false;   ///< terminal: submit() throws from now on
 

@@ -1,6 +1,7 @@
 #include "serve/router.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "serve/feature_key.hpp"
 #include "util/error.hpp"
@@ -44,18 +45,44 @@ int ModuloRouter::shard_for_hash(std::uint64_t key_hash) const {
   return static_cast<int>(key_hash % static_cast<std::uint64_t>(num_shards_));
 }
 
-ConsistentHashRouter::ConsistentHashRouter(std::size_t num_shards,
-                                           std::size_t virtual_nodes)
-    : num_shards_(num_shards), virtual_nodes_(virtual_nodes) {
-  QKMPS_CHECK_MSG(num_shards >= 1, "router needs at least one shard");
-  QKMPS_CHECK_MSG(virtual_nodes >= 1, "ring needs at least one point per shard");
-  ring_.reserve(num_shards * virtual_nodes);
-  for (std::size_t s = 0; s < num_shards; ++s)
-    insert_shard_points(static_cast<int>(s));
+void ModuloRouter::add_shard(double weight) {
+  QKMPS_CHECK_MSG(weight == 1.0,
+                  "the modulo router cannot weight shards (hash % N is "
+                  "uniform by construction); use kConsistentHash");
+  ++num_shards_;
 }
 
-void ConsistentHashRouter::insert_shard_points(int shard) {
-  for (std::size_t r = 0; r < virtual_nodes_; ++r) {
+void ModuloRouter::remove_shard(int shard) {
+  QKMPS_CHECK_MSG(shard == static_cast<int>(num_shards_) - 1,
+                  "the modulo router can only remove the highest shard id ("
+                      << num_shards_ - 1 << "), not " << shard
+                      << " — hash % N cannot skip an id; use kConsistentHash");
+  QKMPS_CHECK_MSG(num_shards_ > 1, "cannot remove the only shard");
+  --num_shards_;
+}
+
+ConsistentHashRouter::ConsistentHashRouter(std::size_t num_shards,
+                                           std::size_t virtual_nodes)
+    : ConsistentHashRouter(std::vector<double>(num_shards, 1.0),
+                           virtual_nodes) {}
+
+ConsistentHashRouter::ConsistentHashRouter(const std::vector<double>& weights,
+                                           std::size_t virtual_nodes)
+    : num_shards_(weights.size()), virtual_nodes_(virtual_nodes) {
+  QKMPS_CHECK_MSG(num_shards_ >= 1, "router needs at least one shard");
+  QKMPS_CHECK_MSG(virtual_nodes >= 1, "ring needs at least one point per shard");
+  ring_.reserve(num_shards_ * virtual_nodes);
+  for (std::size_t s = 0; s < num_shards_; ++s)
+    insert_shard_points(static_cast<int>(s), weights[s]);
+}
+
+void ConsistentHashRouter::insert_shard_points(int shard, double weight) {
+  QKMPS_CHECK_MSG(weight > 0.0, "shard weight must be positive, got " << weight);
+  // A weight-w shard owns ~w * virtual_nodes points, so its expected key
+  // share is proportional to w; at least one point so it is reachable.
+  const auto points = static_cast<std::size_t>(std::max<long long>(
+      1, std::llround(weight * static_cast<double>(virtual_nodes_))));
+  for (std::size_t r = 0; r < points; ++r) {
     // Ring position of replica r of `shard`: a pure function of the pair,
     // so adding shard N never moves the points of shards 0..N-1 — the
     // stability add_shard()'s ~1/(N+1) remap bound rests on.
@@ -72,9 +99,33 @@ void ConsistentHashRouter::insert_shard_points(int shard) {
   });
 }
 
-void ConsistentHashRouter::add_shard() {
-  insert_shard_points(static_cast<int>(num_shards_));
+void ConsistentHashRouter::add_shard(double weight) {
+  insert_shard_points(static_cast<int>(num_shards_), weight);
   ++num_shards_;
+}
+
+void ConsistentHashRouter::remove_shard(int shard) {
+  QKMPS_CHECK_MSG(shard >= 0 && shard < static_cast<int>(num_shards_),
+                  "remove_shard(" << shard << ") out of range");
+  const std::size_t mine = points_of(shard);
+  QKMPS_CHECK_MSG(mine > 0, "shard " << shard << " was already removed");
+  QKMPS_CHECK_MSG(ring_.size() > mine,
+                  "cannot remove the only shard left on the ring");
+  // Erasing only this shard's points is the whole handoff: every key it
+  // owned falls through to the next clockwise survivor, and no key owned
+  // by a survivor moves at all.
+  ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                             [shard](const RingPoint& p) {
+                               return p.shard == shard;
+                             }),
+              ring_.end());
+}
+
+std::size_t ConsistentHashRouter::points_of(int shard) const {
+  return static_cast<std::size_t>(
+      std::count_if(ring_.begin(), ring_.end(), [shard](const RingPoint& p) {
+        return p.shard == shard;
+      }));
 }
 
 int ConsistentHashRouter::shard_for_hash(std::uint64_t key_hash) const {
@@ -90,11 +141,20 @@ int ConsistentHashRouter::shard_for_hash(std::uint64_t key_hash) const {
 
 std::unique_ptr<Router> make_router(const RouterConfig& config,
                                     std::size_t num_shards) {
+  return make_router(config, std::vector<double>(num_shards, 1.0));
+}
+
+std::unique_ptr<Router> make_router(const RouterConfig& config,
+                                    const std::vector<double>& weights) {
   switch (config.kind) {
     case RouterKind::kFeatureHashModulo:
-      return std::make_unique<ModuloRouter>(num_shards);
+      for (const double w : weights)
+        QKMPS_CHECK_MSG(w == 1.0,
+                        "kFeatureHashModulo cannot weight shards; use "
+                        "kConsistentHash for heterogeneous fleets");
+      return std::make_unique<ModuloRouter>(weights.size());
     case RouterKind::kConsistentHash:
-      return std::make_unique<ConsistentHashRouter>(num_shards,
+      return std::make_unique<ConsistentHashRouter>(weights,
                                                     config.virtual_nodes);
   }
   QKMPS_CHECK_MSG(false, "unknown RouterKind");

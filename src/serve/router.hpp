@@ -39,15 +39,19 @@ struct RouterConfig {
 /// shards) and serve::RankShardedEngine (rank-distributed shards).
 ///
 /// Thread safety: shard_for / shard_for_hash / num_shards are const and
-/// safe to call concurrently from any number of threads. add_shard is a
-/// topology mutation and must be externally serialized against lookups —
-/// the owning engine only resizes while its router loop is stopped.
+/// safe to call concurrently from any number of threads. add_shard and
+/// remove_shard are topology mutations and must be externally serialized
+/// against lookups — the owning engine only resizes under its topology
+/// lock (or with its router loop stopped).
 ///
-/// Invariants: shard_for_hash returns a value in [0, num_shards()) for
-/// every 64-bit hash; the assignment is a pure function of (hash, current
-/// topology) — no request history, no load feedback — so two routers
-/// built the same way agree on every key (the property that lets a future
-/// multi-process deployment route client-side).
+/// Invariants: shard_for_hash returns a value in [0, num_shards()) that
+/// names a non-removed shard, for every 64-bit hash; the assignment is a
+/// pure function of (hash, current topology) — no request history, no
+/// load feedback — so two routers built the same way agree on every key
+/// (the property that lets a future multi-process deployment route
+/// client-side). Shard ids are never reused: remove_shard(i) retires id
+/// `i` (its keys hand off to the survivors) but num_shards() keeps
+/// counting the retired slot so later shards keep their ids.
 class Router {
  public:
   virtual ~Router() = default;
@@ -56,8 +60,16 @@ class Router {
   virtual int shard_for_hash(std::uint64_t key_hash) const = 0;
 
   /// Grows the topology by one shard (new shard id = previous
-  /// num_shards()). Not thread-safe against concurrent lookups.
-  virtual void add_shard() = 0;
+  /// num_shards()) carrying `weight` (see ConsistentHashRouter). Not
+  /// thread-safe against concurrent lookups.
+  virtual void add_shard(double weight) = 0;
+  void add_shard() { add_shard(1.0); }
+
+  /// Retires shard `shard`: its keys hand off to the remaining shards
+  /// and shard_for_hash never returns it again. Throws qkmps::Error when
+  /// the strategy cannot express the removal (ModuloRouter can only
+  /// shrink from the top) or when it would leave zero shards.
+  virtual void remove_shard(int shard) = 0;
 
   virtual std::size_t num_shards() const = 0;
   virtual RouterKind kind() const = 0;
@@ -67,13 +79,17 @@ class Router {
 };
 
 /// `hash % N` (the original ShardedEngine routing, now behind the Router
-/// interface). add_shard() is supported but remaps almost every key.
+/// interface). add_shard() is supported but remaps almost every key;
+/// weights other than 1.0 and mid-topology removal are unsupported (the
+/// modulo map cannot skip an id or skew its spread) and throw.
 class ModuloRouter final : public Router {
  public:
   explicit ModuloRouter(std::size_t num_shards);
 
   int shard_for_hash(std::uint64_t key_hash) const override;
-  void add_shard() override { ++num_shards_; }
+  using Router::add_shard;
+  void add_shard(double weight) override;
+  void remove_shard(int shard) override;
   std::size_t num_shards() const override { return num_shards_; }
   RouterKind kind() const override { return RouterKind::kFeatureHashModulo; }
 
@@ -81,20 +97,34 @@ class ModuloRouter final : public Router {
   std::size_t num_shards_;
 };
 
-/// Consistent-hash ring with virtual nodes. Construction is deterministic:
-/// a shard's ring points depend only on (shard id, replica index), so
-/// ConsistentHashRouter(n+1) and ConsistentHashRouter(n) + add_shard()
-/// produce identical assignments for every key.
+/// Consistent-hash ring with weighted virtual nodes. Construction is
+/// deterministic: a shard's ring points depend only on (shard id, replica
+/// index), so ConsistentHashRouter(n+1) and ConsistentHashRouter(n) +
+/// add_shard() produce identical assignments for every key — and removing
+/// a shard only erases its own points, so its keys hand off to the
+/// clockwise survivors without moving anyone else's.
+///
+/// Weights size heterogeneous shards: a shard of weight w owns
+/// max(1, round(w * virtual_nodes)) ring points, so its expected share of
+/// keys is proportional to w (a 2x-threads worker pulls ~2x the load —
+/// tests/test_router.cpp pins the spread).
 class ConsistentHashRouter final : public Router {
  public:
   explicit ConsistentHashRouter(std::size_t num_shards,
                                 std::size_t virtual_nodes = 64);
+  /// One shard per weight entry; weights[i] is shard i's ring weight.
+  ConsistentHashRouter(const std::vector<double>& weights,
+                       std::size_t virtual_nodes);
 
   int shard_for_hash(std::uint64_t key_hash) const override;
-  void add_shard() override;
+  using Router::add_shard;
+  void add_shard(double weight) override;
+  void remove_shard(int shard) override;
   std::size_t num_shards() const override { return num_shards_; }
   RouterKind kind() const override { return RouterKind::kConsistentHash; }
   std::size_t virtual_nodes() const { return virtual_nodes_; }
+  /// Ring points shard `shard` currently owns (0 once removed).
+  std::size_t points_of(int shard) const;
 
  private:
   struct RingPoint {
@@ -102,15 +132,18 @@ class ConsistentHashRouter final : public Router {
     int shard;
   };
 
-  void insert_shard_points(int shard);
+  void insert_shard_points(int shard, double weight);
 
   std::size_t num_shards_;
   std::size_t virtual_nodes_;
   std::vector<RingPoint> ring_;  ///< sorted by (point, shard)
 };
 
-/// Factory used by the engine configs.
+/// Factories used by the engine configs: uniform weights, or one weight
+/// per shard (kFeatureHashModulo rejects non-uniform weights).
 std::unique_ptr<Router> make_router(const RouterConfig& config,
                                     std::size_t num_shards);
+std::unique_ptr<Router> make_router(const RouterConfig& config,
+                                    const std::vector<double>& weights);
 
 }  // namespace qkmps::serve

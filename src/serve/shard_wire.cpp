@@ -158,6 +158,8 @@ std::vector<std::uint8_t> encode_hello(const ShardHello& hello) {
   io::write_pod(os, hello.wire_version);
   io::write_pod(os, hello.shard_index);
   io::write_pod(os, hello.num_features);
+  io::write_pod(os, hello.weight);
+  io::write_pod(os, hello.generation);
   return take_bytes(os);
 }
 
@@ -169,6 +171,8 @@ ShardHello decode_hello(const std::vector<std::uint8_t>& payload) {
   hello.wire_version = r.pod<std::uint16_t>();
   hello.shard_index = r.pod<std::uint64_t>();
   hello.num_features = r.pod<std::int64_t>();
+  hello.weight = r.pod<double>();
+  hello.generation = r.pod<std::uint64_t>();
   r.expect_exhausted("hello");
   return hello;
 }

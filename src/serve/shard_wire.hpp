@@ -55,17 +55,27 @@ struct ShardReply {
 
 /// Version of the *payload* schema (fields and their order), negotiated
 /// at handshake. Independent of the frame-codec version, which covers
-/// only the 20-byte header around each payload.
-inline constexpr std::uint16_t kShardWireVersion = 1;
+/// only the 20-byte header around each payload. v2 added the elastic-
+/// fleet fields (ring weight + spawn generation) to the hello.
+inline constexpr std::uint16_t kShardWireVersion = 2;
 
 /// Worker -> router, first message after connect: identifies which shard
-/// this process serves and what it believes the model shape is, so a
-/// mis-spawned or stale worker fails the handshake instead of scoring
-/// with the wrong bundle.
+/// this process serves, what it believes the model shape is, and — since
+/// v2 — which spawn generation and ring weight it was born with, so a
+/// mis-spawned, stale (previous-generation), or mis-weighted worker
+/// fails the handshake instead of scoring with the wrong bundle or
+/// pulling the wrong share of load.
 struct ShardHello {
   std::uint16_t wire_version = kShardWireVersion;
   std::uint64_t shard_index = 0;
   std::int64_t num_features = 0;
+  /// Consistent-hash ring weight this worker was spawned to carry
+  /// (proportional load for heterogeneous --threads budgets).
+  double weight = 1.0;
+  /// Spawn generation of this shard slot: 0 for the initial fleet,
+  /// incremented by the engine for every respawn, so a worker from a
+  /// superseded generation that connects late is refused.
+  std::uint64_t generation = 0;
 };
 
 /// Router -> worker, handshake verdict. A refused worker exits instead

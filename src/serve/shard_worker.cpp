@@ -123,8 +123,7 @@ void shard_handshake_client(parallel::Transport& link,
 }
 
 ShardHello shard_handshake_server(parallel::Transport& link,
-                                  std::size_t num_shards,
-                                  std::int64_t num_features,
+                                  const ShardAcceptPolicy& policy,
                                   std::chrono::microseconds timeout) {
   const std::optional<std::vector<std::uint8_t>> bytes =
       link.recv_for(timeout);
@@ -135,13 +134,24 @@ ShardHello shard_handshake_server(parallel::Transport& link,
   if (hello.wire_version != kShardWireVersion)
     reason << "wire version skew: worker speaks " << hello.wire_version
            << ", router speaks " << kShardWireVersion;
-  else if (hello.shard_index >= num_shards)
+  else if (hello.shard_index >= policy.num_shards)
     reason << "shard index " << hello.shard_index << " out of range (have "
-           << num_shards << " shards)";
-  else if (hello.num_features != num_features)
+           << policy.num_shards << " shards)";
+  else if (hello.num_features != policy.num_features)
     reason << "model shape mismatch: worker bundle has "
            << hello.num_features << " features, router bundle has "
-           << num_features;
+           << policy.num_features;
+  else if (policy.require_shard && hello.shard_index != *policy.require_shard)
+    reason << "expected a worker for shard " << *policy.require_shard
+           << ", got shard " << hello.shard_index;
+  else if (policy.require_generation &&
+           hello.generation != *policy.require_generation)
+    reason << "stale worker generation " << hello.generation
+           << " for shard " << hello.shard_index << " (current is "
+           << *policy.require_generation << ")";
+  else if (policy.require_weight && hello.weight != *policy.require_weight)
+    reason << "ring weight mismatch: worker spawned with " << hello.weight
+           << ", router assigned " << *policy.require_weight;
 
   ShardWelcome welcome;
   welcome.accepted = reason.str().empty();
@@ -149,6 +159,16 @@ ShardHello shard_handshake_server(parallel::Transport& link,
   link.send(encode_welcome(welcome));
   QKMPS_CHECK_MSG(welcome.accepted, "refused worker: " << welcome.error);
   return hello;
+}
+
+ShardHello shard_handshake_server(parallel::Transport& link,
+                                  std::size_t num_shards,
+                                  std::int64_t num_features,
+                                  std::chrono::microseconds timeout) {
+  ShardAcceptPolicy policy;
+  policy.num_shards = num_shards;
+  policy.num_features = num_features;
+  return shard_handshake_server(link, policy, timeout);
 }
 
 }  // namespace qkmps::serve

@@ -2,6 +2,8 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 
 #include "parallel/transport.hpp"
 #include "serve/inference_engine.hpp"
@@ -51,11 +53,35 @@ void shard_handshake_client(parallel::Transport& link,
                             const ShardHello& hello,
                             std::chrono::microseconds timeout);
 
+/// What the router requires of a connecting worker's hello. The optional
+/// fields pin a *specific* expected worker — the elastic paths (respawn,
+/// add_shard) spawn exactly one process and must refuse any other
+/// straggler (a late connection from a superseded generation, a worker
+/// claiming the wrong slot, or one spawned with a stale weight).
+struct ShardAcceptPolicy {
+  std::size_t num_shards = 0;
+  std::int64_t num_features = 0;
+  /// When set: the hello must claim exactly this shard slot.
+  std::optional<std::uint64_t> require_shard;
+  /// When set: the hello's spawn generation must match exactly.
+  std::optional<std::uint64_t> require_generation;
+  /// When set: the hello's ring weight must match exactly (the engine
+  /// formats weights with full precision on the worker command line, so
+  /// the round trip is bit-exact).
+  std::optional<double> require_weight;
+};
+
 /// Router-side handshake: receives a hello on a freshly accepted
-/// connection, validates it (wire version, shard index in range, model
-/// feature count), and replies with the verdict. Returns the validated
-/// hello; throws qkmps::Error — after sending the refusal so the worker
-/// can die loudly too — when validation fails or the hello never comes.
+/// connection, validates it against `policy` (wire version, shard index
+/// in range, model feature count, plus any pinned slot/generation/weight),
+/// and replies with the verdict. Returns the validated hello; throws
+/// qkmps::Error — after sending the refusal so the worker can die loudly
+/// too — when validation fails or the hello never comes.
+ShardHello shard_handshake_server(parallel::Transport& link,
+                                  const ShardAcceptPolicy& policy,
+                                  std::chrono::microseconds timeout);
+
+/// Convenience overload: range/shape checks only (the fixed-fleet path).
 ShardHello shard_handshake_server(parallel::Transport& link,
                                   std::size_t num_shards,
                                   std::int64_t num_features,

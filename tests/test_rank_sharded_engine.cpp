@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <future>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/error.hpp"
@@ -310,6 +314,80 @@ TEST(RankShardedEngine, ServesAcrossAResizeAndKeepsParity) {
   EXPECT_EQ(st.resizes, 1u);
 }
 
+/// remove_shard on the in-process transport: the removed slot's keys
+/// hand off to the survivors, the id is never reused, parity holds
+/// across the shrink, and the removed shard's engine (and caches) are
+/// released.
+TEST(RankShardedEngine, RemoveShardInProcessHandsOffAndKeepsParity) {
+  const Serving s = qkmps::testing::train_small_serving(48);
+  const auto pool = request_pool();
+  const idx n = 24;
+  const std::vector<double> ref = sequential_reference(s, [&] {
+    kernel::RealMatrix pts(n, pool.cols());
+    for (idx i = 0; i < n; ++i)
+      for (idx j = 0; j < pool.cols(); ++j) pts(i, j) = pool(i, j);
+    return pts;
+  }());
+
+  RankShardedEngineConfig rcfg;
+  rcfg.num_shards = 3;
+  RankShardedEngine engine(s.bundle, rcfg);
+
+  auto check = [&](idx from, idx to) {
+    for (idx i = from; i < to; ++i) {
+      const RoutedPrediction p =
+          engine
+              .submit(std::vector<double>(pool.row(i),
+                                          pool.row(i) + pool.cols()))
+              .get();
+      ASSERT_EQ(p.status, ServeStatus::kServed);
+      EXPECT_EQ(p.prediction.decision_value, ref[static_cast<std::size_t>(i)]);
+    }
+  };
+
+  check(0, n / 2);
+  engine.remove_shard(1);
+  EXPECT_EQ(engine.num_shards(), 3u);  // the retired id still counts
+  check(n / 2, n);
+
+  const RankShardedStats st = engine.stats();
+  EXPECT_EQ(st.resizes, 1u);
+  ASSERT_EQ(st.shards.size(), 3u);
+  EXPECT_TRUE(st.shards[1].removed);
+  EXPECT_EQ(st.shed, 0u);
+  for (idx i = 0; i < n; ++i)
+    EXPECT_NE(engine.shard_for(std::vector<double>(
+                  pool.row(i), pool.row(i) + pool.cols())),
+              1);
+  EXPECT_THROW(engine.remove_shard(1), Error);  // already removed
+  EXPECT_THROW(engine.remove_shard(7), Error);  // out of range
+}
+
+/// Heterogeneous fleets: shard_weights skews the consistent-hash ring so
+/// a double-weight shard pulls roughly double the keys.
+TEST(RankShardedEngine, ShardWeightsSkewRoutingProportionally) {
+  const Serving s = qkmps::testing::train_small_serving(49);
+  const auto pool = request_pool();
+  RankShardedEngineConfig rcfg;
+  rcfg.num_shards = 2;
+  rcfg.router = RouterConfig{RouterKind::kConsistentHash, 256};
+  rcfg.shard_weights = {2.0, 1.0};
+  RankShardedEngine engine(s.bundle, rcfg);
+
+  std::size_t heavy = 0;
+  for (idx i = 0; i < pool.rows(); ++i)
+    if (engine.shard_for(std::vector<double>(pool.row(i),
+                                             pool.row(i) + pool.cols())) == 0)
+      ++heavy;
+  // Expected share 2/3; demand clearly more than half on 200 keys.
+  EXPECT_GT(heavy, static_cast<std::size_t>(pool.rows()) / 2);
+
+  const RankShardedStats st = engine.stats();
+  ASSERT_EQ(st.shards.size(), 2u);
+  EXPECT_EQ(st.shards[0].weight, 2.0);
+  EXPECT_EQ(st.shards[1].weight, 1.0);
+}
+
 // ---------------------------------------------------------------------
 // Socket transport: the same engine, shards as serving_rankd processes.
 // QKMPS_RANKD_PATH is injected by tests/CMakeLists.txt as the built
@@ -394,6 +472,9 @@ TEST_F(RankShardedSocketTest, DeadWorkerShedsWithStatusAndOthersKeepServing) {
 
   RankShardedEngineConfig rcfg = socket_config(bundle_dir_, 2);
   rcfg.engine.memo_capacity = 0;  // every request really scores
+  // This test pins the *shedding* semantics in isolation, so the
+  // self-heal stays off — respawn behaviour has its own suites below.
+  rcfg.socket.respawn = false;
   // Shard 0's worker crashes after its first scored request; shard 1
   // (spawned second, --die-after applies to all, but shard 1 sees fewer
   // requests below) — direct every request at one shard by reusing one
@@ -446,14 +527,220 @@ TEST_F(RankShardedSocketTest, DeadWorkerShedsWithStatusAndOthersKeepServing) {
   EXPECT_EQ(st.admitted, st.completed + st.shed);
 }
 
-TEST_F(RankShardedSocketTest, AddShardOverSocketThrows) {
+/// add_shard over live worker processes: the new serving_rankd spawns,
+/// handshakes in, and starts serving its slice of the ring while the
+/// survivors — whose caches live in their own processes — are never
+/// restarted (same pid before and after the growth).
+TEST_F(RankShardedSocketTest, AddShardOverSocketGrowsLiveFleet) {
   const Serving s = qkmps::testing::train_small_serving(55);
-  RankShardedEngine engine(s.bundle, socket_config(bundle_dir_, 1));
-  EXPECT_THROW(engine.add_shard(), Error);
-  // The refusal must leave the engine serving.
   const auto pool = request_pool();
+  RankShardedEngine engine(s.bundle, socket_config(bundle_dir_, 1));
+
   const std::vector<double> point(pool.row(0), pool.row(0) + pool.cols());
-  EXPECT_EQ(engine.submit(point).get().status, ServeStatus::kServed);
+  ASSERT_EQ(engine.submit(point).get().status, ServeStatus::kServed);
+  const long pid_before = engine.worker_pid(0);
+  ASSERT_GT(pid_before, 0);
+
+  engine.add_shard();
+  EXPECT_EQ(engine.num_shards(), 2u);
+  EXPECT_EQ(engine.stats().resizes, 1u);
+  EXPECT_EQ(engine.worker_pid(0), pid_before);  // survivor untouched
+  EXPECT_GT(engine.worker_pid(1), 0);
+  EXPECT_NE(engine.worker_pid(1), pid_before);
+
+  // The grown fleet serves, and both shards are reachable via routing.
+  std::vector<std::future<RoutedPrediction>> futures;
+  for (idx i = 0; i < 32 && i < pool.rows(); ++i)
+    futures.push_back(engine.submit(
+        std::vector<double>(pool.row(i), pool.row(i) + pool.cols())));
+  bool hit_new_shard = false;
+  for (auto& fut : futures) {
+    const RoutedPrediction p = fut.get();
+    ASSERT_EQ(p.status, ServeStatus::kServed);
+    if (p.shard == 1) hit_new_shard = true;
+  }
+  EXPECT_TRUE(hit_new_shard);
+  const RankShardedStats st = engine.stats();
+  ASSERT_EQ(st.shards.size(), 2u);
+  EXPECT_TRUE(st.shards[1].alive);
+  EXPECT_GT(st.shards[1].served, 0u);
+}
+
+/// remove_shard over socket: the leaver's ring keys hand off to the
+/// survivors, its in-flight work completes, its process is reaped, and
+/// the id is never reused.
+TEST_F(RankShardedSocketTest, RemoveShardOverSocketHandsOffKeys) {
+  const Serving s = qkmps::testing::train_small_serving(56);
+  const auto pool = request_pool();
+  RankShardedEngine engine(s.bundle, socket_config(bundle_dir_, 3));
+
+  std::vector<std::future<RoutedPrediction>> warm;
+  for (idx i = 0; i < 24; ++i)
+    warm.push_back(engine.submit(
+        std::vector<double>(pool.row(i), pool.row(i) + pool.cols())));
+  for (auto& fut : warm) ASSERT_EQ(fut.get().status, ServeStatus::kServed);
+
+  const long leaver_pid = engine.worker_pid(1);
+  ASSERT_GT(leaver_pid, 0);
+  engine.remove_shard(1);
+
+  EXPECT_EQ(engine.num_shards(), 3u);  // ids are never reused
+  EXPECT_EQ(engine.worker_pid(1), -1);
+  const RankShardedStats st = engine.stats();
+  ASSERT_EQ(st.shards.size(), 3u);
+  EXPECT_TRUE(st.shards[1].removed);
+  EXPECT_EQ(st.shed, 0u);  // removal drains; it never sheds
+
+  // The leaver's process was really reaped, not left a zombie: a zombie
+  // child would still be waitpid-able, so ECHILD here proves the reap.
+  int status = 0;
+  errno = 0;
+  EXPECT_EQ(::waitpid(static_cast<pid_t>(leaver_pid), &status, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+
+  // Everything still serves, and nothing routes to the removed slot.
+  for (idx i = 0; i < 24; ++i) {
+    const std::vector<double> f(pool.row(i), pool.row(i) + pool.cols());
+    EXPECT_NE(engine.shard_for(f), 1);
+    const RoutedPrediction p = engine.submit(f).get();
+    ASSERT_EQ(p.status, ServeStatus::kServed);
+    EXPECT_NE(p.shard, 1);
+  }
+  EXPECT_THROW(engine.remove_shard(1), Error);  // already removed
+}
+
+/// The fd-hygiene bugfix, observed from outside: a spawned worker's fd
+/// table contains exactly one socket — its own connection back to the
+/// router. Before CLOEXEC, every worker inherited the router's listener
+/// (and workers spawned later inherited earlier workers' accepted
+/// links), which kept dead peers' sockets alive and delayed EOF-based
+/// death detection by the lifetime of unrelated processes.
+TEST_F(RankShardedSocketTest, SpawnedWorkerHoldsNoInheritedSockets) {
+  const Serving s = qkmps::testing::train_small_serving(58);
+  RankShardedEngine engine(s.bundle, socket_config(bundle_dir_, 2));
+
+  for (std::size_t shard : {0u, 1u}) {
+    const long pid = engine.worker_pid(shard);
+    ASSERT_GT(pid, 0);
+    std::size_t sockets = 0, fds = 0;
+    const std::string fd_dir = "/proc/" + std::to_string(pid) + "/fd";
+    for (const auto& entry : std::filesystem::directory_iterator(fd_dir)) {
+      ++fds;
+      std::error_code ec;
+      const std::string target =
+          std::filesystem::read_symlink(entry.path(), ec).string();
+      if (!ec && target.rfind("socket:", 0) == 0) ++sockets;
+    }
+    // stdin/stdout/stderr + the one link (+ the dirfd of this very
+    // iteration, which the kernel shows transiently).
+    EXPECT_EQ(sockets, 1u) << "shard " << shard
+                           << " inherited a socket it does not own";
+    EXPECT_LE(fds, 6u) << "shard " << shard << " fd table is leaking";
+  }
+}
+
+/// The self-heal path end to end: SIGKILL a worker mid-fleet and the
+/// router respawns the slot (next generation, same ring weight). Every
+/// future submitted before, during, and after the outage resolves —
+/// kServed or kShed, never a hang, never a lost future — and service to
+/// the slot eventually recovers.
+TEST_F(RankShardedSocketTest, Kill9WorkerRespawnsWithZeroLostFutures) {
+  const Serving s = qkmps::testing::train_small_serving(59);
+  const auto pool = request_pool();
+  RankShardedEngineConfig rcfg = socket_config(bundle_dir_, 2);
+  rcfg.socket.respawn_backoff = std::chrono::milliseconds(50);
+  RankShardedEngine engine(s.bundle, rcfg);
+
+  const std::vector<double> point(pool.row(0), pool.row(0) + pool.cols());
+  const int target = engine.shard_for(point);
+  ASSERT_EQ(engine.submit(point).get().status, ServeStatus::kServed);
+
+  const long victim = engine.worker_pid(static_cast<std::size_t>(target));
+  ASSERT_GT(victim, 0);
+  ASSERT_EQ(::kill(static_cast<pid_t>(victim), SIGKILL), 0);
+
+  // Hammer the dead slot until it serves again. Every future must
+  // resolve; the shed ones are the honest outage window.
+  std::vector<std::future<RoutedPrediction>> futures;
+  bool recovered = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!recovered && std::chrono::steady_clock::now() < deadline) {
+    futures.push_back(engine.submit(point));
+    if (futures.size() % 8 == 0) {
+      for (auto& fut : futures) {
+        const RoutedPrediction p = fut.get();  // must never hang
+        ASSERT_TRUE(p.status == ServeStatus::kServed ||
+                    p.status == ServeStatus::kShed);
+        if (p.status == ServeStatus::kServed) recovered = true;
+      }
+      futures.clear();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  for (auto& fut : futures) {
+    const RoutedPrediction p = fut.get();
+    ASSERT_TRUE(p.status == ServeStatus::kServed ||
+                p.status == ServeStatus::kShed);
+    if (p.status == ServeStatus::kServed) recovered = true;
+  }
+  EXPECT_TRUE(recovered) << "slot never came back after SIGKILL";
+
+  const RankShardedStats st = engine.stats();
+  const RankShardStats& slot = st.shards[static_cast<std::size_t>(target)];
+  EXPECT_TRUE(slot.alive);
+  EXPECT_GE(slot.respawns, 1u);
+  EXPECT_GE(slot.generation, 1u);
+  EXPECT_EQ(st.admitted, st.completed + st.shed);  // zero lost futures
+  const long respawned = engine.worker_pid(static_cast<std::size_t>(target));
+  EXPECT_GT(respawned, 0);
+  EXPECT_NE(respawned, victim);
+}
+
+/// Exhausting the respawn budget demotes the slot permanently: deleting
+/// the bundle makes every replacement die on startup, so after
+/// max_respawn_attempts backoffs the router stops trying and the slot
+/// sheds forever — visibly, via stats().demoted.
+TEST_F(RankShardedSocketTest, RespawnBudgetExhaustionDemotesPermanently) {
+  const Serving s = qkmps::testing::train_small_serving(61);
+  const auto pool = request_pool();
+  RankShardedEngineConfig rcfg = socket_config(bundle_dir_, 2);
+  rcfg.socket.respawn_backoff = std::chrono::milliseconds(10);
+  rcfg.socket.respawn_backoff_max = std::chrono::milliseconds(40);
+  rcfg.socket.max_respawn_attempts = 2;
+  rcfg.socket.connect_timeout = std::chrono::milliseconds(1500);
+  RankShardedEngine engine(s.bundle, rcfg);
+
+  const std::vector<double> point(pool.row(0), pool.row(0) + pool.cols());
+  const int target = engine.shard_for(point);
+  ASSERT_EQ(engine.submit(point).get().status, ServeStatus::kServed);
+
+  // Every respawned worker will fail to load the bundle and exit before
+  // connecting; each attempt burns the accept timeout.
+  std::filesystem::remove_all(bundle_dir_);
+  const long victim = engine.worker_pid(static_cast<std::size_t>(target));
+  ASSERT_GT(victim, 0);
+  ASSERT_EQ(::kill(static_cast<pid_t>(victim), SIGKILL), 0);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  bool demoted = false;
+  while (!demoted && std::chrono::steady_clock::now() < deadline) {
+    demoted = engine.stats()
+                  .shards[static_cast<std::size_t>(target)]
+                  .demoted;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_TRUE(demoted) << "slot was never demoted";
+
+  const RankShardStats slot =
+      engine.stats().shards[static_cast<std::size_t>(target)];
+  EXPECT_FALSE(slot.alive);
+  EXPECT_EQ(slot.respawns, 0u);  // no attempt ever succeeded
+  EXPECT_EQ(engine.worker_pid(static_cast<std::size_t>(target)), -1);
+  // A demoted slot sheds with status — it never hangs a future.
+  const RoutedPrediction p = engine.submit(point).get();
+  EXPECT_EQ(p.status, ServeStatus::kShed);
 }
 
 TEST_F(RankShardedSocketTest, MissingWorkerBinaryFailsConstructionLoudly) {

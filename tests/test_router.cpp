@@ -6,6 +6,7 @@
 
 #include "serve/feature_key.hpp"
 #include "serve/router.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace qkmps::serve {
@@ -144,6 +145,97 @@ TEST(Router, SingleShardRoutersSendEverythingToShardZero) {
     EXPECT_EQ(ring.shard_for_hash(k), 0);
     EXPECT_EQ(modulo.shard_for_hash(k), 0);
   }
+}
+
+/// Weighted virtual nodes: a shard of weight w owns ~w * virtual_nodes
+/// ring points, so its key share is proportional to w — the property
+/// that lets a 2x-threads worker pull 2x the load.
+TEST(ConsistentHashRouter, WeightedSpreadIsProportionalToWeights) {
+  const std::vector<double> weights{2.0, 1.0, 1.0};
+  ConsistentHashRouter router(weights, 256);
+  EXPECT_EQ(router.points_of(0), 512u);
+  EXPECT_EQ(router.points_of(1), 256u);
+
+  const std::size_t kKeys = 12000;
+  std::vector<std::size_t> owned(weights.size(), 0);
+  for (std::uint64_t k : random_keys(kKeys, 18))
+    ++owned[static_cast<std::size_t>(router.shard_for_hash(k))];
+
+  const double total_weight = 4.0;
+  for (std::size_t s = 0; s < weights.size(); ++s) {
+    const double fair =
+        static_cast<double>(kKeys) * weights[s] / total_weight;
+    // 256+ points per shard keeps relative imbalance well under 25%.
+    EXPECT_GT(static_cast<double>(owned[s]), 0.75 * fair) << "shard " << s;
+    EXPECT_LT(static_cast<double>(owned[s]), 1.25 * fair) << "shard " << s;
+  }
+}
+
+TEST(ConsistentHashRouter, FractionalWeightStillGetsAtLeastOnePoint) {
+  ConsistentHashRouter router(std::vector<double>{1.0, 0.001}, 8);
+  EXPECT_EQ(router.points_of(1), 1u);  // max(1, round(0.001 * 8))
+}
+
+/// Removal is the exact mirror of growth: every key the leaver owned
+/// hands off to a surviving shard, and no key owned by a survivor moves
+/// at all — survivors' caches stay untouched by the shrink.
+TEST(ConsistentHashRouter, RemovingAShardOnlyMovesTheLeaversKeys) {
+  const std::size_t n = 4;
+  const std::size_t kKeys = 4000;
+  const std::vector<std::uint64_t> keys = random_keys(kKeys, 19);
+
+  ConsistentHashRouter before(n, 128);
+  ConsistentHashRouter after(n, 128);
+  const int leaver = 1;
+  after.remove_shard(leaver);
+  EXPECT_EQ(after.points_of(leaver), 0u);
+  EXPECT_EQ(after.num_shards(), n);  // the retired id still counts
+
+  std::size_t handed_off = 0;
+  for (std::uint64_t k : keys) {
+    const int was = before.shard_for_hash(k);
+    const int now = after.shard_for_hash(k);
+    EXPECT_NE(now, leaver);
+    if (was == leaver) {
+      ++handed_off;
+    } else {
+      EXPECT_EQ(now, was) << "a survivor's key moved during removal";
+    }
+  }
+  EXPECT_GT(handed_off, 0u);
+}
+
+TEST(ConsistentHashRouter, RemoveShardValidatesItsTarget) {
+  ConsistentHashRouter router(3, 32);
+  EXPECT_THROW(router.remove_shard(-1), Error);
+  EXPECT_THROW(router.remove_shard(3), Error);
+  router.remove_shard(1);
+  EXPECT_THROW(router.remove_shard(1), Error);  // already removed
+  router.remove_shard(0);
+  EXPECT_THROW(router.remove_shard(2), Error);  // would empty the ring
+}
+
+TEST(ModuloRouter, WeightsAndMidTopologyRemovalAreRejected) {
+  ModuloRouter router(3);
+  EXPECT_THROW(router.add_shard(2.0), Error);
+  EXPECT_THROW(router.remove_shard(0), Error);  // only the top id shrinks
+  router.remove_shard(2);
+  EXPECT_EQ(router.num_shards(), 2u);
+  for (std::uint64_t k : random_keys(100, 20))
+    EXPECT_EQ(router.shard_for_hash(k), static_cast<int>(k % 2));
+  router.remove_shard(1);
+  EXPECT_THROW(router.remove_shard(0), Error);  // cannot remove the last
+}
+
+TEST(Router, WeightedFactoryRejectsWeightsTheKindCannotExpress) {
+  EXPECT_THROW(make_router(RouterConfig{RouterKind::kFeatureHashModulo, 64},
+                           std::vector<double>{1.0, 2.0}),
+               Error);
+  const auto ring = make_router(RouterConfig{RouterKind::kConsistentHash, 64},
+                                std::vector<double>{1.0, 2.0});
+  EXPECT_EQ(ring->num_shards(), 2u);
+  EXPECT_EQ(static_cast<const ConsistentHashRouter&>(*ring).points_of(1),
+            128u);
 }
 
 }  // namespace

@@ -82,10 +82,17 @@ TEST(ShardWire, HandshakeRoundTrips) {
   ShardHello hello;
   hello.shard_index = 3;
   hello.num_features = 17;
+  // v2 fields: the elastic engine pins these at respawn/add time, so
+  // the round trip must be bitwise (the weight rides argv as a %.17g
+  // decimal and must come back identical through the wire too).
+  hello.weight = 0.30000000000000004;  // not representable shorter
+  hello.generation = 0xDEADBEEFCAFEF00Dull;
   const ShardHello hback = decode_hello(encode_hello(hello));
   EXPECT_EQ(hback.wire_version, kShardWireVersion);
   EXPECT_EQ(hback.shard_index, 3u);
   EXPECT_EQ(hback.num_features, 17);
+  EXPECT_EQ(hback.weight, hello.weight);
+  EXPECT_EQ(hback.generation, hello.generation);
 
   ShardWelcome welcome;
   welcome.accepted = false;
@@ -93,6 +100,24 @@ TEST(ShardWire, HandshakeRoundTrips) {
   const ShardWelcome wback = decode_welcome(encode_welcome(welcome));
   EXPECT_FALSE(wback.accepted);
   EXPECT_EQ(wback.error, "wire version skew");
+}
+
+TEST(ShardWire, HelloDefaultsMatchAnUnpinnedFleet) {
+  const ShardHello back = decode_hello(encode_hello(ShardHello{}));
+  EXPECT_EQ(back.weight, 1.0);
+  EXPECT_EQ(back.generation, 0u);
+}
+
+TEST(ShardWire, TruncatedHelloThrows) {
+  // The v2 fields widened the hello; every truncation point — including
+  // a v1-length payload missing just weight/generation — must throw,
+  // never silently default.
+  const std::vector<std::uint8_t> hello = encode_hello(ShardHello{});
+  for (std::size_t keep = 0; keep < hello.size(); ++keep) {
+    const std::vector<std::uint8_t> cut(
+        hello.begin(), hello.begin() + static_cast<long>(keep));
+    EXPECT_THROW(decode_hello(cut), Error) << "hello cut at " << keep;
+  }
 }
 
 // ---------------------------------------------------------------------

@@ -12,6 +12,12 @@
 ///   serving_rankd --connect=ADDR --shard=I --bundle=DIR
 ///                 [--max-batch=N] [--gather=N] [--batch-deadline-us=N]
 ///                 [--threads=N] [--cache=N] [--memo=N] [--die-after=N]
+///                 [--weight=W] [--generation=G]
+///
+/// --weight and --generation are echoed back in the hello verbatim: they
+/// let the elastic engine pin exactly which spawn it is handshaking (a
+/// respawned worker carries the slot's bumped generation; a straggler
+/// from a superseded spawn is refused at the handshake).
 ///
 /// --max-batch configures the engine (mirroring the in-process shards'
 /// EngineConfig); --gather bounds the worker loop's opportunistic batch
@@ -27,6 +33,7 @@
 /// the worker cannot distinguish from any other dead peer — and 42 when
 /// the --die-after hook tripped.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,6 +54,8 @@ struct Args {
   qkmps::serve::EngineConfig engine;
   std::size_t gather = 0;  ///< 0 = engine.max_batch
   std::size_t die_after = 0;
+  double weight = 1.0;
+  std::uint64_t generation = 0;
 };
 
 bool parse_flag(const char* arg, const char* name, std::string& out) {
@@ -81,6 +90,10 @@ Args parse_args(int argc, char** argv) {
       args.engine.memo_capacity = static_cast<std::size_t>(std::stoull(value));
     } else if (parse_flag(argv[i], "--die-after", value)) {
       args.die_after = static_cast<std::size_t>(std::stoull(value));
+    } else if (parse_flag(argv[i], "--weight", value)) {
+      args.weight = std::stod(value);
+    } else if (parse_flag(argv[i], "--generation", value)) {
+      args.generation = static_cast<std::uint64_t>(std::stoull(value));
     } else {
       throw qkmps::Error(std::string("unknown argument: ") + argv[i]);
     }
@@ -89,7 +102,7 @@ Args parse_args(int argc, char** argv) {
     throw qkmps::Error(
         "usage: serving_rankd --connect=ADDR --shard=I --bundle=DIR "
         "[--max-batch=N] [--batch-deadline-us=N] [--threads=N] [--cache=N] "
-        "[--memo=N] [--die-after=N]");
+        "[--memo=N] [--die-after=N] [--weight=W] [--generation=G]");
   return args;
 }
 
@@ -110,6 +123,8 @@ int main(int argc, char** argv) {
     serve::ShardHello hello;
     hello.shard_index = args.shard;
     hello.num_features = bundle->num_features();
+    hello.weight = args.weight;
+    hello.generation = args.generation;
     serve::shard_handshake_client(*link, hello,
                                   std::chrono::microseconds(10'000'000));
 
