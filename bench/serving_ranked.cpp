@@ -59,6 +59,7 @@
 
 #include "bench_common.hpp"
 #include "kernel/gram.hpp"
+#include "obs/metrics.hpp"
 #include "serve/rank_sharded_engine.hpp"
 #include "serve/workload.hpp"
 #include "svm/svm.hpp"
@@ -118,7 +119,14 @@ struct RunResult {
   std::uint64_t circuits = 0;
   double cache_hit_rate = 0.0;
   std::uint64_t parity_mismatches = 0;
+  std::uint64_t untraced = 0;         ///< served with trace_id == 0
+  std::uint64_t no_worker_spans = 0;  ///< served without a kWorker span
 };
+
+/// Every served latency across every scenario run, in the same units the
+/// engine observes into serve.latency.total_seconds — the exact-percentile
+/// side of the histogram-consistency gate.
+std::vector<double> g_served_latencies;
 
 /// Fire-and-join replay of a scenario through a ranked engine, parity-
 /// checked per served prediction. `prior` subtracts an earlier snapshot so
@@ -142,6 +150,12 @@ RunResult run_scenario(serve::RankShardedEngine& engine,
     if (p.status == serve::ServeStatus::kServed) {
       ++res.served;
       latencies.push_back(p.total_seconds);
+      g_served_latencies.push_back(p.total_seconds);
+      if (p.trace.trace_id == 0) ++res.untraced;
+      bool worker_span = false;
+      for (const obs::Span& span : p.trace.spans)
+        if (span.origin == obs::SpanOrigin::kWorker) worker_span = true;
+      if (!worker_span) ++res.no_worker_spans;
       const idx u = scenario.order[static_cast<std::size_t>(r)];
       if (p.prediction.decision_value !=
           reference[static_cast<std::size_t>(u)])
@@ -223,6 +237,7 @@ double remap_fraction(const serve::RouterConfig& cfg, std::size_t shards,
 int main(int argc, char** argv) {
   bool quick = false;
   bool socket_mode = false;
+  std::string metrics_out;
   std::string worker_path =
 #ifdef QKMPS_RANKD_PATH
       QKMPS_RANKD_PATH;
@@ -232,6 +247,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
     } else if (std::strncmp(argv[i], "--transport=", 12) == 0) {
       const std::string kind = argv[i] + 12;
       if (kind == "socket") {
@@ -294,6 +311,12 @@ int main(int argc, char** argv) {
               static_cast<long long>(setup.bundle->num_support_vectors()));
 
   std::uint64_t total_mismatches = 0;
+  std::uint64_t total_untraced = 0;
+  std::uint64_t total_no_worker_spans = 0;
+  const auto count_trace_gate = [&](const RunResult& r) {
+    total_untraced += r.untraced;
+    total_no_worker_spans += r.no_worker_spans;
+  };
 
   // --- Section 1: rank scaling on the cache-pressure uniform stream. ----
   workload::ScenarioConfig pressure;
@@ -329,6 +352,7 @@ int main(int argc, char** argv) {
                   socket_mode ? "proc" : "rank", ranks == 1 ? "" : "s");
     print_row(label, scaling.back());
     total_mismatches += scaling.back().parity_mismatches;
+    count_trace_gate(scaling.back());
   }
   const double speedup =
       scaling.back().throughput / scaling.front().throughput;
@@ -396,6 +420,8 @@ int main(int argc, char** argv) {
       oc.after = run_scenario(engine, zipf_stream, zipf_ref, &snapshot);
       total_mismatches += oc.before.parity_mismatches;
       total_mismatches += oc.after.parity_mismatches;
+      count_trace_gate(oc.before);
+      count_trace_gate(oc.after);
 
       char label[64];
       std::snprintf(label, sizeof label, "%s cold", oc.router);
@@ -422,6 +448,40 @@ int main(int argc, char** argv) {
                 outcomes.size() == 2 ? 100.0 * outcomes[1].after.cache_hit_rate
                                      : 0.0);
 
+  // Observability gate 1: every served request must come back traced, and
+  // over sockets the worker-side spans must have survived the wire.
+  const bool trace_gate_ok =
+      total_untraced == 0 && (!socket_mode || total_no_worker_spans == 0);
+  if (!trace_gate_ok)
+    std::printf("\nTRACE GATE FAILURE: %llu served requests untraced, %llu "
+                "without worker spans\n",
+                static_cast<unsigned long long>(total_untraced),
+                static_cast<unsigned long long>(total_no_worker_spans));
+
+  // Observability gate 2: the registry's log-bucket latency histogram must
+  // agree with the exact percentile over the identical samples (the engine
+  // observes the very value RoutedPrediction.total_seconds reports), so
+  // the only admissible error is bucket resolution — one growth factor per
+  // interpolated rank. Snapshot now, before the self-heal section's extra
+  // probe traffic lands in the histogram.
+  const obs::Histogram::Snapshot latency_snapshot =
+      obs::Registry::global().histogram("serve.latency.total_seconds")
+          .snapshot();
+  const double hist_p50 = latency_snapshot.quantile(0.50);
+  const double exact_p50 = quantile(g_served_latencies, 0.50);
+  const double p50_factor = hist_p50 > exact_p50 ? hist_p50 / exact_p50
+                                                 : exact_p50 / hist_p50;
+  const double p50_tolerance =
+      obs::Histogram::growth() * obs::Histogram::growth();
+  const bool latency_gate_ok =
+      latency_snapshot.count == g_served_latencies.size() &&
+      hist_p50 > 0.0 && p50_factor < p50_tolerance;
+  std::printf("\nlatency histogram: %llu observed, p50 %.3f ms vs exact "
+              "%.3f ms (x%.3f, bucket resolution x%.3f)%s\n",
+              static_cast<unsigned long long>(latency_snapshot.count),
+              1e3 * hist_p50, 1e3 * exact_p50, p50_factor, p50_tolerance,
+              latency_gate_ok ? "" : "  <-- LATENCY GATE FAILURE");
+
   // --- Section 3: self-heal (socket only): SIGKILL a worker mid-stream. -
   // Gate: every future resolves (zero lost), the monitor respawns the
   // victim, and the respawned process serves again.
@@ -434,8 +494,12 @@ int main(int argc, char** argv) {
     std::uint64_t served = 0;
     std::uint64_t shed = 0;
     double seconds_to_serve_again = 0.0;
+    bool flight_ok = false;
+    std::uint64_t flight_events = 0;
+    std::uint64_t flight_traces = 0;
   };
   SelfHealOutcome heal;
+  const std::string flight_dump = "serving_ranked_flight.json";
   if (socket_mode) {
     heal.ran = true;
     serve::RankShardedEngineConfig rcfg;
@@ -447,6 +511,10 @@ int main(int argc, char** argv) {
     configure_transport(rcfg);
     rcfg.socket.respawn = true;
     rcfg.socket.respawn_backoff = std::chrono::milliseconds(100);
+    // The flight recorder's postmortem artifact: written at engine
+    // destruction (end of this block), uploaded by CI next to the bench
+    // JSON.
+    rcfg.flight_dump_path = flight_dump;
     serve::RankShardedEngine engine(setup.bundle, rcfg);
 
     const std::size_t victim = 0;
@@ -498,6 +566,32 @@ int main(int argc, char** argv) {
     heal.ok = serves_again && heal.respawns >= 1 &&
               heal.respawned_pid > 0 && heal.respawned_pid != heal.victim_pid;
 
+    // The flight recorder must tell the incident's story in order: the
+    // victim's spawn, its death, then the respawn that healed the slot
+    // (seq is monotonic, so ring order is incident order).
+    const obs::FlightRecorder& flight = engine.flight_recorder();
+    heal.flight_events = flight.events_recorded();
+    heal.flight_traces = flight.traces_recorded();
+    std::uint64_t spawn_seq = 0, death_seq = 0, respawn_seq = 0;
+    bool saw_spawn = false, saw_death = false, saw_respawn = false;
+    for (const obs::LifecycleEvent& e : flight.events()) {
+      if (e.shard != static_cast<int>(victim)) continue;
+      if (e.kind == obs::EventKind::kSpawn && !saw_spawn) {
+        saw_spawn = true;
+        spawn_seq = e.seq;
+      } else if (e.kind == obs::EventKind::kWorkerDeath && !saw_death) {
+        saw_death = true;
+        death_seq = e.seq;
+      } else if (e.kind == obs::EventKind::kRespawn && !saw_respawn) {
+        saw_respawn = true;
+        respawn_seq = e.seq;
+      }
+    }
+    const bool sequence_ok = saw_spawn && saw_death && saw_respawn &&
+                             spawn_seq < death_seq && death_seq < respawn_seq;
+    heal.flight_ok = sequence_ok && heal.flight_traces > 0;
+    heal.ok = heal.ok && heal.flight_ok;
+
     std::printf("\nself-heal: SIGKILL'd worker %ld mid-stream; %llu served / "
                 "%llu shed / 0 lost; respawned as pid %ld after %llu "
                 "attempt(s); serving again in %.2fs%s\n",
@@ -508,6 +602,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(heal.respawns),
                 heal.seconds_to_serve_again,
                 heal.ok ? "" : "  <-- SELF-HEAL GATE FAILURE");
+    std::printf("flight recorder: %llu events / %llu traces ringed; "
+                "spawn->death->respawn sequence %s; postmortem dump -> %s\n",
+                static_cast<unsigned long long>(heal.flight_events),
+                static_cast<unsigned long long>(heal.flight_traces),
+                sequence_ok ? "verified" : "MISSING",
+                flight_dump.c_str());
   }
   const bool self_heal_ok = !heal.ran || heal.ok;
 
@@ -532,6 +632,18 @@ int main(int argc, char** argv) {
     jw.field("support_vectors",
              static_cast<long long>(setup.bundle->num_support_vectors()));
     jw.field("parity_ok", total_mismatches == 0);
+    jw.field("trace_gate_ok", trace_gate_ok);
+    jw.field("untraced", static_cast<long long>(total_untraced));
+    jw.field("served_without_worker_spans",
+             static_cast<long long>(total_no_worker_spans));
+    jw.begin_object("latency_histogram");
+    jw.field("ok", latency_gate_ok);
+    jw.field("observed", static_cast<long long>(latency_snapshot.count));
+    jw.field("p50_seconds", hist_p50);
+    jw.field("exact_p50_seconds", exact_p50);
+    jw.field("p50_factor", p50_factor);
+    jw.field("bucket_resolution_factor", p50_tolerance);
+    jw.end_object();
     jw.begin_array("rank_scaling");
     for (std::size_t i = 0; i < rank_counts.size(); ++i) {
       const RunResult& r = scaling[i];
@@ -576,11 +688,28 @@ int main(int argc, char** argv) {
       jw.field("shed", static_cast<long long>(heal.shed));
       jw.field("lost_futures", 0LL);  // every .get() returned, by control flow
       jw.field("seconds_to_serve_again", heal.seconds_to_serve_again);
+      jw.field("flight_ok", heal.flight_ok);
+      jw.field("flight_events", static_cast<long long>(heal.flight_events));
+      jw.field("flight_traces", static_cast<long long>(heal.flight_traces));
+      jw.field("flight_dump", flight_dump);
       jw.end_object();
     }
   });
+  // Full registry snapshot — counters, gauges, every latency histogram
+  // including the self-heal section's traffic — as its own artifact.
+  if (!metrics_out.empty()) {
+    std::ofstream mos(metrics_out, std::ios::binary | std::ios::trunc);
+    if (mos)
+      mos << obs::Registry::global().render_json() << "\n";
+    else
+      std::fprintf(stderr, "could not write --metrics-out=%s\n",
+                   metrics_out.c_str());
+  }
   std::error_code ec;
   std::filesystem::remove_all(bundle_dir, ec);
   std::filesystem::remove_all(bundle_dir + ".tmp", ec);
-  return (total_mismatches == 0 && resize_gate_ok && self_heal_ok) ? 0 : 1;
+  return (total_mismatches == 0 && resize_gate_ok && self_heal_ok &&
+          trace_gate_ok && latency_gate_ok)
+             ? 0
+             : 1;
 }

@@ -32,6 +32,23 @@ for doc in README.md DESIGN.md; do
   done
 done
 
+# The observability subsystem is pure cross-cutting documentation — its
+# header comments cite the design doc, the suites that pin each contract,
+# and the layers that report into it. Hold those citations to the same
+# no-dangling-reference standard as the top-level docs (bare paths, no
+# backticks required in code comments).
+for hdr in src/obs/*.hpp; do
+  refs=$(grep -oE '(src|tests|bench|examples|scripts|tools)/[A-Za-z0-9_./-]+' \
+           "$hdr" | sed 's/[.]$//' | sort -u)
+  for ref in $refs; do
+    if [ -e "$ref" ] || [ -e "$ref.cpp" ] || [ -e "$ref.hpp" ]; then
+      continue
+    fi
+    echo "$hdr references missing path: $ref"
+    status=1
+  done
+done
+
 if [ "$status" -eq 0 ]; then
   echo "docs refs OK"
 fi

@@ -1,0 +1,155 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/json_writer.hpp"
+
+namespace qkmps::obs {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSpawn:
+      return "spawn";
+    case EventKind::kWorkerDeath:
+      return "worker_death";
+    case EventKind::kShed:
+      return "shed";
+    case EventKind::kRespawn:
+      return "respawn";
+    case EventKind::kRespawnFailed:
+      return "respawn_failed";
+    case EventKind::kDemotion:
+      return "demotion";
+    case EventKind::kHandshakeRefused:
+      return "handshake_refused";
+    case EventKind::kShardAdded:
+      return "shard_added";
+    case EventKind::kShardRemoved:
+      return "shard_removed";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t trace_capacity,
+                               std::size_t event_capacity)
+    : birth_(std::chrono::steady_clock::now()),
+      trace_capacity_(std::max<std::size_t>(1, trace_capacity)),
+      event_capacity_(std::max<std::size_t>(1, event_capacity)) {}
+
+void FlightRecorder::record_trace(TraceSummary trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (traces_.size() < trace_capacity_) {
+    traces_.push_back(std::move(trace));
+  } else {
+    traces_[next_trace_] = std::move(trace);
+  }
+  next_trace_ = (next_trace_ + 1) % trace_capacity_;
+  ++traces_seq_;
+}
+
+void FlightRecorder::record_event(EventKind kind, int shard,
+                                  std::uint64_t generation,
+                                  std::string detail) {
+  LifecycleEvent event;
+  event.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - birth_)
+          .count();
+  event.kind = kind;
+  event.shard = shard;
+  event.generation = generation;
+  event.detail = std::move(detail);
+  std::lock_guard<std::mutex> lock(mu_);
+  event.seq = events_seq_++;
+  if (events_.size() < event_capacity_) {
+    events_.push_back(std::move(event));
+  } else {
+    events_[next_event_] = std::move(event);
+  }
+  next_event_ = (next_event_ + 1) % event_capacity_;
+}
+
+std::vector<LifecycleEvent> FlightRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LifecycleEvent> out;
+  out.reserve(events_.size());
+  // Oldest-first: once wrapped, the head slot is the oldest entry.
+  const std::size_t start = events_.size() < event_capacity_ ? 0 : next_event_;
+  for (std::size_t i = 0; i < events_.size(); ++i)
+    out.push_back(events_[(start + i) % events_.size()]);
+  return out;
+}
+
+std::vector<TraceSummary> FlightRecorder::traces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceSummary> out;
+  out.reserve(traces_.size());
+  const std::size_t start = traces_.size() < trace_capacity_ ? 0 : next_trace_;
+  for (std::size_t i = 0; i < traces_.size(); ++i)
+    out.push_back(traces_[(start + i) % traces_.size()]);
+  return out;
+}
+
+std::uint64_t FlightRecorder::events_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_seq_;
+}
+
+std::uint64_t FlightRecorder::traces_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_seq_;
+}
+
+void FlightRecorder::dump_json(JsonWriter& w) const {
+  // Copies first so the writer never runs under the ring lock (a slow
+  // disk must not stall the router's record_event calls).
+  const std::vector<LifecycleEvent> evs = events();
+  const std::vector<TraceSummary> trs = traces();
+  std::uint64_t ev_total, tr_total;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ev_total = events_seq_;
+    tr_total = traces_seq_;
+  }
+  w.field("events_recorded", static_cast<long long>(ev_total));
+  w.field("traces_recorded", static_cast<long long>(tr_total));
+  w.begin_array("events");
+  for (const LifecycleEvent& e : evs) {
+    w.begin_array_object();
+    w.field("seq", static_cast<long long>(e.seq));
+    w.field("uptime_seconds", e.uptime_seconds);
+    w.field("kind", to_string(e.kind));
+    w.field("shard", e.shard);
+    w.field("generation", static_cast<long long>(e.generation));
+    w.field("detail", e.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.begin_array("traces");
+  for (const TraceSummary& t : trs) {
+    w.begin_array_object();
+    write_trace_json(w, t);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+std::string FlightRecorder::dump_json() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  dump_json(w);
+  w.end_object();
+  return os.str();
+}
+
+void FlightRecorder::dump_to_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::trunc);
+  QKMPS_CHECK_MSG(os.good(), "cannot open flight-recorder dump " << path);
+  os << dump_json() << "\n";
+  QKMPS_CHECK_MSG(os.good(), "failed writing flight-recorder dump " << path);
+}
+
+}  // namespace qkmps::obs

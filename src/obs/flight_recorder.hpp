@@ -1,0 +1,95 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace qkmps {
+class JsonWriter;
+}
+
+namespace qkmps::obs {
+
+/// Flight recorder (DESIGN.md §8): a bounded in-memory ring of the most
+/// recent trace summaries plus a second ring of fleet lifecycle events,
+/// dumped as JSON when something goes wrong — worker demotion, engine
+/// destruction, or on demand — so a kill-9/self-heal incident leaves a
+/// postmortem artifact instead of just a counter bump.
+///
+/// Two rings, deliberately: a burst of shed requests (hundreds during one
+/// worker death) must not evict the handful of spawn/respawn/demotion
+/// events that explain it. Recording is mutex-guarded but allocation-
+/// light (ring slots are reused in place), cheap enough for the router
+/// thread's data path.
+
+/// What happened to the fleet. Ordered roughly by lifecycle.
+enum class EventKind : std::uint8_t {
+  kSpawn,             ///< worker process spawned + handshaked in
+  kWorkerDeath,       ///< live link died (crash, kill, protocol violation)
+  kShed,              ///< a request future resolved kShed
+  kRespawn,           ///< self-heal succeeded; slot back in rotation
+  kRespawnFailed,     ///< one respawn attempt failed (spawn or handshake)
+  kDemotion,          ///< respawn budget exhausted; slot sheds forever
+  kHandshakeRefused,  ///< a connecting worker failed the pinned handshake
+  kShardAdded,        ///< add_shard() grew the topology
+  kShardRemoved,      ///< remove_shard() drained a slot out
+};
+
+const char* to_string(EventKind kind);
+
+struct LifecycleEvent {
+  std::uint64_t seq = 0;  ///< monotonic per recorder; survives ring wrap
+  double uptime_seconds = 0.0;  ///< since the recorder was constructed
+  EventKind kind = EventKind::kSpawn;
+  int shard = -1;
+  std::uint64_t generation = 0;
+  std::string detail;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t trace_capacity = 256,
+                          std::size_t event_capacity = 512);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void record_trace(TraceSummary trace);
+  void record_event(EventKind kind, int shard, std::uint64_t generation,
+                    std::string detail);
+
+  /// Oldest-first copies of the rings (snapshot; safe during recording).
+  std::vector<LifecycleEvent> events() const;
+  std::vector<TraceSummary> traces() const;
+  /// Total ever recorded (>= ring size once wrapped).
+  std::uint64_t events_recorded() const;
+  std::uint64_t traces_recorded() const;
+
+  /// {events_recorded, traces_recorded, events: [...], traces: [...]} as
+  /// fields of an already-open JSON object.
+  void dump_json(JsonWriter& w) const;
+  /// The same dump as a standalone JSON document.
+  std::string dump_json() const;
+  /// Writes dump_json() to `path` (truncating); throws qkmps::Error if
+  /// the file cannot be written.
+  void dump_to_file(const std::string& path) const;
+
+ private:
+  const std::chrono::steady_clock::time_point birth_;
+  const std::size_t trace_capacity_;
+  const std::size_t event_capacity_;
+
+  mutable std::mutex mu_;
+  std::vector<TraceSummary> traces_;  ///< ring; next_trace_ is the head
+  std::size_t next_trace_ = 0;
+  std::uint64_t traces_seq_ = 0;
+  std::vector<LifecycleEvent> events_;
+  std::size_t next_event_ = 0;
+  std::uint64_t events_seq_ = 0;
+};
+
+}  // namespace qkmps::obs

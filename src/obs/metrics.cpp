@@ -1,0 +1,216 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/json_writer.hpp"
+
+namespace qkmps::obs {
+
+namespace {
+
+/// Bucket bounds precomputed once: bound[i] is the inclusive lower edge
+/// of bucket i, bound[kBuckets] the exclusive top of the covered range.
+const std::array<double, Histogram::kBuckets + 1>& bucket_bounds() {
+  static const std::array<double, Histogram::kBuckets + 1> bounds = [] {
+    std::array<double, Histogram::kBuckets + 1> b{};
+    const double g = Histogram::growth();
+    double edge = Histogram::kLowest;
+    for (std::size_t i = 0; i <= Histogram::kBuckets; ++i) {
+      b[i] = edge;
+      edge *= g;
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+/// The value a bucket "stands for" in quantile math: the geometric
+/// midpoint of its edges (log-scale buckets, so the geometric mean is the
+/// unbiased center).
+double bucket_mid(std::size_t i) {
+  const auto& b = bucket_bounds();
+  return std::sqrt(b[i] * b[i + 1]);
+}
+
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+double Histogram::growth() {
+  static const double g = std::cbrt(2.0);
+  return g;
+}
+
+double Histogram::bucket_lower(std::size_t i) { return bucket_bounds()[i]; }
+
+void Histogram::observe(double seconds) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, seconds);
+  // NaN compares false everywhere below and would otherwise fall through
+  // to a bucket via the log; park it in underflow with the negatives.
+  if (!(seconds >= kLowest)) {
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const auto& bounds = bucket_bounds();
+  if (seconds >= bounds[kBuckets]) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Log-index then nudge: the float log can land one bucket off at an
+  // edge, so correct against the exact precomputed bounds.
+  double li = std::log(seconds / kLowest) / std::log(growth());
+  std::size_t i = static_cast<std::size_t>(std::max(0.0, li));
+  i = std::min(i, kBuckets - 1);
+  while (i > 0 && seconds < bounds[i]) --i;
+  while (i + 1 < kBuckets && seconds >= bounds[i + 1]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum_seconds = sum_.load(std::memory_order_relaxed);
+  s.underflow = underflow_.load(std::memory_order_relaxed);
+  s.overflow = overflow_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  return s;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  // Bucketed samples are always "sorted"; the binned population the
+  // snapshot actually holds is authoritative (count_ may be momentarily
+  // ahead of the bins under concurrent observes).
+  std::uint64_t n = underflow + overflow;
+  for (std::uint64_t b : buckets) n += b;
+  if (n == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+
+  // Representative value of the sample at sorted rank r.
+  const auto value_at = [this](std::uint64_t r) -> double {
+    if (r < underflow) return kLowest / 2.0;
+    std::uint64_t seen = underflow;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets[i];
+      if (r < seen) return bucket_mid(i);
+    }
+    return bucket_bounds()[kBuckets];  // overflow ranks
+  };
+
+  // Type-7 position, matching util/stats quantile() on raw samples.
+  const double pos = q * static_cast<double>(n - 1);
+  const std::uint64_t lo = static_cast<std::uint64_t>(std::floor(pos));
+  const std::uint64_t hi = static_cast<std::uint64_t>(std::ceil(pos));
+  const double vlo = value_at(lo);
+  if (hi == lo) return vlo;
+  const double vhi = value_at(hi);
+  const double frac = pos - static_cast<double>(lo);
+  return vlo + (vhi - vlo) * frac;
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // never destroyed: handles
+                                               // outlive static teardown
+  return *instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QKMPS_CHECK_MSG(gauges_.count(name) == 0 && histograms_.count(name) == 0,
+                  "metric '" << name << "' already registered as another kind");
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QKMPS_CHECK_MSG(counters_.count(name) == 0 && histograms_.count(name) == 0,
+                  "metric '" << name << "' already registered as another kind");
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QKMPS_CHECK_MSG(counters_.count(name) == 0 && gauges_.count(name) == 0,
+                  "metric '" << name << "' already registered as another kind");
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string Registry::render_text() const {
+  std::ostringstream os;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_)
+    os << "counter " << name << " " << c->value() << "\n";
+  for (const auto& [name, g] : gauges_)
+    os << "gauge " << name << " " << g->value() << "\n";
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->snapshot();
+    os << "histogram " << name << " count=" << s.count
+       << " mean=" << s.mean_seconds() << " p50=" << s.quantile(0.50)
+       << " p99=" << s.quantile(0.99) << " p999=" << s.quantile(0.999)
+       << "\n";
+  }
+  return os.str();
+}
+
+void Registry::render_json(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.begin_object("counters");
+  for (const auto& [name, c] : counters_)
+    w.field(name, static_cast<long long>(c->value()));
+  w.end_object();
+  w.begin_object("gauges");
+  for (const auto& [name, g] : gauges_) w.field(name, g->value());
+  w.end_object();
+  w.begin_object("histograms");
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->snapshot();
+    w.begin_object(name);
+    w.field("count", static_cast<long long>(s.count));
+    w.field("sum_seconds", s.sum_seconds);
+    w.field("mean_seconds", s.mean_seconds());
+    w.field("p50_seconds", s.quantile(0.50));
+    w.field("p99_seconds", s.quantile(0.99));
+    w.field("p999_seconds", s.quantile(0.999));
+    w.field("underflow", static_cast<long long>(s.underflow));
+    w.field("overflow", static_cast<long long>(s.overflow));
+    // Sparse exposition: only occupied buckets, as [lower_bound, count]
+    // pairs — 96 mostly-zero entries per histogram would drown the
+    // artifact.
+    w.begin_array("buckets");
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (s.buckets[i] == 0) continue;
+      w.begin_array_object();
+      w.field("le", Histogram::bucket_lower(i) * Histogram::growth());
+      w.field("count", static_cast<long long>(s.buckets[i]));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+}
+
+std::string Registry::render_json() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  render_json(w);
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace qkmps::obs

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qkmps {
+class JsonWriter;
+}
+
+namespace qkmps::obs {
+
+/// Metrics registry for the serving stack (DESIGN.md §8): named counters,
+/// gauges, and log-scale latency histograms behind a process-wide
+/// Registry. The design rule is lock-cheap hot paths: a metric handle is
+/// looked up once (one mutex-protected map walk, typically at
+/// construction time) and every subsequent update is a relaxed atomic —
+/// safe to hammer from the engine's batcher, the router thread, and N
+/// pool workers at once. Exposition (render_text / render_json) is a
+/// point-in-time snapshot and never blocks updates.
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value (queue depth, fleet size, ...).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket log-scale latency histogram. Buckets span
+/// [kLowest, kLowest * kGrowth^kBuckets) — with kLowest = 1 µs and
+/// kGrowth = 2^(1/3) that is ~1 µs to ~72 min, three buckets per octave —
+/// plus explicit underflow/overflow bins, so observe() never drops a
+/// sample. Buckets are relaxed atomics: observe() is wait-free and
+/// quantile error is bounded by construction: a reported quantile is the
+/// geometric midpoint of the bucket holding that rank, so it is within
+/// one bucket (a factor of kGrowth ≈ 1.26) of the exact order statistic.
+/// That bound is what lets benches gate "histogram p50 agrees with the
+/// measured p50" deterministically.
+///
+/// Quantile convention: the rank is the type-7 position q*(count-1) —
+/// the same linear-interpolation definition util/stats quantile() uses on
+/// raw samples (pinned by tests/test_stats.cpp), so engine percentiles
+/// and histogram percentiles share one definition and differ only by
+/// bucket resolution.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 96;
+  static constexpr double kLowest = 1e-6;  ///< seconds
+
+  /// Bucket upper bound growth factor, 2^(1/3).
+  static double growth();
+  /// Inclusive lower bound of bucket i.
+  static double bucket_lower(std::size_t i);
+
+  void observe(double seconds);
+
+  /// Point-in-time copy of the counts; all quantile math happens on the
+  /// snapshot so one stats() call reads each atomic exactly once.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum_seconds = 0.0;
+    std::uint64_t underflow = 0;
+    std::uint64_t overflow = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    /// Type-7-ranked quantile mapped to the geometric midpoint of the
+    /// bucket containing that rank; 0 for an empty histogram. Underflow
+    /// ranks report kLowest/2, overflow ranks the top bucket bound.
+    double quantile(double q) const;
+    double mean_seconds() const {
+      return count == 0 ? 0.0 : sum_seconds / static_cast<double>(count);
+    }
+  };
+  Snapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> underflow_{0};
+  std::atomic<std::uint64_t> overflow_{0};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name -> instrument registry. Names are dotted paths
+/// ("serve.latency.total_seconds"); a name is permanently one kind —
+/// asking for it as another kind throws. Handles returned by
+/// counter()/gauge()/histogram() are stable for the registry's lifetime
+/// (instruments are never removed), so callers cache them and pay the
+/// lookup once.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every serving layer reports into; a
+  /// snapshot of it is what --metrics-out embeds in bench artifacts.
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// One instrument per line, sorted by name:
+  ///   counter <name> <value>
+  ///   gauge <name> <value>
+  ///   histogram <name> count=<n> mean=<s> p50=<s> p99=<s> p999=<s>
+  std::string render_text() const;
+
+  /// Emits {counters: {...}, gauges: {...}, histograms: {name: {count,
+  /// sum_seconds, mean_seconds, p50..p999, underflow, overflow,
+  /// buckets}}} as fields of an already-open JSON object.
+  void render_json(JsonWriter& w) const;
+  /// Convenience: the same snapshot as a standalone JSON document.
+  std::string render_json() const;
+
+ private:
+  mutable std::mutex mu_;  ///< guards the maps, never the instruments
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace qkmps::obs

@@ -1,0 +1,116 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+
+#include "util/json_writer.hpp"
+
+namespace qkmps::obs {
+
+namespace {
+
+/// splitmix64 finalizer — the standard 64-bit mixer; bijective, so
+/// distinct counter values can never collide.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t ns_between(std::chrono::steady_clock::time_point a,
+                         std::chrono::steady_clock::time_point b) {
+  if (b <= a) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+std::string hex_id(std::uint64_t id) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[id & 0xF];
+    id >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(SpanOrigin origin) {
+  switch (origin) {
+    case SpanOrigin::kRouter:
+      return "router";
+    case SpanOrigin::kWorker:
+      return "worker";
+  }
+  return "unknown";
+}
+
+std::uint64_t next_trace_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  // mix64 is a bijection with mix64(x) == 0 only for one input; skip any
+  // counter value that lands there so 0 stays the "untraced" sentinel.
+  for (;;) {
+    const std::uint64_t id =
+        mix64(counter.fetch_add(1, std::memory_order_relaxed) + 1);
+    if (id != 0) return id;
+  }
+}
+
+TraceContext TraceContext::begin() {
+  TraceContext ctx;
+  ctx.trace_id = next_trace_id();
+  ctx.epoch = std::chrono::steady_clock::now();
+  return ctx;
+}
+
+void TraceContext::add_span(std::string name,
+                            std::chrono::steady_clock::time_point start,
+                            std::chrono::steady_clock::time_point end,
+                            SpanOrigin origin) {
+  Span span;
+  span.name = std::move(name);
+  span.start_ns = ns_between(epoch, start);
+  span.duration_ns = ns_between(start, end);
+  span.origin = origin;
+  spans.push_back(std::move(span));
+}
+
+void TraceContext::add_span_ns(std::string name, std::uint64_t start_ns,
+                               std::uint64_t duration_ns, SpanOrigin origin) {
+  Span span;
+  span.name = std::move(name);
+  span.start_ns = start_ns;
+  span.duration_ns = duration_ns;
+  span.origin = origin;
+  spans.push_back(std::move(span));
+}
+
+TraceSummary TraceContext::finish(
+    std::chrono::steady_clock::time_point end) && {
+  TraceSummary summary;
+  summary.trace_id = trace_id;
+  summary.total_seconds =
+      static_cast<double>(ns_between(epoch, end)) * 1e-9;
+  summary.spans = std::move(spans);
+  return summary;
+}
+
+void write_trace_json(JsonWriter& w, const TraceSummary& trace) {
+  // Hex string, not a JSON number: ids use all 64 bits and doubles only
+  // carry 53.
+  w.field("trace_id", hex_id(trace.trace_id));
+  w.field("total_seconds", trace.total_seconds);
+  w.begin_array("spans");
+  for (const Span& span : trace.spans) {
+    w.begin_array_object();
+    w.field("name", span.name);
+    w.field("origin", to_string(span.origin));
+    w.field("start_ns", static_cast<long long>(span.start_ns));
+    w.field("duration_ns", static_cast<long long>(span.duration_ns));
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace qkmps::obs

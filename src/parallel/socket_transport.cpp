@@ -16,6 +16,7 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "util/binary_io.hpp"
 #include "util/error.hpp"
 
@@ -393,6 +394,14 @@ void SocketTransport::send(const std::vector<std::uint8_t>& payload) {
   encode_frame_header(header, raw);
   send_all(raw, kFrameHeaderBytes);
   if (!payload.empty()) send_all(payload.data(), payload.size());
+  counters_.frames_sent += 1;
+  counters_.bytes_sent += kFrameHeaderBytes + payload.size();
+  static obs::Counter& frames =
+      obs::Registry::global().counter("parallel.socket.frames_sent");
+  static obs::Counter& bytes =
+      obs::Registry::global().counter("parallel.socket.bytes_sent");
+  frames.add();
+  bytes.add(kFrameHeaderBytes + payload.size());
 }
 
 void SocketTransport::fill_from_socket(bool wait,
@@ -446,6 +455,14 @@ std::optional<std::vector<std::uint8_t>> SocketTransport::pop_frame() {
     rx_.clear();
     rx_offset_ = 0;
   }
+  counters_.frames_received += 1;
+  counters_.bytes_received += total;
+  static obs::Counter& frames =
+      obs::Registry::global().counter("parallel.socket.frames_received");
+  static obs::Counter& bytes =
+      obs::Registry::global().counter("parallel.socket.bytes_received");
+  frames.add();
+  bytes.add(total);
   return payload;
 }
 

@@ -122,6 +122,18 @@ class SocketListener {
   std::string unlink_path_;  ///< unix socket file to remove on close
 };
 
+/// Per-link frame/byte accounting, monotonic since the link was opened.
+/// Byte totals include the 20-byte header of every frame — they measure
+/// what actually crossed the socket, not just payload. Every link also
+/// folds into the process-wide obs::Registry counters
+/// (parallel.socket.frames/bytes_sent/received).
+struct FrameCounters {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_received = 0;
+};
+
 /// Transport over one connected stream socket. Thread safety: none —
 /// one side of a link belongs to one loop (the router thread or the
 /// worker main), matching how Comm channels are used.
@@ -156,6 +168,10 @@ class SocketTransport final : public Transport {
   std::optional<std::vector<std::uint8_t>> recv_for(
       std::chrono::microseconds timeout) override;
 
+  /// Frames/bytes this link has moved (single-threaded like the rest of
+  /// the transport: read it from the loop that owns the link).
+  const FrameCounters& counters() const { return counters_; }
+
  private:
   void send_all(const std::uint8_t* data, std::size_t n);
   void fill_from_socket(bool wait, std::chrono::microseconds timeout);
@@ -171,6 +187,7 @@ class SocketTransport final : public Transport {
   /// Peer sent EOF. Complete frames still in rx_ are delivered first;
   /// once the buffer runs dry, recv calls throw qkmps::Error.
   bool peer_closed_ = false;
+  FrameCounters counters_;
 };
 
 }  // namespace qkmps::parallel

@@ -8,6 +8,7 @@
 #include "circuit/ansatz.hpp"
 #include "mps/inner_product.hpp"
 #include "mps/simulator.hpp"
+#include "obs/metrics.hpp"
 #include "serve/feature_key.hpp"
 #include "util/atomics.hpp"
 #include "util/error.hpp"
@@ -21,6 +22,32 @@ std::size_t default_threads(std::size_t requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 2 : hw;
+}
+
+/// Per-batch stage breakdown into the process-wide registry. Handles
+/// resolve once (function-local statics); per batch this is six relaxed
+/// histogram observes — noise next to one MPS simulation.
+void observe_stage_timings(const StageTimings& t) {
+  obs::Registry& reg = obs::Registry::global();
+  static obs::Histogram& scale = reg.histogram("serve.stage.scale_seconds");
+  static obs::Histogram& memo = reg.histogram("serve.stage.memo_seconds");
+  static obs::Histogram& cache = reg.histogram("serve.stage.cache_seconds");
+  static obs::Histogram& simulate =
+      reg.histogram("serve.stage.simulate_seconds");
+  static obs::Histogram& kernel = reg.histogram("serve.stage.kernel_seconds");
+  static obs::Histogram& score = reg.histogram("serve.stage.score_seconds");
+  static obs::Counter& batches = reg.counter("serve.engine.batches");
+  static obs::Counter& requests = reg.counter("serve.engine.requests");
+  static obs::Counter& simulated = reg.counter("serve.engine.simulated");
+  scale.observe(t.scale_seconds);
+  memo.observe(t.memo_seconds);
+  cache.observe(t.cache_seconds);
+  simulate.observe(t.simulate_seconds);
+  kernel.observe(t.kernel_seconds);
+  score.observe(t.score_seconds);
+  batches.add();
+  requests.add(t.batch_size);
+  simulated.add(t.simulated);
 }
 
 }  // namespace
@@ -145,10 +172,16 @@ void InferenceEngine::record_batch(std::size_t n_requests) {
 }
 
 std::vector<Prediction> InferenceEngine::run_batch(
-    const std::vector<std::vector<double>>& features) {
+    const std::vector<std::vector<double>>& features, StageTimings* timings) {
   const idx m = bundle_->num_features();
   const idx b = static_cast<idx>(features.size());
   const idx n_sv = bundle_->num_support_vectors();
+
+  StageTimings local;
+  StageTimings& t = timings != nullptr ? *timings : local;
+  t = StageTimings{};
+  t.batch_size = static_cast<std::size_t>(b);
+  Timer stage;
 
   // Scale the whole batch through the bundle's fitted scaler; transform is
   // row-independent, so values match a sequential per-request transform.
@@ -159,6 +192,8 @@ std::vector<Prediction> InferenceEngine::run_batch(
     std::copy(f.begin(), f.end(), raw.row(i));
   }
   const kernel::RealMatrix scaled = bundle_->scaler.transform(raw);
+  t.scale_seconds = stage.seconds();
+  stage.reset();
 
   std::vector<Prediction> out(static_cast<std::size_t>(b));
 
@@ -181,6 +216,16 @@ std::vector<Prediction> InferenceEngine::run_batch(
     }
     active.push_back(i);
   }
+  {
+    static obs::Counter& memo_hits =
+        obs::Registry::global().counter("serve.memo.hits");
+    static obs::Counter& memo_misses =
+        obs::Registry::global().counter("serve.memo.misses");
+    memo_hits.add(static_cast<std::uint64_t>(b) - active.size());
+    memo_misses.add(active.size());
+  }
+  t.memo_seconds = stage.seconds();
+  stage.reset();
 
   // Cache pass over the active rows: resident states are reused, misses
   // are deduplicated within the batch (two identical uncached requests
@@ -210,6 +255,8 @@ std::vector<Prediction> InferenceEngine::run_batch(
       unique_miss.push_back(i);
     }
   }
+  t.cache_seconds = stage.seconds();
+  stage.reset();
 
   // Simulate uncached circuits in parallel; each worker runs exactly the
   // per-row body of kernel::simulate_states, so results are deterministic
@@ -228,6 +275,8 @@ std::vector<Prediction> InferenceEngine::run_batch(
   }
   for (std::size_t i : active)
     if (states[i] == nullptr) states[i] = states[alias_of[i]];
+  t.simulate_seconds = stage.seconds();
+  stage.reset();
 
   // Rectangular kernel of the active rows against the support vectors
   // only, then the SVC — entrywise the same overlap_squared /
@@ -248,6 +297,8 @@ std::vector<Prediction> InferenceEngine::run_batch(
         bundle_->config.sim.policy);
   });
   const std::vector<double> f = bundle_->model.decision_values(k_active);
+  t.kernel_seconds = stage.seconds();
+  stage.reset();
 
   for (idx a = 0; a < n_active; ++a) {
     const std::size_t i = active[static_cast<std::size_t>(a)];
@@ -258,6 +309,9 @@ std::vector<Prediction> InferenceEngine::run_batch(
   }
   circuits_simulated_.fetch_add(unique_miss.size(),
                                 std::memory_order_relaxed);
+  t.score_seconds = stage.seconds();
+  t.simulated = unique_miss.size();
+  observe_stage_timings(t);
   return out;
 }
 
@@ -278,9 +332,9 @@ std::vector<Prediction> InferenceEngine::predict_batch(
 }
 
 std::vector<Prediction> InferenceEngine::predict_batch_trusted(
-    std::vector<std::vector<double>> features) {
+    std::vector<std::vector<double>> features, StageTimings* timings) {
   Timer timer;
-  std::vector<Prediction> out = run_batch(features);
+  std::vector<Prediction> out = run_batch(features, timings);
   const double seconds = timer.seconds();
   for (Prediction& p : out) p.latency_seconds = seconds;
   record_batch(out.size());

@@ -53,6 +53,24 @@ struct Prediction {
   double latency_seconds = 0.0;
 };
 
+/// Per-batch wall-clock breakdown of the engine's scoring stages, filled
+/// by predict_batch_trusted for callers that pass a sink (the shard
+/// worker turns it into worker-side trace spans; see obs/trace.hpp). The
+/// stages partition the batch's compute wall time in order: any
+/// queue/gather wait happened before the engine saw the batch. Every
+/// batch also feeds the process-wide obs::Registry histograms
+/// (serve.stage.*_seconds) whether or not a sink was passed.
+struct StageTimings {
+  double scale_seconds = 0.0;     ///< scaler transform of the whole batch
+  double memo_seconds = 0.0;      ///< decision-value memo pass
+  double cache_seconds = 0.0;     ///< StateCache pass + in-batch dedup
+  double simulate_seconds = 0.0;  ///< parallel MPS simulation of misses
+  double kernel_seconds = 0.0;    ///< SV kernel rows + decision values
+  double score_seconds = 0.0;     ///< label assignment + memo insert
+  std::size_t batch_size = 0;
+  std::size_t simulated = 0;  ///< circuits actually simulated (post-dedup)
+};
+
 /// Aggregate serving counters (monotonic since construction). A snapshot:
 /// the engine keeps every counter atomic, so stats() never touches the
 /// request-queue lock and can be polled from any thread during traffic.
@@ -132,7 +150,8 @@ class InferenceEngine {
                                InferenceEngine& engine,
                                const struct ShardWorkerOptions& options);
   std::vector<Prediction> predict_batch_trusted(
-      std::vector<std::vector<double>> features);
+      std::vector<std::vector<double>> features,
+      StageTimings* timings = nullptr);
 
   struct Request {
     std::vector<double> features;
@@ -144,9 +163,11 @@ class InferenceEngine {
   void execute(std::vector<Request>& batch);
   void record_batch(std::size_t n_requests);
   /// Scales, memo-checks, simulates (cache-aware), computes SV kernels,
-  /// scores, memoizes.
+  /// scores, memoizes. Stage wall times land in `timings` when non-null
+  /// and in the global registry histograms always.
   std::vector<Prediction> run_batch(
-      const std::vector<std::vector<double>>& features);
+      const std::vector<std::vector<double>>& features,
+      StageTimings* timings = nullptr);
 
   const std::shared_ptr<const ModelBundle> bundle_;
   const EngineConfig config_;

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "serve/feature_key.hpp"
 #include "serve/shard_worker.hpp"
 #include "util/error.hpp"
@@ -105,7 +106,10 @@ RankShardedEngine::RankShardedEngine(ModelBundle bundle,
 
 RankShardedEngine::RankShardedEngine(std::shared_ptr<const ModelBundle> bundle,
                                      RankShardedEngineConfig config)
-    : bundle_(std::move(bundle)), config_(std::move(config)) {
+    : bundle_(std::move(bundle)),
+      config_(std::move(config)),
+      flight_(std::max<std::size_t>(1, config_.flight_trace_capacity),
+              std::max<std::size_t>(1, config_.flight_event_capacity)) {
   QKMPS_CHECK(bundle_ != nullptr);
   QKMPS_CHECK_MSG(config_.num_shards >= 1, "need at least one shard");
   QKMPS_CHECK_MSG(config_.ingress_capacity >= 1,
@@ -137,6 +141,14 @@ RankShardedEngine::RankShardedEngine(std::shared_ptr<const ModelBundle> bundle,
 RankShardedEngine::~RankShardedEngine() {
   std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   stop_runtime(/*final_stop=*/true);
+  if (!config_.flight_dump_path.empty()) {
+    try {
+      flight_.dump_to_file(config_.flight_dump_path);
+    } catch (const std::exception&) {
+      // A postmortem that cannot be written must not turn a clean
+      // shutdown into a terminate (throwing destructor).
+    }
+  }
 }
 
 std::size_t RankShardedEngine::num_shards() const {
@@ -170,7 +182,8 @@ std::future<RoutedPrediction> RankShardedEngine::submit(
   check_request_features(features, bundle_->num_features());
   Ingress request;
   request.features = std::move(features);
-  request.submitted = std::chrono::steady_clock::now();
+  request.trace = obs::TraceContext::begin();
+  request.submitted = request.trace.epoch;  // one clock read, two uses
   std::future<RoutedPrediction> fut = request.promise.get_future();
 
   bool rejected = false;
@@ -333,6 +346,9 @@ void RankShardedEngine::start_socket_runtime() {
                       "worker for shard " << hello.shard_index
                                           << " echoed the wrong ring weight");
       links_[hello.shard_index] = std::move(conn);
+      flight_.record_event(
+          obs::EventKind::kSpawn, static_cast<int>(hello.shard_index), 0,
+          "pid " + std::to_string(worker_pids_[hello.shard_index]));
     }
   } catch (...) {
     // Fail construction loudly but cleanly: no orphan processes, no
@@ -447,6 +463,8 @@ void RankShardedEngine::add_shard(double weight) {
     router_->add_shard(weight);
   }
   resizes_.fetch_add(1, std::memory_order_relaxed);
+  flight_.record_event(obs::EventKind::kShardAdded,
+                       static_cast<int>(engines_.size()) - 1, 0, "in-process");
 
   start_runtime();
 }
@@ -495,6 +513,8 @@ void RankShardedEngine::remove_shard(std::size_t shard) {
     engines_[shard].reset();
   }
   resizes_.fetch_add(1, std::memory_order_relaxed);
+  flight_.record_event(obs::EventKind::kShardRemoved, static_cast<int>(shard),
+                       0, "in-process");
   start_runtime();
 }
 
@@ -503,7 +523,9 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
     std::promise<RoutedPrediction> promise;
     std::chrono::steady_clock::time_point submitted;
     std::chrono::steady_clock::time_point forwarded;
+    std::chrono::steady_clock::time_point wire_start;  ///< envelope send
     int shard = -1;
+    obs::TraceContext trace;
   };
   std::unordered_map<std::uint64_t, InFlight> inflight;
   const bool socket = config_.transport == TransportKind::kSocket;
@@ -533,28 +555,50 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
   // promise, never a re-route (assignments stay a pure function of the
   // topology so client-side routing keeps working).
   const auto shed = [this](InFlight fl, const std::string& why) {
+    const auto now = std::chrono::steady_clock::now();
     RoutedPrediction out;
     out.status = ServeStatus::kShed;
     out.shard = fl.shard;
     out.error = why;
     out.queue_seconds = seconds_between(fl.submitted, fl.forwarded);
-    out.total_seconds =
-        seconds_between(fl.submitted, std::chrono::steady_clock::now());
+    out.total_seconds = seconds_between(fl.submitted, now);
+    // A shed request's trace still tells its story: how long it waited
+    // and (via the flight recorder) what incident it died in.
+    fl.trace.add_span("admission_wait", fl.submitted, fl.forwarded);
+    out.trace = std::move(fl.trace).finish(now);
+    flight_.record_trace(out.trace);
     shed_.fetch_add(1, std::memory_order_relaxed);
     fl.promise.set_value(out);
+  };
+
+  const auto generation_of = [this](int s) {
+    return shard_state_[static_cast<std::size_t>(s)]->generation.load(
+        std::memory_order_relaxed);
   };
 
   const auto mark_dead = [&](int s, const std::string& why) {
     ShardState& state = *shard_state_[static_cast<std::size_t>(s)];
     if (!state.alive.exchange(false, std::memory_order_relaxed)) return;
+    flight_.record_event(obs::EventKind::kWorkerDeath, s, generation_of(s),
+                         why);
+    std::size_t shed_count = 0;
     for (auto it = inflight.begin(); it != inflight.end();) {
       if (it->second.shard == s) {
         shed(std::move(it->second), "shard worker died: " + why);
+        ++shed_count;
         it = inflight.erase(it);
       } else {
         ++it;
       }
     }
+    // One aggregate kShed event per incident, not one per request: a
+    // death under load sheds hundreds of futures, and per-request events
+    // would wash the spawn/respawn/demotion story out of the event ring
+    // (the per-request detail is in the trace ring and the counters).
+    if (shed_count > 0)
+      flight_.record_event(
+          obs::EventKind::kShed, s, generation_of(s),
+          "shed " + std::to_string(shed_count) + " in-flight requests");
     // Arm the self-heal: a fresh death gets a fresh attempt budget and
     // the base backoff (the monitor below doubles it per failure).
     state.respawn_attempts = 0;
@@ -596,6 +640,13 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
     inflight.erase(it);
     const auto now = std::chrono::steady_clock::now();
     if (reply.kind == ShardReply::Kind::kPrediction) {
+      // A trace-id mismatch is a protocol violation like an unknown
+      // request id (the caller demotes the shard). An echo of 0 is legal:
+      // a v2 peer decodes our envelopes without the trace tail.
+      QKMPS_CHECK_MSG(
+          reply.trace_id == 0 || reply.trace_id == fl.trace.trace_id,
+          "shard echoed trace id " << reply.trace_id << " for request "
+                                   << reply.id);
       shard_state_[static_cast<std::size_t>(s)]->served.fetch_add(
           1, std::memory_order_relaxed);
       RoutedPrediction out;
@@ -603,7 +654,40 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
       out.shard = fl.shard;
       out.prediction = reply.prediction;
       out.queue_seconds = seconds_between(fl.submitted, fl.forwarded);
-      out.total_seconds = seconds_between(fl.submitted, now);
+
+      // Stitch: router-side spans, then the worker's (recorded relative
+      // to its batch start on its own clock) re-based to open at our wire
+      // span — a coherent cross-process timeline with no clock agreement.
+      fl.trace.add_span("admission_wait", fl.submitted, fl.forwarded);
+      fl.trace.add_span("route", fl.forwarded, fl.wire_start);
+      fl.trace.add_span("wire", fl.wire_start, now);
+      const auto wire_offset = fl.wire_start - fl.trace.epoch;
+      const std::uint64_t base_ns =
+          wire_offset.count() <= 0
+              ? 0
+              : static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        wire_offset)
+                        .count());
+      for (const obs::Span& span : reply.spans)
+        fl.trace.add_span_ns(span.name, base_ns + span.start_ns,
+                             span.duration_ns, span.origin);
+      const auto done = std::chrono::steady_clock::now();
+      fl.trace.add_span("reply", now, done);
+      out.total_seconds = seconds_between(fl.submitted, done);
+      out.trace = std::move(fl.trace).finish(done);
+      flight_.record_trace(out.trace);
+
+      static obs::Histogram& queue_hist =
+          obs::Registry::global().histogram("serve.latency.queue_seconds");
+      static obs::Histogram& total_hist =
+          obs::Registry::global().histogram("serve.latency.total_seconds");
+      static obs::Histogram& wire_hist =
+          obs::Registry::global().histogram("serve.latency.wire_seconds");
+      queue_hist.observe(out.queue_seconds);
+      total_hist.observe(out.total_seconds);
+      wire_hist.observe(seconds_between(fl.wire_start, now));
+
       completed_.fetch_add(1, std::memory_order_relaxed);
       fl.promise.set_value(out);
     } else {
@@ -653,7 +737,12 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
             *conn, policy,
             std::chrono::duration_cast<std::chrono::microseconds>(left));
         return conn;
-      } catch (const Error&) {
+      } catch (const Error& e) {
+        flight_.record_event(
+            obs::EventKind::kHandshakeRefused,
+            policy.require_shard ? static_cast<int>(*policy.require_shard)
+                                 : -1,
+            policy.require_generation.value_or(0), e.what());
         if (std::chrono::steady_clock::now() >= deadline) throw;
       }
     }
@@ -699,13 +788,31 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
       state.respawn_delay = config_.socket.respawn_backoff;
       // Back in rotation: requests hashing to this slot serve again.
       state.alive.store(true, std::memory_order_relaxed);
-    } catch (const std::exception&) {
+      flight_.record_event(obs::EventKind::kRespawn, static_cast<int>(s),
+                           generation, "pid " + std::to_string(pid));
+    } catch (const std::exception& e) {
       if (pid > 0) reap_worker(pid, std::chrono::milliseconds(500));
       ++state.respawn_attempts;
+      flight_.record_event(
+          obs::EventKind::kRespawnFailed, static_cast<int>(s), generation,
+          "attempt " + std::to_string(state.respawn_attempts) + " of " +
+              std::to_string(config_.socket.max_respawn_attempts) + ": " +
+              e.what());
       if (state.respawn_attempts >= config_.socket.max_respawn_attempts) {
         // Out of budget: the slot sheds forever, loudly visible in
         // stats() — never a silent crash loop.
         state.demoted.store(true, std::memory_order_relaxed);
+        flight_.record_event(obs::EventKind::kDemotion, static_cast<int>(s),
+                             generation, "respawn budget exhausted");
+        // The demotion postmortem: dump now, not only at destruction —
+        // an incident report must survive however the process ends.
+        if (!config_.flight_dump_path.empty()) {
+          try {
+            flight_.dump_to_file(config_.flight_dump_path);
+          } catch (const std::exception&) {
+            // Routing must outlive a failed postmortem write.
+          }
+        }
         return;
       }
       state.respawn_delay =
@@ -749,6 +856,9 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
       router_->add_shard(weight);
     }
     links.push_back(links_.back().get());
+    flight_.record_event(obs::EventKind::kShardAdded, static_cast<int>(s), 0,
+                         "pid " + std::to_string(pid) + ", weight " +
+                             format_weight(weight));
   };
 
   // remove_shard: ring handoff first (new routes skip the leaver
@@ -829,6 +939,9 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
     links[s] = nullptr;
     if (pid > 0) reap_worker(pid, std::chrono::milliseconds(5000));
     state.removed.store(true, std::memory_order_relaxed);
+    flight_.record_event(obs::EventKind::kShardRemoved, static_cast<int>(s),
+                         state.generation.load(std::memory_order_relaxed),
+                         "");
   };
 
   for (;;) {
@@ -870,15 +983,19 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
       fl.submitted = request.submitted;
       fl.forwarded = std::chrono::steady_clock::now();
       fl.shard = shard;
+      fl.trace = std::move(request.trace);
       if (!routable(shard)) {
         shed(std::move(fl), "shard worker died before the request");
         continue;
       }
       shard_state_[static_cast<std::size_t>(shard)]->routed.fetch_add(
           1, std::memory_order_relaxed);
+      ShardEnvelope envelope{ShardEnvelope::Kind::kRequest, id,
+                             std::move(request.features)};
+      envelope.trace_id = fl.trace.trace_id;  // the worker echoes it back
+      fl.wire_start = std::chrono::steady_clock::now();
       inflight.emplace(id, std::move(fl));
-      shard_send(shard, ShardEnvelope{ShardEnvelope::Kind::kRequest, id,
-                                      std::move(request.features)});
+      shard_send(shard, envelope);
       // On failure mark_dead already shed this request out of inflight.
     }
 

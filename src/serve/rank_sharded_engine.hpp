@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "parallel/rank_runtime.hpp"
 #include "parallel/socket_transport.hpp"
 #include "parallel/transport.hpp"
@@ -107,6 +108,15 @@ struct RankShardedEngineConfig {
   /// Empty = uniform 1.0. Otherwise must have num_shards entries, all
   /// positive; non-uniform weights require the consistent-hash router.
   std::vector<double> shard_weights;
+  /// Flight-recorder ring sizes (obs/flight_recorder.hpp): recent trace
+  /// summaries and fleet lifecycle events kept for postmortems.
+  std::size_t flight_trace_capacity = 256;
+  std::size_t flight_event_capacity = 512;
+  /// When non-empty, the recorder dumps its JSON here on every worker
+  /// demotion and again at destruction (the rings are cumulative, so the
+  /// later dump supersedes the earlier one — but the demotion-time dump
+  /// survives even if the process never reaches a clean shutdown).
+  std::string flight_dump_path;
 };
 
 /// Per-shard snapshot: router-side routing counters plus the shard
@@ -280,11 +290,21 @@ class RankShardedEngine {
   const RankShardedEngineConfig& config() const { return config_; }
   const ModelBundle& bundle() const { return *bundle_; }
 
+  /// The engine's flight recorder: recent stitched traces plus the fleet
+  /// lifecycle event log (spawn/death/shed/respawn/demotion/...). All
+  /// reader methods are safe during traffic; dump_to_file writes the
+  /// postmortem JSON on demand.
+  const obs::FlightRecorder& flight_recorder() const { return flight_; }
+
  private:
   struct Ingress {
     std::vector<double> features;
     std::promise<RoutedPrediction> promise;
     std::chrono::steady_clock::time_point submitted;
+    /// Begun at submit() (epoch == submitted); the router appends its
+    /// spans, stitches the worker's in, and finishes it into
+    /// RoutedPrediction::trace.
+    obs::TraceContext trace;
   };
 
   /// Router-side per-shard slot: routing counters, liveness, and the
@@ -342,6 +362,9 @@ class RankShardedEngine {
 
   const std::shared_ptr<const ModelBundle> bundle_;
   const RankShardedEngineConfig config_;
+  /// Declared after config_ (ring capacities come from it); internally
+  /// synchronized, so recording needs no engine lock.
+  obs::FlightRecorder flight_;
 
   /// Serializes public lifecycle ops (add_shard, remove_shard, dtor)
   /// against each other. Never taken by the router thread — a resize

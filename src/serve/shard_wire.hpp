@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "serve/inference_engine.hpp"
 
 namespace qkmps::serve {
@@ -35,6 +36,10 @@ struct ShardEnvelope {
   Kind kind = Kind::kRequest;
   std::uint64_t id = 0;  ///< router-assigned, unique per engine incarnation
   std::vector<double> features;
+  /// v3: the router-side trace id riding along so worker-side spans can
+  /// be stitched into the request's cross-process timeline. 0 = untraced
+  /// (and what a v2 envelope decodes to).
+  std::uint64_t trace_id = 0;
 };
 
 /// Shard -> router.
@@ -51,13 +56,24 @@ struct ShardReply {
   Prediction prediction;
   std::string error;
   EngineStats stats;  ///< meaningful for kStats replies only
+  /// v3: echo of the request envelope's trace id (0 = untraced or v2
+  /// peer) plus the worker-side spans for the batch that scored this
+  /// request — start_ns relative to the worker's batch start; the router
+  /// re-bases them under its wire span when stitching.
+  std::uint64_t trace_id = 0;
+  std::vector<obs::Span> spans;
 };
 
 /// Version of the *payload* schema (fields and their order), negotiated
 /// at handshake. Independent of the frame-codec version, which covers
 /// only the 20-byte header around each payload. v2 added the elastic-
-/// fleet fields (ring weight + spawn generation) to the hello.
-inline constexpr std::uint16_t kShardWireVersion = 2;
+/// fleet fields (ring weight + spawn generation) to the hello. v3
+/// appended the tracing tail: trace_id on the envelope, trace_id + spans
+/// on the reply. The v3 decoders still accept v2-length payloads (the
+/// tail defaults to "untraced") so a mixed-version fleet degrades to
+/// untraced requests instead of refusing to decode — pinned by
+/// tests/test_shard_wire.cpp.
+inline constexpr std::uint16_t kShardWireVersion = 3;
 
 /// Worker -> router, first message after connect: identifies which shard
 /// this process serves, what it believes the model shape is, and — since

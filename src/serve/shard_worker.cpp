@@ -6,9 +6,47 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/timer.hpp"
 
 namespace qkmps::serve {
+
+namespace {
+
+/// Worker-side spans for one scored batch: the gather wait plus the
+/// engine's stage breakdown, laid end-to-end from the batch's first
+/// envelope (start_ns = 0 on the worker clock; the router re-bases the
+/// whole set under its wire span when stitching — obs/trace.hpp). Every
+/// request in the batch shares the set, mirroring how latency_seconds is
+/// batch-scoped.
+std::vector<obs::Span> batch_spans(double gather_seconds,
+                                   const StageTimings& t) {
+  const auto ns = [](double s) {
+    return s <= 0.0 ? 0ull : static_cast<std::uint64_t>(s * 1e9);
+  };
+  std::vector<obs::Span> spans;
+  std::uint64_t at = 0;
+  const auto push = [&](const char* name, double seconds) {
+    obs::Span span;
+    span.name = name;
+    span.start_ns = at;
+    span.duration_ns = ns(seconds);
+    span.origin = obs::SpanOrigin::kWorker;
+    at += span.duration_ns;
+    spans.push_back(std::move(span));
+  };
+  push("gather_wait", gather_seconds);
+  push("scale", t.scale_seconds);
+  push("memo", t.memo_seconds);
+  push("cache", t.cache_seconds);
+  push("simulate", t.simulate_seconds);
+  push("kernel", t.kernel_seconds);
+  push("score", t.score_seconds);
+  return spans;
+}
+
+}  // namespace
 
 bool run_shard_worker(parallel::Transport& link, InferenceEngine& engine,
                       const ShardWorkerOptions& options) {
@@ -56,7 +94,9 @@ bool run_shard_worker(parallel::Transport& link, InferenceEngine& engine,
     // the batch, up to the drain bound; an idle link means a batch of
     // one. A control envelope ends the gather and is honoured after the
     // batch is scored (FIFO: its ack must follow our replies).
+    Timer gather_timer;
     std::vector<std::uint64_t> ids{first.id};
+    std::vector<std::uint64_t> trace_ids{first.trace_id};
     std::vector<std::vector<double>> rows;
     rows.push_back(std::move(first.features));
     std::optional<ShardEnvelope::Kind> control;
@@ -69,18 +109,28 @@ bool run_shard_worker(parallel::Transport& link, InferenceEngine& engine,
         break;
       }
       ids.push_back(next.id);
+      trace_ids.push_back(next.trace_id);
       rows.push_back(std::move(next.features));
     }
+    const double gather_seconds = gather_timer.seconds();
 
     try {
       // Trusted entry: rows were validated once at submit().
+      StageTimings timings;
       const std::vector<Prediction> predictions =
-          engine.predict_batch_trusted(std::move(rows));
+          engine.predict_batch_trusted(std::move(rows), &timings);
+      const std::vector<obs::Span> spans =
+          batch_spans(gather_seconds, timings);
       for (std::size_t i = 0; i < ids.size(); ++i) {
         ShardReply reply;
         reply.kind = ShardReply::Kind::kPrediction;
         reply.id = ids[i];
         reply.prediction = predictions[i];
+        // Trace echo: only traced requests pay the span bytes. An
+        // untraced envelope (trace_id 0 — e.g. from a v2 peer) gets an
+        // empty span set back.
+        reply.trace_id = trace_ids[i];
+        if (reply.trace_id != 0) reply.spans = spans;
         link.send(encode_reply(reply));
       }
     } catch (const std::exception& e) {
@@ -89,6 +139,7 @@ bool run_shard_worker(parallel::Transport& link, InferenceEngine& engine,
         reply.kind = ShardReply::Kind::kFailed;
         reply.id = ids[i];
         reply.error = e.what();
+        reply.trace_id = trace_ids[i];
         link.send(encode_reply(reply));
       }
     }

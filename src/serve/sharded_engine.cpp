@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "parallel/partition.hpp"
 #include "util/atomics.hpp"
 #include "util/error.hpp"
@@ -108,7 +109,8 @@ std::future<RoutedPrediction> ShardedEngine::submit(
 
   Pending request;
   request.features = std::move(features);
-  request.submitted = std::chrono::steady_clock::now();
+  request.trace = obs::TraceContext::begin();
+  request.submitted = request.trace.epoch;  // one clock read, two uses
   std::future<RoutedPrediction> fut = request.promise.get_future();
 
   std::optional<Pending> victim;  // kShedOldest eviction, resolved unlocked
@@ -159,6 +161,10 @@ std::future<RoutedPrediction> ShardedEngine::submit(
     out.status = ServeStatus::kShed;
     out.shard = shard_index;
     out.total_seconds = seconds_between(victim->submitted, now);
+    // A shed request was admitted (and traced); its whole life was the
+    // admission wait it lost.
+    victim->trace.add_span("admission_wait", victim->submitted, now);
+    out.trace = std::move(victim->trace).finish(now);
     victim->promise.set_value(out);
   }
   if (rejected) {
@@ -211,9 +217,29 @@ void ShardedEngine::drain_loop(Shard& shard, int shard_index) {
       for (Pending& p : batch) features.push_back(std::move(p.features));
       // Trusted entry: every row was validated at admission, so the drain
       // path skips the per-double re-validation scan.
+      StageTimings timings;
       const std::vector<Prediction> preds =
-          shard.engine->predict_batch_trusted(std::move(features));
+          shard.engine->predict_batch_trusted(std::move(features), &timings);
       const auto done = std::chrono::steady_clock::now();
+
+      // Registry latency series (process-wide, folded across shards);
+      // handles resolve once, per-request cost is a relaxed histogram add.
+      static obs::Histogram& queue_hist =
+          obs::Registry::global().histogram("serve.latency.queue_seconds");
+      static obs::Histogram& total_hist =
+          obs::Registry::global().histogram("serve.latency.total_seconds");
+
+      // Stage spans are batch-scoped (the stages ran once for the whole
+      // batch), laid end-to-end from drain_start — same convention as the
+      // socket worker's batch_spans, so in-process and rank-sharded traces
+      // read the same way.
+      using fsec = std::chrono::duration<double>;
+      const std::pair<const char*, double> stages[] = {
+          {"scale", timings.scale_seconds},     {"memo", timings.memo_seconds},
+          {"cache", timings.cache_seconds},     {"simulate",
+                                                 timings.simulate_seconds},
+          {"kernel", timings.kernel_seconds},   {"score",
+                                                 timings.score_seconds}};
 
       std::vector<RoutedPrediction> out(batch.size());
       for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -222,6 +248,20 @@ void ShardedEngine::drain_loop(Shard& shard, int shard_index) {
         out[i].prediction = preds[i];
         out[i].queue_seconds = seconds_between(batch[i].submitted, drain_start);
         out[i].total_seconds = seconds_between(batch[i].submitted, done);
+        queue_hist.observe(out[i].queue_seconds);
+        total_hist.observe(out[i].total_seconds);
+
+        obs::TraceContext& trace = batch[i].trace;
+        trace.add_span("admission_wait", batch[i].submitted, drain_start);
+        auto at = drain_start;
+        for (const auto& [name, seconds] : stages) {
+          const auto end =
+              at + std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(fsec(seconds));
+          trace.add_span(name, at, end);
+          at = end;
+        }
+        out[i].trace = std::move(trace).finish(done);
       }
       if (config_.latency_window > 0) {
         std::lock_guard<std::mutex> lock(shard.mu);

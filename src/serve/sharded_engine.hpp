@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "serve/inference_engine.hpp"
 #include "serve/model_bundle.hpp"
 #include "serve/router.hpp"
@@ -71,6 +72,11 @@ struct RoutedPrediction {
   /// rank-sharded frontend when a shard worker died (socket transport);
   /// empty for load-shedding and every other status.
   std::string error;
+  /// The request's stitched trace (obs/trace.hpp): router-side spans
+  /// plus — over the rank-sharded socket transport — the worker-side
+  /// spans shipped back in the reply, re-based onto the router timeline.
+  /// trace.trace_id == 0 for rejected requests (never routed).
+  obs::TraceSummary trace;
 };
 
 struct ShardedEngineConfig {
@@ -195,6 +201,10 @@ class ShardedEngine {
     std::vector<double> features;
     std::promise<RoutedPrediction> promise;
     std::chrono::steady_clock::time_point submitted;
+    /// Begun at submit() (epoch == submitted); the drainer appends the
+    /// admission-wait and engine-stage spans and finishes it into
+    /// RoutedPrediction::trace.
+    obs::TraceContext trace;
   };
 
   struct Shard {

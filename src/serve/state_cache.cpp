@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "serve/feature_key.hpp"
 #include "util/error.hpp"
 
@@ -14,7 +15,15 @@ std::shared_ptr<const mps::Mps> StateCache::find(
 
 std::shared_ptr<const mps::Mps> StateCache::find(const std::vector<double>& key,
                                                  std::uint64_t hash) {
+  // Process-wide counters on top of the per-instance LruStats: every
+  // StateCache in the process (one per shard) folds into one exposition
+  // series. Handles resolve once; the per-call cost is a relaxed add.
+  static obs::Counter& hits =
+      obs::Registry::global().counter("serve.state_cache.hits");
+  static obs::Counter& misses =
+      obs::Registry::global().counter("serve.state_cache.misses");
   auto resident = map_.find(key, hash);
+  (resident ? hits : misses).add();
   return resident ? std::move(*resident) : nullptr;
 }
 
@@ -33,6 +42,9 @@ std::shared_ptr<const mps::Mps> StateCache::insert(
     const std::vector<double>& key, std::uint64_t hash,
     std::shared_ptr<const mps::Mps> shared) {
   QKMPS_CHECK(shared != nullptr);
+  static obs::Counter& insertions =
+      obs::Registry::global().counter("serve.state_cache.insertions");
+  insertions.add();
   return map_.insert(key, hash, std::move(shared));
 }
 

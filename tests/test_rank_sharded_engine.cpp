@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <future>
 #include <limits>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -460,6 +461,75 @@ TEST_F(RankShardedSocketTest, SocketParityMatchesSequentialPipeline) {
   }
   EXPECT_GT(circuits, 0u);
   EXPECT_EQ(engine_requests, st.completed);
+}
+
+/// The tentpole tracing claim over real processes: every served request
+/// comes back with a stitched cross-process trace — a nonzero
+/// router-assigned id, the router-side spans, and at least one
+/// worker-origin span that traveled back inside the ShardReply (wire v3)
+/// and was re-based under the router's wire span. A mixed cached/uncached
+/// stream pins that memo/cache hits are traced exactly like cold
+/// requests (a hit batch records memo/cache spans even when the
+/// simulator never runs).
+TEST_F(RankShardedSocketTest, ServedRequestsCarryStitchedWorkerSpans) {
+  const Serving s = qkmps::testing::train_small_serving(63);
+  const auto pool = request_pool();
+  ScenarioConfig cfg;
+  cfg.name = "socket-traced";
+  cfg.seed = 17;
+  cfg.num_requests = 40;
+  cfg.num_unique = 8;  // 5x repetition: most requests are memo/cache hits
+  const Scenario scenario = workload::make_scenario(cfg, pool);
+
+  RankShardedEngine engine(s.bundle, socket_config(bundle_dir_, 2));
+  std::vector<std::future<RoutedPrediction>> futures;
+  for (idx r = 0; r < scenario.size(); ++r)
+    futures.push_back(engine.submit(scenario.request(r)));
+
+  std::set<std::uint64_t> ids;
+  for (idx r = 0; r < scenario.size(); ++r) {
+    const RoutedPrediction p = futures[static_cast<std::size_t>(r)].get();
+    ASSERT_EQ(p.status, ServeStatus::kServed) << "request " << r;
+    ASSERT_NE(p.trace.trace_id, 0u) << "request " << r << " untraced";
+    EXPECT_TRUE(ids.insert(p.trace.trace_id).second)
+        << "trace id reused across requests";
+    EXPECT_GT(p.trace.total_seconds, 0.0);
+
+    // Router-side spans are always present...
+    std::uint64_t wire_start = 0, wire_end = 0;
+    bool saw_wire = false;
+    for (const obs::Span& span : p.trace.spans)
+      if (span.origin == obs::SpanOrigin::kRouter && span.name == "wire") {
+        wire_start = span.start_ns;
+        wire_end = span.start_ns + span.duration_ns;
+        saw_wire = true;
+      }
+    ASSERT_TRUE(saw_wire) << "request " << r << " has no wire span";
+
+    // ...and every reply shipped worker-side spans back, re-based into
+    // the wire window (stitching coherent without clock agreement).
+    std::size_t worker_spans = 0;
+    for (const obs::Span& span : p.trace.spans)
+      if (span.origin == obs::SpanOrigin::kWorker) {
+        ++worker_spans;
+        EXPECT_GE(span.start_ns, wire_start)
+            << "worker span '" << span.name << "' outside the wire window";
+        EXPECT_LE(span.start_ns + span.duration_ns, wire_end)
+            << "worker span '" << span.name << "' outside the wire window";
+      }
+    EXPECT_GT(worker_spans, 0u)
+        << "request " << r << " lost its worker spans on the wire";
+  }
+
+  // The flight recorder ringed every completed trace plus the two spawn
+  // handshakes.
+  const obs::FlightRecorder& flight = engine.flight_recorder();
+  EXPECT_GE(flight.traces_recorded(),
+            static_cast<std::uint64_t>(scenario.size()));
+  std::size_t spawns = 0;
+  for (const obs::LifecycleEvent& e : flight.events())
+    if (e.kind == obs::EventKind::kSpawn) ++spawns;
+  EXPECT_EQ(spawns, 2u);
 }
 
 /// Worker death is an expected distributed-systems outcome, not an

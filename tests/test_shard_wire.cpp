@@ -24,9 +24,11 @@ TEST(ShardWire, EnvelopeRoundTripIsLossless) {
   envelope.id = 0xFEEDFACE12345678ull;
   envelope.features = {1.5, -0.0, std::numeric_limits<double>::denorm_min(),
                        -3.25e-300, 2.0};
+  envelope.trace_id = 0xABCDEF0123456789ull;  // wire v3 tail
   const ShardEnvelope back = decode_envelope(encode_envelope(envelope));
   EXPECT_EQ(back.kind, envelope.kind);
   EXPECT_EQ(back.id, envelope.id);
+  EXPECT_EQ(back.trace_id, envelope.trace_id);
   ASSERT_EQ(back.features.size(), envelope.features.size());
   for (std::size_t i = 0; i < envelope.features.size(); ++i) {
     // Bitwise, not ==: -0.0 must survive as -0.0 (the cache keys by
@@ -63,9 +65,23 @@ TEST(ShardWire, ReplyRoundTripIsLossless) {
   reply.stats.circuits_simulated = 5;
   reply.stats.cache.hits = 4;
   reply.stats.memo.insertions = 2;
+  reply.trace_id = 0x1122334455667788ull;  // wire v3 tail
+  reply.spans = {
+      {"gather_wait", 0, 1500, obs::SpanOrigin::kWorker},
+      {"simulate", 1500, 2'000'000, obs::SpanOrigin::kWorker},
+      {"", 2'001'500, 0, obs::SpanOrigin::kRouter},  // empty name survives
+  };
   const ShardReply back = decode_reply(encode_reply(reply));
   EXPECT_EQ(back.kind, reply.kind);
   EXPECT_EQ(back.id, reply.id);
+  EXPECT_EQ(back.trace_id, reply.trace_id);
+  ASSERT_EQ(back.spans.size(), reply.spans.size());
+  for (std::size_t i = 0; i < reply.spans.size(); ++i) {
+    EXPECT_EQ(back.spans[i].name, reply.spans[i].name);
+    EXPECT_EQ(back.spans[i].start_ns, reply.spans[i].start_ns);
+    EXPECT_EQ(back.spans[i].duration_ns, reply.spans[i].duration_ns);
+    EXPECT_EQ(back.spans[i].origin, reply.spans[i].origin);
+  }
   EXPECT_EQ(back.prediction.label, reply.prediction.label);
   EXPECT_EQ(back.prediction.decision_value, reply.prediction.decision_value);
   EXPECT_EQ(back.prediction.cache_hit, reply.prediction.cache_hit);
@@ -135,19 +151,91 @@ TEST(ShardWire, UnknownKindBytesThrow) {
 }
 
 TEST(ShardWire, TruncatedPayloadsThrowEverywhere) {
+  // One cut per payload is special: exactly at the v2 boundary the bytes
+  // ARE a complete v2 message, and the v3 decoder accepts it (back
+  // compatibility, pinned by V3DecodersAcceptV2Payloads below). The v3
+  // tails are 8 bytes (envelope trace_id) and 16 bytes (reply trace_id +
+  // span count); every other truncation still throws.
   const std::vector<std::uint8_t> env = encode_envelope(
       ShardEnvelope{ShardEnvelope::Kind::kRequest, 1, {1.0, 2.0, 3.0}});
+  const std::size_t env_v2_size = env.size() - 8;
   for (std::size_t keep = 0; keep < env.size(); ++keep) {
     const std::vector<std::uint8_t> cut(env.begin(),
                                         env.begin() + static_cast<long>(keep));
+    if (keep == env_v2_size) {
+      EXPECT_NO_THROW(decode_envelope(cut)) << "v2-shaped envelope";
+      continue;
+    }
     EXPECT_THROW(decode_envelope(cut), Error) << "envelope cut at " << keep;
   }
   const std::vector<std::uint8_t> rep = encode_reply(ShardReply{});
+  const std::size_t rep_v2_size = rep.size() - 16;
   for (std::size_t keep = 0; keep < rep.size(); ++keep) {
     const std::vector<std::uint8_t> cut(rep.begin(),
                                         rep.begin() + static_cast<long>(keep));
+    if (keep == rep_v2_size) {
+      EXPECT_NO_THROW(decode_reply(cut)) << "v2-shaped reply";
+      continue;
+    }
     EXPECT_THROW(decode_reply(cut), Error) << "reply cut at " << keep;
   }
+}
+
+TEST(ShardWire, V3DecodersAcceptV2Payloads) {
+  // A v2 peer's bytes are exactly our encoding minus the appended trace
+  // tail. The v3 decoder must accept them, defaulting trace_id = 0
+  // (untraced) and no spans — with every v2 field intact.
+  ShardEnvelope envelope;
+  envelope.kind = ShardEnvelope::Kind::kRequest;
+  envelope.id = 31337;
+  envelope.features = {0.25, -8.0};
+  envelope.trace_id = 0x5555555555555555ull;
+  std::vector<std::uint8_t> env = encode_envelope(envelope);
+  env.resize(env.size() - 8);  // strip the v3 tail -> a v2 envelope
+  const ShardEnvelope eback = decode_envelope(env);
+  EXPECT_EQ(eback.kind, envelope.kind);
+  EXPECT_EQ(eback.id, envelope.id);
+  EXPECT_EQ(eback.features, envelope.features);
+  EXPECT_EQ(eback.trace_id, 0u);
+
+  ShardReply reply;
+  reply.kind = ShardReply::Kind::kPrediction;
+  reply.id = 31337;
+  reply.prediction.label = 1;
+  reply.prediction.decision_value = 0.75;
+  reply.trace_id = 0x5555555555555555ull;
+  reply.spans = {{"simulate", 0, 99, obs::SpanOrigin::kWorker}};
+  std::vector<std::uint8_t> rep = encode_reply(reply);
+  // The encoded span adds name-length prefix (8) + 8 name bytes + origin
+  // (1) + start (8) + duration (8); the fixed tail is trace_id (8) +
+  // count (8). Strip all of it to recover the v2 shape.
+  rep.resize(rep.size() - (16 + 8 + 8 + 1 + 8 + 8));
+  const ShardReply rback = decode_reply(rep);
+  EXPECT_EQ(rback.kind, reply.kind);
+  EXPECT_EQ(rback.id, reply.id);
+  EXPECT_EQ(rback.prediction.label, reply.prediction.label);
+  EXPECT_EQ(rback.prediction.decision_value, reply.prediction.decision_value);
+  EXPECT_EQ(rback.trace_id, 0u);
+  EXPECT_TRUE(rback.spans.empty());
+}
+
+TEST(ShardWire, HostileSpanCountCannotOverAllocate) {
+  // A reply whose span-count word claims 2^56 spans must be rejected by
+  // the byte budget before any allocation — the span guard mirrors the
+  // feature-length guard below.
+  ShardReply reply;
+  reply.trace_id = 1;
+  reply.spans = {{"x", 0, 0, obs::SpanOrigin::kWorker}};
+  std::vector<std::uint8_t> rep = encode_reply(reply);
+  // The count is the 8 bytes right after the 8-byte trace_id, which sit
+  // right after the v2 body; the single span's encoding follows it.
+  const std::size_t span_bytes = 8 + 1 + 1 + 8 + 8;  // len+name+origin+2*u64
+  const std::size_t count_at = rep.size() - span_bytes - 8;
+  const std::uint64_t huge = 1ull << 56;
+  for (int b = 0; b < 8; ++b)
+    rep[count_at + static_cast<std::size_t>(b)] =
+        static_cast<std::uint8_t>((huge >> (8 * b)) & 0xFF);
+  EXPECT_THROW(decode_reply(rep), Error);
 }
 
 TEST(ShardWire, HostileFeatureLengthCannotOverAllocate) {

@@ -42,6 +42,25 @@ TEST(Stats, QuantileExtremes) {
   EXPECT_DOUBLE_EQ(quantile(v, 1.0), 7.0);
 }
 
+TEST(Stats, SingleSampleIsEveryQuantile) {
+  // n=1 means the type-7 position q*(n-1) is 0 for every q — no
+  // interpolation partner exists, so all quantiles are the sample.
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(quantile({42.0}, q), 42.0);
+}
+
+TEST(Stats, LatticePointsReturnOrderStatisticsExactly) {
+  // q = k/(n-1) lands exactly on an order statistic: no interpolation,
+  // no floating-point smear. This convention (type-7, numpy default) is
+  // shared with obs::Histogram::Snapshot::quantile — the histogram ranks
+  // its bins with the same q*(n-1) position, so engine percentiles and
+  // histogram percentiles differ only by bucket resolution
+  // (tests/test_obs.cpp cross-checks the two on one sample set).
+  std::vector<double> v{10.0, 20.0, 30.0, 40.0, 50.0};
+  for (int k = 0; k < 5; ++k)
+    EXPECT_DOUBLE_EQ(quantile(v, k / 4.0), v[static_cast<std::size_t>(k)]);
+}
+
 TEST(Stats, QuantileRejectsEmpty) {
   EXPECT_THROW(quantile({}, 0.5), Error);
 }

@@ -12,7 +12,13 @@
 ///   serving_rankd --connect=ADDR --shard=I --bundle=DIR
 ///                 [--max-batch=N] [--gather=N] [--batch-deadline-us=N]
 ///                 [--threads=N] [--cache=N] [--memo=N] [--die-after=N]
-///                 [--weight=W] [--generation=G]
+///                 [--weight=W] [--generation=G] [--metrics-out=PATH]
+///
+/// --metrics-out=PATH writes this worker's obs::Registry snapshot (JSON:
+/// counters, gauges, latency histograms — see src/obs/metrics.hpp) to
+/// PATH when the worker exits cleanly *or* via the --die-after hook, so
+/// a postmortem can read the worker-side numbers even after a simulated
+/// crash. PATH usually embeds the shard index (one file per worker).
 ///
 /// --weight and --generation are echoed back in the hello verbatim: they
 /// let the elastic engine pin exactly which spawn it is handshaking (a
@@ -37,7 +43,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+
+#include "obs/metrics.hpp"
 
 #include "parallel/socket_transport.hpp"
 #include "serve/model_bundle.hpp"
@@ -56,6 +65,7 @@ struct Args {
   std::size_t die_after = 0;
   double weight = 1.0;
   std::uint64_t generation = 0;
+  std::string metrics_out;
 };
 
 bool parse_flag(const char* arg, const char* name, std::string& out) {
@@ -94,6 +104,8 @@ Args parse_args(int argc, char** argv) {
       args.weight = std::stod(value);
     } else if (parse_flag(argv[i], "--generation", value)) {
       args.generation = static_cast<std::uint64_t>(std::stoull(value));
+    } else if (parse_flag(argv[i], "--metrics-out", value)) {
+      args.metrics_out = value;
     } else {
       throw qkmps::Error(std::string("unknown argument: ") + argv[i]);
     }
@@ -102,7 +114,8 @@ Args parse_args(int argc, char** argv) {
     throw qkmps::Error(
         "usage: serving_rankd --connect=ADDR --shard=I --bundle=DIR "
         "[--max-batch=N] [--batch-deadline-us=N] [--threads=N] [--cache=N] "
-        "[--memo=N] [--die-after=N] [--weight=W] [--generation=G]");
+        "[--memo=N] [--die-after=N] [--weight=W] [--generation=G] "
+        "[--metrics-out=PATH]");
   return args;
 }
 
@@ -133,6 +146,17 @@ int main(int argc, char** argv) {
         args.gather > 0 ? args.gather : args.engine.max_batch;
     options.die_after_requests = args.die_after;
     const bool clean = run_shard_worker(*link, engine, options);
+
+    // Worker-side registry snapshot for postmortems — written on the
+    // --die-after path too (that "crash" is abrupt only on the socket).
+    if (!args.metrics_out.empty()) {
+      std::ofstream out(args.metrics_out,
+                        std::ios::binary | std::ios::trunc);
+      if (out) out << obs::Registry::global().render_json();
+      if (!out)
+        std::fprintf(stderr, "serving_rankd: could not write %s\n",
+                     args.metrics_out.c_str());
+    }
 
     // Clean = acked kShutdown; otherwise the --die-after test hook
     // tripped (simulated crash: exit without a word; the closing socket
