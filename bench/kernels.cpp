@@ -1,0 +1,336 @@
+/// Batched kernel-layer microbenchmark: the gate sweep's SVD/gemm
+/// micro-batches through the three execution flavours —
+///
+///   one-at-a-time : plain svd()/gemm() per matrix, fresh allocations
+///                   every call (the pre-batching hot path)
+///   batched serial: linalg::batched_svd/batched_gemm, kSerial backend —
+///                   shape-bucketed dispatch + workspace arenas, one thread
+///   batched omp   : same pass under the kOpenMPBatched backend
+///
+/// plus an end-to-end section: a batch of feature-map circuits through
+/// MpsSimulator::simulate() one by one vs simulate_batch() in lockstep,
+/// reporting circuits/s — the number the serving stack's simulate stage
+/// actually buys.
+///
+/// Every flavour must produce BITWISE identical results (factors, states,
+/// truncation stats); any mismatch exits 1, so CI runs `kernels --quick`
+/// as the batched-layer parity + throughput gate. Emits kernels.json
+/// (compared against bench/baselines/kernels.json by
+/// scripts/compare_bench.py — a throughput or speedup regression fails
+/// the build).
+///
+/// Knobs: QKMPS_KERNELS_BATCH (matrices per pass), QKMPS_KERNELS_REPS,
+/// QKMPS_KERNELS_CIRCUITS, QKMPS_KERNELS_FEATURES; QKMPS_FULL=1 scales up.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "circuit/ansatz.hpp"
+#include "linalg/batched.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/svd.hpp"
+#include "mps/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace qkmps;
+using linalg::ExecPolicy;
+using linalg::KernelBackend;
+using linalg::KernelBatchConfig;
+using linalg::Matrix;
+using linalg::SvdResult;
+
+namespace {
+
+bool bitwise_equal(const Matrix& x, const Matrix& y) {
+  if (x.rows() != y.rows() || x.cols() != y.cols()) return false;
+  const std::size_t n = static_cast<std::size_t>(x.rows() * x.cols());
+  return std::memcmp(x.data(), y.data(), n * sizeof(cplx)) == 0;
+}
+
+bool bitwise_equal(const SvdResult& x, const SvdResult& y) {
+  return x.s.size() == y.s.size() &&
+         std::memcmp(x.s.data(), y.s.data(), x.s.size() * sizeof(double)) ==
+             0 &&
+         bitwise_equal(x.u, y.u) && bitwise_equal(x.vh, y.vh);
+}
+
+bool bitwise_equal(const mps::Mps& x, const mps::Mps& y) {
+  if (x.num_sites() != y.num_sites() || x.center() != y.center())
+    return false;
+  for (idx i = 0; i < x.num_sites(); ++i) {
+    const auto& sx = x.site(i);
+    const auto& sy = y.site(i);
+    if (sx.left != sy.left || sx.right != sy.right ||
+        sx.a.size() != sy.a.size())
+      return false;
+    if (std::memcmp(sx.a.data(), sy.a.data(), sx.a.size() * sizeof(cplx)) !=
+        0)
+      return false;
+  }
+  return true;
+}
+
+Matrix random_matrix(idx rows, idx cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (idx i = 0; i < rows; ++i)
+    for (idx j = 0; j < cols; ++j) m(i, j) = rng.normal_cplx();
+  return m;
+}
+
+/// Theta-shaped micro-batch: (dl*2) x (2*dr) matrices over the bond-dim
+/// mix a mid-sweep gate round produces. Batches are shape-heterogeneous on
+/// purpose — bucketing is the layer's job.
+std::vector<Matrix> theta_batch(idx count, Rng& rng) {
+  static const idx kBonds[] = {2, 4, 8, 16};
+  std::vector<Matrix> batch;
+  batch.reserve(static_cast<std::size_t>(count));
+  for (idx i = 0; i < count; ++i) {
+    const idx dl = kBonds[rng.uniform_int(4)];
+    const idx dr = kBonds[rng.uniform_int(4)];
+    batch.push_back(random_matrix(dl * 2, 2 * dr, rng));
+  }
+  return batch;
+}
+
+struct Flavour {
+  const char* name;
+  double throughput = 0.0;  ///< matrices (or circuits) per second
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  bench::print_header("kernels: batched SVD/gemm layer");
+  const bool full = full_scale_requested();
+  const idx batch_n =
+      env_int("QKMPS_KERNELS_BATCH", full ? 256 : (quick ? 48 : 96));
+  const idx reps = env_int("QKMPS_KERNELS_REPS", full ? 40 : (quick ? 8 : 20));
+  const idx n_circuits =
+      env_int("QKMPS_KERNELS_CIRCUITS", full ? 32 : (quick ? 6 : 12));
+  const idx m = env_int("QKMPS_KERNELS_FEATURES", full ? 16 : 10);
+  const ExecPolicy policy = ExecPolicy::Reference;
+
+  std::printf("micro-batch: %lld matrices x %lld reps; sweep: %lld "
+              "%lld-qubit feature-map circuits\n",
+              static_cast<long long>(batch_n), static_cast<long long>(reps),
+              static_cast<long long>(n_circuits), static_cast<long long>(m));
+
+  Rng rng(7);
+  const std::vector<Matrix> thetas = theta_batch(batch_n, rng);
+  std::uint64_t mismatches = 0;
+
+  // --- Section 1: batched SVD. ------------------------------------------
+  std::vector<SvdResult> expected(thetas.size());
+  for (std::size_t i = 0; i < thetas.size(); ++i)
+    expected[i] = svd(thetas[i], policy);
+
+  // The flavours run INTERLEAVED, one pass of each per rep, accumulating
+  // per-flavour wall time. On a busy/throttling box sequential A-then-B
+  // timing is order-biased (whichever flavour runs later sees the hotter,
+  // slower machine); alternating passes spreads that drift evenly.
+  Flavour svd_one{"one-at-a-time"}, svd_serial{"batched serial"},
+      svd_omp{"batched omp"};
+  {
+    KernelBatchConfig serial_cfg, omp_cfg;
+    serial_cfg.backend = KernelBackend::kSerial;
+    omp_cfg.backend = KernelBackend::kOpenMPBatched;
+    serial_cfg.policy = omp_cfg.policy = policy;
+    serial_cfg.thread_budget = omp_cfg.thread_budget = 2;
+    linalg::KernelArena serial_arena, omp_arena;
+    std::vector<SvdResult> serial_out(thetas.size()), omp_out(thetas.size());
+    std::vector<linalg::SvdTask> serial_tasks, omp_tasks;
+    for (std::size_t i = 0; i < thetas.size(); ++i) {
+      serial_tasks.push_back({&thetas[i], &serial_out[i]});
+      omp_tasks.push_back({&thetas[i], &omp_out[i]});
+    }
+    double one_s = 0.0, serial_s = 0.0, omp_s = 0.0;
+    for (idx r = 0; r < reps; ++r) {
+      {
+        Timer t;
+        std::vector<SvdResult> out(thetas.size());
+        for (std::size_t i = 0; i < thetas.size(); ++i)
+          out[i] = svd(thetas[i], policy);
+        one_s += t.seconds();
+      }
+      {
+        Timer t;
+        linalg::batched_svd(serial_tasks, serial_cfg, &serial_arena);
+        serial_s += t.seconds();
+      }
+      {
+        Timer t;
+        linalg::batched_svd(omp_tasks, omp_cfg, &omp_arena);
+        omp_s += t.seconds();
+      }
+    }
+    const double work = static_cast<double>(batch_n * reps);
+    svd_one.throughput = work / one_s;
+    svd_serial.throughput = work / serial_s;
+    svd_omp.throughput = work / omp_s;
+    for (std::size_t i = 0; i < thetas.size(); ++i) {
+      if (!bitwise_equal(serial_out[i], expected[i])) ++mismatches;
+      if (!bitwise_equal(omp_out[i], expected[i])) ++mismatches;
+    }
+  }
+
+  std::printf("\nbatched SVD (%lld theta matrices/pass):\n",
+              static_cast<long long>(batch_n));
+  for (const Flavour& f : {svd_one, svd_serial, svd_omp})
+    std::printf("  %-16s %12.0f svd/s  (%.2fx)\n", f.name, f.throughput,
+                f.throughput / svd_one.throughput);
+
+  // --- Section 2: batched gemm (a_left x b_right contractions). ---------
+  std::vector<std::pair<Matrix, Matrix>> pairs;
+  for (idx i = 0; i < batch_n; ++i) {
+    const Matrix& th = thetas[static_cast<std::size_t>(i)];
+    pairs.emplace_back(random_matrix(th.rows(), th.cols(), rng),
+                       random_matrix(th.cols(), th.rows(), rng));
+  }
+  std::vector<Matrix> gemm_expected;
+  for (const auto& [a, b] : pairs)
+    gemm_expected.push_back(linalg::gemm(a, b, policy));
+
+  // Interleaved like the SVD section, for the same order-bias reason.
+  Flavour gemm_one{"one-at-a-time"}, gemm_serial{"batched serial"},
+      gemm_omp{"batched omp"};
+  {
+    KernelBatchConfig serial_cfg, omp_cfg;
+    serial_cfg.backend = KernelBackend::kSerial;
+    omp_cfg.backend = KernelBackend::kOpenMPBatched;
+    serial_cfg.policy = omp_cfg.policy = policy;
+    serial_cfg.thread_budget = omp_cfg.thread_budget = 2;
+    std::vector<Matrix> serial_out(pairs.size()), omp_out(pairs.size());
+    std::vector<linalg::GemmTask> serial_tasks, omp_tasks;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      serial_tasks.push_back({&pairs[i].first, &pairs[i].second, &serial_out[i]});
+      omp_tasks.push_back({&pairs[i].first, &pairs[i].second, &omp_out[i]});
+    }
+    double one_s = 0.0, serial_s = 0.0, omp_s = 0.0;
+    for (idx r = 0; r < reps; ++r) {
+      {
+        Timer t;
+        std::vector<Matrix> out;
+        out.reserve(pairs.size());
+        for (const auto& [a, b] : pairs)
+          out.push_back(linalg::gemm(a, b, policy));
+        one_s += t.seconds();
+      }
+      {
+        Timer t;
+        linalg::batched_gemm(serial_tasks, serial_cfg);
+        serial_s += t.seconds();
+      }
+      {
+        Timer t;
+        linalg::batched_gemm(omp_tasks, omp_cfg);
+        omp_s += t.seconds();
+      }
+    }
+    const double work = static_cast<double>(batch_n * reps);
+    gemm_one.throughput = work / one_s;
+    gemm_serial.throughput = work / serial_s;
+    gemm_omp.throughput = work / omp_s;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (!bitwise_equal(serial_out[i], gemm_expected[i])) ++mismatches;
+      if (!bitwise_equal(omp_out[i], gemm_expected[i])) ++mismatches;
+    }
+  }
+
+  std::printf("\nbatched gemm (%lld contractions/pass):\n",
+              static_cast<long long>(batch_n));
+  for (const Flavour& f : {gemm_one, gemm_serial, gemm_omp})
+    std::printf("  %-16s %12.0f gemm/s (%.2fx)\n", f.name, f.throughput,
+                f.throughput / gemm_one.throughput);
+
+  // --- Section 3: end-to-end gate sweep (simulate vs simulate_batch). ---
+  const kernel::RealMatrix points =
+      bench::scaled_features(n_circuits, m, /*seed=*/11);
+  std::vector<circuit::Circuit> circuits;
+  const circuit::AnsatzParams ansatz{
+      .num_features = m, .layers = 4, .distance = 1, .gamma = 0.25};
+  for (idx i = 0; i < n_circuits; ++i)
+    circuits.push_back(circuit::feature_map_circuit(
+        ansatz, std::vector<double>(points.row(i), points.row(i) + m)));
+
+  mps::SimulatorConfig scfg;
+  scfg.policy = policy;
+  const mps::MpsSimulator sim(scfg);
+
+  // Interleaved A/B over several reps (same rationale as the micro
+  // sections): each rep runs one solo sweep and one lockstep sweep.
+  Flavour sweep_one{"one-at-a-time"}, sweep_batched{"lockstep batched"};
+  {
+    KernelBatchConfig kc;
+    kc.backend = KernelBackend::kOpenMPBatched;
+    kc.thread_budget = 2;
+    const idx sweep_reps = quick ? 3 : 5;
+    double one_s = 0.0, batched_s = 0.0;
+    std::vector<mps::SimulationResult> solo;
+    std::vector<mps::SimulationResult> batch;
+    for (idx r = 0; r < sweep_reps; ++r) {
+      solo.clear();
+      {
+        Timer t;
+        for (const auto& c : circuits) solo.push_back(sim.simulate(c));
+        one_s += t.seconds();
+      }
+      {
+        Timer t;
+        batch = sim.simulate_batch(circuits, kc);
+        batched_s += t.seconds();
+      }
+    }
+    const double work = static_cast<double>(n_circuits * sweep_reps);
+    sweep_one.throughput = work / one_s;
+    sweep_batched.throughput = work / batched_s;
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      if (!bitwise_equal(batch[i].state, solo[i].state)) ++mismatches;
+  }
+
+  const double sweep_speedup =
+      sweep_batched.throughput / sweep_one.throughput;
+  std::printf("\ngate sweep (%lld circuits, %lld qubits, r=1 l=4):\n",
+              static_cast<long long>(n_circuits), static_cast<long long>(m));
+  for (const Flavour& f : {sweep_one, sweep_batched})
+    std::printf("  %-16s %12.2f circuits/s (%.2fx)\n", f.name, f.throughput,
+                f.throughput / sweep_one.throughput);
+
+  if (mismatches > 0)
+    std::printf("\nPARITY FAILURE: %llu results diverged bitwise from the "
+                "one-at-a-time kernels\n",
+                static_cast<unsigned long long>(mismatches));
+  else
+    std::printf("\nparity: every batched result bitwise-matches the "
+                "one-at-a-time kernels\n");
+
+  bench::write_artifact("kernels.json", [&](JsonWriter& jw) {
+    jw.field("bench", "kernels");
+    jw.field("quick", quick);
+    jw.field("batch", static_cast<long long>(batch_n));
+    jw.field("parity_ok", mismatches == 0);
+    jw.field("svd_one_at_a_time_throughput_per_s", svd_one.throughput);
+    jw.field("svd_batched_serial_throughput_per_s", svd_serial.throughput);
+    jw.field("svd_batched_omp_throughput_per_s", svd_omp.throughput);
+    jw.field("svd_batched_speedup_vs_one_at_a_time",
+             svd_serial.throughput / svd_one.throughput);
+    jw.field("gemm_one_at_a_time_throughput_per_s", gemm_one.throughput);
+    jw.field("gemm_batched_serial_throughput_per_s", gemm_serial.throughput);
+    jw.field("gemm_batched_omp_throughput_per_s", gemm_omp.throughput);
+    jw.field("gemm_batched_speedup_vs_one_at_a_time",
+             gemm_serial.throughput / gemm_one.throughput);
+    jw.field("sweep_one_at_a_time_circuit_throughput_per_s",
+             sweep_one.throughput);
+    jw.field("sweep_batched_circuit_throughput_per_s",
+             sweep_batched.throughput);
+    jw.field("sweep_batched_speedup_vs_one_at_a_time", sweep_speedup);
+  });
+  return mismatches == 0 ? 0 : 1;
+}

@@ -18,6 +18,12 @@ baseline leaf is classified by how machine-dependent it is:
     recorded conservatively (see bench/baselines/README.md), so a trip
     of this gate on CI hardware is a real regression, not scheduler
     noise.
+  * Speedup ratios (any numeric key containing "speedup") gate the same
+    way: they are already normalized to the machine (both sides of the
+    ratio ran on the same box), so a drop below (1 - tolerance) of the
+    baseline ratio means the optimization itself regressed — e.g. the
+    batched kernel pass (kernels.json) losing its edge over the
+    one-at-a-time path.
   * Everything else (latencies, hit rates, pids, timings) is
     informational and never gates.
 
@@ -39,7 +45,7 @@ EXACT_KEYS = {"bench", "transport", "quick", "requests", "unique_points",
 def classify(key):
     if key in EXACT_KEYS or key.endswith("digest"):
         return "exact"
-    if "throughput" in key.lower():
+    if "throughput" in key.lower() or "speedup" in key.lower():
         return "throughput"
     return "info"
 

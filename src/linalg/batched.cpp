@@ -1,0 +1,173 @@
+#include "linalg/batched.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "util/error.hpp"
+
+namespace qkmps::linalg {
+
+namespace {
+
+/// Worker count for one pass: the configured budget clamped by what the
+/// OpenMP runtime (and any enclosing KernelThreadScope) would allow.
+int pass_width(const KernelBatchConfig& config) {
+  int width = config.thread_budget > 0 ? config.thread_budget : 1;
+  const int team = kernel_team_width();
+  if (team < width) width = team;
+  return width >= 1 ? width : 1;
+}
+
+int lane_index() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+/// Stable-sorts task indices into shape buckets so same-shaped matrices
+/// run back-to-back in a lane (workspace vectors then keep their sizes).
+template <typename Task, typename Shape>
+std::vector<std::size_t> bucket_order(const std::vector<Task>& tasks,
+                                      const Shape& shape_of) {
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     return shape_of(tasks[x]) < shape_of(tasks[y]);
+                   });
+  return order;
+}
+
+}  // namespace
+
+std::string to_string(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kSerial: return "serial";
+    case KernelBackend::kOpenMPBatched: return "omp-batched";
+  }
+  return "unknown";
+}
+
+void KernelArena::ensure_lanes(int lanes) {
+  if (lanes > static_cast<int>(lanes_.size()))
+    lanes_.resize(static_cast<std::size_t>(lanes));
+}
+
+SvdWorkspace& KernelArena::lane(int i) {
+  QKMPS_CHECK(i >= 0 && i < static_cast<int>(lanes_.size()));
+  return lanes_[static_cast<std::size_t>(i)];
+}
+
+void batched_gemm(const std::vector<GemmTask>& tasks,
+                  const KernelBatchConfig& config) {
+  if (tasks.empty()) return;
+  const auto order = bucket_order(tasks, [](const GemmTask& t) {
+    return std::array<idx, 3>{t.a->rows(), t.a->cols(), t.b->cols()};
+  });
+
+  if (config.backend == KernelBackend::kSerial) {
+    for (std::size_t i : order)
+      gemm_into(*tasks[i].c, *tasks[i].a, *tasks[i].b, config.policy);
+    return;
+  }
+
+  const int width = pass_width(config);
+  if (width == 1) {
+    // A singleton OpenMP team still pays region entry + dynamic-schedule
+    // bookkeeping every pass; run the lane loop directly. Scope and probe
+    // semantics (budget of 1, one active worker) are kept identical.
+    KernelThreadScope scope(1);
+    detail::KernelProbeGuard probe;
+    for (std::size_t i : order)
+      gemm_into(*tasks[i].c, *tasks[i].a, *tasks[i].b, config.policy);
+    return;
+  }
+#pragma omp parallel num_threads(width)
+  {
+    // Pass workers own the parallelism; their per-matrix kernels must not
+    // fork nested teams on top of it.
+    KernelThreadScope scope(1);
+    detail::KernelProbeGuard probe;
+    const std::size_t n = order.size();
+#pragma omp for schedule(dynamic)
+    for (std::size_t t = 0; t < n; ++t) {
+      const GemmTask& task = tasks[order[t]];
+      gemm_into(*task.c, *task.a, *task.b, config.policy);
+    }
+  }
+}
+
+void batched_svd(const std::vector<SvdTask>& tasks,
+                 const KernelBatchConfig& config, KernelArena* arena) {
+  if (tasks.empty()) return;
+  KernelArena local;
+  KernelArena& lanes = arena != nullptr ? *arena : local;
+  const auto order = bucket_order(tasks, [](const SvdTask& t) {
+    return std::array<idx, 2>{t.a->rows(), t.a->cols()};
+  });
+
+  if (config.backend == KernelBackend::kSerial) {
+    lanes.ensure_lanes(1);
+    SvdWorkspace& ws = lanes.lane(0);
+    for (std::size_t i : order)
+      svd_into(*tasks[i].a, config.policy, *tasks[i].out, ws);
+    return;
+  }
+
+  const int width = pass_width(config);
+  lanes.ensure_lanes(width);
+  if (width == 1) {
+    // See batched_gemm: skip the singleton OpenMP region, same semantics.
+    KernelThreadScope scope(1);
+    detail::KernelProbeGuard probe;
+    SvdWorkspace& ws = lanes.lane(0);
+    for (std::size_t i : order)
+      svd_into(*tasks[i].a, config.policy, *tasks[i].out, ws);
+    return;
+  }
+#pragma omp parallel num_threads(width)
+  {
+    KernelThreadScope scope(1);
+    detail::KernelProbeGuard probe;
+    SvdWorkspace& ws = lanes.lane(lane_index());
+    const std::size_t n = order.size();
+#pragma omp for schedule(dynamic)
+    for (std::size_t t = 0; t < n; ++t) {
+      const SvdTask& task = tasks[order[t]];
+      svd_into(*task.a, config.policy, *task.out, ws);
+    }
+  }
+}
+
+void batched_for(std::size_t n, const KernelBatchConfig& config,
+                 const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (config.backend == KernelBackend::kSerial) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const int width = pass_width(config);
+  if (width == 1) {
+    // See batched_gemm: skip the singleton OpenMP region, same semantics.
+    KernelThreadScope scope(1);
+    detail::KernelProbeGuard probe;
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+#pragma omp parallel num_threads(width)
+  {
+    KernelThreadScope scope(1);
+    detail::KernelProbeGuard probe;
+#pragma omp for schedule(dynamic)
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+}  // namespace qkmps::linalg

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "linalg/gemm.hpp"
+#include "linalg/svd.hpp"
+
+namespace qkmps::linalg {
+
+/// Backend seam for the batched small-matrix kernels, Eigen-style: one
+/// header, pluggable execution engines behind it (JacobiSVD vs LAPACKE in
+/// Eigen; serial reference vs OpenMP-batched here, with room for a GPU
+/// backend later). The backends are scheduling choices only — every
+/// per-matrix kernel call is the same code on the same values, so results
+/// are bitwise-identical across backends (tests/test_batched_kernels.cpp).
+enum class KernelBackend {
+  kSerial,         ///< one matrix at a time on the calling thread
+  kOpenMPBatched,  ///< one OpenMP pass over the shape-bucketed batch
+};
+
+std::string to_string(KernelBackend backend);
+
+/// Configuration of one batched pass.
+struct KernelBatchConfig {
+  KernelBackend backend = KernelBackend::kOpenMPBatched;
+  /// Maximum worker threads the whole pass may occupy. The serving engine
+  /// passes its pool width here so shard-lane parallelism and kernel-level
+  /// OpenMP cannot multiply into oversubscription (DESIGN.md thread-budget
+  /// contract); each pass worker additionally pins its own per-matrix
+  /// kernels to serial via KernelThreadScope. <= 0 means 1.
+  int thread_budget = 1;
+  /// Per-matrix kernel flavour (Reference / Accelerated), forwarded to the
+  /// underlying gemm/svd calls.
+  ExecPolicy policy = ExecPolicy::Reference;
+};
+
+/// One C = A * B product of a batch. Pointers must stay valid through the
+/// pass; outputs must be distinct from each other and from every operand.
+struct GemmTask {
+  const Matrix* a = nullptr;
+  const Matrix* b = nullptr;
+  Matrix* c = nullptr;
+};
+
+/// One thin-SVD of a batch.
+struct SvdTask {
+  const Matrix* a = nullptr;
+  SvdResult* out = nullptr;
+};
+
+/// Preallocated per-worker-lane SVD workspaces. A long-lived arena (the
+/// batched gate-sweep driver keeps one across all rounds of a batch)
+/// reduces the per-SVD heap traffic to the factors that escape into
+/// results; shape-bucketed dispatch keeps consecutive matrices in a lane
+/// same-shaped so even vector::assign rarely reallocates.
+class KernelArena {
+ public:
+  /// Grows to at least `lanes` workspaces. Call before a parallel pass —
+  /// growth is not thread-safe.
+  void ensure_lanes(int lanes);
+  SvdWorkspace& lane(int i);
+  int lanes() const { return static_cast<int>(lanes_.size()); }
+
+ private:
+  std::vector<SvdWorkspace> lanes_;
+};
+
+/// Runs every task's C = A * B. Tasks are dispatched in shape-bucketed
+/// order (stable-sorted by output/inner dimensions) so a worker lane sees
+/// runs of identical shapes.
+void batched_gemm(const std::vector<GemmTask>& tasks,
+                  const KernelBatchConfig& config);
+
+/// Runs every task's thin SVD through per-lane workspaces (from `arena`
+/// when given, else a pass-local one), shape-bucketed like batched_gemm.
+void batched_svd(const std::vector<SvdTask>& tasks,
+                 const KernelBatchConfig& config, KernelArena* arena = nullptr);
+
+/// Generic batched companion for the independent per-item phases between
+/// kernel passes (staging, permutes, commits): runs fn(i) for i in [0, n)
+/// under the backend's scheduling and thread budget. Each worker pins its
+/// per-matrix kernels serial (KernelThreadScope of 1), mirroring the
+/// kernel passes.
+void batched_for(std::size_t n, const KernelBatchConfig& config,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace qkmps::linalg

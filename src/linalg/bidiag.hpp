@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "linalg/householder.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/policy.hpp"
 
@@ -20,10 +21,26 @@ struct Bidiagonalization {
   Matrix v;               ///< n x n
 };
 
+/// Reusable scratch for bidiagonalize_into: the working copy of A, the
+/// column/row gather buffer, and the reflector stacks all keep their heap
+/// blocks across calls, so a sweep over same-shaped matrices (the batched
+/// kernel layer's shape buckets) allocates only on the first one.
+struct BidiagWorkspace {
+  Matrix work;
+  std::vector<cplx> buf;
+  std::vector<Reflector> lefts;
+  std::vector<Reflector> rights;
+};
+
 /// The accelerated policy parallelizes the per-column/per-row reflector
 /// applications (the O(mn^2) bulk of the factorization) across an OpenMP
 /// team once the block is larger than kParallelSvdThreshold.
 Bidiagonalization bidiagonalize(const Matrix& a,
                                 ExecPolicy policy = ExecPolicy::Reference);
+
+/// Workspace-reusing variant; arithmetic is identical to bidiagonalize()
+/// (same kernels on the same values), only the allocations differ.
+void bidiagonalize_into(const Matrix& a, ExecPolicy policy,
+                        Bidiagonalization& out, BidiagWorkspace& ws);
 
 }  // namespace qkmps::linalg

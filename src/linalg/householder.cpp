@@ -4,11 +4,18 @@
 #include <cmath>
 #include <vector>
 
+#include "linalg/policy.hpp"
+
 namespace qkmps::linalg {
 
 Reflector make_reflector(const cplx* x, idx n) {
-  QKMPS_CHECK(n >= 1);
   Reflector h;
+  make_reflector_into(x, n, h);
+  return h;
+}
+
+void make_reflector_into(const cplx* x, idx n, Reflector& h) {
+  QKMPS_CHECK(n >= 1);
   h.v.assign(static_cast<std::size_t>(n), cplx(0.0));
   h.v[0] = 1.0;
 
@@ -30,7 +37,7 @@ Reflector make_reflector(const cplx* x, idx n) {
     // they fall through so the NaN stays visible in beta/tau.
     h.tau = 0.0;
     h.beta = 0.0;
-    return h;
+    return;
   }
   double rescale = 1.0;
   std::vector<cplx> scaled;
@@ -49,7 +56,7 @@ Reflector make_reflector(const cplx* x, idx n) {
     // Already of the required form; H = I.
     h.tau = 0.0;
     h.beta = alpha.real() * rescale;
-    return h;
+    return;
   }
 
   const double anorm = std::sqrt(std::norm(alpha) + xnorm_sq);
@@ -61,7 +68,7 @@ Reflector make_reflector(const cplx* x, idx n) {
   h.tau = cplx((beta - alpha.real()) / beta, alpha.imag() / beta);
   const cplx scale = 1.0 / (alpha - beta);
   for (idx i = 1; i < n; ++i) h.v[static_cast<std::size_t>(i)] = scale * x[i];
-  return h;
+  return;
 }
 
 void apply_reflector_left(Matrix& a, const Reflector& h, idx row0, idx col0,
@@ -69,9 +76,11 @@ void apply_reflector_left(Matrix& a, const Reflector& h, idx row0, idx col0,
   if (h.tau == cplx(0.0)) return;
   const idx len = static_cast<idx>(h.v.size());
   // Forking a team only pays off for sizeable blocks; small trailing blocks
-  // of the factorization run serially regardless of the policy.
-  const bool fork = parallel && len * (col1 - col0) >= 32768;
-#pragma omp parallel for schedule(static) if (fork)
+  // of the factorization run serially regardless of the policy. The width
+  // honors the calling thread's KernelThreadScope budget.
+  const int width = parallel ? kernel_team_width() : 1;
+  const bool fork = parallel && width > 1 && len * (col1 - col0) >= 32768;
+#pragma omp parallel for schedule(static) num_threads(width) if (fork)
   for (idx j = col0; j < col1; ++j) {
     cplx w = 0.0;  // v^H a[:, j]
     for (idx r = 0; r < len; ++r) w += std::conj(h.v[static_cast<std::size_t>(r)]) * a(row0 + r, j);
@@ -84,9 +93,10 @@ void apply_reflector_right(Matrix& a, const Reflector& h, idx row0, idx row1,
                            idx col0, bool parallel) {
   if (h.tau == cplx(0.0)) return;
   const idx len = static_cast<idx>(h.v.size());
-  const bool fork = parallel && len * (row1 - row0) >= 32768;
+  const int width = parallel ? kernel_team_width() : 1;
+  const bool fork = parallel && width > 1 && len * (row1 - row0) >= 32768;
   // A <- A - tau (A conj(v)) v^T restricted to the block.
-#pragma omp parallel for schedule(static) if (fork)
+#pragma omp parallel for schedule(static) num_threads(width) if (fork)
   for (idx r = row0; r < row1; ++r) {
     cplx w = 0.0;  // sum_j a(r, col0+j) conj(v[j])
     for (idx j = 0; j < len; ++j) w += a(r, col0 + j) * std::conj(h.v[static_cast<std::size_t>(j)]);

@@ -19,6 +19,10 @@ struct Reflector {
 /// Builds the reflector annihilating x[1..] into x[0]; x must be non-empty.
 Reflector make_reflector(const cplx* x, idx n);
 
+/// Same, writing into a caller-owned reflector whose `v` keeps its heap
+/// block across calls (the bidiagonalization workspace path).
+void make_reflector_into(const cplx* x, idx n, Reflector& h);
+
 /// A <- H A on the sub-block rows [row0, row0+len) x cols [col0, col1):
 /// A -= tau * v (v^H A). `v` has `len` entries aligned with row0.
 /// `parallel` splits the independent per-column updates across an OpenMP

@@ -12,10 +12,70 @@ namespace {
 constexpr double kTol = 1e-14;
 constexpr int kMaxSweeps = 60;
 
+/// Completes U with orthonormal columns where the singular value is zero
+/// (zero matrices, exactly rank-deficient inputs): the rotated working
+/// matrix carries no direction for those columns, and leaving them zero
+/// loses U^H U = I. Deterministic: each missing column takes the basis
+/// vector with the largest residual against the columns already placed
+/// (residual^2 = 1 - sum |u(k, c)|^2 while the placed set is orthonormal),
+/// orthogonalized with one reorthogonalization pass.
+void complete_orthonormal_columns(Matrix& u, const std::vector<double>& s) {
+  const idx m = u.rows(), n = u.cols();
+  for (idx j = 0; j < n; ++j) {
+    if (s[static_cast<std::size_t>(j)] > 0.0) continue;
+    idx best_k = 0;
+    double best_res = -1.0;
+    for (idx k = 0; k < m; ++k) {
+      double proj = 0.0;
+      for (idx c = 0; c < j; ++c) proj += std::norm(u(k, c));
+      const double res = 1.0 - proj;
+      if (res > best_res) {
+        best_res = res;
+        best_k = k;
+      }
+    }
+    // Two Gram-Schmidt passes against columns 0..j-1, then normalize.
+    std::vector<cplx> r(static_cast<std::size_t>(m), cplx(0.0));
+    r[static_cast<std::size_t>(best_k)] = 1.0;
+    for (int pass = 0; pass < 2; ++pass) {
+      for (idx c = 0; c < j; ++c) {
+        cplx coef = 0.0;
+        for (idx i = 0; i < m; ++i)
+          coef += std::conj(u(i, c)) * r[static_cast<std::size_t>(i)];
+        for (idx i = 0; i < m; ++i)
+          r[static_cast<std::size_t>(i)] -= coef * u(i, c);
+      }
+    }
+    double norm_sq = 0.0;
+    for (idx i = 0; i < m; ++i) norm_sq += std::norm(r[static_cast<std::size_t>(i)]);
+    const double inv = norm_sq > 0.0 ? 1.0 / std::sqrt(norm_sq) : 0.0;
+    for (idx i = 0; i < m; ++i) u(i, j) = r[static_cast<std::size_t>(i)] * inv;
+  }
+}
+
 SvdResult jacobi_svd_tall(const Matrix& a) {
   const idx m = a.rows(), n = a.cols();
   Matrix w = a;                     // becomes U * diag(s)
   Matrix v = Matrix::identity(n);  // accumulates right factor
+
+  // Entries in the denormal range make the Gram products and column norms
+  // below underflow to zero (every rotation test and the extracted s then
+  // read 0), and near-overflow entries square to inf. The SVD is
+  // scale-equivariant, so normalize the working matrix to O(1) and scale
+  // the singular values back at the end; inputs inside the safe window
+  // keep rescale == 1.0 and identical arithmetic.
+  double amax = 0.0;
+  for (idx i = 0; i < m; ++i)
+    for (idx j = 0; j < n; ++j) {
+      amax = std::max({amax, std::abs(w(i, j).real()), std::abs(w(i, j).imag())});
+    }
+  double rescale = 1.0;
+  if (amax != 0.0 && std::isfinite(amax) && (amax < 1e-150 || amax > 1e150)) {
+    rescale = amax;
+    const double inv = 1.0 / rescale;
+    for (idx i = 0; i < m; ++i)
+      for (idx j = 0; j < n; ++j) w(i, j) *= inv;
+  }
 
   for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
     bool rotated = false;
@@ -30,7 +90,10 @@ SvdResult jacobi_svd_tall(const Matrix& a) {
           aij += std::conj(w(r, i)) * w(r, j);
         }
         const double g = std::abs(aij);
-        if (g <= kTol * std::sqrt(aii * ajj) || g == 0.0) continue;
+        // sqrt(aii)*sqrt(ajj), not sqrt(aii*ajj): the product form
+        // underflows/overflows for representable column norms and turns
+        // the convergence test degenerate (QUDA's quadSum discipline).
+        if (g <= kTol * (std::sqrt(aii) * std::sqrt(ajj)) || g == 0.0) continue;
         rotated = true;
 
         // Unitary 2x2 J = [[c, s*u], [-s*conj(u), c]] with u = aij/|aij|
@@ -80,11 +143,12 @@ SvdResult jacobi_svd_tall(const Matrix& a) {
   for (idx j = 0; j < n; ++j) {
     const idx src = perm[static_cast<std::size_t>(j)];
     const double sj = s[static_cast<std::size_t>(src)];
-    out.s[static_cast<std::size_t>(j)] = sj;
+    out.s[static_cast<std::size_t>(j)] = sj * rescale;
     const double inv = sj > 0.0 ? 1.0 / sj : 0.0;
     for (idx r = 0; r < m; ++r) out.u(r, j) = w(r, src) * inv;
     for (idx r = 0; r < n; ++r) vs(r, j) = v(r, src);
   }
+  complete_orthonormal_columns(out.u, out.s);
   out.vh = vs.adjoint();
   return out;
 }

@@ -21,6 +21,39 @@ class Matrix {
   /// Zero matrix helper for readability at call sites.
   static Matrix zeros(idx rows, idx cols) { return Matrix(rows, cols); }
 
+  /// Reshape to rows x cols with every entry zeroed. Reuses the existing
+  /// heap block whenever capacity allows — the primitive the batched kernel
+  /// workspaces (linalg/batched.hpp) rely on to avoid per-matrix churn.
+  void resize(idx rows, idx cols) {
+    const std::size_t n = check_size(rows, cols);
+    rows_ = rows;
+    cols_ = cols;
+    a_.assign(n, cplx(0.0));
+  }
+
+  /// Reshape to rows x cols WITHOUT zeroing: existing storage is kept and
+  /// any grown tail is value-initialized by the vector, but entries carry
+  /// whatever the previous use left behind. Only for buffers the caller
+  /// fully overwrites before reading (staging/permute scratch, SVD factor
+  /// outputs) — it removes the O(rows*cols) clear from the hot path.
+  void resize_for_overwrite(idx rows, idx cols) {
+    const std::size_t n = check_size(rows, cols);
+    rows_ = rows;
+    cols_ = cols;
+    a_.resize(n);
+  }
+
+  /// Shrink the logical shape in place. The caller must have already
+  /// compacted the first rows*cols storage slots into row-major order for
+  /// the new shape; no elements are moved here and capacity is retained.
+  void shrink_to(idx rows, idx cols) {
+    const std::size_t n = check_size(rows, cols);
+    QKMPS_CHECK(n <= a_.size());
+    rows_ = rows;
+    cols_ = cols;
+    a_.resize(n);
+  }
+
   idx rows() const { return rows_; }
   idx cols() const { return cols_; }
   idx size() const { return rows_ * cols_; }

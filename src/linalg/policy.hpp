@@ -33,4 +33,46 @@ inline constexpr long long kParallelGemmThreshold = 4 * 1024;
 /// parallelizes its reflector applications.
 inline constexpr long long kParallelSvdThreshold = 48;
 
+/// RAII thread budget for the dense kernels on the current thread. The
+/// serving engine runs kernels inside its own worker lanes; without a
+/// budget, an accelerated gemm inside a lane forks a full OpenMP team and
+/// the effective thread count multiplies (shard lanes x OMP threads). A
+/// scope of 1 pins every kernel called from this thread to serial
+/// execution; scopes nest and restore the previous budget on destruction.
+class KernelThreadScope {
+ public:
+  /// max_threads <= 0 means "unlimited" (defer to the OpenMP runtime).
+  explicit KernelThreadScope(int max_threads);
+  ~KernelThreadScope();
+
+  KernelThreadScope(const KernelThreadScope&) = delete;
+  KernelThreadScope& operator=(const KernelThreadScope&) = delete;
+
+  /// The budget active on the calling thread; 0 when unbudgeted.
+  static int current();
+
+ private:
+  int prev_;
+};
+
+/// Team width a kernel on this thread may fork: the OpenMP max-threads
+/// setting clamped by the active KernelThreadScope. Always >= 1.
+int kernel_team_width();
+
+/// Effective-concurrency probe: every thread executing inside a dense
+/// kernel region (blocked gemm team member, batched-pass worker) counts
+/// itself in, and the high-water mark is kept. Tests reset the peak, drive
+/// a workload, and assert the observed concurrency never exceeded the
+/// configured budget — the oversubscription regression gate.
+void kernel_probe_reset();
+int kernel_probe_peak();
+
+namespace detail {
+/// RAII enter/exit of the probe; cheap (two relaxed atomics each way).
+struct KernelProbeGuard {
+  KernelProbeGuard();
+  ~KernelProbeGuard();
+};
+}  // namespace detail
+
 }  // namespace qkmps::linalg

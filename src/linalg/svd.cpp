@@ -132,7 +132,13 @@ bool bidiagonal_qr(std::vector<double>& d, std::vector<double>& e, Matrix& u,
   return true;
 }
 
-void finalize(SvdResult& out, std::vector<double>& d, Matrix& u, Matrix& v) {
+/// Writes the sorted factors straight into `out`, reusing whatever heap
+/// blocks `out` already owns (resize_for_overwrite). The value written to
+/// every slot is the same one the old copy-then-adjoint code produced, so
+/// results stay bitwise identical while a warm caller (the batched kernel
+/// layer hands each SvdTask a persistent SvdResult) allocates nothing.
+void finalize(SvdResult& out, std::vector<double>& d, Matrix& u, Matrix& v,
+              std::vector<idx>& perm) {
   const idx n = static_cast<idx>(d.size());
   // Make singular values non-negative by flipping the matching U column.
   for (idx i = 0; i < n; ++i) {
@@ -142,46 +148,91 @@ void finalize(SvdResult& out, std::vector<double>& d, Matrix& u, Matrix& v) {
     }
   }
   // Sort descending, permuting U and V columns consistently.
-  std::vector<idx> perm(static_cast<std::size_t>(n));
+  perm.resize(static_cast<std::size_t>(n));
   std::iota(perm.begin(), perm.end(), idx{0});
   std::sort(perm.begin(), perm.end(), [&](idx a, idx b) {
     return d[static_cast<std::size_t>(a)] > d[static_cast<std::size_t>(b)];
   });
 
   out.s.resize(static_cast<std::size_t>(n));
-  Matrix us(u.rows(), n), vs(v.rows(), n);
+  out.u.resize_for_overwrite(u.rows(), n);
+  out.vh.resize_for_overwrite(n, v.rows());
   for (idx j = 0; j < n; ++j) {
     const idx src = perm[static_cast<std::size_t>(j)];
     out.s[static_cast<std::size_t>(j)] = d[static_cast<std::size_t>(src)];
-    for (idx r = 0; r < u.rows(); ++r) us(r, j) = u(r, src);
-    for (idx r = 0; r < v.rows(); ++r) vs(r, j) = v(r, src);
+    for (idx r = 0; r < u.rows(); ++r) out.u(r, j) = u(r, src);
+    // V^H row j is the conjugate of V column src — written transposed
+    // directly instead of materializing V-sorted and adjointing it.
+    for (idx r = 0; r < v.rows(); ++r) out.vh(j, r) = std::conj(v(r, src));
   }
-  out.u = std::move(us);
-  out.vh = vs.adjoint();
 }
 
-SvdResult svd_tall(const Matrix& a, ExecPolicy policy) {
-  Bidiagonalization bd = bidiagonalize(a, policy);
-  if (!bidiagonal_qr(bd.d, bd.e, bd.u, bd.v)) {
-    return jacobi_svd(a);
+void svd_tall_into(const Matrix& a, ExecPolicy policy, SvdResult& out,
+                   SvdWorkspace& ws) {
+  bidiagonalize_into(a, policy, ws.bd, ws.bidiag);
+
+  // The QR iteration squares band entries (Wilkinson shift, bulge chase);
+  // a band whose scale sits in the denormal range underflows those
+  // products to zero and the iteration silently collapses every singular
+  // value, while an overflow-range band squares to inf. The band is
+  // scale-equivariant, so normalize it to O(1) first and scale the
+  // converged singular values back. Inside the safe window rescale stays
+  // exactly 1.0 and no arithmetic changes.
+  double band_max = 0.0;
+  for (double x : ws.bd.d) band_max = std::max(band_max, std::abs(x));
+  for (double x : ws.bd.e) band_max = std::max(band_max, std::abs(x));
+  double rescale = 1.0;
+  if (band_max != 0.0 && (band_max < 1e-150 || band_max > 1e150)) {
+    rescale = band_max;
+    for (double& x : ws.bd.d) x /= rescale;
+    for (double& x : ws.bd.e) x /= rescale;
   }
-  SvdResult out;
-  finalize(out, bd.d, bd.u, bd.v);
-  return out;
+
+  if (!bidiagonal_qr(ws.bd.d, ws.bd.e, ws.bd.u, ws.bd.v)) {
+    out = jacobi_svd(a);
+    return;
+  }
+  if (rescale != 1.0)
+    for (double& x : ws.bd.d) x *= rescale;
+  finalize(out, ws.bd.d, ws.bd.u, ws.bd.v, ws.perm);
 }
 
 }  // namespace
 
 SvdResult svd(const Matrix& a, ExecPolicy policy) {
-  QKMPS_CHECK(a.rows() > 0 && a.cols() > 0);
-  if (a.rows() >= a.cols()) return svd_tall(a, policy);
-  // Wide matrix: decompose the adjoint and swap factors.
-  SvdResult t = svd_tall(a.adjoint(), policy);
+  SvdWorkspace ws;
+  return svd(a, policy, ws);
+}
+
+SvdResult svd(const Matrix& a, ExecPolicy policy, SvdWorkspace& ws) {
   SvdResult out;
-  out.s = std::move(t.s);
-  out.u = t.vh.adjoint();
-  out.vh = t.u.adjoint();
+  svd_into(a, policy, out, ws);
   return out;
+}
+
+void svd_into(const Matrix& a, ExecPolicy policy, SvdResult& out,
+              SvdWorkspace& ws) {
+  QKMPS_CHECK(a.rows() > 0 && a.cols() > 0);
+  if (a.rows() >= a.cols()) {
+    svd_tall_into(a, policy, out, ws);
+    return;
+  }
+  // Wide matrix: decompose the adjoint and swap factors. The adjoint and
+  // the tall decomposition land in workspace scratch so repeated wide
+  // calls reuse the same blocks.
+  ws.wide.resize_for_overwrite(a.cols(), a.rows());
+  for (idx i = 0; i < a.rows(); ++i)
+    for (idx j = 0; j < a.cols(); ++j) ws.wide(j, i) = std::conj(a(i, j));
+  SvdResult& t = ws.tall;
+  svd_tall_into(ws.wide, policy, t, ws);
+  out.s.assign(t.s.begin(), t.s.end());
+  const idx k = static_cast<idx>(t.s.size());
+  out.u.resize_for_overwrite(k, k);
+  for (idx i = 0; i < k; ++i)
+    for (idx j = 0; j < k; ++j) out.u(i, j) = std::conj(t.vh(j, i));
+  out.vh.resize_for_overwrite(k, t.u.rows());
+  for (idx i = 0; i < k; ++i)
+    for (idx j = 0; j < t.u.rows(); ++j) out.vh(i, j) = std::conj(t.u(j, i));
 }
 
 idx truncation_rank(const std::vector<double>& s, double max_discarded_weight,
@@ -205,14 +256,20 @@ idx truncation_rank(const std::vector<double>& s, double max_discarded_weight,
 void truncate_svd(SvdResult& f, idx rank) {
   QKMPS_CHECK(rank >= 1 && rank <= static_cast<idx>(f.s.size()));
   const idx m = f.u.rows();
+  const idx n0 = f.u.cols();
   const idx n = f.vh.cols();
-  Matrix u(m, rank), vh(rank, n);
+  // U keeps its first `rank` columns: compact the kept entries forward in
+  // the existing storage (reads stay ahead of writes row by row), then
+  // shrink the logical shape — no reallocation, values untouched.
+  cplx* u = f.u.data();
   for (idx i = 0; i < m; ++i)
-    for (idx j = 0; j < rank; ++j) u(i, j) = f.u(i, j);
-  for (idx i = 0; i < rank; ++i)
-    for (idx j = 0; j < n; ++j) vh(i, j) = f.vh(i, j);
-  f.u = std::move(u);
-  f.vh = std::move(vh);
+    for (idx j = 0; j < rank; ++j)
+      u[static_cast<std::size_t>(i * rank + j)] =
+          u[static_cast<std::size_t>(i * n0 + j)];
+  f.u.shrink_to(m, rank);
+  // V^H keeps its first `rank` rows, which are already a contiguous prefix
+  // of row-major storage: shrinking the shape is the whole truncation.
+  f.vh.shrink_to(rank, n);
   f.s.resize(static_cast<std::size_t>(rank));
 }
 

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "linalg/bidiag.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/policy.hpp"
 
@@ -23,6 +24,30 @@ struct SvdResult {
 /// decomposition applied after every two-qubit gate (Fig. 1b of the paper)
 /// and is the single hottest kernel in the simulator.
 SvdResult svd(const Matrix& a, ExecPolicy policy = ExecPolicy::Reference);
+
+/// Reusable scratch for the SVD driver. A long-lived workspace (one per
+/// batched-kernel worker lane, see linalg/batched.hpp) collapses the
+/// ~2n+10 heap allocations of a cold svd() call to the handful that
+/// escape into the returned factors.
+struct SvdWorkspace {
+  Bidiagonalization bd;
+  BidiagWorkspace bidiag;
+  Matrix wide;     ///< adjoint scratch for wide (m < n) inputs
+  SvdResult tall;  ///< tall-factorization scratch for the wide branch
+  std::vector<idx> perm;
+};
+
+/// Workspace-reusing variant; bitwise-identical results to svd() — the
+/// batched layer's per-backend parity tests pin this down.
+SvdResult svd(const Matrix& a, ExecPolicy policy, SvdWorkspace& ws);
+
+/// Fully in-place variant: factors are written into `out`, reusing the heap
+/// blocks it already owns. A caller that keeps `out` alive across calls
+/// (the batched kernel driver hands each SvdTask a persistent SvdResult,
+/// see linalg/batched.hpp) runs the entire decomposition allocation-free
+/// once warm. Bitwise-identical results to svd().
+void svd_into(const Matrix& a, ExecPolicy policy, SvdResult& out,
+              SvdWorkspace& ws);
 
 /// Truncation decision: given singular values sorted descending, returns the
 /// number to KEEP so that the discarded squared weight satisfies

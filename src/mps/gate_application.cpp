@@ -1,5 +1,6 @@
 #include "mps/gate_application.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 
@@ -24,10 +25,8 @@ void apply_single_qubit_gate(Mps& psi, const linalg::Matrix& u, idx q) {
   }
 }
 
-double apply_adjacent_two_qubit_gate(Mps& psi, const linalg::Matrix& u, idx q,
-                                     const TruncationConfig& trunc,
-                                     linalg::ExecPolicy policy,
-                                     TruncationStats* stats) {
+void stage_two_qubit_gate(Mps& psi, const linalg::Matrix& u, idx q,
+                          TwoQubitStep& step, linalg::ExecPolicy policy) {
   QKMPS_CHECK(q >= 0 && q + 1 < psi.num_sites());
   QKMPS_CHECK(u.rows() == 4 && u.cols() == 4);
 
@@ -37,34 +36,51 @@ double apply_adjacent_two_qubit_gate(Mps& psi, const linalg::Matrix& u, idx q,
 
   const SiteTensor& a = psi.site(q);
   const SiteTensor& b = psi.site(q + 1);
-  const idx dl = a.left, dr = b.right, k = a.right;
-  QKMPS_CHECK(b.left == k);
+  step.q = q;
+  step.dl = a.left;
+  step.dr = b.right;
+  step.k = a.right;
+  QKMPS_CHECK(b.left == step.k);
 
-  // theta[l, s0, s1, r] = sum_k a[l, s0, k] b[k, s1, r]:
-  // (dl*2, k) x (k, 2*dr) matrices.
-  const linalg::Matrix theta =
-      linalg::gemm(a.as_left_matrix(), b.as_right_matrix(), policy);
+  step.gate = u;
+  // The (left, physical) x right and left x (physical, right) groupings
+  // are reshapes of the row-major site storage — straight copies into the
+  // step's persistent buffers.
+  step.a_left.resize_for_overwrite(step.dl * 2, step.k);
+  std::copy(a.a.begin(), a.a.end(), step.a_left.data());
+  step.b_right.resize_for_overwrite(step.k, 2 * step.dr);
+  std::copy(b.a.begin(), b.a.end(), step.b_right.data());
+}
 
-  // Gate contraction: theta'[(l),(s0' s1'),(r)] =
-  //   sum_{s0 s1} U[(s0' s1'), (s0 s1)] theta[l, s0, s1, r].
-  // Work in the (s0 s1) x (l r) layout so it is a plain 4 x (dl*dr) GEMM.
-  linalg::Matrix theta_p(4, dl * dr);
+void permute_theta_for_gate(TwoQubitStep& step) {
+  // theta[l, s0, s1, r] -> theta_p[(s0 s1), (l r)]: the gate contraction
+  // becomes a plain 4 x (dl*dr) GEMM.
+  const idx dl = step.dl, dr = step.dr;
+  step.theta_p.resize_for_overwrite(4, dl * dr);
   for (idx s0 = 0; s0 < 2; ++s0)
     for (idx s1 = 0; s1 < 2; ++s1)
       for (idx l = 0; l < dl; ++l)
         for (idx r = 0; r < dr; ++r)
-          theta_p(s0 * 2 + s1, l * dr + r) = theta(l * 2 + s0, s1 * dr + r);
-  const linalg::Matrix theta_u = linalg::gemm(u, theta_p, policy);
+          step.theta_p(s0 * 2 + s1, l * dr + r) =
+              step.theta(l * 2 + s0, s1 * dr + r);
+}
 
+void permute_theta_for_svd(TwoQubitStep& step) {
   // Back to ((l s0), (s1 r)) layout for the bipartition SVD.
-  linalg::Matrix theta_m(dl * 2, 2 * dr);
+  const idx dl = step.dl, dr = step.dr;
+  step.theta_m.resize_for_overwrite(dl * 2, 2 * dr);
   for (idx s0 = 0; s0 < 2; ++s0)
     for (idx s1 = 0; s1 < 2; ++s1)
       for (idx l = 0; l < dl; ++l)
         for (idx r = 0; r < dr; ++r)
-          theta_m(l * 2 + s0, s1 * dr + r) = theta_u(s0 * 2 + s1, l * dr + r);
+          step.theta_m(l * 2 + s0, s1 * dr + r) =
+              step.theta_u(s0 * 2 + s1, l * dr + r);
+}
 
-  linalg::SvdResult f = linalg::svd(theta_m, policy);
+double commit_two_qubit_gate(Mps& psi, TwoQubitStep& step,
+                             const TruncationConfig& trunc,
+                             TruncationStats* stats) {
+  linalg::SvdResult& f = step.f;
   const idx keep =
       linalg::truncation_rank(f.s, trunc.max_discarded_weight, trunc.max_bond);
   double discarded = 0.0;
@@ -74,16 +90,46 @@ double apply_adjacent_two_qubit_gate(Mps& psi, const linalg::Matrix& u, idx q,
 
   // Left site gets U (left-orthonormal); the singular values are contracted
   // into the right factor (Fig. 1b, last step), so the center lands on q+1.
-  psi.site(q) = SiteTensor::from_left_matrix(f.u, dl);
+  psi.site(step.q) = SiteTensor::from_left_matrix(f.u, step.dl);
   for (idx i = 0; i < keep; ++i) {
     const double s = f.s[static_cast<std::size_t>(i)];
     for (idx j = 0; j < f.vh.cols(); ++j) f.vh(i, j) *= s;
   }
-  psi.site(q + 1) = SiteTensor::from_right_matrix(f.vh, dr);
-  psi.set_center(q + 1);
+  psi.site(step.q + 1) = SiteTensor::from_right_matrix(f.vh, step.dr);
+  psi.set_center(step.q + 1);
 
   if (stats != nullptr) stats->record(discarded, keep);
   return discarded;
+}
+
+double apply_adjacent_two_qubit_gate(Mps& psi, const linalg::Matrix& u, idx q,
+                                     const TruncationConfig& trunc,
+                                     linalg::ExecPolicy policy,
+                                     TruncationStats* stats) {
+  // The serial path runs the same four phases the batched driver submits
+  // to the batched kernel layer — one arithmetic path for both.
+  TwoQubitStep step;
+  stage_two_qubit_gate(psi, u, q, step, policy);
+  linalg::gemm_into(step.theta, step.a_left, step.b_right, policy);
+  permute_theta_for_gate(step);
+  linalg::gemm_into(step.theta_u, step.gate, step.theta_p, policy);
+  permute_theta_for_svd(step);
+  step.f = linalg::svd(step.theta_m, policy);
+  return commit_two_qubit_gate(psi, step, trunc, stats);
+}
+
+linalg::Matrix chain_ordered_gate(const circuit::Gate& g) {
+  linalg::Matrix u = g.matrix();
+  if (g.q0 > g.q1) {
+    // Gate matrix is in |q0 q1> order; sites want |lo hi>. Conjugate by the
+    // qubit-swap permutation of the 4x4 matrix.
+    linalg::Matrix w(4, 4);
+    const auto flip = [](idx b) { return ((b & 1) << 1) | (b >> 1); };
+    for (idx i = 0; i < 4; ++i)
+      for (idx j = 0; j < 4; ++j) w(flip(i), flip(j)) = u(i, j);
+    u = std::move(w);
+  }
+  return u;
 }
 
 void apply_gate(Mps& psi, const circuit::Gate& g, const TruncationConfig& trunc,
@@ -95,17 +141,8 @@ void apply_gate(Mps& psi, const circuit::Gate& g, const TruncationConfig& trunc,
   QKMPS_CHECK_MSG(std::abs(g.q0 - g.q1) == 1,
                   "non-adjacent two-qubit gate; route the circuit first");
   const idx lo = std::min(g.q0, g.q1);
-  linalg::Matrix u = g.matrix();
-  if (g.q0 > g.q1) {
-    // Gate matrix is in |q0 q1> order; sites want |lo hi>. Conjugate by the
-    // qubit-swap permutation of the 4x4 matrix.
-    linalg::Matrix w(4, 4);
-    const auto flip = [](idx b) { return ((b & 1) << 1) | (b >> 1); };
-    for (idx i = 0; i < 4; ++i)
-      for (idx j = 0; j < 4; ++j) w(flip(i), flip(j)) = u(i, j);
-    u = std::move(w);
-  }
-  apply_adjacent_two_qubit_gate(psi, u, lo, trunc, policy, stats);
+  apply_adjacent_two_qubit_gate(psi, chain_ordered_gate(g), lo, trunc, policy,
+                                stats);
 }
 
 }  // namespace qkmps::mps

@@ -2,6 +2,7 @@
 
 #include "circuit/gate.hpp"
 #include "linalg/policy.hpp"
+#include "linalg/svd.hpp"
 #include "mps/mps.hpp"
 #include "mps/truncation.hpp"
 
@@ -27,5 +28,51 @@ double apply_adjacent_two_qubit_gate(Mps& psi, const linalg::Matrix& u, idx q,
 /// violation — run circuit::route_to_chain first.
 void apply_gate(Mps& psi, const circuit::Gate& g, const TruncationConfig& trunc,
                 linalg::ExecPolicy policy, TruncationStats* stats = nullptr);
+
+/// Staged state of one two-qubit gate application, decomposing Fig. 1b
+/// into phases so the batched driver (mps/batched_apply.cpp) can collect
+/// the gemm/SVD work of many independent states and submit it to the
+/// batched kernel layer (linalg/batched.hpp) in lockstep. All buffers are
+/// persistent: a step reused gate after gate resizes them in place, so the
+/// per-gate heap churn of the hot loop disappears once bond dimensions
+/// stabilize. apply_adjacent_two_qubit_gate runs these exact phases
+/// serially — one arithmetic path, so batched and sequential execution
+/// are bitwise-identical by construction.
+struct TwoQubitStep {
+  idx q = 0;                ///< left site of the bond
+  idx dl = 0, dr = 0, k = 0;  ///< outer-left, outer-right, shared bond dims
+  linalg::Matrix gate;      ///< 4x4 in |lo hi> chain order
+  linalg::Matrix a_left;    ///< site q matricized (dl*2) x k
+  linalg::Matrix b_right;   ///< site q+1 matricized k x (2*dr)
+  linalg::Matrix theta;     ///< a_left * b_right
+  linalg::Matrix theta_p;   ///< theta permuted to (s0 s1) x (l r)
+  linalg::Matrix theta_u;   ///< gate * theta_p
+  linalg::Matrix theta_m;   ///< theta_u permuted to (l s0) x (s1 r)
+  linalg::SvdResult f;      ///< SVD of theta_m
+};
+
+/// Phase 1: canonicalize the bond (q, q+1) and matricize both site
+/// tensors into the step. `u` is copied into step.gate.
+void stage_two_qubit_gate(Mps& psi, const linalg::Matrix& u, idx q,
+                          TwoQubitStep& step, linalg::ExecPolicy policy);
+
+/// Phase 2 (after theta = a_left * b_right): permute into the (s0 s1) x
+/// (l r) layout so the gate contraction is a plain 4 x (dl*dr) gemm.
+void permute_theta_for_gate(TwoQubitStep& step);
+
+/// Phase 3 (after theta_u = gate * theta_p): permute back to the
+/// ((l s0), (s1 r)) bipartition layout for the SVD.
+void permute_theta_for_svd(TwoQubitStep& step);
+
+/// Phase 4 (after step.f = svd(theta_m)): truncate per `trunc`, write the
+/// two site tensors back, land the center at q+1. Returns the discarded
+/// weight (and records it into `stats` when non-null).
+double commit_two_qubit_gate(Mps& psi, TwoQubitStep& step,
+                             const TruncationConfig& trunc,
+                             TruncationStats* stats);
+
+/// The |q0 q1> -> |lo hi> gate-matrix reordering used by apply_gate for
+/// descending-index two-qubit gates; exposed for the batched driver.
+linalg::Matrix chain_ordered_gate(const circuit::Gate& g);
 
 }  // namespace qkmps::mps

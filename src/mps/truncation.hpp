@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cmath>
+
 #include "util/types.hpp"
 
 namespace qkmps::mps {
@@ -20,11 +22,25 @@ struct TruncationConfig {
 /// is and is not a rigorous bound).
 struct TruncationStats {
   double total_discarded_weight = 0.0;
+  /// Neumaier compensation term for total_discarded_weight: the running
+  /// sum stays bitwise-compatible with a plain += accumulation (so
+  /// existing readers see identical values), while fidelity_lower_bound
+  /// folds the compensation back in. Exactness guarantees: a run with no
+  /// truncation (every discarded == 0.0) keeps both terms at +0.0 and the
+  /// bound at exactly 1.0, including when the discarded tail was all-zero
+  /// singular values; long runs of tiny weights after a large one no
+  /// longer vanish into rounding.
+  double discarded_compensation = 0.0;
   idx truncation_count = 0;
   idx max_bond_seen = 1;
 
   void record(double discarded, idx new_bond) {
-    total_discarded_weight += discarded;
+    const double sum = total_discarded_weight + discarded;
+    if (std::abs(total_discarded_weight) >= std::abs(discarded))
+      discarded_compensation += (total_discarded_weight - sum) + discarded;
+    else
+      discarded_compensation += (discarded - sum) + total_discarded_weight;
+    total_discarded_weight = sum;
     ++truncation_count;
     if (new_bond > max_bond_seen) max_bond_seen = new_bond;
   }
@@ -34,8 +50,10 @@ struct TruncationStats {
   /// between truncation errors are second order in w_k); under aggressive
   /// truncation the guaranteed statement is the 2-norm one,
   /// ||ideal - truncated|| <= sum_k sqrt(w_k) <= sqrt(count * sum_k w_k).
+  /// Exactly 1.0 (bitwise) when nothing was discarded.
   double fidelity_lower_bound() const {
-    const double f = 1.0 - total_discarded_weight;
+    const double f =
+        1.0 - (total_discarded_weight + discarded_compensation);
     return f > 0.0 ? f : 0.0;
   }
 };

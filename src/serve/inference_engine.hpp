@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "linalg/batched.hpp"
 #include "parallel/thread_pool.hpp"
 #include "serve/model_bundle.hpp"
 #include "serve/prediction_memo.hpp"
@@ -34,6 +35,14 @@ struct EngineConfig {
   /// no simulation, no kernel row, no SVC pass — it replays the identical
   /// prediction bits. ROADMAP's decision-value memoization.
   std::size_t memo_capacity = 1024;
+  /// Kernel execution for the simulate stage: kOpenMPBatched (default)
+  /// collects the batch's uncached circuits and drives their gate-sweep
+  /// gemm/SVD micro-batches through one batched pass per round
+  /// (linalg/batched.hpp), under a thread budget equal to the engine's
+  /// pool width; kSerial keeps the one-circuit-per-pool-lane reference
+  /// path. Predictions are bitwise-identical either way — the serving
+  /// benches gate on it.
+  linalg::KernelBackend kernel_backend = linalg::KernelBackend::kOpenMPBatched;
 };
 
 /// One scored request.

@@ -206,6 +206,53 @@ TEST(InferenceEngine, CacheDisabledStillScoresIdentically) {
   }
 }
 
+TEST(InferenceEngine, KernelBackendsPredictBitwiseIdentically) {
+  // The simulate stage's kernel backend (serial per-lane vs the batched
+  // kernel layer) is a scheduling choice: with every cache disabled so
+  // each request really simulates, both backends must reproduce the
+  // sequential reference bitwise.
+  const Serving s = make_serving(11);
+  const std::vector<double> f_seq = sequential_decision_values(s);
+
+  for (const linalg::KernelBackend backend :
+       {linalg::KernelBackend::kSerial,
+        linalg::KernelBackend::kOpenMPBatched}) {
+    EngineConfig cfg;
+    cfg.num_threads = 3;
+    cfg.cache_capacity = 0;
+    cfg.memo_capacity = 0;
+    cfg.kernel_backend = backend;
+    InferenceEngine engine(s.bundle, cfg);
+    const auto preds = engine.predict_batch(s.x_test_raw);
+    ASSERT_EQ(preds.size(), f_seq.size());
+    for (std::size_t i = 0; i < preds.size(); ++i)
+      EXPECT_EQ(preds[i].decision_value, f_seq[i])
+          << "request " << i << " backend=" << to_string(backend);
+  }
+}
+
+TEST(InferenceEngine, KernelConcurrencyStaysWithinPoolBudget) {
+  // Thread-budget contract: whatever the backend, the dense-kernel
+  // concurrency observed during a batch must never exceed the engine's
+  // pool width — lanes pin their kernels serial, and the batched pass is
+  // budgeted to the pool, so lanes x OMP cannot multiply.
+  const Serving s = make_serving(12);
+  for (const linalg::KernelBackend backend :
+       {linalg::KernelBackend::kSerial,
+        linalg::KernelBackend::kOpenMPBatched}) {
+    EngineConfig cfg;
+    cfg.num_threads = 2;
+    cfg.cache_capacity = 0;
+    cfg.memo_capacity = 0;
+    cfg.kernel_backend = backend;
+    InferenceEngine engine(s.bundle, cfg);
+    linalg::kernel_probe_reset();
+    (void)engine.predict_batch(s.x_test_raw);
+    EXPECT_LE(linalg::kernel_probe_peak(), 2)
+        << "backend=" << to_string(backend);
+  }
+}
+
 TEST(InferenceEngine, SubmitRejectsMalformedRequests) {
   const Serving s = make_serving(6);
   InferenceEngine engine(s.bundle, {.num_threads = 2});

@@ -164,6 +164,138 @@ TEST(TruncateSvd, ShrinksFactorsConsistently) {
   EXPECT_LT(orthonormality_defect(f.u), 1e-12);
 }
 
+// --- Degenerate-input regressions --------------------------------------
+// The gate-sweep hot path feeds the SVD every theta matrix a circuit can
+// produce, including exactly-zero blocks, duplicated columns, and
+// amplitude scales far outside [sqrt(DBL_MIN), sqrt(DBL_MAX)]. Each test
+// here pins a failure mode that used to produce zero factor columns
+// (orthonormality defect 1.0) or collapsed singular values, checked
+// against BOTH drivers: the Golub-Kahan fast path and the Jacobi oracle.
+
+void expect_valid_factorization(const Matrix& a, const SvdResult& f,
+                                const char* what) {
+  EXPECT_LT(orthonormality_defect(f.u), 1e-12) << what;
+  EXPECT_LT(orthonormality_defect(f.vh.adjoint()), 1e-12) << what;
+  const double scale = f.s.empty() ? 1.0 : f.s[0] + 1.0;
+  EXPECT_LT(max_abs_diff(testing::reconstruct(f), a), 1e-11 * scale) << what;
+  for (std::size_t i = 0; i < f.s.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(f.s[i])) << what;
+    EXPECT_GE(f.s[i], 0.0) << what;
+    if (i > 0) EXPECT_LE(f.s[i], f.s[i - 1]) << what;
+  }
+}
+
+class SvdDegenerateShapes
+    : public ::testing::TestWithParam<std::pair<idx, idx>> {};
+
+TEST_P(SvdDegenerateShapes, ZeroMatrixFactorsStayOrthonormal) {
+  // Used to leave U's null-space columns at zero in the Jacobi driver:
+  // every singular value is zero, so no Givens rotation ever touched them.
+  const auto [m, n] = GetParam();
+  const Matrix a(m, n);
+  expect_valid_factorization(a, svd(a), "golub-kahan");
+  expect_valid_factorization(a, jacobi_svd(a), "jacobi");
+}
+
+TEST_P(SvdDegenerateShapes, DenormalRangeEntries) {
+  // Entries near 1e-290: squaring them in Gram terms underflows to zero.
+  // Both drivers now rescale into the safe window first, so the singular
+  // values survive (scale-equivariance instead of collapse to 0.0).
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 1009 + n * 17));
+  Matrix a = testing::random_matrix(m, n, rng);
+  Matrix tiny = a;
+  for (idx i = 0; i < m; ++i)
+    for (idx j = 0; j < n; ++j) tiny(i, j) *= 1e-290;
+  for (const bool jacobi : {false, true}) {
+    const SvdResult ref = jacobi ? jacobi_svd(a) : svd(a);
+    const SvdResult f = jacobi ? jacobi_svd(tiny) : svd(tiny);
+    ASSERT_EQ(f.s.size(), ref.s.size());
+    EXPECT_GT(f.s[0], 0.0) << "denormal-range spectrum collapsed";
+    for (std::size_t i = 0; i < f.s.size(); ++i)
+      EXPECT_NEAR(f.s[i], ref.s[i] * 1e-290, 1e-12 * ref.s[0] * 1e-290);
+    EXPECT_LT(orthonormality_defect(f.u), 1e-12);
+    EXPECT_LT(orthonormality_defect(f.vh.adjoint()), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DegenerateShapeSweep, SvdDegenerateShapes,
+                         ::testing::Values(std::make_pair(4, 3),
+                                           std::make_pair(3, 4),
+                                           std::make_pair(1, 5),
+                                           std::make_pair(5, 1),
+                                           std::make_pair(6, 6)));
+
+TEST(SvdDegenerate, DuplicateAndZeroColumns) {
+  // Rank 2 out of 4 columns: col1 repeats col0 and col2 is exactly zero.
+  // The tail singular values are exact zeros, so U needs two columns the
+  // rotations never produced — they must be completed orthonormally.
+  Rng rng(91);
+  Matrix a(6, 4);
+  for (idx i = 0; i < 6; ++i) {
+    a(i, 0) = rng.normal_cplx();
+    a(i, 1) = a(i, 0);
+    a(i, 3) = rng.normal_cplx();
+  }
+  expect_valid_factorization(a, svd(a), "golub-kahan");
+  expect_valid_factorization(a, jacobi_svd(a), "jacobi");
+  const SvdResult f = svd(a);
+  const SvdResult oracle = jacobi_svd(a);
+  for (std::size_t i = 0; i < f.s.size(); ++i)
+    EXPECT_NEAR(f.s[i], oracle.s[i], 1e-12 * (oracle.s[0] + 1.0));
+  EXPECT_LT(f.s[2], 1e-13 * f.s[0]);
+  EXPECT_LT(f.s[3], 1e-13 * f.s[0]);
+}
+
+TEST(SvdDegenerate, RepeatedSingularValues) {
+  // A scaled unitary has every singular value equal — the classic case
+  // where naive deflation loops forever or mixes degenerate subspaces.
+  Rng rng(92);
+  const QrResult qr = qr_thin(testing::random_matrix(7, 7, rng));
+  Matrix a = qr.q;
+  for (idx i = 0; i < 7; ++i)
+    for (idx j = 0; j < 7; ++j) a(i, j) *= 3.0;
+  for (const SvdResult& f : {svd(a), jacobi_svd(a)}) {
+    expect_valid_factorization(a, f, "repeated");
+    for (double s : f.s) EXPECT_NEAR(s, 3.0, 1e-12);
+  }
+}
+
+TEST(SvdDegenerate, ExtremeMagnitudeDiagonal) {
+  // Magnitudes around 1e+/-200, where squaring any entry overflows or
+  // underflows double. One global rescale handles each regime (it cannot
+  // widen the representable *spread* — a spectrum spanning 400 decades is
+  // beyond any single scale factor — so each matrix stays within a few
+  // decades of its own largest entry, like the gate sweep's thetas do).
+  for (const double scale : {1e200, 1e-200}) {
+    Matrix a(4, 4);
+    a(0, 0) = scale;
+    a(1, 1) = scale * 1e-5;
+    a(2, 2) = scale * 1e-10;
+    a(3, 3) = 0.0;
+    for (const SvdResult& f : {svd(a), jacobi_svd(a)}) {
+      ASSERT_EQ(f.s.size(), 4u);
+      EXPECT_TRUE(std::isfinite(f.s[0]));
+      EXPECT_NEAR(f.s[0] / scale, 1.0, 1e-12);
+      EXPECT_NEAR(f.s[1] / scale, 1e-5, 1e-12);
+      EXPECT_NEAR(f.s[2] / scale, 1e-10, 1e-12);
+      EXPECT_EQ(f.s[3], 0.0);
+      EXPECT_LT(orthonormality_defect(f.u), 1e-12);
+      EXPECT_LT(orthonormality_defect(f.vh.adjoint()), 1e-12);
+    }
+  }
+}
+
+TEST(SvdDegenerate, SingleRowAndSingleColumn) {
+  Rng rng(93);
+  for (const auto& [m, n] :
+       {std::make_pair<idx, idx>(1, 7), std::make_pair<idx, idx>(7, 1)}) {
+    const Matrix a = testing::random_matrix(m, n, rng);
+    expect_valid_factorization(a, svd(a), "golub-kahan 1d");
+    expect_valid_factorization(a, jacobi_svd(a), "jacobi 1d");
+  }
+}
+
 TEST(TruncateSvd, BestRankKApproximationError) {
   // Eckart-Young: the Frobenius error of the rank-k truncation equals the
   // norm of the dropped singular values.

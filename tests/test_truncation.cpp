@@ -48,6 +48,58 @@ TEST(TruncationStats, FidelityLowerBoundClampsAtZero) {
   EXPECT_EQ(stats.fidelity_lower_bound(), 0.0);
 }
 
+TEST(TruncationStats, NoTruncationGivesBitwiseExactUnitFidelity) {
+  // The no-truncation case must be EXACTLY 1.0 — the serving layer
+  // compares this value against 1.0 to report "virtually noiseless", and
+  // any rounding residue would misreport an exact run as lossy.
+  TruncationStats stats;
+  for (int i = 0; i < 1000; ++i) stats.record(0.0, 2);
+  EXPECT_EQ(stats.total_discarded_weight, 0.0);
+  EXPECT_EQ(stats.discarded_compensation, 0.0);
+  EXPECT_EQ(stats.fidelity_lower_bound(), 1.0);  // bitwise, not NEAR
+  EXPECT_FALSE(std::signbit(stats.fidelity_lower_bound()));
+}
+
+TEST(TruncationStats, AllZeroWeightTailsKeepExactUnitFidelity) {
+  // Dropping exact null directions (zero singular values) discards zero
+  // weight; mixing those records with fresh stats must also stay at 1.0.
+  TruncationStats stats;
+  stats.record(0.0, 1);
+  stats.record(-0.0, 3);  // a -0.0 tail sum must not flip any sign bit
+  EXPECT_EQ(stats.fidelity_lower_bound(), 1.0);
+  EXPECT_EQ(stats.total_discarded_weight, 0.0);
+}
+
+TEST(TruncationStats, CompensatedSumCapturesTinyWeightsAfterLargeOnes) {
+  // Naive += loses every 1e-20 after a 1e-3 has landed in the sum
+  // (1e-3 + 1e-20 == 1e-3 in double). Neumaier compensation keeps them.
+  TruncationStats stats;
+  stats.record(1e-3, 8);
+  const int tiny_count = 100000;
+  for (int i = 0; i < tiny_count; ++i) stats.record(1e-20, 8);
+  const double exact = 1e-3 + tiny_count * 1e-20;
+  // The public running sum stays bitwise what plain += produces...
+  EXPECT_EQ(stats.total_discarded_weight, 1e-3);
+  // ...while the bound folds the compensation back in.
+  const double bound_loss = 1.0 - stats.fidelity_lower_bound();
+  EXPECT_NEAR(bound_loss, exact, 1e-12 * exact);
+  EXPECT_GT(bound_loss, 1e-3);  // the tail is actually visible
+}
+
+TEST(TruncationStats, RunningSumStaysBitwiseCompatibleWithPlainSum) {
+  // Readers of total_discarded_weight (benches, JSON artifacts) must see
+  // exactly the historical plain-accumulation value.
+  Rng rng(7);
+  TruncationStats stats;
+  double plain = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double w = rng.uniform(0.0, 1e-6);
+    stats.record(w, 4);
+    plain += w;
+  }
+  EXPECT_EQ(stats.total_discarded_weight, plain);
+}
+
 TEST(TruncationRank, WalksTailUntilWeightBudgetExceeded) {
   // Discarding 0.001^2 + 0.01^2 = 1.01e-4 fits a 2e-4 budget; adding
   // 0.1^2 would not. Keep the first two values.
