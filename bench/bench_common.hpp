@@ -9,9 +9,11 @@
 /// overridden with QKMPS_* environment variables documented per bench.
 
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -70,15 +72,49 @@ inline LabelledSample labelled_sample(idx per_class, idx features,
   return out;
 }
 
+/// The commit the bench binary was built from; baked in by
+/// bench/CMakeLists.txt ("unknown" outside a git checkout).
+#ifndef QKMPS_GIT_COMMIT
+#define QKMPS_GIT_COMMIT "unknown"
+#endif
+
+/// Provenance block every artifact carries: which build produced it,
+/// when, and under what run configuration — so a historical artifact in
+/// bench/history/ is attributable long after the run. Informational
+/// only: compare_bench.py skips the subtree, and trend_bench.py uses it
+/// to label trend rows.
+inline void write_provenance(JsonWriter& w) {
+  w.begin_object("provenance");
+  w.field("commit", QKMPS_GIT_COMMIT);
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  w.field("generated_utc", stamp);
+  w.begin_object("config");
+  w.field("full_scale", full_scale_requested());
+  w.field("hardware_threads",
+          static_cast<long long>(std::thread::hardware_concurrency()));
+#ifdef NDEBUG
+  w.field("assertions", false);
+#else
+  w.field("assertions", true);
+#endif
+  w.end_object();
+  w.end_object();
+}
+
 /// Writes a JSON artifact next to the binary (mirrors the paper's raw/
-/// folder convention). Failures are non-fatal: the printed table is the
-/// primary output.
+/// folder convention). Every artifact opens with the provenance block.
+/// Failures are non-fatal: the printed table is the primary output.
 inline void write_artifact(const std::string& name,
                            const std::function<void(JsonWriter&)>& fill) {
   std::ofstream os(name);
   if (!os.good()) return;
   JsonWriter w(os);
   w.begin_object();
+  write_provenance(w);
   fill(w);
   w.end_object();
   os << "\n";

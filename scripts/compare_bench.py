@@ -56,6 +56,10 @@ def walk(base, cur, path, tolerance, failures):
             failures.append(f"{path}: object in baseline, {type(cur).__name__} now")
             return
         for key, bval in base.items():
+            # Provenance (commit, timestamp, build config) differs on
+            # every run by design; a baseline's provenance never gates.
+            if key == "provenance":
+                continue
             if key not in cur:
                 failures.append(f"{path}.{key}: present in baseline, missing now")
                 continue

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Append a bench artifact's key metrics to its trend history and fail on
+sustained degradation.
+
+Usage: trend_bench.py ARTIFACT.json [--history-dir=DIR] [--window=N]
+                      [--min-ratio=F] [--check-only]
+
+Each invocation extracts the artifact's trend-worthy numeric leaves —
+throughput figures, speedup ratios, and tail latencies — plus its
+provenance (commit, timestamp), and appends one JSON line to
+DIR/<bench>.jsonl (default bench/history/<bench>.jsonl, resolved
+relative to the repo root). The history file is an append-only ledger:
+one line per run, oldest first, safe to commit or to stash as a CI
+artifact.
+
+Degradation check: for every tracked metric, the last `window` (default
+3) entries — including the run being appended — are examined. The check
+fails when a metric has degraded *monotonically* across the whole
+window AND the newest value is below `min-ratio` (default 0.85) of the
+oldest's: a single noisy run cannot trip it, only a sustained slide.
+"Degraded" is direction-aware: lower is worse for throughput/speedup,
+higher is worse for latencies (p99/p999 keys).
+
+Exit status: 0 clean (including short histories), 1 sustained
+degradation, 2 usage/IO error.
+"""
+
+import json
+import os
+import sys
+
+
+def is_latency_key(key):
+    k = key.lower()
+    return ("p99" in k or "p999" in k or "p50" in k) and "seconds" in k
+
+
+def is_throughput_key(key):
+    k = key.lower()
+    return "throughput" in k or "speedup" in k
+
+
+def collect_metrics(node, path, out):
+    """Flatten trend-worthy numeric leaves to dotted-path keys."""
+    if isinstance(node, dict):
+        for key, val in node.items():
+            if key == "provenance":
+                continue
+            collect_metrics(val, f"{path}.{key}" if path else key, out)
+        return
+    if isinstance(node, list):
+        for i, val in enumerate(node):
+            collect_metrics(val, f"{path}[{i}]", out)
+        return
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return
+    leaf = path.rsplit(".", 1)[-1].split("[")[0]
+    if is_throughput_key(leaf) or is_latency_key(leaf):
+        out[path] = float(node)
+
+
+def degraded(older, newer, key):
+    leaf = key.rsplit(".", 1)[-1].split("[")[0]
+    if is_latency_key(leaf):
+        return newer > older  # latency: up is worse
+    return newer < older  # throughput/speedup: down is worse
+
+
+def check_window(entries, key, window, min_ratio):
+    """True (with detail) when `key` slid monotonically across the last
+    `window` entries and lost more than (1 - min_ratio) overall."""
+    values = [e["metrics"][key] for e in entries[-window:]
+              if key in e.get("metrics", {})]
+    if len(values) < window:
+        return None
+    for older, newer in zip(values, values[1:]):
+        if not degraded(older, newer, key):
+            return None
+    first, last = values[0], values[-1]
+    leaf = key.rsplit(".", 1)[-1].split("[")[0]
+    if is_latency_key(leaf):
+        if first <= 0 or last <= first / min_ratio:
+            return (f"{key}: rose monotonically over the last {window} runs "
+                    f"({first:g} -> {last:g})")
+        return None
+    if last < first * min_ratio:
+        return (f"{key}: fell monotonically over the last {window} runs "
+                f"({first:g} -> {last:g})")
+    return None
+
+
+def main(argv):
+    history_dir = None
+    window = 3
+    min_ratio = 0.85
+    check_only = False
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--history-dir="):
+            history_dir = arg.split("=", 1)[1]
+        elif arg.startswith("--window="):
+            window = int(arg.split("=", 1)[1])
+        elif arg.startswith("--min-ratio="):
+            min_ratio = float(arg.split("=", 1)[1])
+        elif arg == "--check-only":
+            check_only = True
+        else:
+            paths.append(arg)
+    if len(paths) != 1:
+        print(__doc__.strip().splitlines()[3], file=sys.stderr)
+        return 2
+
+    try:
+        with open(paths[0]) as f:
+            artifact = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"trend_bench: {e}", file=sys.stderr)
+        return 2
+
+    bench = artifact.get("bench")
+    if not bench:
+        print("trend_bench: artifact has no 'bench' key", file=sys.stderr)
+        return 2
+
+    metrics = {}
+    collect_metrics(artifact, "", metrics)
+    provenance = artifact.get("provenance", {})
+    entry = {
+        "bench": bench,
+        "commit": provenance.get("commit", "unknown"),
+        "generated_utc": provenance.get("generated_utc", "unknown"),
+        "metrics": metrics,
+    }
+
+    if history_dir is None:
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        history_dir = os.path.join(repo_root, "bench", "history")
+    os.makedirs(history_dir, exist_ok=True)
+    history_path = os.path.join(history_dir, f"{bench}.jsonl")
+
+    entries = []
+    if os.path.exists(history_path):
+        with open(history_path) as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    entries.append(json.loads(line))
+    entries.append(entry)
+
+    if not check_only:
+        with open(history_path, "a") as f:
+            f.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    failures = []
+    for key in sorted(metrics):
+        detail = check_window(entries, key, window, min_ratio)
+        if detail:
+            failures.append(detail)
+
+    verb = "checked" if check_only else "appended"
+    print(f"trend_bench: {bench}: {verb} {len(metrics)} metric(s), "
+          f"history depth {len(entries)} -> {history_path}")
+    if failures:
+        print(f"trend_bench: {bench}: sustained degradation over the last "
+              f"{window} runs:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -116,6 +116,47 @@ double Histogram::Snapshot::quantile(double q) const {
   return vlo + (vhi - vlo) * frac;
 }
 
+WindowedRate::WindowedRate(double slot_seconds, std::size_t slots)
+    : slot_seconds_(slot_seconds), ring_(std::max<std::size_t>(2, slots)) {
+  QKMPS_CHECK(slot_seconds > 0.0);
+}
+
+void WindowedRate::record(double t_seconds, std::uint64_t n) {
+  total_.fetch_add(n, std::memory_order_relaxed);
+  if (!(t_seconds >= 0.0)) return;  // negative/NaN clocks don't take slots
+  const std::int64_t epoch =
+      static_cast<std::int64_t>(t_seconds / slot_seconds_);
+  Slot& slot = ring_[static_cast<std::size_t>(epoch) % ring_.size()];
+  if (slot.epoch.load(std::memory_order_relaxed) != epoch) {
+    slot.count.store(0, std::memory_order_relaxed);
+    slot.epoch.store(epoch, std::memory_order_relaxed);
+  }
+  slot.count.fetch_add(n, std::memory_order_relaxed);
+}
+
+double WindowedRate::rate(double now_seconds, double window_seconds) const {
+  if (!(now_seconds >= 0.0) || !(window_seconds > 0.0)) return 0.0;
+  // Clamp to the retained span minus the current (partial) slot's lap
+  // margin so one ring lap can never alias into the window.
+  const double retained =
+      slot_seconds_ * static_cast<double>(ring_.size() - 1);
+  const double window = std::min(window_seconds, retained);
+  const std::int64_t now_epoch =
+      static_cast<std::int64_t>(now_seconds / slot_seconds_);
+  const std::int64_t first_epoch = std::max<std::int64_t>(
+      0, now_epoch - static_cast<std::int64_t>(window / slot_seconds_));
+  std::uint64_t events = 0;
+  for (const Slot& slot : ring_) {
+    const std::int64_t e = slot.epoch.load(std::memory_order_relaxed);
+    if (e >= first_epoch && e <= now_epoch)
+      events += slot.count.load(std::memory_order_relaxed);
+  }
+  const double span = std::max(
+      slot_seconds_,
+      static_cast<double>(now_epoch - first_epoch + 1) * slot_seconds_);
+  return static_cast<double>(events) / span;
+}
+
 Registry& Registry::global() {
   static Registry* instance = new Registry();  // never destroyed: handles
                                                // outlive static teardown

@@ -99,6 +99,48 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// Sliding-window event meter: counts land in fixed-width time slots on a
+/// caller-supplied monotonic clock (seconds since whatever epoch the
+/// caller times against), so the soak harness can report "served
+/// throughput over the trailing N seconds" without retaining per-event
+/// timestamps — resident cost is the slot ring, independent of event
+/// count. Slots are (epoch, count) atomic pairs: record() is lock-free
+/// and exact under a single writer (the soak harvest loop); concurrent
+/// writers racing a slot turnover can at worst double-reset a slot, so
+/// multi-writer use degrades to an approximation, never a crash. The
+/// exact ledger lives in plain counters — this instrument is for rates.
+class WindowedRate {
+ public:
+  explicit WindowedRate(double slot_seconds = 1.0, std::size_t slots = 64);
+
+  /// Adds `n` events at time `t_seconds` (monotone nondecreasing under
+  /// the single-writer contract).
+  void record(double t_seconds, std::uint64_t n = 1);
+
+  /// Events per second over the trailing `window_seconds` ending at
+  /// `now_seconds`. The window is clamped to the ring's retained span,
+  /// and the rate counts only slots that fall fully or partially inside
+  /// [now - window, now] — a stale slot from a previous ring lap never
+  /// contributes.
+  double rate(double now_seconds, double window_seconds) const;
+
+  /// All events ever recorded (monotonic, survives slot reuse).
+  std::uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+
+  double slot_seconds() const { return slot_seconds_; }
+  std::size_t slots() const { return ring_.size(); }
+
+ private:
+  struct Slot {
+    std::atomic<std::int64_t> epoch{-1};  ///< slot index since t=0; -1 empty
+    std::atomic<std::uint64_t> count{0};
+  };
+
+  double slot_seconds_;
+  std::vector<Slot> ring_;
+  std::atomic<std::uint64_t> total_{0};
+};
+
 /// Name -> instrument registry. Names are dotted paths
 /// ("serve.latency.total_seconds"); a name is permanently one kind —
 /// asking for it as another kind throws. Handles returned by

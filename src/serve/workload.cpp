@@ -56,75 +56,48 @@ std::vector<double> zipf_cdf(idx n, double s) {
   return cdf;
 }
 
-std::vector<idx> make_order(const ScenarioConfig& cfg, Rng& rng) {
-  std::vector<idx> order(static_cast<std::size_t>(cfg.num_requests));
-  switch (cfg.keys) {
-    case KeyPattern::kUniform:
-      for (idx r = 0; r < cfg.num_requests; ++r)
-        order[static_cast<std::size_t>(r)] = static_cast<idx>(
-            rng.uniform_int(static_cast<std::uint64_t>(cfg.num_unique)));
-      break;
-    case KeyPattern::kZipf: {
-      const std::vector<double> cdf = zipf_cdf(cfg.num_unique,
-                                               cfg.zipf_exponent);
-      for (idx r = 0; r < cfg.num_requests; ++r) {
-        const double u = rng.uniform();
-        const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
-        order[static_cast<std::size_t>(r)] = static_cast<idx>(
-            std::min<std::ptrdiff_t>(it - cdf.begin(), cfg.num_unique - 1));
-      }
-      break;
-    }
-    case KeyPattern::kDuplicateHeavy:
-      for (idx r = 0; r < cfg.num_requests; ++r) {
-        if (r > 0 && rng.uniform() < cfg.repeat_fraction)
-          order[static_cast<std::size_t>(r)] =
-              order[static_cast<std::size_t>(r - 1)];
-        else
-          order[static_cast<std::size_t>(r)] = static_cast<idx>(
-              rng.uniform_int(static_cast<std::uint64_t>(cfg.num_unique)));
-      }
-      break;
+/// FNV-1a byte fold shared by the eager digest and the streaming one —
+/// both must walk the same byte sequence or the bitwise-preservation
+/// contract breaks.
+void fnv_mix(std::uint64_t& h, const void* bytes, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
   }
-  return order;
 }
 
-std::vector<double> make_arrivals(const ScenarioConfig& cfg) {
-  std::vector<double> at(static_cast<std::size_t>(cfg.num_requests), 0.0);
+/// The arrival offset of request r, advanced one request at a time.
+/// Arrivals are a pure function of the config (no randomness), which is
+/// what lets Stream::digest() re-fold them in O(1) memory after the
+/// order bytes. The per-pattern arithmetic must stay expression-for-
+/// expression identical to what make_arrivals() historically computed.
+double arrival_at(const ScenarioConfig& cfg, idx r, double& ramp_t) {
   switch (cfg.arrival) {
     case ArrivalPattern::kSteady:
-      for (idx r = 0; r < cfg.num_requests; ++r)
-        at[static_cast<std::size_t>(r)] =
-            cfg.mean_gap_us * static_cast<double>(r);
-      break;
+      return cfg.mean_gap_us * static_cast<double>(r);
     case ArrivalPattern::kBurst:
-      for (idx r = 0; r < cfg.num_requests; ++r)
-        at[static_cast<std::size_t>(r)] =
-            cfg.burst_gap_us * static_cast<double>(r / cfg.burst_size);
-      break;
+      return cfg.burst_gap_us * static_cast<double>(r / cfg.burst_size);
     case ArrivalPattern::kRamp: {
       // Gap shrinks linearly from mean_gap_us down to
       // mean_gap_us / ramp_factor by the final request.
-      double t = 0.0;
+      const double at = ramp_t;
       const double n1 = static_cast<double>(
           std::max<idx>(1, cfg.num_requests - 1));
-      for (idx r = 0; r < cfg.num_requests; ++r) {
-        at[static_cast<std::size_t>(r)] = t;
-        const double frac = static_cast<double>(r) / n1;
-        const double gap =
-            cfg.mean_gap_us * (1.0 - frac * (1.0 - 1.0 / cfg.ramp_factor));
-        t += gap;
-      }
-      break;
+      const double frac = static_cast<double>(r) / n1;
+      const double gap =
+          cfg.mean_gap_us * (1.0 - frac * (1.0 - 1.0 / cfg.ramp_factor));
+      ramp_t += gap;
+      return at;
     }
   }
-  return at;
+  return 0.0;
 }
 
 }  // namespace
 
-Scenario make_scenario(const ScenarioConfig& cfg,
-                       const kernel::RealMatrix& pool) {
+Stream::Stream(const ScenarioConfig& cfg, const kernel::RealMatrix& pool)
+    : config_(cfg), rng_(cfg.seed) {
   QKMPS_CHECK(cfg.num_requests >= 1);
   QKMPS_CHECK(cfg.num_unique >= 1);
   QKMPS_CHECK_MSG(pool.rows() >= cfg.num_unique,
@@ -133,28 +106,102 @@ Scenario make_scenario(const ScenarioConfig& cfg,
   QKMPS_CHECK(cfg.burst_size >= 1);
   QKMPS_CHECK(cfg.ramp_factor >= 1.0);
 
-  Rng rng(cfg.seed);
-  Scenario s;
-  s.config = cfg;
-
   // Unique points: a deterministic sample of distinct pool rows
   // (partial Fisher-Yates over the row indices).
   std::vector<idx> rows(static_cast<std::size_t>(pool.rows()));
   for (idx i = 0; i < pool.rows(); ++i) rows[static_cast<std::size_t>(i)] = i;
   for (idx i = 0; i < cfg.num_unique; ++i) {
-    const idx j = i + static_cast<idx>(rng.uniform_int(
+    const idx j = i + static_cast<idx>(rng_.uniform_int(
                           static_cast<std::uint64_t>(pool.rows() - i)));
     std::swap(rows[static_cast<std::size_t>(i)],
               rows[static_cast<std::size_t>(j)]);
   }
-  s.unique_points = kernel::RealMatrix(cfg.num_unique, pool.cols());
+  unique_points_ = kernel::RealMatrix(cfg.num_unique, pool.cols());
   for (idx i = 0; i < cfg.num_unique; ++i)
     std::copy(pool.row(rows[static_cast<std::size_t>(i)]),
               pool.row(rows[static_cast<std::size_t>(i)]) + pool.cols(),
-              s.unique_points.row(i));
+              unique_points_.row(i));
 
-  s.order = make_order(cfg, rng);
-  s.arrival_us = make_arrivals(cfg);
+  if (cfg.keys == KeyPattern::kZipf)
+    zipf_cdf_ = zipf_cdf(cfg.num_unique, cfg.zipf_exponent);
+
+  order_hash_ = feature_hash(
+      unique_points_.data(),
+      static_cast<std::size_t>(unique_points_.rows() * unique_points_.cols()));
+}
+
+idx Stream::next_unique() {
+  switch (config_.keys) {
+    case KeyPattern::kUniform:
+      return static_cast<idx>(
+          rng_.uniform_int(static_cast<std::uint64_t>(config_.num_unique)));
+    case KeyPattern::kZipf: {
+      const double u = rng_.uniform();
+      const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+      return static_cast<idx>(std::min<std::ptrdiff_t>(
+          it - zipf_cdf_.begin(), config_.num_unique - 1));
+    }
+    case KeyPattern::kDuplicateHeavy:
+      if (emitted_ > 0 && rng_.uniform() < config_.repeat_fraction)
+        return prev_unique_;
+      return static_cast<idx>(
+          rng_.uniform_int(static_cast<std::uint64_t>(config_.num_unique)));
+  }
+  return 0;
+}
+
+bool Stream::next(Item& out) {
+  if (exhausted()) return false;
+  out.request = emitted_;
+  out.unique = next_unique();
+  out.arrival_us = arrival_at(config_, emitted_, ramp_t_);
+  prev_unique_ = out.unique;
+  const std::uint64_t v = static_cast<std::uint64_t>(out.unique);
+  fnv_mix(order_hash_, &v, sizeof v);
+  ++emitted_;
+  return true;
+}
+
+std::vector<double> Stream::request(idx unique) const {
+  QKMPS_CHECK(unique >= 0 && unique < unique_points_.rows());
+  return std::vector<double>(
+      unique_points_.row(unique),
+      unique_points_.row(unique) + unique_points_.cols());
+}
+
+std::uint64_t Stream::digest() const {
+  QKMPS_CHECK_MSG(exhausted(),
+                  "stream digest is only defined once every request has been "
+                  "emitted ("
+                      << emitted_ << " of " << config_.num_requests << ")");
+  if (digest_cached_) return digest_;
+  // The eager digest folds all order bytes, then all arrival bytes.
+  // Orders folded incrementally in next(); arrivals are deterministic, so
+  // re-derive them here without ever holding the schedule.
+  std::uint64_t h = order_hash_;
+  double ramp_t = 0.0;
+  for (idx r = 0; r < config_.num_requests; ++r) {
+    const double t = arrival_at(config_, r, ramp_t);
+    fnv_mix(h, &t, sizeof t);
+  }
+  digest_ = h;
+  digest_cached_ = true;
+  return digest_;
+}
+
+Scenario make_scenario(const ScenarioConfig& cfg,
+                       const kernel::RealMatrix& pool) {
+  Stream stream(cfg, pool);
+  Scenario s;
+  s.config = cfg;
+  s.unique_points = stream.unique_points();
+  s.order.reserve(static_cast<std::size_t>(cfg.num_requests));
+  s.arrival_us.reserve(static_cast<std::size_t>(cfg.num_requests));
+  Stream::Item item;
+  while (stream.next(item)) {
+    s.order.push_back(item.unique);
+    s.arrival_us.push_back(item.arrival_us);
+  }
   return s;
 }
 
@@ -165,18 +212,11 @@ std::uint64_t scenario_digest(const Scenario& scenario) {
       scenario.unique_points.data(),
       static_cast<std::size_t>(scenario.unique_points.rows() *
                                scenario.unique_points.cols()));
-  const auto mix = [&h](const void* bytes, std::size_t n) {
-    const auto* p = static_cast<const unsigned char*>(bytes);
-    for (std::size_t i = 0; i < n; ++i) {
-      h ^= p[i];
-      h *= 1099511628211ull;
-    }
-  };
   for (idx row : scenario.order) {
     const std::uint64_t v = static_cast<std::uint64_t>(row);
-    mix(&v, sizeof v);
+    fnv_mix(h, &v, sizeof v);
   }
-  for (double t : scenario.arrival_us) mix(&t, sizeof t);
+  for (double t : scenario.arrival_us) fnv_mix(h, &t, sizeof t);
   return h;
 }
 

@@ -1,0 +1,107 @@
+#include "soak/arrival.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qkmps::soak {
+
+const char* to_string(ShapeKind kind) {
+  switch (kind) {
+    case ShapeKind::kSustained:
+      return "sustained";
+    case ShapeKind::kDiurnal:
+      return "diurnal";
+    case ShapeKind::kFlashCrowd:
+      return "flash-crowd";
+  }
+  return "unknown";
+}
+
+ShapeConfig sustained(double rate_rps) {
+  ShapeConfig s;
+  s.kind = ShapeKind::kSustained;
+  s.rate_rps = rate_rps;
+  return s;
+}
+
+ShapeConfig diurnal(double peak_rps, double period_s, double trough_fraction) {
+  ShapeConfig s;
+  s.kind = ShapeKind::kDiurnal;
+  s.rate_rps = peak_rps;
+  s.period_s = period_s;
+  s.trough_fraction = trough_fraction;
+  return s;
+}
+
+ShapeConfig flash_crowd(double base_rps, double every_s, double duration_s,
+                        double multiplier) {
+  ShapeConfig s;
+  s.kind = ShapeKind::kFlashCrowd;
+  s.rate_rps = base_rps;
+  s.crowd_every_s = every_s;
+  s.crowd_duration_s = duration_s;
+  s.crowd_multiplier = multiplier;
+  return s;
+}
+
+namespace {
+
+double shape_rate(const ShapeConfig& shape, double t_s) {
+  switch (shape.kind) {
+    case ShapeKind::kSustained:
+      return shape.rate_rps;
+    case ShapeKind::kDiurnal: {
+      // Oscillates between trough_fraction * peak (the overnight trough)
+      // and the peak, one full cycle per period.
+      const double phase =
+          std::sin(2.0 * 3.14159265358979323846 * t_s / shape.period_s);
+      const double swing = 0.5 * (1.0 + phase);  // in [0, 1]
+      return shape.rate_rps *
+             (shape.trough_fraction + (1.0 - shape.trough_fraction) * swing);
+    }
+    case ShapeKind::kFlashCrowd: {
+      // The crowd fires mid-interval so a process never starts inside one.
+      const double into = std::fmod(t_s, shape.crowd_every_s);
+      const double start = 0.5 * shape.crowd_every_s;
+      const bool crowded =
+          into >= start && into < start + shape.crowd_duration_s;
+      return shape.rate_rps * (crowded ? shape.crowd_multiplier : 1.0);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+ArrivalProcess::ArrivalProcess(std::vector<ShapeConfig> shapes)
+    : shapes_(std::move(shapes)) {
+  QKMPS_CHECK_MSG(!shapes_.empty(), "an ArrivalProcess needs >= 1 shape");
+  for (const ShapeConfig& s : shapes_) {
+    QKMPS_CHECK_MSG(s.rate_rps > 0.0, "shape rate must be positive");
+    if (s.kind == ShapeKind::kDiurnal) {
+      QKMPS_CHECK(s.period_s > 0.0);
+      QKMPS_CHECK(s.trough_fraction > 0.0 && s.trough_fraction <= 1.0);
+    }
+    if (s.kind == ShapeKind::kFlashCrowd) {
+      QKMPS_CHECK(s.crowd_every_s > 0.0);
+      QKMPS_CHECK(s.crowd_duration_s > 0.0 &&
+                  s.crowd_duration_s <= 0.5 * s.crowd_every_s);
+      QKMPS_CHECK(s.crowd_multiplier >= 1.0);
+    }
+  }
+}
+
+double ArrivalProcess::rate_at(double t_seconds) const {
+  double rate = 0.0;
+  for (const ShapeConfig& s : shapes_) rate += shape_rate(s, t_seconds);
+  return rate;
+}
+
+double ArrivalProcess::next_arrival_us() {
+  const double at = t_s_;
+  t_s_ += 1.0 / rate_at(t_s_);
+  return at * 1e6;
+}
+
+}  // namespace qkmps::soak

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qkmps::soak {
+
+/// Composable offered-load shapes for the streaming soak harness
+/// (DESIGN.md §10). A shape contributes an instantaneous request rate
+/// r(t); an ArrivalProcess sums its shapes' rates and integrates the
+/// composite deterministically, one inter-arrival gap at a time — O(1)
+/// state, no materialized schedule, which is what lets a soak run pace
+/// millions of arrivals. The workload-layer ArrivalPattern (steady/
+/// burst/ramp) stays the CI-scale vocabulary; these shapes model the
+/// long-horizon traffic the north star cares about: days of load with
+/// troughs, peaks, and flash crowds.
+enum class ShapeKind : std::uint8_t {
+  kSustained,   ///< constant rate_rps forever
+  kDiurnal,     ///< sinusoidal day cycle between trough and peak
+  kFlashCrowd,  ///< baseline with periodic multiplier spikes
+};
+
+const char* to_string(ShapeKind kind);
+
+struct ShapeConfig {
+  ShapeKind kind = ShapeKind::kSustained;
+  /// kSustained: the constant rate. kDiurnal: the peak rate. kFlashCrowd:
+  /// the baseline rate outside crowds.
+  double rate_rps = 1000.0;
+  /// kDiurnal: one synthetic "day" in seconds.
+  double period_s = 60.0;
+  /// kDiurnal: trough rate as a fraction of the peak (rate oscillates in
+  /// [trough_fraction * rate_rps, rate_rps]).
+  double trough_fraction = 0.25;
+  /// kFlashCrowd: a crowd fires once per this interval...
+  double crowd_every_s = 30.0;
+  /// ...lasts this long (must fit inside the interval)...
+  double crowd_duration_s = 2.0;
+  /// ...and multiplies the baseline while active.
+  double crowd_multiplier = 8.0;
+};
+
+/// Shorthand constructors for the three shapes.
+ShapeConfig sustained(double rate_rps);
+ShapeConfig diurnal(double peak_rps, double period_s,
+                    double trough_fraction = 0.25);
+ShapeConfig flash_crowd(double base_rps, double every_s, double duration_s,
+                        double multiplier = 8.0);
+
+/// Deterministic arrival-time generator over a composition of shapes.
+/// Single-consumer mutable state (next_arrival_us advances the clock);
+/// rate_at is pure and safe to call concurrently.
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(std::vector<ShapeConfig> shapes);
+
+  /// Sum of the shapes' instantaneous rates at time t (seconds). Always
+  /// strictly positive for a validly constructed process.
+  double rate_at(double t_seconds) const;
+
+  /// Arrival offset (microseconds since the stream epoch) of the next
+  /// request: steps the internal clock by 1 / rate(t).
+  double next_arrival_us();
+
+  double now_seconds() const { return t_s_; }
+  const std::vector<ShapeConfig>& shapes() const { return shapes_; }
+
+ private:
+  std::vector<ShapeConfig> shapes_;
+  double t_s_ = 0.0;
+};
+
+}  // namespace qkmps::soak

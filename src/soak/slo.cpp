@@ -1,0 +1,106 @@
+#include "soak/slo.hpp"
+
+#include <sstream>
+
+namespace qkmps::soak {
+
+const char* to_string(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kStandard:
+      return "standard";
+    case Priority::kBatch:
+      return "batch";
+  }
+  return "unknown";
+}
+
+SloAccountant::SloAccountant(SloTargets targets) : targets_(targets) {}
+
+void SloAccountant::record_gated(Priority priority) {
+  PerClass& c = classes_[static_cast<std::size_t>(priority)];
+  c.submitted.fetch_add(1, std::memory_order_relaxed);
+  c.gated.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SloAccountant::record(Priority priority, serve::ServeStatus status,
+                           double latency_s, double now_s) {
+  PerClass& c = classes_[static_cast<std::size_t>(priority)];
+  c.submitted.fetch_add(1, std::memory_order_relaxed);
+  switch (status) {
+    case serve::ServeStatus::kServed:
+      c.served.fetch_add(1, std::memory_order_relaxed);
+      c.latency.observe(latency_s);
+      if (latency_s >
+          targets_.deadline_s[static_cast<std::size_t>(priority)]) {
+        c.deadline_missed.fetch_add(1, std::memory_order_relaxed);
+      }
+      served_meter_.record(now_s);
+      break;
+    case serve::ServeStatus::kRejected:
+      c.rejected.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case serve::ServeStatus::kShed:
+      c.shed.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+SloSnapshot SloAccountant::snapshot(double now_s, double window_s) const {
+  SloSnapshot s;
+  for (std::size_t i = 0; i < kNumPriorities; ++i) {
+    const PerClass& c = classes_[i];
+    ClassLedger& out = s.classes[i];
+    out.submitted = c.submitted.load(std::memory_order_relaxed);
+    out.gated = c.gated.load(std::memory_order_relaxed);
+    out.served = c.served.load(std::memory_order_relaxed);
+    out.rejected = c.rejected.load(std::memory_order_relaxed);
+    out.shed = c.shed.load(std::memory_order_relaxed);
+    out.deadline_missed = c.deadline_missed.load(std::memory_order_relaxed);
+    const obs::Histogram::Snapshot h = c.latency.snapshot();
+    out.p50_s = h.quantile(0.50);
+    out.p99_s = h.quantile(0.99);
+    out.p999_s = h.quantile(0.999);
+    out.mean_s = h.mean_seconds();
+    s.submitted += out.submitted;
+    s.gated += out.gated;
+    s.served += out.served;
+    s.rejected += out.rejected;
+    s.shed += out.shed;
+    s.deadline_missed += out.deadline_missed;
+  }
+  s.windowed_rps = served_meter_.rate(now_s, window_s);
+  return s;
+}
+
+bool SloAccountant::reconciles(const EngineTotals& engine,
+                               std::string* why) const {
+  const SloSnapshot s = snapshot(0.0, 1.0);
+  const auto fail = [&](const char* counter, std::uint64_t ledger,
+                        std::uint64_t theirs) {
+    if (why != nullptr) {
+      std::ostringstream os;
+      os << "SLO ledger does not reconcile: " << counter << " ledger="
+         << ledger << " engine=" << theirs;
+      *why = os.str();
+    }
+    return false;
+  };
+  // Everything the ledger saw minus what the gate refused must be
+  // exactly what reached the engine...
+  if (s.submitted - s.gated != engine.submitted)
+    return fail("submitted-gated vs engine.submitted", s.submitted - s.gated,
+                engine.submitted);
+  // ...and each terminal outcome must match one for one.
+  if (s.served != engine.completed)
+    return fail("served vs engine.completed", s.served, engine.completed);
+  if (s.rejected != engine.rejected)
+    return fail("rejected vs engine.rejected", s.rejected, engine.rejected);
+  if (s.shed != engine.shed) return fail("shed vs engine.shed", s.shed,
+                                         engine.shed);
+  if (why != nullptr) why->clear();
+  return true;
+}
+
+}  // namespace qkmps::soak

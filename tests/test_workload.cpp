@@ -167,6 +167,78 @@ TEST(Workload, StandardScenariosAreDistinct) {
   EXPECT_EQ(digests.size(), suite.size());
 }
 
+TEST(WorkloadStream, ReplaysEveryStandardScenarioByteForByte) {
+  // The pull-based Stream must be indistinguishable from the eager
+  // generator: same order, same arrival offsets, same unique points,
+  // same digest — for every standard scenario shape.
+  const auto pool = small_pool();
+  for (const ScenarioConfig& cfg : standard_scenarios(200, 24, 11)) {
+    const Scenario eager = make_scenario(cfg, pool);
+    Stream stream(cfg, pool);
+    ASSERT_EQ(stream.size(), eager.size()) << cfg.name;
+    for (idx i = 0; i < eager.unique_points.rows(); ++i)
+      for (idx j = 0; j < eager.unique_points.cols(); ++j)
+        ASSERT_EQ(stream.unique_points()(i, j), eager.unique_points(i, j))
+            << cfg.name;
+    Stream::Item item;
+    for (idx r = 0; r < eager.size(); ++r) {
+      ASSERT_TRUE(stream.next(item)) << cfg.name << " ended early at " << r;
+      ASSERT_EQ(item.request, r) << cfg.name;
+      ASSERT_EQ(item.unique, eager.order[static_cast<std::size_t>(r)])
+          << cfg.name << " order diverged at request " << r;
+      ASSERT_EQ(item.arrival_us,
+                eager.arrival_us[static_cast<std::size_t>(r)])
+          << cfg.name << " arrival diverged at request " << r;
+    }
+    EXPECT_FALSE(stream.next(item)) << cfg.name;
+    EXPECT_TRUE(stream.exhausted()) << cfg.name;
+    EXPECT_EQ(stream.digest(), scenario_digest(eager)) << cfg.name;
+  }
+}
+
+TEST(WorkloadStream, DigestRequiresExhaustion) {
+  const auto pool = small_pool();
+  ScenarioConfig cfg;
+  cfg.num_requests = 32;
+  cfg.num_unique = 8;
+  Stream stream(cfg, pool);
+  EXPECT_THROW(stream.digest(), Error);  // nothing consumed yet
+  Stream::Item item;
+  while (stream.next(item)) {
+  }
+  EXPECT_NO_THROW(stream.digest());
+}
+
+TEST(WorkloadStream, RequestRowsMatchEagerScenario) {
+  const auto pool = small_pool(32, 4);
+  ScenarioConfig cfg;
+  cfg.num_requests = 48;
+  cfg.num_unique = 12;
+  cfg.keys = KeyPattern::kZipf;
+  const Scenario eager = make_scenario(cfg, pool);
+  Stream stream(cfg, pool);
+  Stream::Item item;
+  while (stream.next(item))
+    EXPECT_EQ(stream.request(item.unique), eager.request(item.request));
+}
+
+TEST(WorkloadStream, EagerGeneratorIsAThinWrapper) {
+  // make_scenario now drains a Stream; a fresh Stream and a fresh eager
+  // scenario must stay interchangeable run to run (the digest pins it).
+  const auto pool = small_pool();
+  ScenarioConfig cfg;
+  cfg.num_requests = 500;
+  cfg.num_unique = 16;
+  cfg.keys = KeyPattern::kDuplicateHeavy;
+  cfg.arrival = ArrivalPattern::kRamp;
+  const std::uint64_t eager_digest = scenario_digest(make_scenario(cfg, pool));
+  Stream stream(cfg, pool);
+  Stream::Item item;
+  while (stream.next(item)) {
+  }
+  EXPECT_EQ(stream.digest(), eager_digest);
+}
+
 TEST(Workload, RejectsImpossibleConfigs) {
   const auto pool = small_pool(8, 3);
   ScenarioConfig cfg;
