@@ -1,0 +1,31 @@
+#!/bin/sh
+# clang-tidy driver for the lint CI job (DESIGN.md §11). Configures a
+# compile database and runs the .clang-tidy profile over first-party
+# sources (src/ + tools/). Report-only today: the caller decides whether
+# findings gate (the CI job uploads the report as an artifact while the
+# gating lint signal comes from lint_invariants.py and the clang
+# -Werror=thread-safety build).
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir]   (default: build-tidy)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-tidy"}
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy.sh: clang-tidy not found on PATH; skipping" >&2
+  exit 0
+fi
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  -DQKMPS_BUILD_TESTS=OFF -DQKMPS_BUILD_BENCH=OFF \
+  -DQKMPS_BUILD_EXAMPLES=OFF >/dev/null
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -p "$build_dir" -quiet "$repo_root/(src|tools)/.*\.cpp"
+else
+  # Fall back to invoking clang-tidy file-by-file when the parallel
+  # driver script isn't installed.
+  find "$repo_root/src" "$repo_root/tools" -name '*.cpp' \
+    -exec clang-tidy -p "$build_dir" --quiet {} +
+fi

@@ -1,13 +1,13 @@
 #include "kernel/distributed_gram.hpp"
 
 #include <cmath>
-#include <mutex>
 #include <vector>
 
 #include "mps/inner_product.hpp"
 #include "parallel/partition.hpp"
 #include "parallel/rank_runtime.hpp"
 #include "util/error.hpp"
+#include "util/sync.hpp"
 
 namespace qkmps::kernel {
 
@@ -104,7 +104,7 @@ RealMatrix no_messaging_gram(const QuantumKernelConfig& config,
   }
 
   RealMatrix k(n, n);
-  std::mutex merge_mu;
+  util::Mutex merge_mu;
   GramStats merged;
 
   RankRuntime rt(num_ranks);
@@ -129,7 +129,7 @@ RealMatrix no_messaging_gram(const QuantumKernelConfig& config,
       }
     }
     {
-      std::lock_guard<std::mutex> lock(merge_mu);
+      util::MutexLock lock(merge_mu);
       for (const auto& t : results) assemble(k, t, /*mirror=*/true);
       merged.phases.merge(local.phases);
       merged.circuits_simulated += local.circuits_simulated;
@@ -153,7 +153,7 @@ RealMatrix round_robin_gram(const QuantumKernelConfig& config,
   const int k = num_ranks;
 
   RealMatrix km(n, n);
-  std::mutex merge_mu;
+  util::Mutex merge_mu;
   GramStats merged;
 
   RankRuntime rt(num_ranks);
@@ -200,7 +200,7 @@ RealMatrix round_robin_gram(const QuantumKernelConfig& config,
     }
 
     {
-      std::lock_guard<std::mutex> lock(merge_mu);
+      util::MutexLock lock(merge_mu);
       for (const auto& t : results) assemble(km, t, /*mirror=*/true);
       merged.phases.merge(local.phases);
       merged.circuits_simulated += local.circuits_simulated;
@@ -240,7 +240,7 @@ RealMatrix distributed_cross_kernel(const QuantumKernelConfig& config,
   const int k = num_ranks;
 
   RealMatrix km(nt, nr);
-  std::mutex merge_mu;
+  util::Mutex merge_mu;
   GramStats merged;
 
   RankRuntime rt(num_ranks);
@@ -277,7 +277,7 @@ RealMatrix distributed_cross_kernel(const QuantumKernelConfig& config,
     }
 
     {
-      std::lock_guard<std::mutex> lock(merge_mu);
+      util::MutexLock lock(merge_mu);
       for (const auto& t : results) assemble(km, t, /*mirror=*/false);
       merged.phases.merge(local.phases);
       merged.circuits_simulated += local.circuits_simulated;

@@ -40,7 +40,7 @@ FlightRecorder::FlightRecorder(std::size_t trace_capacity,
       event_capacity_(std::max<std::size_t>(1, event_capacity)) {}
 
 void FlightRecorder::record_trace(TraceSummary trace) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (traces_.size() < trace_capacity_) {
     traces_.push_back(std::move(trace));
   } else {
@@ -61,7 +61,7 @@ void FlightRecorder::record_event(EventKind kind, int shard,
   event.shard = shard;
   event.generation = generation;
   event.detail = std::move(detail);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   event.seq = events_seq_++;
   if (events_.size() < event_capacity_) {
     events_.push_back(std::move(event));
@@ -72,7 +72,7 @@ void FlightRecorder::record_event(EventKind kind, int shard,
 }
 
 std::vector<LifecycleEvent> FlightRecorder::events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<LifecycleEvent> out;
   out.reserve(events_.size());
   // Oldest-first: once wrapped, the head slot is the oldest entry.
@@ -83,7 +83,7 @@ std::vector<LifecycleEvent> FlightRecorder::events() const {
 }
 
 std::vector<TraceSummary> FlightRecorder::traces() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<TraceSummary> out;
   out.reserve(traces_.size());
   const std::size_t start = traces_.size() < trace_capacity_ ? 0 : next_trace_;
@@ -93,12 +93,12 @@ std::vector<TraceSummary> FlightRecorder::traces() const {
 }
 
 std::uint64_t FlightRecorder::events_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return events_seq_;
 }
 
 std::uint64_t FlightRecorder::traces_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return traces_seq_;
 }
 
@@ -109,7 +109,7 @@ void FlightRecorder::dump_json(JsonWriter& w) const {
   const std::vector<TraceSummary> trs = traces();
   std::uint64_t ev_total, tr_total;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     ev_total = events_seq_;
     tr_total = traces_seq_;
   }

@@ -2,11 +2,11 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "util/sync.hpp"
 
 namespace qkmps {
 class JsonWriter;
@@ -83,13 +83,14 @@ class FlightRecorder {
   const std::size_t trace_capacity_;
   const std::size_t event_capacity_;
 
-  mutable std::mutex mu_;
-  std::vector<TraceSummary> traces_;  ///< ring; next_trace_ is the head
-  std::size_t next_trace_ = 0;
-  std::uint64_t traces_seq_ = 0;
-  std::vector<LifecycleEvent> events_;
-  std::size_t next_event_ = 0;
-  std::uint64_t events_seq_ = 0;
+  mutable util::Mutex mu_;
+  /// Ring; next_trace_ is the head.
+  std::vector<TraceSummary> traces_ QKMPS_GUARDED_BY(mu_);
+  std::size_t next_trace_ QKMPS_GUARDED_BY(mu_) = 0;
+  std::uint64_t traces_seq_ QKMPS_GUARDED_BY(mu_) = 0;
+  std::vector<LifecycleEvent> events_ QKMPS_GUARDED_BY(mu_);
+  std::size_t next_event_ QKMPS_GUARDED_BY(mu_) = 0;
+  std::uint64_t events_seq_ QKMPS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace qkmps::obs

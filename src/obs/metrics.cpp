@@ -158,13 +158,14 @@ double WindowedRate::rate(double now_seconds, double window_seconds) const {
 }
 
 Registry& Registry::global() {
-  static Registry* instance = new Registry();  // never destroyed: handles
-                                               // outlive static teardown
+  // Leaked singleton: handles outlive static teardown, so the registry
+  // must never run its destructor. lint: allow(naked-new)
+  static Registry* instance = new Registry();
   return *instance;
 }
 
 Counter& Registry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   QKMPS_CHECK_MSG(gauges_.count(name) == 0 && histograms_.count(name) == 0,
                   "metric '" << name << "' already registered as another kind");
   auto& slot = counters_[name];
@@ -173,7 +174,7 @@ Counter& Registry::counter(const std::string& name) {
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   QKMPS_CHECK_MSG(counters_.count(name) == 0 && histograms_.count(name) == 0,
                   "metric '" << name << "' already registered as another kind");
   auto& slot = gauges_[name];
@@ -182,7 +183,7 @@ Gauge& Registry::gauge(const std::string& name) {
 }
 
 Histogram& Registry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   QKMPS_CHECK_MSG(counters_.count(name) == 0 && gauges_.count(name) == 0,
                   "metric '" << name << "' already registered as another kind");
   auto& slot = histograms_[name];
@@ -192,7 +193,7 @@ Histogram& Registry::histogram(const std::string& name) {
 
 std::string Registry::render_text() const {
   std::ostringstream os;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& [name, c] : counters_)
     os << "counter " << name << " " << c->value() << "\n";
   for (const auto& [name, g] : gauges_)
@@ -208,7 +209,7 @@ std::string Registry::render_text() const {
 }
 
 void Registry::render_json(JsonWriter& w) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   w.begin_object("counters");
   for (const auto& [name, c] : counters_)
     w.field(name, static_cast<long long>(c->value()));

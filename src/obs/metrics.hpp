@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace qkmps {
 class JsonWriter;
@@ -175,10 +176,12 @@ class Registry {
   std::string render_json() const;
 
  private:
-  mutable std::mutex mu_;  ///< guards the maps, never the instruments
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable util::Mutex mu_;  ///< guards the maps, never the instruments
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      QKMPS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ QKMPS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      QKMPS_GUARDED_BY(mu_);
 };
 
 }  // namespace qkmps::obs

@@ -19,7 +19,7 @@ RankRuntime::RankRuntime(int num_ranks) : num_ranks_(num_ranks) {
 void RankRuntime::push(int src, int dst, std::any payload) {
   Channel& ch = channel(src, dst);
   {
-    std::lock_guard<std::mutex> lock(ch.mu);
+    util::MutexLock lock(ch.mu);
     ch.queue.push_back(std::move(payload));
   }
   ch.cv.notify_one();
@@ -27,8 +27,8 @@ void RankRuntime::push(int src, int dst, std::any payload) {
 
 std::any RankRuntime::pop(int src, int dst) {
   Channel& ch = channel(src, dst);
-  std::unique_lock<std::mutex> lock(ch.mu);
-  ch.cv.wait(lock, [&ch] { return !ch.queue.empty(); });
+  util::UniqueLock lock(ch.mu);
+  while (ch.queue.empty()) ch.cv.wait(lock);
   std::any payload = std::move(ch.queue.front());
   ch.queue.pop_front();
   return payload;
@@ -36,7 +36,7 @@ std::any RankRuntime::pop(int src, int dst) {
 
 std::optional<std::any> RankRuntime::try_pop(int src, int dst) {
   Channel& ch = channel(src, dst);
-  std::lock_guard<std::mutex> lock(ch.mu);
+  util::MutexLock lock(ch.mu);
   if (ch.queue.empty()) return std::nullopt;
   std::any payload = std::move(ch.queue.front());
   ch.queue.pop_front();
@@ -53,16 +53,22 @@ std::optional<std::any> RankRuntime::pop_for(
   // loop reuses this contract (parallel/socket_transport.cpp).
   if (timeout <= std::chrono::microseconds::zero()) return try_pop(src, dst);
   Channel& ch = channel(src, dst);
-  std::unique_lock<std::mutex> lock(ch.mu);
-  if (!ch.cv.wait_for(lock, timeout, [&ch] { return !ch.queue.empty(); }))
-    return std::nullopt;
+  util::UniqueLock lock(ch.mu);
+  // Explicit deadline loop (not the predicate overload) so the guarded
+  // queue reads stay lexically inside the locked scope for the analysis.
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (ch.queue.empty()) {
+    if (ch.cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+        ch.queue.empty())
+      return std::nullopt;
+  }
   std::any payload = std::move(ch.queue.front());
   ch.queue.pop_front();
   return payload;
 }
 
 void RankRuntime::barrier_wait() {
-  std::unique_lock<std::mutex> lock(barrier_mu_);
+  util::UniqueLock lock(barrier_mu_);
   const long long gen = barrier_generation_;
   if (++barrier_count_ == num_ranks_) {
     barrier_count_ = 0;
@@ -70,7 +76,7 @@ void RankRuntime::barrier_wait() {
     barrier_cv_.notify_all();
     return;
   }
-  barrier_cv_.wait(lock, [this, gen] { return barrier_generation_ != gen; });
+  while (barrier_generation_ == gen) barrier_cv_.wait(lock);
 }
 
 void RankRuntime::run(const std::function<void(Comm&)>& body) {

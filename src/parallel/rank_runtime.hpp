@@ -2,15 +2,14 @@
 
 #include <any>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/sync.hpp"
 
 namespace qkmps::parallel {
 
@@ -85,9 +84,9 @@ class RankRuntime {
   friend class Comm;
 
   struct Channel {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<std::any> queue;
+    util::Mutex mu;
+    util::CondVar cv;
+    std::deque<std::any> queue QKMPS_GUARDED_BY(mu);
   };
 
   Channel& channel(int src, int dst) {
@@ -104,10 +103,10 @@ class RankRuntime {
   int num_ranks_;
   std::vector<std::unique_ptr<Channel>> channels_;
 
-  std::mutex barrier_mu_;
-  std::condition_variable barrier_cv_;
-  int barrier_count_ = 0;
-  long long barrier_generation_ = 0;
+  util::Mutex barrier_mu_;
+  util::CondVar barrier_cv_;
+  int barrier_count_ QKMPS_GUARDED_BY(barrier_mu_) = 0;
+  long long barrier_generation_ QKMPS_GUARDED_BY(barrier_mu_) = 0;
 };
 
 template <typename T>

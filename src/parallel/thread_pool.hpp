@@ -1,12 +1,12 @@
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace qkmps::parallel {
 
@@ -33,10 +33,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::queue<std::packaged_task<void()>> tasks_ QKMPS_GUARDED_BY(mu_);
+  bool stop_ QKMPS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace qkmps::parallel

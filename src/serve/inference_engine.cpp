@@ -84,7 +84,7 @@ InferenceEngine::InferenceEngine(std::shared_ptr<const ModelBundle> bundle,
 
 InferenceEngine::~InferenceEngine() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -99,7 +99,7 @@ std::future<Prediction> InferenceEngine::submit(std::vector<double> features) {
   r.submitted = std::chrono::steady_clock::now();
   std::future<Prediction> fut = r.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     QKMPS_CHECK_MSG(!stop_, "submit on a stopped engine");
     if (!batcher_.joinable())
       batcher_ = std::thread([this] { batcher_loop(); });
@@ -110,9 +110,9 @@ std::future<Prediction> InferenceEngine::submit(std::vector<double> features) {
 }
 
 void InferenceEngine::batcher_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::UniqueLock lock(mu_);
   for (;;) {
-    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    while (!stop_ && queue_.empty()) cv_.wait(lock);
     if (queue_.empty()) {
       if (stop_) return;
       continue;  // spurious wake

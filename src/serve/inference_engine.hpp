@@ -2,13 +2,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 #include "linalg/batched.hpp"
 #include "parallel/thread_pool.hpp"
@@ -184,10 +184,10 @@ class InferenceEngine {
   PredictionMemo memo_;
   parallel::ThreadPool pool_;
 
-  mutable std::mutex mu_;  ///< guards queue_ and stop_ only
-  std::condition_variable cv_;
-  std::deque<Request> queue_;
-  bool stop_ = false;
+  mutable util::Mutex mu_;  ///< guards queue_ and stop_ only
+  util::CondVar cv_;
+  std::deque<Request> queue_ QKMPS_GUARDED_BY(mu_);
+  bool stop_ QKMPS_GUARDED_BY(mu_) = false;
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> batches_{0};

@@ -3,7 +3,6 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -11,6 +10,7 @@
 
 #include "serve/feature_key.hpp"
 #include "util/error.hpp"
+#include "util/sync.hpp"
 
 namespace qkmps::serve {
 
@@ -71,7 +71,7 @@ class LruMap {
       misses_.fetch_add(1, std::memory_order_relaxed);
       return std::nullopt;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     const auto entry = locate(hash, key);
     if (entry == lru_.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -90,7 +90,7 @@ class LruMap {
   Value insert(const std::vector<double>& key, std::uint64_t hash,
                Value value) {
     if (capacity_ == 0) return value;
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     const auto existing = locate(hash, key);
     if (existing != lru_.end()) {
       lru_.splice(lru_.begin(), lru_, existing);
@@ -118,7 +118,7 @@ class LruMap {
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return lru_.size();
   }
 
@@ -136,7 +136,7 @@ class LruMap {
   }
 
   void clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     lru_.clear();
     index_.clear();
   }
@@ -152,7 +152,8 @@ class LruMap {
 
   /// Looks up `key` in index_; lru_.end() if absent. Caller holds mu_.
   typename LruList::iterator locate(std::uint64_t hash,
-                                    const std::vector<double>& key) {
+                                    const std::vector<double>& key)
+      QKMPS_REQUIRES(mu_) {
     auto [lo, hi] = index_.equal_range(hash);
     for (auto it = lo; it != hi; ++it)
       if (feature_bits_equal(it->second->key, key)) return it->second;
@@ -160,9 +161,10 @@ class LruMap {
   }
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;  ///< guards lru_ / index_ only; stats are atomic
-  LruList lru_;            ///< front = most recently used
-  std::unordered_multimap<std::uint64_t, typename LruList::iterator> index_;
+  mutable util::Mutex mu_;  ///< guards lru_ / index_ only; stats are atomic
+  LruList lru_ QKMPS_GUARDED_BY(mu_);  ///< front = most recently used
+  std::unordered_multimap<std::uint64_t, typename LruList::iterator> index_
+      QKMPS_GUARDED_BY(mu_);
 
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};

@@ -119,27 +119,32 @@ RankShardedEngine::RankShardedEngine(std::shared_ptr<const ModelBundle> bundle,
   QKMPS_CHECK_MSG(weights.size() == config_.num_shards,
                   "shard_weights has " << weights.size() << " entries for "
                                        << config_.num_shards << " shards");
-  router_ = make_router(config_.router, weights);
-  for (std::size_t i = 0; i < config_.num_shards; ++i) {
-    shard_state_.push_back(std::make_unique<ShardState>());
-    shard_state_.back()->weight = weights[i];
-  }
-  if (config_.transport == TransportKind::kInProcess) {
-    const std::vector<std::size_t> lanes =
-        shard_thread_lanes(config_.engine.num_threads, config_.num_shards);
-    engines_.reserve(config_.num_shards);
+  {
+    // No other thread exists yet; the lock is for the analysis, which
+    // ties these containers to topology_mu_ everywhere.
+    util::MutexLock topo(topology_mu_);
+    router_ = make_router(config_.router, weights);
     for (std::size_t i = 0; i < config_.num_shards; ++i) {
-      EngineConfig engine_cfg = config_.engine;
-      engine_cfg.num_threads = lanes[i];
-      engines_.push_back(
-          std::make_unique<InferenceEngine>(bundle_, engine_cfg));
+      shard_state_.push_back(std::make_unique<ShardState>());
+      shard_state_.back()->weight = weights[i];
+    }
+    if (config_.transport == TransportKind::kInProcess) {
+      const std::vector<std::size_t> lanes =
+          shard_thread_lanes(config_.engine.num_threads, config_.num_shards);
+      engines_.reserve(config_.num_shards);
+      for (std::size_t i = 0; i < config_.num_shards; ++i) {
+        EngineConfig engine_cfg = config_.engine;
+        engine_cfg.num_threads = lanes[i];
+        engines_.push_back(
+            std::make_unique<InferenceEngine>(bundle_, engine_cfg));
+      }
     }
   }
   start_runtime();
 }
 
 RankShardedEngine::~RankShardedEngine() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  util::MutexLock lifecycle(lifecycle_mu_);
   stop_runtime(/*final_stop=*/true);
   if (!config_.flight_dump_path.empty()) {
     try {
@@ -152,17 +157,17 @@ RankShardedEngine::~RankShardedEngine() {
 }
 
 std::size_t RankShardedEngine::num_shards() const {
-  std::lock_guard<std::mutex> topo(topology_mu_);
+  util::MutexLock topo(topology_mu_);
   return shard_state_.size();
 }
 
 int RankShardedEngine::shard_for(const std::vector<double>& features) const {
-  std::lock_guard<std::mutex> topo(topology_mu_);
+  util::MutexLock topo(topology_mu_);
   return router_->shard_for(features);
 }
 
 long RankShardedEngine::worker_pid(std::size_t shard) const {
-  std::lock_guard<std::mutex> topo(topology_mu_);
+  util::MutexLock topo(topology_mu_);
   if (shard >= shard_state_.size() || shard >= worker_pids_.size()) return -1;
   const ShardState& state = *shard_state_[shard];
   if (state.removed.load(std::memory_order_relaxed) ||
@@ -188,7 +193,7 @@ std::future<RoutedPrediction> RankShardedEngine::submit(
 
   bool rejected = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (runtime_error_) std::rethrow_exception(runtime_error_);
     QKMPS_CHECK_MSG(!stopped_, "submit on a stopped RankShardedEngine");
     submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -220,8 +225,13 @@ void RankShardedEngine::start_runtime() {
     start_socket_runtime();
     return;
   }
+  std::size_t n_engines;
+  {
+    util::MutexLock topo(topology_mu_);
+    n_engines = engines_.size();
+  }
   runtime_ = std::make_unique<parallel::RankRuntime>(
-      static_cast<int>(engines_.size()) + 1);
+      static_cast<int>(n_engines) + 1);
   runtime_thread_ = std::thread([this] {
     try {
       runtime_->run([this](parallel::Comm& comm) {
@@ -249,8 +259,14 @@ void RankShardedEngine::start_runtime() {
           // A removed shard's slot still gets a rank (ids are never
           // reused) but has no engine left — its loop is a no-op; the
           // router never addresses it.
-          InferenceEngine* engine =
-              engines_[static_cast<std::size_t>(comm.rank() - 1)].get();
+          // Engine slots only mutate between runtimes (the resize caller
+          // holds lifecycle_mu_ with this thread joined), so the pointer
+          // grabbed here stays valid for the runtime's whole life.
+          InferenceEngine* engine = nullptr;
+          {
+            util::MutexLock topo(topology_mu_);
+            engine = engines_[static_cast<std::size_t>(comm.rank() - 1)].get();
+          }
           if (engine != nullptr) {
             parallel::CommTransport link(comm, 0);
             ShardWorkerOptions options;
@@ -263,7 +279,7 @@ void RankShardedEngine::start_runtime() {
       // A rank body escaped its own handling (internal invariant failure,
       // e.g. a wire-codec mismatch). Remember it so the next API call
       // fails loudly instead of hanging on a dead router.
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       runtime_error_ = std::current_exception();
     }
   });
@@ -311,7 +327,16 @@ void RankShardedEngine::start_socket_runtime() {
   listener_ = std::make_unique<parallel::SocketListener>(
       parallel::SocketListener::listen(address));
 
-  const std::size_t n = shard_state_.size();
+  // ShardState objects are stable once published (slots are never
+  // erased), so the startup below works through raw pointers grabbed in
+  // one locked sweep instead of holding topology_mu_ across spawns.
+  std::vector<ShardState*> states;
+  {
+    util::MutexLock topo(topology_mu_);
+    states.reserve(shard_state_.size());
+    for (const auto& st : shard_state_) states.push_back(st.get());
+  }
+  const std::size_t n = states.size();
   // Same lane budgeting as the in-process constructor: num_threads == 0
   // divides the hardware threads across the shards. The workers share
   // this host, so handing each a full-width pool would oversubscribe it
@@ -319,14 +344,18 @@ void RankShardedEngine::start_socket_runtime() {
   // measure thread counts instead of transport cost.
   const std::vector<std::size_t> lanes =
       shard_thread_lanes(config_.engine.num_threads, n);
+  // Spawn and handshake into locals; links_/worker_pids_ publish in a
+  // single locked swap once the whole fleet has arrived, so concurrent
+  // worker_pid()/stats() readers never see a half-built topology.
+  std::vector<long> pids;
+  std::vector<std::unique_ptr<parallel::SocketTransport>> conns(n);
   try {
     for (std::size_t i = 0; i < n; ++i) {
-      shard_state_[i]->threads = lanes[i];
-      worker_pids_.push_back(spawn_worker_process(
+      states[i]->threads = lanes[i];
+      pids.push_back(spawn_worker_process(
           sc.worker_path,
-          worker_args(i, lanes[i], shard_state_[i]->weight, 0)));
+          worker_args(i, lanes[i], states[i]->weight, 0)));
     }
-    links_.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
       std::unique_ptr<parallel::SocketTransport> conn =
           listener_->accept_for(sc.connect_timeout);
@@ -340,35 +369,42 @@ void RankShardedEngine::start_socket_runtime() {
           *conn, policy,
           std::chrono::duration_cast<std::chrono::microseconds>(
               sc.connect_timeout));
-      QKMPS_CHECK_MSG(links_[hello.shard_index] == nullptr,
+      QKMPS_CHECK_MSG(conns[hello.shard_index] == nullptr,
                       "two workers claimed shard " << hello.shard_index);
-      QKMPS_CHECK_MSG(hello.weight == shard_state_[hello.shard_index]->weight,
+      QKMPS_CHECK_MSG(hello.weight == states[hello.shard_index]->weight,
                       "worker for shard " << hello.shard_index
                                           << " echoed the wrong ring weight");
-      links_[hello.shard_index] = std::move(conn);
+      conns[hello.shard_index] = std::move(conn);
       flight_.record_event(
           obs::EventKind::kSpawn, static_cast<int>(hello.shard_index), 0,
-          "pid " + std::to_string(worker_pids_[hello.shard_index]));
+          "pid " + std::to_string(pids[hello.shard_index]));
     }
   } catch (...) {
     // Fail construction loudly but cleanly: no orphan processes, no
     // stale socket files.
-    links_.clear();
+    conns.clear();
     listener_.reset();
-    for (long pid : worker_pids_)
-      reap_worker(pid, std::chrono::milliseconds(500));
-    worker_pids_.clear();
+    for (long pid : pids) reap_worker(pid, std::chrono::milliseconds(500));
     throw;
+  }
+  {
+    util::MutexLock topo(topology_mu_);
+    links_.reserve(n);
+    for (auto& conn : conns) links_.push_back(std::move(conn));
+    worker_pids_ = std::move(pids);
   }
 
   runtime_thread_ = std::thread([this] {
     std::vector<parallel::Transport*> ptrs;
-    ptrs.reserve(links_.size());
-    for (const auto& link : links_) ptrs.push_back(link.get());
+    {
+      util::MutexLock topo(topology_mu_);
+      ptrs.reserve(links_.size());
+      for (const auto& link : links_) ptrs.push_back(link.get());
+    }
     try {
       router_loop(std::move(ptrs));
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       runtime_error_ = std::current_exception();
     }
     // Fulfil any stats or resize request that raced the shutdown so no
@@ -376,12 +412,17 @@ void RankShardedEngine::start_socket_runtime() {
     std::deque<std::promise<std::vector<EngineStats>>> stats_leftovers;
     std::deque<TopologyCommand> topology_leftovers;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       stats_leftovers.swap(stats_requests_);
       topology_leftovers.swap(topology_requests_);
     }
+    std::size_t n_links;
+    {
+      util::MutexLock topo(topology_mu_);
+      n_links = links_.size();
+    }
     for (auto& p : stats_leftovers)
-      p.set_value(std::vector<EngineStats>(links_.size()));
+      p.set_value(std::vector<EngineStats>(n_links));
     for (auto& c : topology_leftovers)
       c.done.set_exception(std::make_exception_ptr(
           Error("engine stopped before the resize could run")));
@@ -390,7 +431,7 @@ void RankShardedEngine::start_socket_runtime() {
 
 void RankShardedEngine::stop_runtime(bool final_stop) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     draining_ = true;
     if (final_stop) stopped_ = true;
   }
@@ -404,7 +445,7 @@ void RankShardedEngine::stop_runtime(bool final_stop) {
   // worker_pid()/stats() readers may still be in flight.
   std::vector<long> pids;
   {
-    std::lock_guard<std::mutex> topo(topology_mu_);
+    util::MutexLock topo(topology_mu_);
     links_.clear();
     listener_.reset();
     pids.swap(worker_pids_);
@@ -412,7 +453,7 @@ void RankShardedEngine::stop_runtime(bool final_stop) {
   for (long pid : pids)
     if (pid > 0) reap_worker(pid, std::chrono::milliseconds(5000));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     draining_ = false;
   }
 }
@@ -420,9 +461,9 @@ void RankShardedEngine::stop_runtime(bool final_stop) {
 void RankShardedEngine::add_shard(double weight) {
   QKMPS_CHECK_MSG(weight > 0.0,
                   "shard weight must be positive, got " << weight);
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  util::MutexLock lifecycle(lifecycle_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     QKMPS_CHECK_MSG(!stopped_, "add_shard on a stopped RankShardedEngine");
   }
 
@@ -435,7 +476,7 @@ void RankShardedEngine::add_shard(double weight) {
     cmd.weight = weight;
     std::future<void> done = cmd.done.get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (runtime_error_) std::rethrow_exception(runtime_error_);
       topology_requests_.push_back(std::move(cmd));
     }
@@ -451,12 +492,16 @@ void RankShardedEngine::add_shard(double weight) {
   // only the new shard's lane count reflects the grown topology. With
   // num_threads == 0 this slightly overcommits hardware threads after a
   // resize — cache retention is worth more than perfect lane budgeting.
+  std::size_t n_engines;
+  {
+    util::MutexLock topo(topology_mu_);
+    n_engines = engines_.size();
+  }
   EngineConfig engine_cfg = config_.engine;
   engine_cfg.num_threads =
-      shard_thread_lanes(config_.engine.num_threads, engines_.size() + 1)
-          .back();
+      shard_thread_lanes(config_.engine.num_threads, n_engines + 1).back();
   {
-    std::lock_guard<std::mutex> topo(topology_mu_);
+    util::MutexLock topo(topology_mu_);
     engines_.push_back(std::make_unique<InferenceEngine>(bundle_, engine_cfg));
     shard_state_.push_back(std::make_unique<ShardState>());
     shard_state_.back()->weight = weight;
@@ -464,19 +509,19 @@ void RankShardedEngine::add_shard(double weight) {
   }
   resizes_.fetch_add(1, std::memory_order_relaxed);
   flight_.record_event(obs::EventKind::kShardAdded,
-                       static_cast<int>(engines_.size()) - 1, 0, "in-process");
+                       static_cast<int>(n_engines), 0, "in-process");
 
   start_runtime();
 }
 
 void RankShardedEngine::remove_shard(std::size_t shard) {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  util::MutexLock lifecycle(lifecycle_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     QKMPS_CHECK_MSG(!stopped_, "remove_shard on a stopped RankShardedEngine");
   }
   {
-    std::lock_guard<std::mutex> topo(topology_mu_);
+    util::MutexLock topo(topology_mu_);
     QKMPS_CHECK_MSG(shard < shard_state_.size(),
                     "remove_shard(" << shard << ") out of range");
     QKMPS_CHECK_MSG(!shard_state_[shard]->removed.load(),
@@ -493,7 +538,7 @@ void RankShardedEngine::remove_shard(std::size_t shard) {
     cmd.shard = shard;
     std::future<void> done = cmd.done.get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (runtime_error_) std::rethrow_exception(runtime_error_);
       topology_requests_.push_back(std::move(cmd));
     }
@@ -507,7 +552,7 @@ void RankShardedEngine::remove_shard(std::size_t shard) {
   // in-flight work before its engine (and caches) are released.
   stop_runtime(/*final_stop=*/false);
   {
-    std::lock_guard<std::mutex> topo(topology_mu_);
+    util::MutexLock topo(topology_mu_);
     router_->remove_shard(static_cast<int>(shard));
     shard_state_[shard]->removed.store(true, std::memory_order_relaxed);
     engines_[shard].reset();
@@ -545,6 +590,7 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
   // the topology. Removed slots keep their index (ids are never reused)
   // but own no ring points, no link, and no futures.
   const auto routable = [this](int s) {
+    util::MutexLock topo(topology_mu_);
     const ShardState& state = *shard_state_[static_cast<std::size_t>(s)];
     return state.alive.load(std::memory_order_relaxed) &&
            !state.removed.load(std::memory_order_relaxed);
@@ -572,12 +618,18 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
   };
 
   const auto generation_of = [this](int s) {
+    util::MutexLock topo(topology_mu_);
     return shard_state_[static_cast<std::size_t>(s)]->generation.load(
         std::memory_order_relaxed);
   };
 
   const auto mark_dead = [&](int s, const std::string& why) {
-    ShardState& state = *shard_state_[static_cast<std::size_t>(s)];
+    ShardState* state_ptr;
+    {
+      util::MutexLock topo(topology_mu_);
+      state_ptr = shard_state_[static_cast<std::size_t>(s)].get();
+    }
+    ShardState& state = *state_ptr;
     if (!state.alive.exchange(false, std::memory_order_relaxed)) return;
     flight_.record_event(obs::EventKind::kWorkerDeath, s, generation_of(s),
                          why);
@@ -647,8 +699,11 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
           reply.trace_id == 0 || reply.trace_id == fl.trace.trace_id,
           "shard echoed trace id " << reply.trace_id << " for request "
                                    << reply.id);
-      shard_state_[static_cast<std::size_t>(s)]->served.fetch_add(
-          1, std::memory_order_relaxed);
+      {
+        util::MutexLock topo(topology_mu_);
+        shard_state_[static_cast<std::size_t>(s)]->served.fetch_add(
+            1, std::memory_order_relaxed);
+      }
       RoutedPrediction out;
       out.status = ServeStatus::kServed;
       out.shard = fl.shard;
@@ -754,13 +809,17 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
   // are a pure function of (shard, weight), so the replacement inherits
   // exactly the keyspace its predecessor owned — nothing else moves.
   const auto try_respawn = [&](std::size_t s) {
-    ShardState& state = *shard_state_[s];
+    ShardState* state_ptr;
+    std::size_t fleet_size;
     {
-      std::lock_guard<std::mutex> topo(topology_mu_);
-      if (worker_pids_[s] > 0) reap_worker(worker_pids_[s],
-                                           std::chrono::milliseconds(0));
+      util::MutexLock topo(topology_mu_);
+      state_ptr = shard_state_[s].get();
+      fleet_size = shard_state_.size();
+      const long corpse = worker_pids_[s];
       worker_pids_[s] = -1;
+      if (corpse > 0) reap_worker(corpse, std::chrono::milliseconds(0));
     }
+    ShardState& state = *state_ptr;
     const std::uint64_t generation =
         state.generation.load(std::memory_order_relaxed) + 1;
     long pid = -1;
@@ -769,7 +828,7 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
           config_.socket.worker_path,
           worker_args(s, state.threads, state.weight, generation));
       ShardAcceptPolicy policy;
-      policy.num_shards = shard_state_.size();
+      policy.num_shards = fleet_size;
       policy.num_features = bundle_->num_features();
       policy.require_shard = s;
       policy.require_generation = generation;
@@ -777,11 +836,11 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
       std::unique_ptr<parallel::SocketTransport> conn =
           accept_expected(policy, config_.socket.connect_timeout);
       {
-        std::lock_guard<std::mutex> topo(topology_mu_);
+        util::MutexLock topo(topology_mu_);
         links_[s] = std::move(conn);
         worker_pids_[s] = pid;
+        links[s] = links_[s].get();
       }
-      links[s] = links_[s].get();
       state.generation.store(generation, std::memory_order_relaxed);
       state.respawns.fetch_add(1, std::memory_order_relaxed);
       state.respawn_attempts = 0;
@@ -827,7 +886,11 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
   // pointer swap. Survivors never stop serving; consistent hashing
   // moves only ~1/(N+1) of the keyspace onto the newcomer.
   const auto execute_add = [&](double weight) {
-    const std::size_t s = shard_state_.size();
+    std::size_t s;
+    {
+      util::MutexLock topo(topology_mu_);
+      s = shard_state_.size();
+    }
     const std::size_t threads =
         shard_thread_lanes(config_.engine.num_threads, s + 1).back();
     const long pid = spawn_worker_process(
@@ -849,13 +912,13 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
     state->weight = weight;
     state->threads = threads;
     {
-      std::lock_guard<std::mutex> topo(topology_mu_);
+      util::MutexLock topo(topology_mu_);
       shard_state_.push_back(std::move(state));
       links_.push_back(std::move(conn));
       worker_pids_.push_back(pid);
       router_->add_shard(weight);
+      links.push_back(links_.back().get());
     }
-    links.push_back(links_.back().get());
     flight_.record_event(obs::EventKind::kShardAdded, static_cast<int>(s), 0,
                          "pid " + std::to_string(pid) + ", weight " +
                              format_weight(weight));
@@ -865,13 +928,15 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
   // immediately), then drain what it still owes, then the shutdown
   // handshake and the reap. The slot stays, marked removed.
   const auto execute_remove = [&](std::size_t s) {
-    ShardState& state = *shard_state_[s];
+    ShardState* state_ptr;
     {
       // Handoff: erase the leaver's ring points. Links are FIFO, so
       // every envelope it owes predates the kDrain marker below.
-      std::lock_guard<std::mutex> topo(topology_mu_);
+      util::MutexLock topo(topology_mu_);
       router_->remove_shard(static_cast<int>(s));
+      state_ptr = shard_state_[s].get();
     }
+    ShardState& state = *state_ptr;
     if (routable(static_cast<int>(s))) {
       if (shard_send(static_cast<int>(s),
                      ShardEnvelope{ShardEnvelope::Kind::kDrain, 0, {}})) {
@@ -931,7 +996,7 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
     }
     long pid;
     {
-      std::lock_guard<std::mutex> topo(topology_mu_);
+      util::MutexLock topo(topology_mu_);
       links_[s].reset();
       pid = worker_pids_[s];
       worker_pids_[s] = -1;
@@ -951,16 +1016,20 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
     std::optional<std::promise<std::vector<EngineStats>>> stats_request;
     std::optional<TopologyCommand> topology_command;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      util::UniqueLock lock(mu_);
       // Idle with nothing in flight: sleep on the ingress cv (bounded by
       // router_poll so a drain request can't be missed). With work in
       // flight, fall through and poll the reply links instead.
       if (ingress_.empty() && inflight.empty() && !draining_ &&
           stats_requests_.empty() && topology_requests_.empty()) {
-        cv_ingress_.wait_for(lock, config_.router_poll, [this] {
-          return draining_ || !ingress_.empty() || !stats_requests_.empty() ||
-                 !topology_requests_.empty();
-        });
+        const auto idle_deadline =
+            std::chrono::steady_clock::now() + config_.router_poll;
+        while (!draining_ && ingress_.empty() && stats_requests_.empty() &&
+               topology_requests_.empty()) {
+          if (cv_ingress_.wait_until(lock, idle_deadline) ==
+              std::cv_status::timeout)
+            break;
+        }
       }
       pulled.swap(ingress_);
       drain = draining_;
@@ -977,7 +1046,13 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
     for (Ingress& request : pulled) {
       progress = true;
       const std::uint64_t id = next_id_++;
-      const int shard = router_->shard_for_hash(feature_hash(request.features));
+      int shard;
+      ShardState* target;
+      {
+        util::MutexLock topo(topology_mu_);
+        shard = router_->shard_for_hash(feature_hash(request.features));
+        target = shard_state_[static_cast<std::size_t>(shard)].get();
+      }
       InFlight fl;
       fl.promise = std::move(request.promise);
       fl.submitted = request.submitted;
@@ -988,8 +1063,7 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
         shed(std::move(fl), "shard worker died before the request");
         continue;
       }
-      shard_state_[static_cast<std::size_t>(shard)]->routed.fetch_add(
-          1, std::memory_order_relaxed);
+      target->routed.fetch_add(1, std::memory_order_relaxed);
       ShardEnvelope envelope{ShardEnvelope::Kind::kRequest, id,
                              std::move(request.features)};
       envelope.trace_id = fl.trace.trace_id;  // the worker echoes it back
@@ -1044,8 +1118,14 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
     // futures never ride the respawn.
     if (socket && !drain && config_.socket.respawn) {
       const auto now = std::chrono::steady_clock::now();
-      for (std::size_t s = 0; s < shard_state_.size(); ++s) {
-        ShardState& state = *shard_state_[s];
+      std::vector<ShardState*> states;
+      {
+        util::MutexLock topo(topology_mu_);
+        states.reserve(shard_state_.size());
+        for (const auto& st : shard_state_) states.push_back(st.get());
+      }
+      for (std::size_t s = 0; s < states.size(); ++s) {
+        ShardState& state = *states[s];
         if (state.alive.load(std::memory_order_relaxed) ||
             state.removed.load(std::memory_order_relaxed) ||
             state.demoted.load(std::memory_order_relaxed))
@@ -1105,7 +1185,7 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
         drain_stall_deadline = std::chrono::steady_clock::now() + kDrainStall;
       bool ingress_empty;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         ingress_empty = ingress_.empty();
       }
       bool acked = true;
@@ -1173,13 +1253,13 @@ void RankShardedEngine::router_loop(std::vector<parallel::Transport*> links) {
 std::vector<EngineStats> RankShardedEngine::fetch_remote_stats() const {
   std::size_t n;
   {
-    std::lock_guard<std::mutex> topo(topology_mu_);
+    util::MutexLock topo(topology_mu_);
     n = shard_state_.size();
   }
   std::promise<std::vector<EngineStats>> promise;
   std::future<std::vector<EngineStats>> fut = promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (stopped_ || draining_ || runtime_error_)
       return std::vector<EngineStats>(n);
     stats_requests_.push_back(std::move(promise));
@@ -1206,7 +1286,7 @@ RankShardedStats RankShardedEngine::stats() const {
   // topology_mu_ — waiting on it while it waited on us would deadlock.
   if (config_.transport == TransportKind::kSocket)
     engine_stats = fetch_remote_stats();
-  std::lock_guard<std::mutex> topo(topology_mu_);
+  util::MutexLock topo(topology_mu_);
   if (config_.transport != TransportKind::kSocket) {
     engine_stats.reserve(engines_.size());
     for (const auto& engine : engines_)

@@ -2,15 +2,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 #include "obs/flight_recorder.hpp"
 #include "parallel/rank_runtime.hpp"
@@ -321,6 +321,9 @@ class RankShardedEngine {
     std::atomic<bool> demoted{false};
     std::atomic<std::uint64_t> respawns{0};
     std::atomic<std::uint64_t> generation{0};
+    /// weight and threads are immutable after the slot is published into
+    /// shard_state_ (set before the locked push_back), so readers need no
+    /// lock beyond the one that found the slot.
     double weight = 1.0;
     std::size_t threads = 0;  ///< lane budget handed to socket workers
     /// Respawn bookkeeping (router-thread-only, socket mode).
@@ -370,37 +373,52 @@ class RankShardedEngine {
   /// against each other. Never taken by the router thread — a resize
   /// caller holds it while *waiting on* the router, so the router
   /// taking it would deadlock.
-  mutable std::mutex lifecycle_mu_;
-  /// Guards the topology the outside reads (router_, engines_,
-  /// shard_state_/links_/worker_pids_ vectors) against its writer: the
-  /// router thread in socket mode, the resize caller between runtimes
-  /// otherwise. Held for pointer-swap moments only, never across a
-  /// drain or a spawn.
-  mutable std::mutex topology_mu_;
-  std::unique_ptr<Router> router_;
+  mutable util::Mutex lifecycle_mu_;
+  /// Guards the topology containers (router_, engines_, the
+  /// shard_state_/links_/worker_pids_ vectors). The router thread is
+  /// still the only *writer* in socket mode (the resize caller between
+  /// runtimes otherwise), but every access — including the router's own
+  /// pointer-grab reads — now takes the lock, so the discipline is
+  /// machine-checked instead of commented. Held for pointer-swap
+  /// moments only, never across a drain or a spawn; ShardState objects
+  /// themselves are stable once published (unique_ptr slots are never
+  /// erased), so holders of a ShardState* drop the lock before touching
+  /// its atomics.
+  mutable util::Mutex topology_mu_;
+  std::unique_ptr<Router> router_ QKMPS_GUARDED_BY(topology_mu_);
   /// In-process transport only; socket-mode engines live in the worker
   /// processes. A removed in-process shard's slot holds nullptr.
-  std::vector<std::unique_ptr<InferenceEngine>> engines_;
-  std::vector<std::unique_ptr<ShardState>> shard_state_;
+  std::vector<std::unique_ptr<InferenceEngine>> engines_
+      QKMPS_GUARDED_BY(topology_mu_);
+  std::vector<std::unique_ptr<ShardState>> shard_state_
+      QKMPS_GUARDED_BY(topology_mu_);
 
-  mutable std::mutex mu_;  ///< guards ingress_, request queues, flags
-  mutable std::condition_variable cv_ingress_;
-  std::deque<Ingress> ingress_;
+  mutable util::Mutex mu_;  ///< guards ingress_, request queues, flags
+  mutable util::CondVar cv_ingress_;
+  std::deque<Ingress> ingress_ QKMPS_GUARDED_BY(mu_);
   /// stats() -> router handoff (socket mode): the router answers each
   /// with a kStats sweep of the live workers.
-  mutable std::deque<std::promise<std::vector<EngineStats>>> stats_requests_;
+  mutable std::deque<std::promise<std::vector<EngineStats>>> stats_requests_
+      QKMPS_GUARDED_BY(mu_);
   /// add/remove_shard -> router handoff (socket mode).
-  std::deque<TopologyCommand> topology_requests_;
-  bool draining_ = false;  ///< router: finish outstanding work and return
-  bool stopped_ = false;   ///< terminal: submit() throws from now on
+  std::deque<TopologyCommand> topology_requests_ QKMPS_GUARDED_BY(mu_);
+  /// Router: finish outstanding work and return.
+  bool draining_ QKMPS_GUARDED_BY(mu_) = false;
+  /// Terminal: submit() throws from now on.
+  bool stopped_ QKMPS_GUARDED_BY(mu_) = false;
 
   std::unique_ptr<parallel::RankRuntime> runtime_;  ///< in-process mode
-  /// Socket mode: listener + one link and one spawned pid per shard.
+  /// Socket mode: the listener stays open for the engine's life and is
+  /// touched only by the router thread (accepts) and by stop_runtime
+  /// after that thread is joined — single-owner by construction.
   std::unique_ptr<parallel::SocketListener> listener_;
-  std::vector<std::unique_ptr<parallel::SocketTransport>> links_;
-  std::vector<long> worker_pids_;
+  /// One link and one spawned pid per shard slot (socket mode).
+  std::vector<std::unique_ptr<parallel::SocketTransport>> links_
+      QKMPS_GUARDED_BY(topology_mu_);
+  std::vector<long> worker_pids_ QKMPS_GUARDED_BY(topology_mu_);
   std::thread runtime_thread_;
-  std::exception_ptr runtime_error_;  ///< first rank-body escapee, if any
+  /// First rank-body escapee, if any.
+  std::exception_ptr runtime_error_ QKMPS_GUARDED_BY(mu_);
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> admitted_{0};

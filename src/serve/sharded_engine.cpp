@@ -73,7 +73,7 @@ ShardedEngine::ShardedEngine(std::shared_ptr<const ModelBundle> bundle,
 ShardedEngine::~ShardedEngine() {
   for (auto& shard : shards_) {
     {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      util::MutexLock lock(shard->mu);
       shard->stop = true;
     }
     shard->cv_work.notify_all();
@@ -84,8 +84,8 @@ ShardedEngine::~ShardedEngine() {
   // Wait for every in-flight submit to leave its shard before the shard
   // is freed (the stop flag guarantees no new ones enter).
   for (auto& shard : shards_) {
-    std::unique_lock<std::mutex> lock(shard->mu);
-    shard->cv_space.wait(lock, [&] { return shard->active_submits == 0; });
+    util::UniqueLock lock(shard->mu);
+    while (shard->active_submits != 0) shard->cv_space.wait(lock);
   }
   // Drainers finish every admitted request before exiting (stop overrides
   // pause), so joining here cannot deadlock and drops no future.
@@ -116,7 +116,7 @@ std::future<RoutedPrediction> ShardedEngine::submit(
   std::optional<Pending> victim;  // kShedOldest eviction, resolved unlocked
   bool rejected = false;
   {
-    std::unique_lock<std::mutex> lock(shard.mu);
+    util::UniqueLock lock(shard.mu);
     QKMPS_CHECK_MSG(!shard.stop, "submit on a stopped ShardedEngine");
     // Registered only once the stop check passed: the destructor waits
     // for active_submits to drain, and a submit that throws on a stopping
@@ -130,10 +130,12 @@ std::future<RoutedPrediction> ShardedEngine::submit(
           break;
         case AdmissionPolicy::kBlockWithDeadline: {
           const auto deadline = request.submitted + config_.block_deadline;
-          shard.cv_space.wait_until(lock, deadline, [&] {
-            return shard.stop ||
-                   shard.pending.size() < config_.admission_capacity;
-          });
+          while (!shard.stop &&
+                 shard.pending.size() >= config_.admission_capacity) {
+            if (shard.cv_space.wait_until(lock, deadline) ==
+                std::cv_status::timeout)
+              break;
+          }
           // A stop during the wait also rejects: the request was never
           // admitted, and rejecting beats throwing from under a blocked
           // caller mid-shutdown.
@@ -179,7 +181,7 @@ std::future<RoutedPrediction> ShardedEngine::submit(
   }
   bool stopping;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     --shard.active_submits;
     stopping = shard.stop;
   }
@@ -192,10 +194,9 @@ void ShardedEngine::drain_loop(Shard& shard, int shard_index) {
   for (;;) {
     std::vector<Pending> batch;
     {
-      std::unique_lock<std::mutex> lock(shard.mu);
-      shard.cv_work.wait(lock, [&] {
-        return shard.stop || (!shard.paused && !shard.pending.empty());
-      });
+      util::UniqueLock lock(shard.mu);
+      while (!shard.stop && (shard.paused || shard.pending.empty()))
+        shard.cv_work.wait(lock);
       if (shard.pending.empty()) {
         if (shard.stop) return;
         continue;  // spurious wake or pause toggled with an empty queue
@@ -264,7 +265,7 @@ void ShardedEngine::drain_loop(Shard& shard, int shard_index) {
         out[i].trace = std::move(trace).finish(done);
       }
       if (config_.latency_window > 0) {
-        std::lock_guard<std::mutex> lock(shard.mu);
+        util::MutexLock lock(shard.mu);
         for (const RoutedPrediction& r : out) {
           if (shard.latencies.size() < config_.latency_window)
             shard.latencies.push_back(r.total_seconds);
@@ -289,7 +290,7 @@ void ShardedEngine::drain_loop(Shard& shard, int shard_index) {
 
 void ShardedEngine::pause_draining() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(shard->mu);
     shard->paused = true;
   }
 }
@@ -297,7 +298,7 @@ void ShardedEngine::pause_draining() {
 void ShardedEngine::resume_draining() {
   for (auto& shard : shards_) {
     {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      util::MutexLock lock(shard->mu);
       shard->paused = false;
     }
     shard->cv_work.notify_all();
@@ -319,7 +320,7 @@ ShardedStats ShardedEngine::stats() const {
     s.max_queue_depth = shard->max_queue_depth.load(std::memory_order_relaxed);
     std::vector<double> samples;
     {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      util::MutexLock lock(shard->mu);
       s.queue_depth = shard->pending.size();
       samples = shard->latencies;
     }

@@ -2,14 +2,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 #include "obs/trace.hpp"
 #include "serve/inference_engine.hpp"
@@ -210,19 +210,20 @@ class ShardedEngine {
   struct Shard {
     std::unique_ptr<InferenceEngine> engine;
 
-    std::mutex mu;  ///< guards pending, stop, paused, latencies
-    std::condition_variable cv_work;   ///< drainer wakeups
-    std::condition_variable cv_space;  ///< blocked submitters (kBlock...)
-    std::deque<Pending> pending;
-    bool stop = false;
-    bool paused = false;
+    util::Mutex mu;  ///< guards pending, stop, paused, latencies
+    util::CondVar cv_work;   ///< drainer wakeups
+    util::CondVar cv_space;  ///< blocked submitters (kBlock...)
+    std::deque<Pending> pending QKMPS_GUARDED_BY(mu);
+    bool stop QKMPS_GUARDED_BY(mu) = false;
+    bool paused QKMPS_GUARDED_BY(mu) = false;
     /// submit() calls currently inside this shard (possibly blocked in
     /// kBlockWithDeadline). The destructor waits for this to reach zero
     /// before freeing the shard, so a submitter woken by stop never
     /// touches freed memory.
-    int active_submits = 0;
-    std::vector<double> latencies;  ///< ring of served total_seconds
-    std::size_t latency_next = 0;
+    int active_submits QKMPS_GUARDED_BY(mu) = 0;
+    /// Ring of served total_seconds.
+    std::vector<double> latencies QKMPS_GUARDED_BY(mu);
+    std::size_t latency_next QKMPS_GUARDED_BY(mu) = 0;
 
     std::atomic<std::uint64_t> submitted{0};
     std::atomic<std::uint64_t> admitted{0};

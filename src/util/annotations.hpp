@@ -1,0 +1,71 @@
+#pragma once
+
+/// Clang thread-safety annotation macros (DESIGN.md §11). Under clang the
+/// macros expand to the `capability` attribute family and the whole tree
+/// compiles with -Werror=thread-safety, so a mutex-guarded field accessed
+/// without its lock is a build break, not a comment violation. Under any
+/// other compiler they expand to nothing — gcc builds are bit-identical
+/// to the unannotated tree.
+///
+/// The analysis only understands capability-annotated types, and
+/// libstdc++'s std::mutex is not one — which is why util/sync.hpp wraps
+/// the standard primitives in annotated equivalents (util::Mutex,
+/// util::MutexLock, util::UniqueLock, util::CondVar) and the concurrent
+/// subsystems hold those instead of std::mutex directly.
+/// tests/negative_compile/ proves the macros are live under clang: an
+/// unguarded access to a GUARDED_BY field must fail to compile there.
+///
+/// Conventions (see DESIGN.md §11 for the full list):
+///  - Every mutex-guarded field carries GUARDED_BY(mu) naming its mutex.
+///  - A private helper that assumes the lock is held carries REQUIRES(mu)
+///    instead of re-acquiring.
+///  - Fields owned by a single thread (a router loop's bookkeeping) or
+///    immutable after publication are NOT annotated; a comment names the
+///    owning thread and the TSan CI job checks the claim dynamically.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define QKMPS_TS_ATTR(x) __attribute__((x))
+#else
+#define QKMPS_TS_ATTR(x)  // no-op off clang
+#endif
+
+#define QKMPS_CAPABILITY(x) QKMPS_TS_ATTR(capability(x))
+
+#define QKMPS_SCOPED_CAPABILITY QKMPS_TS_ATTR(scoped_lockable)
+
+#define QKMPS_GUARDED_BY(x) QKMPS_TS_ATTR(guarded_by(x))
+
+#define QKMPS_PT_GUARDED_BY(x) QKMPS_TS_ATTR(pt_guarded_by(x))
+
+#define QKMPS_ACQUIRED_BEFORE(...) QKMPS_TS_ATTR(acquired_before(__VA_ARGS__))
+
+#define QKMPS_ACQUIRED_AFTER(...) QKMPS_TS_ATTR(acquired_after(__VA_ARGS__))
+
+#define QKMPS_REQUIRES(...) QKMPS_TS_ATTR(requires_capability(__VA_ARGS__))
+
+#define QKMPS_REQUIRES_SHARED(...) \
+  QKMPS_TS_ATTR(requires_shared_capability(__VA_ARGS__))
+
+#define QKMPS_ACQUIRE(...) QKMPS_TS_ATTR(acquire_capability(__VA_ARGS__))
+
+#define QKMPS_ACQUIRE_SHARED(...) \
+  QKMPS_TS_ATTR(acquire_shared_capability(__VA_ARGS__))
+
+#define QKMPS_RELEASE(...) QKMPS_TS_ATTR(release_capability(__VA_ARGS__))
+
+#define QKMPS_RELEASE_SHARED(...) \
+  QKMPS_TS_ATTR(release_shared_capability(__VA_ARGS__))
+
+#define QKMPS_TRY_ACQUIRE(...) QKMPS_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+
+#define QKMPS_EXCLUDES(...) QKMPS_TS_ATTR(locks_excluded(__VA_ARGS__))
+
+#define QKMPS_ASSERT_CAPABILITY(x) QKMPS_TS_ATTR(assert_capability(x))
+
+#define QKMPS_RETURN_CAPABILITY(x) QKMPS_TS_ATTR(lock_returned(x))
+
+/// Escape hatch for functions whose locking discipline the analysis
+/// cannot express (e.g. a lock handed across a scope boundary). Every use
+/// must carry a comment naming the discipline that replaces the check —
+/// scripts/lint_invariants.py enforces the comment.
+#define QKMPS_NO_THREAD_SAFETY_ANALYSIS QKMPS_TS_ATTR(no_thread_safety_analysis)

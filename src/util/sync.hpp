@@ -1,0 +1,116 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace qkmps::util {
+
+/// Capability-annotated synchronization primitives (DESIGN.md §11).
+///
+/// Clang's thread-safety analysis only tracks lock state through types
+/// declared with the `capability` attribute; libstdc++'s std::mutex and
+/// std::lock_guard carry no annotations, so a tree that uses them
+/// directly gets no checking at all. These zero-overhead wrappers are the
+/// project's lockable vocabulary: every mutex in the concurrent
+/// subsystems (serve/, obs/, parallel/, kernel/distributed_gram) is a
+/// util::Mutex, every critical section a util::MutexLock or
+/// util::UniqueLock, and every condition wait a util::CondVar — which is
+/// what lets -Werror=thread-safety turn "guarded by mu_" comments into
+/// compile errors. scripts/lint_invariants.py rejects raw std::mutex
+/// outside this header so the discipline cannot erode silently.
+///
+/// Off clang the annotation macros are no-ops and everything inlines to
+/// the std primitive it wraps.
+
+/// Annotated std::mutex.
+class QKMPS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() QKMPS_ACQUIRE() { mu_.lock(); }
+  void unlock() QKMPS_RELEASE() { mu_.unlock(); }
+  bool try_lock() QKMPS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class UniqueLock;
+  std::mutex mu_;
+};
+
+/// Annotated std::lock_guard: lock for the enclosing scope, no unlock.
+class QKMPS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) QKMPS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() QKMPS_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Annotated std::unique_lock over a Mutex: constructed locked, and the
+/// handle condition waits release/re-acquire through (CondVar::wait
+/// returns with the lock re-held, so from the analysis' point of view the
+/// capability never lapses inside the wait loop). Supports the manual
+/// unlock()/lock() window the batcher loops use to run a batch outside
+/// the lock.
+class QKMPS_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) QKMPS_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~UniqueLock() QKMPS_RELEASE() = default;
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() QKMPS_ACQUIRE() { lock_.lock(); }
+  void unlock() QKMPS_RELEASE() { lock_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Annotated std::condition_variable companion to UniqueLock.
+///
+/// Waits take the annotated lock handle; predicates stay at the call site
+/// as explicit `while (!ready) cv.wait(lock);` loops rather than the
+/// predicate-lambda overloads — a lambda body is analyzed as its own
+/// function, so guarded accesses inside one would (falsely) trip the
+/// analysis. The explicit-loop idiom keeps every guarded read lexically
+/// inside the locked scope. scripts/lint_invariants.py pins the idiom.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      UniqueLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace qkmps::util

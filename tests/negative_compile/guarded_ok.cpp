@@ -1,0 +1,27 @@
+// Positive control for the thread-safety negative-compilation test: the
+// same guarded field as unguarded_access.cpp, accessed correctly under
+// its lock. Must compile under every compiler — if this file fails, the
+// harness is broken (bad include path, bad flags), not the analysis.
+#include "util/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    qkmps::util::MutexLock lock(mu_);
+    ++value_;
+  }
+
+ private:
+  qkmps::util::Mutex mu_;
+  int value_ QKMPS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Negative-compilation probe: writes a GUARDED_BY field without holding
+// its mutex. Under clang with -Werror=thread-safety this file MUST fail
+// to compile — that failure is the passing outcome of the harness in
+// CMakeLists.txt. Under compilers where the annotation macros are no-ops
+// (gcc) it compiles, and the harness asserts that instead, proving the
+// macros degrade cleanly.
+#include "util/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_unguarded() {
+    ++value_;  // no lock held: the analysis must reject this
+  }
+
+ private:
+  qkmps::util::Mutex mu_;
+  int value_ QKMPS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump_unguarded();
+  return 0;
+}

@@ -24,6 +24,7 @@ namespace {
 // (training dominates suite runtime; the engines themselves are cheap).
 const testing::TrainedServing& shared_model() {
   static const testing::TrainedServing* model =
+      // lint: allow(naked-new) — leaked singleton shared across tests
       new testing::TrainedServing(testing::train_small_serving(7));
   return *model;
 }
@@ -35,6 +36,7 @@ struct SoakInputs {
 
 const SoakInputs& shared_inputs() {
   static const SoakInputs* inputs = [] {
+    // lint: allow(naked-new) — leaked singleton shared across tests
     auto* in = new SoakInputs();
     in->pool = testing::serving_request_pool(48);
     in->reference = testing::sequential_reference(shared_model(), in->pool);

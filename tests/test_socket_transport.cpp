@@ -324,6 +324,8 @@ TEST(SocketTransport, CorruptedFrameOnTheWireFailsTheChecksumInPopFrame) {
   std::string frame = encode_to_string(bytes_of({10, 20, 30, 40}));
   frame[kFrameHeaderBytes + 1] ^= 0x40;  // payload corruption, header intact
   auto rogue_fut = std::async(std::launch::async, [&path, &frame] {
+    // Rogue peer simulating a hostile client; the fd lives for
+    // microseconds inside this test and nothing execs. lint: allow(cloexec)
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     ASSERT_GE(fd, 0);
     sockaddr_un addr{};
@@ -351,6 +353,8 @@ TEST(SocketTransport, GarbageBytesOnTheWireThrowNotCrash) {
   const std::string path =
       listener.address().substr(std::string("unix:").size());
   auto rogue_fut = std::async(std::launch::async, [&path] {
+    // Rogue peer simulating a hostile client; the fd lives for
+    // microseconds inside this test and nothing execs. lint: allow(cloexec)
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     ASSERT_GE(fd, 0);
     sockaddr_un addr{};
